@@ -1,0 +1,93 @@
+"""Walkthrough of the graph construction flow (Section III-A) for one design.
+
+This example dissects what PowerGear actually feeds its GNN: it runs HLS for a
+single `gemm` design point (with unrolling, pipelining and array partitioning),
+traces switching activity, and then shows the effect of each construction pass
+— buffer insertion, datapath merging, graph trimming and feature annotation —
+on the resulting heterogeneous graph, ending with the power measurement the
+sample would be labelled with.
+
+Run with:  python examples/graph_construction_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.activity.simulator import simulate_activity
+from repro.graph.construction import GraphConstructionConfig, GraphConstructor
+from repro.graph.hetero_graph import RELATION_TYPES
+from repro.hls.dfg import extract_dfg
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.hls.report import run_hls
+from repro.kernels.polybench import polybench_kernel
+from repro.power.ground_truth import GroundTruthPowerModel
+from repro.power.vivado import VivadoPowerEstimator
+
+
+def main() -> None:
+    kernel = polybench_kernel("gemm", 8)
+    directives = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=4, pipeline=True)},
+        {"A": ArrayPartition(4), "B": ArrayPartition(4)},
+    )
+    print(f"Kernel: {kernel.name}  directives: {directives.describe()}")
+
+    # ------------------------------------------------------------------- HLS
+    result = run_hls(kernel, directives)
+    report = result.report
+    print("\nHLS report:")
+    print(f"  latency        : {report.latency_cycles} cycles")
+    print(f"  achieved clock : {report.achieved_clock_ns:.2f} ns "
+          f"(target {report.target_clock_ns:.1f} ns)")
+    print(f"  resources      : {report.resources.as_dict()}")
+    print(f"  FSM states     : {report.fsm_states}")
+
+    # -------------------------------------------------------------- activity
+    profile = simulate_activity(result.design, seed=7)
+    print("\nActivity simulation:")
+    print(f"  dynamic IR instructions executed : {profile.dynamic_instructions}")
+    print(f"  average toggle rate              : "
+          f"{profile.average_toggle_rate(report.latency_cycles):.3f} bits/cycle/stream")
+
+    # ------------------------------------------------- construction, pass by pass
+    raw_dfg = extract_dfg(result.design)
+    print("\nGraph construction flow:")
+    print(f"  raw DFG                          : {raw_dfg.num_nodes} nodes, "
+          f"{raw_dfg.num_edges} edges")
+
+    stages = [
+        ("buffer insertion only", GraphConstructionConfig(datapath_merging=False, trimming=False)),
+        ("+ datapath merging", GraphConstructionConfig(trimming=False)),
+        ("+ graph trimming (full flow)", GraphConstructionConfig()),
+    ]
+    for label, config in stages:
+        power_graph = GraphConstructor(config).build_power_graph(result, profile)
+        buffers = sum(1 for node in power_graph.nodes.values() if node.kind == "buffer")
+        print(f"  {label:<33}: {power_graph.num_nodes} nodes "
+              f"({buffers} buffers), {power_graph.num_edges} edges")
+
+    graph = GraphConstructor().build(result, profile)
+    print("\nEncoded heterogeneous graph:")
+    print(f"  node features : {graph.node_features.shape}")
+    print(f"  edge features : {graph.edge_features.shape} "
+          f"(SA_src, SA_snk, AR_src, AR_snk)")
+    print(f"  metadata      : {graph.metadata.shape}")
+    counts = {RELATION_TYPES[r]: int((graph.edge_types == r).sum()) for r in range(4)}
+    print(f"  edge relations: {counts}")
+    print(f"  mean edge switching activity: {graph.edge_features[:, 0].mean():.3f} bits/cycle")
+
+    # ----------------------------------------------------------------- power
+    measurement = GroundTruthPowerModel(seed=0).measure(result, profile)
+    vivado = VivadoPowerEstimator().estimate(result, profile)
+    print("\nPower labels for this design point:")
+    print(f"  measured ('on board')  : total {measurement.total:.3f} W, "
+          f"dynamic {measurement.dynamic:.3f} W, static {measurement.static:.3f} W")
+    print(f"  Vivado-style estimate  : total {vivado.total:.3f} W "
+          f"(uncalibrated, no power gating)")
+    print("\nThis (graph, metadata) -> measurement pair is exactly one training "
+          "sample of the PowerGear dataset.")
+
+
+if __name__ == "__main__":
+    main()

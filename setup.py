@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction lacks the ``wheel``
+package, which modern PEP 517 editable installs require; keeping a setup.py
+allows ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on fully provisioned machines) to work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

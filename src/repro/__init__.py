@@ -1,0 +1,36 @@
+"""PowerGear reproduction: early-stage FPGA HLS power estimation with HEC-GNN.
+
+This package re-implements the full PowerGear system from DATE 2022:
+
+* an HLS substrate (:mod:`repro.ir`, :mod:`repro.hls`) that lowers PolyBench
+  kernel specifications into an LLVM-flavoured IR, schedules them into an FSMD
+  and reports latency / resources,
+* switching-activity tracing (:mod:`repro.activity`),
+* the graph construction flow (:mod:`repro.graph`) with buffer insertion,
+  datapath merging, graph trimming and feature annotation,
+* a synthetic FPGA power substrate (:mod:`repro.power`) providing "on-board"
+  ground truth and a Vivado-like baseline estimator,
+* a numpy autograd / neural-network substrate (:mod:`repro.nn`),
+* HEC-GNN and the baseline GNNs (:mod:`repro.gnn`),
+* the HL-Pow baseline (:mod:`repro.baselines`),
+* Pareto-guided design-space exploration (:mod:`repro.dse`), and
+* the end-to-end PowerGear flow (:mod:`repro.flow`).
+"""
+
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.flow.dataset_gen import DatasetGenerator, DatasetConfig
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.dataset import GraphSample, GraphDataset
+
+__all__ = [
+    "PowerGear",
+    "PowerGearConfig",
+    "DatasetGenerator",
+    "DatasetConfig",
+    "HeteroGraph",
+    "GraphSample",
+    "GraphDataset",
+    "__version__",
+]
+
+__version__ = "0.1.0"

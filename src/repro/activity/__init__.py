@@ -1,0 +1,25 @@
+"""Switching-activity extraction (Section III-A, feature annotation).
+
+The paper instruments the HLS IR with detection probes, links them with the
+C testbench, and executes the result to trace the values flowing over every
+DFG edge; switching activities (Eq. 2) and activation rates (Eq. 3) are then
+computed from Hamming distances between consecutive values.  Here the
+:class:`~repro.ir.interpreter.IRInterpreter` plays the role of the
+instrumented executable, the stimulus generator plays the role of the C
+testbench, and :class:`~repro.activity.tracer.ActivityTracer` accumulates the
+same per-edge statistics online.
+"""
+
+from repro.activity.stimuli import StimulusGenerator, generate_stimuli
+from repro.activity.tracer import ActivityTracer, ValueStreamStats, EdgeActivity
+from repro.activity.simulator import ActivityProfile, simulate_activity
+
+__all__ = [
+    "StimulusGenerator",
+    "generate_stimuli",
+    "ActivityTracer",
+    "ValueStreamStats",
+    "EdgeActivity",
+    "ActivityProfile",
+    "simulate_activity",
+]

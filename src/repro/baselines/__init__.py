@@ -1,0 +1,25 @@
+"""Baselines: HL-Pow (histogram features + gradient-boosted trees).
+
+HL-Pow (Lin et al., ASP-DAC 2020) is the state-of-the-art HLS power model the
+paper compares against: it encodes the activities of each HLS operation type
+into per-type histograms, concatenates them into a fixed-length design feature
+vector, and trains gradient boosting decision trees (GBDT) for power
+inference.  scikit-learn is not available offline, so the GBDT is implemented
+from scratch in :mod:`repro.baselines.gbdt`.
+"""
+
+from repro.baselines.gbdt import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    GBDTConfig,
+)
+from repro.baselines.hlpow import HLPowModel, HLPowConfig, hlpow_features
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "GBDTConfig",
+    "HLPowModel",
+    "HLPowConfig",
+    "hlpow_features",
+]

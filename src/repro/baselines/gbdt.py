@@ -1,0 +1,242 @@
+"""Gradient-boosted regression trees, implemented from scratch.
+
+The HL-Pow baseline uses scikit-learn's GBDT; this module provides an
+equivalent: CART regression trees with variance-reduction splits, boosted on
+least-squares residuals with shrinkage, plus the small hyper-parameter grid
+search the paper performs on a validation split (tree count, depth, minimum
+samples per leaf, learning rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import product
+
+import numpy as np
+
+from repro.utils.metrics import mape
+
+
+@dataclass
+class _TreeNode:
+    """Internal node (or leaf when ``feature`` is None) of a regression tree."""
+
+    value: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with variance-reduction splitting."""
+
+    def __init__(
+        self,
+        max_depth: int = 5,
+        min_samples_leaf: int = 2,
+        max_features: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if max_features is not None and not 0.0 < max_features <= 1.0:
+            raise ValueError("max_features must be a fraction in (0, 1]")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self._root: _TreeNode | None = None
+
+    # ------------------------------------------------------------------ fitting
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets disagree on the number of samples")
+        self._root = self._build(features, targets, depth=0)
+        return self
+
+    def _build(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(value=float(targets.mean()))
+        if depth >= self.max_depth or targets.shape[0] < 2 * self.min_samples_leaf:
+            return node
+        if np.allclose(targets, targets[0]):
+            return node
+
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        total_count = targets.shape[0]
+        total_sum = float(targets.sum())
+        base_sse = float(((targets - targets.mean()) ** 2).sum())
+        min_leaf = self.min_samples_leaf
+        num_features = features.shape[1]
+        if self.max_features is not None and self.max_features < 1.0:
+            subset_size = max(1, int(round(num_features * self.max_features)))
+            feature_indices = self._rng.choice(num_features, size=subset_size, replace=False)
+        else:
+            feature_indices = range(num_features)
+        for feature_index in feature_indices:
+            column = features[:, feature_index]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            if sorted_values[0] == sorted_values[-1]:
+                continue
+            sorted_targets = targets[order]
+            # Candidate split positions: between distinct consecutive values,
+            # respecting the minimum leaf size on both sides.
+            prefix_sums = np.cumsum(sorted_targets)
+            prefix_squares = np.cumsum(sorted_targets**2)
+            positions = np.arange(1, total_count)
+            valid = (
+                (positions >= min_leaf)
+                & (positions <= total_count - min_leaf)
+                & (sorted_values[1:] > sorted_values[:-1])
+            )
+            if not valid.any():
+                continue
+            split_positions = positions[valid]
+            left_sums = prefix_sums[split_positions - 1]
+            left_squares = prefix_squares[split_positions - 1]
+            right_sums = total_sum - left_sums
+            right_squares = prefix_squares[-1] - left_squares
+            left_counts = split_positions
+            right_counts = total_count - split_positions
+            sse = (
+                left_squares
+                - left_sums**2 / left_counts
+                + right_squares
+                - right_sums**2 / right_counts
+            )
+            gains = base_sse - sse
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_gain:
+                best_gain = float(gains[best_local])
+                position = int(split_positions[best_local])
+                threshold = float(
+                    (sorted_values[position - 1] + sorted_values[position]) / 2.0
+                )
+                best = (feature_index, threshold)
+
+        if best is None:
+            return node
+        feature_index, threshold = best
+        mask = features[:, feature_index] <= threshold
+        node.feature = feature_index
+        node.threshold = threshold
+        node.left = self._build(features[mask], targets[mask], depth + 1)
+        node.right = self._build(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    # --------------------------------------------------------------- prediction
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("the tree has not been fitted")
+        features = np.asarray(features, dtype=float)
+        return np.array([self._predict_row(row) for row in features])
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while node is not None and not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value if node is not None else 0.0
+
+
+@dataclass(frozen=True)
+class GBDTConfig:
+    """Hyper-parameters of the boosted ensemble."""
+
+    n_estimators: int = 80
+    max_depth: int = 5
+    min_samples_leaf: int = 2
+    learning_rate: float = 0.08
+    max_features: float | None = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0 < self.learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting with shrinkage."""
+
+    def __init__(self, config: GBDTConfig | None = None) -> None:
+        self.config = config or GBDTConfig()
+        self._initial_prediction = 0.0
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostingRegressor":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        self._initial_prediction = float(targets.mean())
+        self._trees = []
+        predictions = np.full_like(targets, self._initial_prediction)
+        for _ in range(self.config.n_estimators):
+            residuals = targets - predictions
+            tree = DecisionTreeRegressor(
+                max_depth=self.config.max_depth,
+                min_samples_leaf=self.config.min_samples_leaf,
+                max_features=self.config.max_features,
+                seed=len(self._trees),
+            )
+            tree.fit(features, residuals)
+            update = tree.predict(features)
+            predictions = predictions + self.config.learning_rate * update
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        predictions = np.full(features.shape[0], self._initial_prediction)
+        for tree in self._trees:
+            predictions = predictions + self.config.learning_rate * tree.predict(features)
+        return predictions
+
+    @property
+    def num_trees(self) -> int:
+        return len(self._trees)
+
+
+def tune_gbdt(
+    train_features: np.ndarray,
+    train_targets: np.ndarray,
+    valid_features: np.ndarray,
+    valid_targets: np.ndarray,
+    n_estimators_grid: tuple[int, ...] = (60,),
+    max_depth_grid: tuple[int, ...] = (4, 6),
+    min_samples_leaf_grid: tuple[int, ...] = (2,),
+    learning_rate_grid: tuple[float, ...] = (0.05, 0.1),
+) -> tuple[GradientBoostingRegressor, GBDTConfig]:
+    """Small grid search mirroring HL-Pow's validation-based hyper-parameter tuning."""
+    best_error = float("inf")
+    best_model: GradientBoostingRegressor | None = None
+    best_config: GBDTConfig | None = None
+    for n_estimators, max_depth, min_leaf, learning_rate in product(
+        n_estimators_grid, max_depth_grid, min_samples_leaf_grid, learning_rate_grid
+    ):
+        config = GBDTConfig(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_leaf=min_leaf,
+            learning_rate=learning_rate,
+        )
+        model = GradientBoostingRegressor(config).fit(train_features, train_targets)
+        error = mape(valid_targets, np.maximum(model.predict(valid_features), 1e-9))
+        if error < best_error:
+            best_error = error
+            best_model = model
+            best_config = config
+    assert best_model is not None and best_config is not None
+    return best_model, best_config

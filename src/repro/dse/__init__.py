@@ -1,0 +1,21 @@
+"""Design-space exploration case study (Section IV-C).
+
+PowerGear is used as the power predictor inside an iterative Pareto-guided
+sampling loop that trades off latency against dynamic power; the quality of
+the resulting approximate Pareto frontier is measured with the average
+distance from reference set (ADRS, Eq. 8) against the exact frontier computed
+from ground-truth measurements of every design point.
+"""
+
+from repro.dse.pareto import pareto_front, adrs, ParetoPoint
+from repro.dse.explorer import DSEConfig, DSEResult, ParetoExplorer, DesignCandidate
+
+__all__ = [
+    "pareto_front",
+    "adrs",
+    "ParetoPoint",
+    "DSEConfig",
+    "DSEResult",
+    "ParetoExplorer",
+    "DesignCandidate",
+]

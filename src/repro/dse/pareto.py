@@ -1,0 +1,81 @@
+"""Pareto-front utilities and the ADRS metric.
+
+Both objectives (latency in cycles and dynamic power in watts) are minimised.
+ADRS follows the standard definition used by the paper (Eq. 8): the average,
+over the exact Pareto set Γ, of the distance to the closest point of the
+approximate set Ω, where the distance between two design points is the worst
+relative degradation across objectives (clamped at zero when the approximate
+point dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design point in objective space."""
+
+    latency: float
+    power: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.latency, self.power], dtype=float)
+
+
+def _as_matrix(points) -> np.ndarray:
+    if isinstance(points, np.ndarray):
+        matrix = np.asarray(points, dtype=float)
+    else:
+        matrix = np.array(
+            [p.as_array() if isinstance(p, ParetoPoint) else np.asarray(p, dtype=float) for p in points]
+        )
+    if matrix.ndim != 2 or matrix.shape[1] != 2:
+        raise ValueError("points must be an (N, 2) array of (latency, power)")
+    if matrix.shape[0] == 0:
+        raise ValueError("at least one point is required")
+    return matrix
+
+
+def pareto_front(points) -> np.ndarray:
+    """Indices of the non-dominated points (both objectives minimised).
+
+    A point dominates another if it is no worse in both objectives and strictly
+    better in at least one.  Duplicate objective vectors are all retained.
+    """
+    matrix = _as_matrix(points)
+    order = np.lexsort((matrix[:, 1], matrix[:, 0]))
+    front: list[int] = []
+    best_power = np.inf
+    for index in order:
+        power = matrix[index, 1]
+        if power < best_power - 1e-15:
+            front.append(int(index))
+            best_power = power
+        else:
+            # Same latency / power as an existing frontier point is kept only
+            # if it is an exact duplicate of the current best power.
+            if front and np.isclose(power, best_power) and np.isclose(
+                matrix[index, 0], matrix[front[-1], 0]
+            ):
+                front.append(int(index))
+    return np.array(sorted(front), dtype=int)
+
+
+def _pair_distance(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Worst relative degradation of ``candidate`` w.r.t. ``reference`` (>= 0)."""
+    scale = np.maximum(np.abs(reference), 1e-12)
+    return float(np.max(np.maximum((candidate - reference) / scale, 0.0)))
+
+
+def adrs(exact_points, approximate_points) -> float:
+    """Average distance from reference set (Eq. 8); lower is better."""
+    exact = _as_matrix(exact_points)
+    approx = _as_matrix(approximate_points)
+    distances = []
+    for reference in exact:
+        distances.append(min(_pair_distance(reference, candidate) for candidate in approx))
+    return float(np.mean(distances))

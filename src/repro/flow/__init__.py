@@ -1,0 +1,21 @@
+"""End-to-end PowerGear flow: dataset generation, training/inference, evaluation."""
+
+from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.flow.evaluation import (
+    LeaveOneOutEvaluator,
+    EvaluationConfig,
+    MODEL_BUILDERS,
+    ABLATION_VARIANTS,
+)
+
+__all__ = [
+    "DatasetConfig",
+    "DatasetGenerator",
+    "PowerGear",
+    "PowerGearConfig",
+    "LeaveOneOutEvaluator",
+    "EvaluationConfig",
+    "MODEL_BUILDERS",
+    "ABLATION_VARIANTS",
+]

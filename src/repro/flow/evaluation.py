@@ -1,0 +1,260 @@
+"""Leave-one-application-out evaluation harness (Tables I and II).
+
+The paper's transferability protocol: for each of the nine PolyBench kernels,
+train on the other eight and evaluate the mean absolute percentage error on
+the held-out kernel.  The harness runs that protocol for
+
+* PowerGear (the HEC-GNN ensemble) and its ablation variants (Table II),
+* the node-centric GNN baselines (GCN, GraphSAGE, GraphConv, GINE),
+* HL-Pow (histograms + GBDT), and
+* the calibrated Vivado-like estimator,
+
+and also aggregates the per-kernel runtime speedups of Table I's last column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.hlpow import HLPowConfig, HLPowModel
+from repro.gnn.base import PowerGNN
+from repro.gnn.baseline_convs import GCNModel, GINEModel, GraphConvModel, GraphSAGEModel
+from repro.gnn.config import GNNConfig
+from repro.gnn.ensemble import EnsembleConfig
+from repro.gnn.hecgnn import HECGNN
+from repro.gnn.trainer import Trainer, TrainingConfig
+from repro.graph.dataset import FeatureScaler, GraphDataset, GraphSample
+from repro.power.vivado import VivadoCalibration
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.utils.metrics import mape
+
+
+@dataclass
+class EvaluationConfig:
+    """Shared settings of one evaluation run."""
+
+    target: str = "dynamic"
+    gnn: GNNConfig = field(default_factory=GNNConfig)
+    training: TrainingConfig = field(default_factory=lambda: TrainingConfig(epochs=120))
+    ensemble: EnsembleConfig | None = field(default_factory=EnsembleConfig)
+    hlpow: HLPowConfig = field(default_factory=HLPowConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.training.target != self.target:
+            self.training = replace(self.training, target=self.target)
+
+
+class GraphModelEstimator:
+    """Adapter giving every GNN model class the fit/predict interface."""
+
+    def __init__(
+        self,
+        model_class: type[PowerGNN],
+        gnn_config: GNNConfig,
+        training_config: TrainingConfig,
+        scale_features: bool = True,
+    ) -> None:
+        self.model_class = model_class
+        self.gnn_config = gnn_config
+        self.training_config = training_config
+        self.scale_features = scale_features
+        self.scaler: FeatureScaler | None = None
+        self.model: PowerGNN | None = None
+
+    def _prepare(self, samples: list[GraphSample]) -> list[GraphSample]:
+        if not self.scale_features:
+            return samples
+        if self.scaler is None:
+            raise RuntimeError("estimator has not been fitted")
+        return self.scaler.transform(samples)
+
+    def fit(self, samples: list[GraphSample]) -> "GraphModelEstimator":
+        if self.scale_features:
+            self.scaler = FeatureScaler().fit(samples)
+        prepared = self._prepare(samples)
+        reference = prepared[0].graph
+        self.model = self.model_class(
+            reference.node_feature_dim,
+            reference.edge_feature_dim,
+            reference.metadata_dim,
+            self.gnn_config,
+        )
+        Trainer(self.training_config).fit(self.model, prepared)
+        return self
+
+    def predict(self, samples: list[GraphSample]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("estimator has not been fitted")
+        prepared = self._prepare(samples)
+        return np.maximum(self.model.predict([s.graph for s in prepared]), 1e-9)
+
+
+class VivadoEstimatorAdapter:
+    """Calibrated Vivado-like estimator with the common fit/predict interface."""
+
+    def __init__(self, target: str) -> None:
+        if target not in ("total", "dynamic"):
+            raise ValueError("the Vivado baseline supports total or dynamic power")
+        self.target = target
+        self.calibration = VivadoCalibration()
+
+    @staticmethod
+    def _raw(samples: list[GraphSample]) -> tuple[np.ndarray, np.ndarray]:
+        raw_total = np.array([s.vivado_total_power for s in samples])
+        raw_dynamic = np.array([s.vivado_dynamic_power for s in samples])
+        return raw_total, raw_dynamic
+
+    def fit(self, samples: list[GraphSample]) -> "VivadoEstimatorAdapter":
+        raw_total, raw_dynamic = self._raw(samples)
+        measured_total = np.array([s.total_power for s in samples])
+        measured_dynamic = np.array([s.dynamic_power for s in samples])
+        self.calibration.fit(raw_total, measured_total, raw_dynamic, measured_dynamic)
+        return self
+
+    def predict(self, samples: list[GraphSample]) -> np.ndarray:
+        raw_total, raw_dynamic = self._raw(samples)
+        if self.target == "total":
+            return np.maximum(self.calibration.calibrate_total(raw_total), 1e-9)
+        return np.maximum(self.calibration.calibrate_dynamic(raw_dynamic), 1e-9)
+
+
+class HLPowAdapter:
+    """HL-Pow with the common interface (target bound at construction)."""
+
+    def __init__(self, target: str, config: HLPowConfig) -> None:
+        self.target = target
+        self.model = HLPowModel(config)
+
+    def fit(self, samples: list[GraphSample]) -> "HLPowAdapter":
+        self.model.fit(samples, target=self.target)
+        return self
+
+    def predict(self, samples: list[GraphSample]) -> np.ndarray:
+        return self.model.predict(samples)
+
+
+def _powergear_builder(config: EvaluationConfig):
+    return PowerGear(
+        PowerGearConfig(
+            target=config.target,
+            gnn=config.gnn,
+            training=config.training,
+            ensemble=config.ensemble,
+        )
+    )
+
+
+def _single_hecgnn_builder(gnn_config_transform: Callable[[GNNConfig], GNNConfig]):
+    def build(config: EvaluationConfig):
+        return GraphModelEstimator(
+            HECGNN, gnn_config_transform(config.gnn), config.training
+        )
+
+    return build
+
+
+#: Table I model registry: name -> builder(config) -> estimator with fit/predict.
+MODEL_BUILDERS: dict[str, Callable[[EvaluationConfig], object]] = {
+    "powergear": _powergear_builder,
+    "vivado": lambda config: VivadoEstimatorAdapter(config.target),
+    "hlpow": lambda config: HLPowAdapter(config.target, config.hlpow),
+    "gcn": lambda config: GraphModelEstimator(GCNModel, config.gnn, config.training),
+    "graphsage": lambda config: GraphModelEstimator(GraphSAGEModel, config.gnn, config.training),
+    "graphconv": lambda config: GraphModelEstimator(GraphConvModel, config.gnn, config.training),
+    "gine": lambda config: GraphModelEstimator(GINEModel, config.gnn, config.training),
+}
+
+#: Table II variant registry: name -> builder(config) -> estimator.
+ABLATION_VARIANTS: dict[str, Callable[[EvaluationConfig], object]] = {
+    "w/o opt.": _single_hecgnn_builder(lambda c: c.unoptimised()),
+    "w/o e.f.": _single_hecgnn_builder(lambda c: c.without_edge_features()),
+    "w/o dir.": _single_hecgnn_builder(lambda c: c.without_directionality()),
+    "w/o hetr.": _single_hecgnn_builder(lambda c: c.without_heterogeneity()),
+    "w/o md.": _single_hecgnn_builder(lambda c: c.without_metadata()),
+    "sgl.": _single_hecgnn_builder(lambda c: c),
+    "prop.": _powergear_builder,
+}
+
+
+@dataclass
+class LeaveOneOutResult:
+    """Per-kernel errors of one model under the leave-one-out protocol."""
+
+    model_name: str
+    target: str
+    per_kernel_error: dict[str, float]
+
+    @property
+    def average_error(self) -> float:
+        return float(np.mean(list(self.per_kernel_error.values())))
+
+
+class LeaveOneOutEvaluator:
+    """Runs the leave-one-application-out protocol on a generated dataset."""
+
+    def __init__(self, dataset: GraphDataset, config: EvaluationConfig | None = None) -> None:
+        if not len(dataset):
+            raise ValueError("the evaluation dataset is empty")
+        self.dataset = dataset
+        self.config = config or EvaluationConfig()
+
+    def _builder(self, model_name: str) -> Callable[[EvaluationConfig], object]:
+        if model_name in MODEL_BUILDERS:
+            return MODEL_BUILDERS[model_name]
+        if model_name in ABLATION_VARIANTS:
+            return ABLATION_VARIANTS[model_name]
+        raise KeyError(
+            f"unknown model {model_name!r}; available: "
+            f"{sorted(MODEL_BUILDERS) + sorted(ABLATION_VARIANTS)}"
+        )
+
+    def evaluate_model(
+        self, model_name: str, kernels: list[str] | None = None
+    ) -> LeaveOneOutResult:
+        """Evaluate one model on every (or the given) held-out kernels."""
+        builder = self._builder(model_name)
+        kernels = kernels or self.dataset.kernels()
+        per_kernel: dict[str, float] = {}
+        for kernel in kernels:
+            train, test = self.dataset.leave_one_out(kernel)
+            estimator = builder(self.config)
+            estimator.fit(train.samples)
+            predictions = estimator.predict(test.samples)
+            targets = test.targets(self.config.target)
+            per_kernel[kernel] = mape(targets, predictions)
+        return LeaveOneOutResult(model_name, self.config.target, per_kernel)
+
+    def evaluate_models(
+        self, model_names: list[str], kernels: list[str] | None = None
+    ) -> dict[str, LeaveOneOutResult]:
+        return {name: self.evaluate_model(name, kernels) for name in model_names}
+
+    # ------------------------------------------------------------- Table I extras
+
+    def dataset_properties(self) -> dict[str, dict[str, float]]:
+        """The dataset-properties columns of Table I (#samples, average #nodes)."""
+        properties: dict[str, dict[str, float]] = {}
+        for kernel in self.dataset.kernels():
+            subset = self.dataset.by_kernel(kernel)
+            properties[kernel] = {
+                "num_samples": float(len(subset)),
+                "avg_nodes": subset.average_num_nodes(),
+            }
+        return properties
+
+    def runtime_speedups(self) -> dict[str, float]:
+        """Average Vivado-flow / PowerGear-flow runtime ratio per kernel."""
+        speedups: dict[str, float] = {}
+        for kernel in self.dataset.kernels():
+            subset = self.dataset.by_kernel(kernel)
+            ratios = [
+                s.vivado_flow_seconds / s.powergear_flow_seconds
+                for s in subset
+                if s.powergear_flow_seconds > 0
+            ]
+            speedups[kernel] = float(np.mean(ratios)) if ratios else float("nan")
+        return speedups

@@ -1,0 +1,34 @@
+"""GNN models for power estimation.
+
+:class:`~repro.gnn.hecgnn.HECGNN` is the paper's contribution: a heterogeneous
+edge-centric GNN whose aggregation (Eq. 4/5) mirrors the dynamic power formula.
+The node-centric baselines of Table I — GCN, GraphSAGE, GraphConv and GINE —
+share the same overall architecture (three convolution layers, sum pooling
+across layers, metadata embedding and MLP head) and differ only in their
+neighbourhood-aggregation scheme, so comparisons isolate the aggregation
+design exactly as the paper intends.
+"""
+
+from repro.gnn.config import GNNConfig
+from repro.gnn.base import PowerGNN, GraphBatch
+from repro.gnn.hecgnn import HECGNN, HECGNNConv
+from repro.gnn.baseline_convs import GCNModel, GraphSAGEModel, GraphConvModel, GINEModel
+from repro.gnn.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.gnn.ensemble import EnsembleConfig, EnsembleRegressor
+
+__all__ = [
+    "GNNConfig",
+    "PowerGNN",
+    "GraphBatch",
+    "HECGNN",
+    "HECGNNConv",
+    "GCNModel",
+    "GraphSAGEModel",
+    "GraphConvModel",
+    "GINEModel",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "EnsembleConfig",
+    "EnsembleRegressor",
+]

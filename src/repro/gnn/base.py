@@ -1,0 +1,164 @@
+"""Shared GNN architecture: convolution stack, pooling, metadata branch, head.
+
+Fig. 3 of the paper: graph data pass through three HEC-GNN convolution layers;
+node embeddings from *every* layer are sum-pooled into the graph embedding
+(a skip-connection-style readout, Eq. 6); global HLS metadata are embedded by
+a one-layer MLP; the two embeddings are concatenated and a two-layer MLP
+produces the power estimate (Eq. 7).  The baseline GNN models reuse exactly
+this skeleton and only substitute their own convolution, so the comparison in
+Table I isolates the aggregation scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gnn.config import GNNConfig
+from repro.graph.hetero_graph import RELATION_TYPES, HeteroGraph
+from repro.nn.layers import Dropout, Linear, MLP, Module, ReLU, Sequential
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class GraphBatch:
+    """Numpy views of a batched :class:`HeteroGraph` plus tensor wrappers."""
+
+    node_features: Tensor
+    edge_features: Tensor
+    edge_index: np.ndarray
+    edge_types: np.ndarray
+    batch: np.ndarray
+    metadata: Tensor
+    num_nodes: int
+    num_graphs: int
+
+    @staticmethod
+    def from_graph(graph: HeteroGraph) -> "GraphBatch":
+        metadata = graph.metadata
+        if metadata.ndim == 1:
+            metadata = metadata.reshape(1, -1)
+        return GraphBatch(
+            node_features=Tensor(graph.node_features),
+            edge_features=Tensor(graph.edge_features),
+            edge_index=graph.edge_index,
+            edge_types=graph.edge_types,
+            batch=graph.batch,
+            metadata=Tensor(metadata),
+            num_nodes=graph.num_nodes,
+            num_graphs=graph.num_graphs,
+        )
+
+
+class PowerGNN(Module):
+    """Common skeleton of every power-estimation GNN."""
+
+    def __init__(
+        self,
+        node_feature_dim: int,
+        edge_feature_dim: int,
+        metadata_dim: int,
+        config: GNNConfig | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or GNNConfig()
+        self.node_feature_dim = node_feature_dim
+        self.edge_feature_dim = edge_feature_dim
+        self.metadata_dim = metadata_dim
+        rng = spawn_rng(self.config.seed, "model", type(self).__name__)
+        self._rng = rng
+
+        hidden = self.config.hidden_dim
+        self.convs: list[Module] = []
+        in_dim = node_feature_dim
+        for layer in range(self.config.num_layers):
+            self.convs.append(self.make_conv(in_dim, hidden, rng, layer))
+            in_dim = hidden
+        self.dropout = Dropout(self.config.dropout, rng)
+
+        if self.config.use_metadata:
+            # One fully connected layer followed by ReLU (Fig. 3).
+            self.metadata_mlp: Module | None = Sequential(
+                Linear(metadata_dim, hidden, rng, name="metadata"), ReLU()
+            )
+            head_in = hidden * 2
+        else:
+            self.metadata_mlp = None
+            head_in = hidden
+        # Two fully connected layers with ReLU in between (Eq. 7).
+        self.head = MLP([head_in, hidden, 1], rng, name="head")
+        # Damp the initial output scale: sum pooling over dozens of nodes makes
+        # untrained predictions orders of magnitude larger than the power
+        # targets (watts), which slows early MAPE optimisation considerably.
+        final_linear = [m for m in self.head.modules() if isinstance(m, Linear)][-1]
+        final_linear.weight.data = final_linear.weight.data * 0.02
+
+    # ------------------------------------------------------------------ hooks
+
+    def make_conv(
+        self, in_dim: int, out_dim: int, rng: np.random.Generator, layer_index: int
+    ) -> Module:  # pragma: no cover - interface
+        """Build one convolution layer; implemented by each model."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------- forward
+
+    def prepare_graph(self, graph: HeteroGraph) -> HeteroGraph:
+        """Apply config-driven graph transformations (ablation switches)."""
+        prepared = graph
+        if not self.config.directed:
+            prepared = prepared.undirected()
+        if not self.config.heterogeneous:
+            prepared = prepared.homogeneous()
+        return prepared
+
+    def forward(self, graph: HeteroGraph) -> Tensor:
+        """Predict power for each graph in the (possibly batched) input."""
+        batch = GraphBatch.from_graph(self.prepare_graph(graph))
+        embeddings = batch.node_features
+        pooled_layers: list[Tensor] = []
+        for conv in self.convs:
+            embeddings = conv(embeddings, batch)
+            embeddings = self.dropout(embeddings)
+            pooled_layers.append(
+                embeddings.segment_sum(batch.batch, batch.num_graphs)
+            )
+        # Eq. 6: sum the pooled embeddings of every convolution layer.
+        graph_embedding = pooled_layers[0]
+        for pooled in pooled_layers[1:]:
+            graph_embedding = graph_embedding + pooled
+
+        if self.metadata_mlp is not None:
+            metadata_embedding = self.metadata_mlp(batch.metadata)
+            holistic = graph_embedding.concat(metadata_embedding, axis=1)
+        else:
+            holistic = graph_embedding
+        prediction = self.head(holistic)
+        return prediction.reshape(-1)
+
+    # ---------------------------------------------------------------- predict
+
+    def predict(self, graphs: list[HeteroGraph]) -> np.ndarray:
+        """Inference helper: predictions for a list of graphs, without autograd."""
+        self.eval()
+        outputs = []
+        with no_grad():
+            for graph in graphs:
+                outputs.append(self.forward(graph).numpy().reshape(-1))
+        self.train()
+        return np.concatenate(outputs)
+
+
+def segment_mean(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Mean-aggregation helper shared by GraphSAGE."""
+    sums = values.segment_sum(index, num_segments)
+    counts = np.zeros(num_segments)
+    np.add.at(counts, index, 1.0)
+    counts[counts == 0] = 1.0
+    return sums * Tensor((1.0 / counts).reshape(-1, 1))
+
+
+def num_relations(config: GNNConfig) -> int:
+    return len(RELATION_TYPES) if config.heterogeneous else 1

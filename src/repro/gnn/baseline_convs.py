@@ -1,0 +1,152 @@
+"""Baseline GNN models of Table I: GCN, GraphSAGE, GraphConv and GINE.
+
+Each model replaces only the convolution layer; pooling, metadata embedding
+and the regression head are inherited from :class:`~repro.gnn.base.PowerGNN`
+so that accuracy differences reflect the aggregation scheme (the comparison
+the paper makes).  GCN and GraphSAGE use node features only; GraphConv uses a
+scalar edge weight derived from the activity features; GINE injects projected
+edge features into the messages — matching how these architectures consume
+edge information in PyTorch Geometric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.base import GraphBatch, PowerGNN, segment_mean
+from repro.nn.init import glorot_uniform, zeros_init
+from repro.nn.layers import MLP, Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class GCNConv(Module):
+    """Kipf & Welling graph convolution with symmetric degree normalisation."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, name: str = "gcn") -> None:
+        super().__init__()
+        self.weight = Parameter(glorot_uniform(in_dim, out_dim, rng), name=f"{name}.weight")
+        self.bias = Parameter(zeros_init(out_dim), name=f"{name}.bias")
+
+    def forward(self, node_embeddings: Tensor, batch: GraphBatch) -> Tensor:
+        transformed = node_embeddings @ self.weight
+        if batch.edge_index.shape[1] == 0:
+            return (transformed + self.bias).relu()
+        src, dst = batch.edge_index
+        degrees = np.ones(batch.num_nodes)  # self-loops included in the degree
+        np.add.at(degrees, dst, 1.0)
+        norm = 1.0 / np.sqrt(degrees[src] * degrees[dst])
+        messages = transformed.gather_rows(src) * Tensor(norm.reshape(-1, 1))
+        aggregated = messages.segment_sum(dst, batch.num_nodes)
+        self_term = transformed * Tensor((1.0 / degrees).reshape(-1, 1))
+        return (aggregated + self_term + self.bias).relu()
+
+
+class SAGEConv(Module):
+    """GraphSAGE with mean aggregation."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, name: str = "sage") -> None:
+        super().__init__()
+        self.self_weight = Parameter(glorot_uniform(in_dim, out_dim, rng), name=f"{name}.self")
+        self.neighbor_weight = Parameter(
+            glorot_uniform(in_dim, out_dim, rng), name=f"{name}.neigh"
+        )
+        self.bias = Parameter(zeros_init(out_dim), name=f"{name}.bias")
+
+    def forward(self, node_embeddings: Tensor, batch: GraphBatch) -> Tensor:
+        out = node_embeddings @ self.self_weight + self.bias
+        if batch.edge_index.shape[1]:
+            src, dst = batch.edge_index
+            neighbors = segment_mean(
+                node_embeddings.gather_rows(src), dst, batch.num_nodes
+            )
+            out = out + neighbors @ self.neighbor_weight
+        return out.relu()
+
+
+class GraphConvLayer(Module):
+    """GraphConv (Morris et al.): sum aggregation with scalar edge weights."""
+
+    def __init__(self, in_dim: int, out_dim: int, edge_dim: int, rng: np.random.Generator, name: str = "graphconv") -> None:
+        super().__init__()
+        self.self_weight = Parameter(glorot_uniform(in_dim, out_dim, rng), name=f"{name}.self")
+        self.neighbor_weight = Parameter(
+            glorot_uniform(in_dim, out_dim, rng), name=f"{name}.neigh"
+        )
+        self.bias = Parameter(zeros_init(out_dim), name=f"{name}.bias")
+        self.edge_dim = edge_dim
+
+    def forward(self, node_embeddings: Tensor, batch: GraphBatch) -> Tensor:
+        out = node_embeddings @ self.self_weight + self.bias
+        if batch.edge_index.shape[1]:
+            src, dst = batch.edge_index
+            messages = node_embeddings.gather_rows(src) @ self.neighbor_weight
+            if self.edge_dim > 0 and batch.edge_features.shape[1] == self.edge_dim:
+                # Scalar edge weight: mean of the activity features of the edge.
+                weights = batch.edge_features.numpy().mean(axis=1, keepdims=True)
+                messages = messages * Tensor(weights)
+            out = out + messages.segment_sum(dst, batch.num_nodes)
+        return out.relu()
+
+
+class GINEConv(Module):
+    """GINE (Hu et al.): injects projected edge features into GIN messages."""
+
+    def __init__(self, in_dim: int, out_dim: int, edge_dim: int, rng: np.random.Generator, name: str = "gine") -> None:
+        super().__init__()
+        self.pre_weight = Parameter(glorot_uniform(in_dim, out_dim, rng), name=f"{name}.pre")
+        self.edge_projection = Parameter(
+            glorot_uniform(max(edge_dim, 1), out_dim, rng), name=f"{name}.edge"
+        )
+        self.epsilon = Parameter(np.zeros(1), name=f"{name}.eps")
+        self.mlp = MLP([out_dim, out_dim, out_dim], rng, name=f"{name}.mlp")
+        self.edge_dim = edge_dim
+
+    def forward(self, node_embeddings: Tensor, batch: GraphBatch) -> Tensor:
+        transformed = node_embeddings @ self.pre_weight
+        aggregated: Tensor | None = None
+        if batch.edge_index.shape[1]:
+            src, dst = batch.edge_index
+            messages = transformed.gather_rows(src)
+            if self.edge_dim > 0 and batch.edge_features.shape[1] == self.edge_dim:
+                messages = (messages + batch.edge_features @ self.edge_projection).relu()
+            else:
+                messages = messages.relu()
+            aggregated = messages.segment_sum(dst, batch.num_nodes)
+        center = transformed * (Tensor(np.ones(1)) + self.epsilon)
+        combined = center if aggregated is None else center + aggregated
+        return self.mlp(combined).relu()
+
+
+class GCNModel(PowerGNN):
+    """GCN baseline; operates on the symmetrised graph (GCN assumes undirected)."""
+
+    def prepare_graph(self, graph):
+        return super().prepare_graph(graph).undirected()
+
+    def make_conv(self, in_dim, out_dim, rng, layer_index):
+        return GCNConv(in_dim, out_dim, rng, name=f"gcn{layer_index}")
+
+
+class GraphSAGEModel(PowerGNN):
+    """GraphSAGE baseline (mean aggregator, node features only)."""
+
+    def make_conv(self, in_dim, out_dim, rng, layer_index):
+        return SAGEConv(in_dim, out_dim, rng, name=f"sage{layer_index}")
+
+
+class GraphConvModel(PowerGNN):
+    """GraphConv baseline (node features plus scalar edge weights)."""
+
+    def make_conv(self, in_dim, out_dim, rng, layer_index):
+        return GraphConvLayer(
+            in_dim, out_dim, self.edge_feature_dim, rng, name=f"graphconv{layer_index}"
+        )
+
+
+class GINEModel(PowerGNN):
+    """GINE baseline (node features plus projected edge features)."""
+
+    def make_conv(self, in_dim, out_dim, rng, layer_index):
+        return GINEConv(
+            in_dim, out_dim, self.edge_feature_dim, rng, name=f"gine{layer_index}"
+        )

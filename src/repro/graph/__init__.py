@@ -1,0 +1,32 @@
+"""Graph construction flow: HLS design -> heterogeneous power graph.
+
+Implements the four optimisation strategies of Section III-A — buffer
+insertion, datapath merging, graph trimming and feature annotation — on top of
+the raw DFG extracted by :mod:`repro.hls.dfg`, producing the
+:class:`~repro.graph.hetero_graph.HeteroGraph` samples consumed by HEC-GNN and
+the baseline models.
+"""
+
+from repro.graph.hetero_graph import HeteroGraph, RELATION_TYPES, relation_type_index
+from repro.graph.power_graph import PowerGraph, PowerGraphNode, PowerGraphEdge
+from repro.graph.construction import GraphConstructionConfig, GraphConstructor, build_power_graph
+from repro.graph.features import FeatureEncoder, NODE_NUMERIC_FEATURES, EDGE_FEATURE_NAMES
+from repro.graph.dataset import GraphSample, GraphDataset, FeatureScaler
+
+__all__ = [
+    "HeteroGraph",
+    "RELATION_TYPES",
+    "relation_type_index",
+    "PowerGraph",
+    "PowerGraphNode",
+    "PowerGraphEdge",
+    "GraphConstructionConfig",
+    "GraphConstructor",
+    "build_power_graph",
+    "FeatureEncoder",
+    "NODE_NUMERIC_FEATURES",
+    "EDGE_FEATURE_NAMES",
+    "GraphSample",
+    "GraphDataset",
+    "FeatureScaler",
+]

@@ -1,0 +1,347 @@
+"""Graph construction flow (Section III-A of the paper).
+
+``GraphConstructor`` turns one HLS result plus its activity profile into a
+heterogeneous power graph in four steps:
+
+1. **Initial DFG** — one node per IR instruction (except ``ret``), one edge per
+   def-use relation, annotated with the value-stream statistics gathered by the
+   activity simulator.
+2. **Buffer insertion** — memory buffers (array arguments and ``alloca`` s) are
+   materialised as buffer nodes; loads are fed from their buffer, stores feed
+   into it, address-generation nodes (``getelementptr`` / ``alloca``) are
+   removed and their index-producing operands are reconnected to the buffer
+   (the address bus).  Buffer nodes carry memory resource utilisation.
+3. **Datapath merging** — nodes bound to the same functional unit by the HLS
+   binder are fused (resource sharing across FSM states), and identical
+   load/store chains between the same endpoints are fused, with activity
+   statistics accumulated.
+4. **Graph trimming** — trivial cast nodes (``sext`` / ``zext`` / ``trunc`` /
+   ``bitcast``) are bypassed so the model focuses on arithmetic-intensive
+   datapaths.
+
+Feature annotation is delegated to :class:`~repro.graph.features.FeatureEncoder`.
+Every pass can be disabled through :class:`GraphConstructionConfig`, which the
+ablation benchmarks use to quantify the contribution of the construction flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.activity.simulator import ActivityProfile
+from repro.activity.tracer import ValueStreamStats
+from repro.graph.features import FeatureEncoder
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.power_graph import PowerGraph, PowerGraphEdge, PowerGraphNode
+from repro.hls.report import HLSReport, HLSResult
+from repro.ir.instructions import Instruction, Opcode, TRIVIAL_OPCODES
+from repro.ir.types import ArrayType, PointerType
+from repro.ir.validation import pointer_roots
+from repro.ir.values import Argument
+
+
+@dataclass(frozen=True)
+class GraphConstructionConfig:
+    """Switches for the four optimisation strategies."""
+
+    buffer_insertion: bool = True
+    datapath_merging: bool = True
+    trimming: bool = True
+    edge_features: bool = True
+
+    @staticmethod
+    def raw() -> "GraphConstructionConfig":
+        """The unoptimised configuration (raw DFG, no edge activity features)."""
+        return GraphConstructionConfig(
+            buffer_insertion=False,
+            datapath_merging=False,
+            trimming=False,
+            edge_features=False,
+        )
+
+
+class GraphConstructor:
+    """Builds heterogeneous power graphs from HLS results."""
+
+    def __init__(
+        self,
+        config: GraphConstructionConfig | None = None,
+        encoder: FeatureEncoder | None = None,
+    ) -> None:
+        self.config = config or GraphConstructionConfig()
+        self.encoder = encoder or FeatureEncoder()
+
+    # ------------------------------------------------------------------ public
+
+    def build_power_graph(
+        self, hls_result: HLSResult, profile: ActivityProfile
+    ) -> PowerGraph:
+        """Run the construction passes and return the mutable power graph."""
+        graph, load_store_buffers = self._initial_graph(hls_result, profile)
+        if self.config.buffer_insertion:
+            self._insert_buffers(graph, hls_result, load_store_buffers)
+        if self.config.datapath_merging:
+            self._merge_datapaths(graph, hls_result)
+        if self.config.trimming:
+            self._trim(graph)
+        return graph
+
+    def build(
+        self,
+        hls_result: HLSResult,
+        profile: ActivityProfile,
+        baseline_report: HLSReport | None = None,
+    ) -> HeteroGraph:
+        """Full flow: construction passes plus feature annotation."""
+        graph = self.build_power_graph(hls_result, profile)
+        return self.encoder.encode(
+            graph,
+            hls_result.report,
+            baseline_report=baseline_report,
+            use_edge_features=self.config.edge_features,
+        )
+
+    # -------------------------------------------------------------- pass 1: DFG
+
+    def _initial_graph(
+        self, hls_result: HLSResult, profile: ActivityProfile
+    ) -> tuple[PowerGraph, dict[int, str]]:
+        function = hls_result.design.function
+        roots = pointer_roots(function)
+        graph = PowerGraph()
+        instruction_nodes: dict[int, int] = {}
+        load_store_buffers: dict[int, str] = {}
+        latency = max(1, hls_result.report.latency_cycles)
+
+        for instr in function.instructions:
+            if instr.opcode == Opcode.RET:
+                continue
+            node_id = graph.new_node_id()
+            instruction_nodes[instr.uid] = node_id
+            input_stats = ValueStreamStats(bit_width=0)
+            for slot in range(len(instr.operands)):
+                input_stats = input_stats.merged_with(profile.operand_stats(instr.uid, slot))
+            graph.add_node(
+                PowerGraphNode(
+                    node_id=node_id,
+                    kind="op",
+                    opcode=instr.opcode.value,
+                    category=instr.category.value,
+                    is_arithmetic=instr.is_arithmetic,
+                    bitwidth=instr.type.bit_width if instr.has_result else 32,
+                    result_stats=profile.result_stats(instr.uid),
+                    input_stats=input_stats,
+                    name=instr.name,
+                )
+            )
+            if instr.opcode in (Opcode.LOAD, Opcode.STORE):
+                pointer = (
+                    instr.operands[0] if instr.opcode == Opcode.LOAD else instr.operands[1]
+                )
+                root = roots.get(pointer.uid)
+                if root is not None:
+                    load_store_buffers[node_id] = root.name
+
+        for instr in function.instructions:
+            if instr.opcode == Opcode.RET:
+                continue
+            dst_id = instruction_nodes[instr.uid]
+            for slot, operand in enumerate(instr.operands):
+                if isinstance(operand, Instruction) and operand.uid in instruction_nodes:
+                    src_id = instruction_nodes[operand.uid]
+                    graph.add_edge(
+                        PowerGraphEdge(
+                            src=src_id,
+                            dst=dst_id,
+                            src_stats=profile.result_stats(operand.uid),
+                            snk_stats=profile.operand_stats(instr.uid, slot),
+                            bitwidth=operand.type.bit_width,
+                        )
+                    )
+
+        self._node_uid_map = instruction_nodes
+        self._latency = latency
+        return graph, load_store_buffers
+
+    # ------------------------------------------------------- pass 2: buffers
+
+    def _insert_buffers(
+        self,
+        graph: PowerGraph,
+        hls_result: HLSResult,
+        load_store_buffers: dict[int, str],
+    ) -> None:
+        design = hls_result.design
+        function = design.function
+
+        buffer_nodes: dict[str, int] = {}
+
+        def buffer_node_for(name: str, kind: str, bits: int) -> int:
+            if name in buffer_nodes:
+                return buffer_nodes[name]
+            partition = design.array_partitions.get(name)
+            node_id = graph.new_node_id()
+            graph.add_node(
+                PowerGraphNode(
+                    node_id=node_id,
+                    kind="buffer",
+                    opcode="buffer",
+                    category="buffer",
+                    is_arithmetic=False,
+                    bitwidth=32,
+                    buffer_name=name,
+                    buffer_kind=kind,
+                    buffer_bits=bits,
+                    partition_factor=partition.factor if partition else 1,
+                    name=f"buf_{name}",
+                )
+            )
+            buffer_nodes[name] = node_id
+            return node_id
+
+        # I/O buffers from array arguments.
+        for arg in function.args:
+            ty = arg.type
+            if isinstance(ty, PointerType) and isinstance(ty.pointee, ArrayType):
+                array_ty = ty.pointee
+                buffer_node_for(
+                    arg.name, "io", array_ty.num_elements * array_ty.element.bit_width
+                )
+
+        # Internal buffers from allocas.
+        for instr in function.instructions:
+            if instr.opcode == Opcode.ALLOCA:
+                allocated = instr.attrs["allocated_type"]
+                if isinstance(allocated, ArrayType):
+                    bits = allocated.num_elements * allocated.element.bit_width
+                else:
+                    bits = allocated.bit_width
+                buffer_node_for(instr.name, "internal", bits)
+
+        # Connect loads and stores to their buffers.
+        for node_id, buffer_name in load_store_buffers.items():
+            if node_id not in graph.nodes:
+                continue
+            node = graph.nodes[node_id]
+            kind = "io"
+            buffer_id = buffer_nodes.get(buffer_name)
+            if buffer_id is None:
+                buffer_id = buffer_node_for(buffer_name, kind, 0)
+            if node.opcode == Opcode.LOAD.value:
+                graph.add_edge(
+                    PowerGraphEdge(
+                        src=buffer_id,
+                        dst=node_id,
+                        src_stats=node.result_stats,
+                        snk_stats=node.result_stats,
+                        bitwidth=node.bitwidth,
+                    )
+                )
+            else:  # store
+                graph.add_edge(
+                    PowerGraphEdge(
+                        src=node_id,
+                        dst=buffer_id,
+                        src_stats=node.input_stats,
+                        snk_stats=node.input_stats,
+                        bitwidth=node.bitwidth,
+                    )
+                )
+
+        # Remove address-generation nodes, reconnecting index producers to the
+        # buffer they address (the address bus toggling still matters).
+        uid_to_node = self._node_uid_map
+        roots = pointer_roots(function)
+        for instr in function.instructions:
+            if instr.opcode not in (Opcode.GETELEMENTPTR, Opcode.ALLOCA):
+                continue
+            node_id = uid_to_node.get(instr.uid)
+            if node_id is None or node_id not in graph.nodes:
+                continue
+            if instr.opcode == Opcode.GETELEMENTPTR:
+                root = roots.get(instr.uid)
+                buffer_id = buffer_nodes.get(root.name) if root is not None else None
+                if buffer_id is not None:
+                    for edge in graph.in_edges(node_id):
+                        graph.add_edge(
+                            PowerGraphEdge(
+                                src=edge.src,
+                                dst=buffer_id,
+                                src_stats=edge.src_stats,
+                                snk_stats=edge.snk_stats,
+                                bitwidth=edge.bitwidth,
+                            )
+                        )
+            graph.remove_node(node_id)
+
+    # ------------------------------------------------------ pass 3: merging
+
+    def _merge_datapaths(self, graph: PowerGraph, hls_result: HLSResult) -> None:
+        uid_to_node = self._node_uid_map
+
+        # (a) Merge operations bound to the same functional unit.
+        for unit in hls_result.binding.units:
+            member_nodes = [
+                uid_to_node[uid]
+                for uid in unit.instruction_uids
+                if uid in uid_to_node and uid_to_node[uid] in graph.nodes
+            ]
+            if len(member_nodes) < 2:
+                continue
+            keep = member_nodes[0]
+            for other in member_nodes[1:]:
+                graph.merge_nodes(keep, other)
+
+        # (b) Merge identical chains: same opcode, same buffer, same neighbours.
+        signature_groups: dict[tuple, list[int]] = {}
+        for node_id, node in list(graph.nodes.items()):
+            if node.kind != "op":
+                continue
+            signature = (
+                node.opcode,
+                node.buffer_name,
+                frozenset(graph.predecessors(node_id)),
+                frozenset(graph.successors(node_id)),
+            )
+            signature_groups.setdefault(signature, []).append(node_id)
+        for members in signature_groups.values():
+            if len(members) < 2:
+                continue
+            keep = members[0]
+            for other in members[1:]:
+                if other in graph.nodes and keep in graph.nodes:
+                    graph.merge_nodes(keep, other)
+
+    # ----------------------------------------------------- pass 4: trimming
+
+    @staticmethod
+    def _trim(graph: PowerGraph) -> None:
+        trivial_names = {opcode.value for opcode in TRIVIAL_OPCODES}
+        for node_id, node in list(graph.nodes.items()):
+            if node.kind != "op" or node.opcode not in trivial_names:
+                continue
+            in_edges = graph.in_edges(node_id)
+            out_edges = graph.out_edges(node_id)
+            for incoming in in_edges:
+                for outgoing in out_edges:
+                    if incoming.src == outgoing.dst:
+                        continue
+                    graph.add_edge(
+                        PowerGraphEdge(
+                            src=incoming.src,
+                            dst=outgoing.dst,
+                            src_stats=incoming.src_stats,
+                            snk_stats=outgoing.snk_stats,
+                            bitwidth=max(incoming.bitwidth, outgoing.bitwidth),
+                        )
+                    )
+            graph.remove_node(node_id)
+
+
+def build_power_graph(
+    hls_result: HLSResult,
+    profile: ActivityProfile,
+    config: GraphConstructionConfig | None = None,
+) -> PowerGraph:
+    """Convenience wrapper: run the construction passes only."""
+    return GraphConstructor(config).build_power_graph(hls_result, profile)

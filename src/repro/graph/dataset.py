@@ -1,0 +1,293 @@
+"""Graph dataset containers, feature scaling, splits and serialisation.
+
+A :class:`GraphSample` couples one heterogeneous graph with its power labels
+(ground-truth total / dynamic / static power from the "on-board" measurement
+substrate), the Vivado-like baseline estimates, and the runtime bookkeeping
+used for the Table I speedup column.  :class:`GraphDataset` holds a list of
+samples and provides the leave-one-application-out split of the paper, k-fold
+cross-validation indices for the ensemble, feature normalisation and ``.npz``
+serialisation so generated datasets can be cached between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class GraphSample:
+    """One design point: graph features plus labels and bookkeeping."""
+
+    graph: HeteroGraph
+    kernel: str
+    directives: str
+    total_power: float
+    dynamic_power: float
+    static_power: float
+    latency_cycles: int
+    vivado_total_power: float = 0.0
+    vivado_dynamic_power: float = 0.0
+    vivado_flow_seconds: float = 0.0
+    powergear_flow_seconds: float = 0.0
+    is_baseline: bool = False
+    extras: dict = field(default_factory=dict)
+
+    def target(self, kind: str) -> float:
+        """Return the regression target: ``"total"`` or ``"dynamic"`` power."""
+        if kind == "total":
+            return self.total_power
+        if kind == "dynamic":
+            return self.dynamic_power
+        if kind == "static":
+            return self.static_power
+        raise ValueError(f"unknown target kind {kind!r}")
+
+
+class FeatureScaler:
+    """Standardises node / edge / metadata features based on training samples.
+
+    Means and standard deviations are fitted on the training split only and
+    applied to every split, which preserves the leave-one-application-out
+    protocol (no information from the held-out kernel leaks into the scaler).
+    """
+
+    def __init__(self) -> None:
+        self.node_mean: np.ndarray | None = None
+        self.node_std: np.ndarray | None = None
+        self.edge_mean: np.ndarray | None = None
+        self.edge_std: np.ndarray | None = None
+        self.meta_mean: np.ndarray | None = None
+        self.meta_std: np.ndarray | None = None
+
+    @staticmethod
+    def _fit_block(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        mean = rows.mean(axis=0)
+        std = rows.std(axis=0)
+        std[std < 1e-9] = 1.0
+        return mean, std
+
+    def fit(self, samples: list[GraphSample]) -> "FeatureScaler":
+        if not samples:
+            raise ValueError("cannot fit a scaler on an empty sample list")
+        node_rows = np.concatenate([s.graph.node_features for s in samples], axis=0)
+        self.node_mean, self.node_std = self._fit_block(node_rows)
+        edge_rows = [s.graph.edge_features for s in samples if s.graph.num_edges]
+        if edge_rows:
+            edges = np.concatenate(edge_rows, axis=0)
+            self.edge_mean, self.edge_std = self._fit_block(edges)
+        meta_rows = np.stack([s.graph.metadata for s in samples], axis=0)
+        self.meta_mean, self.meta_std = self._fit_block(meta_rows)
+        return self
+
+    def transform_graph(self, graph: HeteroGraph) -> HeteroGraph:
+        if self.node_mean is None:
+            raise RuntimeError("scaler must be fitted before transforming")
+        node_features = (graph.node_features - self.node_mean) / self.node_std
+        if graph.num_edges and self.edge_mean is not None:
+            edge_features = (graph.edge_features - self.edge_mean) / self.edge_std
+        else:
+            edge_features = graph.edge_features
+        metadata = (graph.metadata - self.meta_mean) / self.meta_std
+        return HeteroGraph(
+            node_features=node_features,
+            edge_index=graph.edge_index,
+            edge_features=edge_features,
+            edge_types=graph.edge_types,
+            metadata=metadata,
+            node_is_arithmetic=graph.node_is_arithmetic,
+            node_names=list(graph.node_names),
+            batch=graph.batch.copy(),
+            num_graphs=graph.num_graphs,
+        )
+
+    def transform(self, samples: list[GraphSample]) -> list[GraphSample]:
+        transformed = []
+        for sample in samples:
+            transformed.append(
+                GraphSample(
+                    graph=self.transform_graph(sample.graph),
+                    kernel=sample.kernel,
+                    directives=sample.directives,
+                    total_power=sample.total_power,
+                    dynamic_power=sample.dynamic_power,
+                    static_power=sample.static_power,
+                    latency_cycles=sample.latency_cycles,
+                    vivado_total_power=sample.vivado_total_power,
+                    vivado_dynamic_power=sample.vivado_dynamic_power,
+                    vivado_flow_seconds=sample.vivado_flow_seconds,
+                    powergear_flow_seconds=sample.powergear_flow_seconds,
+                    is_baseline=sample.is_baseline,
+                    extras=dict(sample.extras),
+                )
+            )
+        return transformed
+
+
+class GraphDataset:
+    """A collection of :class:`GraphSample` with split and persistence helpers."""
+
+    def __init__(self, samples: list[GraphSample] | None = None) -> None:
+        self.samples: list[GraphSample] = list(samples or [])
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> GraphSample:
+        return self.samples[index]
+
+    def add(self, sample: GraphSample) -> None:
+        self.samples.append(sample)
+
+    def extend(self, samples: list[GraphSample]) -> None:
+        self.samples.extend(samples)
+
+    # ------------------------------------------------------------------ splits
+
+    def kernels(self) -> list[str]:
+        seen: list[str] = []
+        for sample in self.samples:
+            if sample.kernel not in seen:
+                seen.append(sample.kernel)
+        return seen
+
+    def by_kernel(self, kernel: str) -> "GraphDataset":
+        return GraphDataset([s for s in self.samples if s.kernel == kernel])
+
+    def leave_one_out(self, test_kernel: str) -> tuple["GraphDataset", "GraphDataset"]:
+        """The paper's transferability protocol: hold one application out."""
+        if test_kernel not in self.kernels():
+            raise KeyError(f"dataset has no kernel {test_kernel!r}")
+        train = [s for s in self.samples if s.kernel != test_kernel]
+        test = [s for s in self.samples if s.kernel == test_kernel]
+        return GraphDataset(train), GraphDataset(test)
+
+    def kfold_indices(self, folds: int, seed: int = 0) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Shuffled k-fold (train, validation) index pairs for the ensemble."""
+        if folds < 2:
+            raise ValueError("k-fold cross validation requires at least 2 folds")
+        if folds > len(self.samples):
+            raise ValueError("more folds than samples")
+        rng = new_rng(seed)
+        order = rng.permutation(len(self.samples))
+        chunks = np.array_split(order, folds)
+        pairs = []
+        for fold in range(folds):
+            valid = chunks[fold]
+            train = np.concatenate([chunks[i] for i in range(folds) if i != fold])
+            pairs.append((train, valid))
+        return pairs
+
+    def random_split(
+        self, fraction: float, seed: int = 0
+    ) -> tuple["GraphDataset", "GraphDataset"]:
+        """Random (1 - fraction, fraction) split, e.g. a 20 % validation set."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        rng = new_rng(seed)
+        order = rng.permutation(len(self.samples))
+        cut = max(1, int(round(len(self.samples) * fraction)))
+        held = set(order[:cut].tolist())
+        first = [s for i, s in enumerate(self.samples) if i not in held]
+        second = [s for i, s in enumerate(self.samples) if i in held]
+        return GraphDataset(first), GraphDataset(second)
+
+    # ----------------------------------------------------------------- arrays
+
+    def targets(self, kind: str) -> np.ndarray:
+        return np.array([s.target(kind) for s in self.samples], dtype=float)
+
+    def graphs(self) -> list[HeteroGraph]:
+        return [s.graph for s in self.samples]
+
+    def average_num_nodes(self) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.graph.num_nodes for s in self.samples]))
+
+    def summary(self) -> dict:
+        """Dataset-properties row of Table I: sample count and average nodes."""
+        return {
+            "num_samples": len(self.samples),
+            "avg_nodes": self.average_num_nodes(),
+            "kernels": self.kernels(),
+        }
+
+    # ------------------------------------------------------------ persistence
+
+    def save_npz(self, path: str | Path) -> None:
+        """Serialise the dataset (graphs, labels, bookkeeping) into one ``.npz``."""
+        path = Path(path)
+        payload: dict[str, np.ndarray] = {}
+        meta: list[dict] = []
+        for index, sample in enumerate(self.samples):
+            graph = sample.graph
+            payload[f"g{index}_node_features"] = graph.node_features
+            payload[f"g{index}_edge_index"] = graph.edge_index
+            payload[f"g{index}_edge_features"] = graph.edge_features
+            payload[f"g{index}_edge_types"] = graph.edge_types
+            payload[f"g{index}_metadata"] = graph.metadata
+            payload[f"g{index}_arith"] = graph.node_is_arithmetic
+            meta.append(
+                {
+                    "kernel": sample.kernel,
+                    "directives": sample.directives,
+                    "total_power": sample.total_power,
+                    "dynamic_power": sample.dynamic_power,
+                    "static_power": sample.static_power,
+                    "latency_cycles": sample.latency_cycles,
+                    "vivado_total_power": sample.vivado_total_power,
+                    "vivado_dynamic_power": sample.vivado_dynamic_power,
+                    "vivado_flow_seconds": sample.vivado_flow_seconds,
+                    "powergear_flow_seconds": sample.powergear_flow_seconds,
+                    "is_baseline": sample.is_baseline,
+                    "node_names": sample.graph.node_names,
+                }
+            )
+        payload["sample_meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **payload)
+
+    @staticmethod
+    def load_npz(path: str | Path) -> "GraphDataset":
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(bytes(data["sample_meta"].tolist()).decode("utf-8"))
+            samples: list[GraphSample] = []
+            for index, record in enumerate(meta):
+                graph = HeteroGraph(
+                    node_features=data[f"g{index}_node_features"],
+                    edge_index=data[f"g{index}_edge_index"],
+                    edge_features=data[f"g{index}_edge_features"],
+                    edge_types=data[f"g{index}_edge_types"],
+                    metadata=data[f"g{index}_metadata"],
+                    node_is_arithmetic=data[f"g{index}_arith"],
+                    node_names=list(record.get("node_names", [])),
+                )
+                samples.append(
+                    GraphSample(
+                        graph=graph,
+                        kernel=record["kernel"],
+                        directives=record["directives"],
+                        total_power=record["total_power"],
+                        dynamic_power=record["dynamic_power"],
+                        static_power=record["static_power"],
+                        latency_cycles=record["latency_cycles"],
+                        vivado_total_power=record["vivado_total_power"],
+                        vivado_dynamic_power=record["vivado_dynamic_power"],
+                        vivado_flow_seconds=record["vivado_flow_seconds"],
+                        powergear_flow_seconds=record["powergear_flow_seconds"],
+                        is_baseline=record["is_baseline"],
+                    )
+                )
+        return GraphDataset(samples)

@@ -1,0 +1,162 @@
+"""Feature annotation: power graph -> numeric node / edge / metadata features.
+
+Node features follow the paper: one-hot IR operation type, one-hot opcode,
+plus numeric activity features (overall activation rate, input / output /
+overall switching activity).  We extend the numeric block with the datapath
+bit width, buffer size and merge multiplicity, which are available at HLS time
+and carry the memory-resource annotation the paper attaches to buffer nodes.
+
+Edge features are the four-dimensional activity vector of Eq. (2)/(3):
+switching activity and activation rate of the source and sink value streams.
+
+The metadata vector comes from :meth:`repro.hls.report.HLSReport.metadata_vector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph, relation_type_index
+from repro.graph.power_graph import PowerGraph, PowerGraphNode
+from repro.hls.report import HLSReport
+from repro.ir.instructions import Opcode
+
+#: Operation-type categories used for the one-hot type feature.
+NODE_TYPE_CATEGORIES: tuple[str, ...] = (
+    "memory",
+    "float_arith",
+    "int_arith",
+    "compare",
+    "cast",
+    "bitwise",
+    "control",
+    "buffer",
+)
+
+#: Opcode vocabulary: every IR opcode plus the two buffer kinds.
+OPCODE_VOCABULARY: tuple[str, ...] = tuple(op.value for op in Opcode) + (
+    "buffer_io",
+    "buffer_internal",
+)
+
+#: Names of the numeric node features (appended after the one-hot blocks).
+NODE_NUMERIC_FEATURES: tuple[str, ...] = (
+    "activation_rate",
+    "input_switching",
+    "output_switching",
+    "overall_switching",
+    "log_bitwidth",
+    "log_buffer_bits",
+    "log_merged_count",
+    "partition_factor",
+)
+
+#: Names of the edge features (Eq. 2 / Eq. 3, source and sink directions).
+EDGE_FEATURE_NAMES: tuple[str, ...] = ("sa_src", "sa_snk", "ar_src", "ar_snk")
+
+
+class FeatureEncoder:
+    """Encodes power graphs into :class:`HeteroGraph` samples."""
+
+    def __init__(self) -> None:
+        self._type_index = {name: i for i, name in enumerate(NODE_TYPE_CATEGORIES)}
+        self._opcode_index = {name: i for i, name in enumerate(OPCODE_VOCABULARY)}
+
+    # ------------------------------------------------------------------ sizes
+
+    @property
+    def node_feature_dim(self) -> int:
+        return len(NODE_TYPE_CATEGORIES) + len(OPCODE_VOCABULARY) + len(NODE_NUMERIC_FEATURES)
+
+    @property
+    def edge_feature_dim(self) -> int:
+        return len(EDGE_FEATURE_NAMES)
+
+    # ----------------------------------------------------------------- encode
+
+    def encode(
+        self,
+        graph: PowerGraph,
+        report: HLSReport,
+        baseline_report: HLSReport | None = None,
+        use_edge_features: bool = True,
+    ) -> HeteroGraph:
+        """Freeze ``graph`` into an immutable :class:`HeteroGraph`."""
+        latency = max(1, report.latency_cycles)
+        node_ids = sorted(graph.nodes)
+        index_of = {node_id: i for i, node_id in enumerate(node_ids)}
+
+        node_features = np.zeros((len(node_ids), self.node_feature_dim))
+        node_is_arithmetic = np.zeros(len(node_ids), dtype=bool)
+        node_names: list[str] = []
+        for node_id in node_ids:
+            node = graph.nodes[node_id]
+            row = index_of[node_id]
+            node_features[row] = self._node_feature_row(node, latency)
+            node_is_arithmetic[row] = node.is_arithmetic
+            node_names.append(node.name or f"n{node_id}")
+
+        num_edges = graph.num_edges
+        edge_index = np.zeros((2, num_edges), dtype=np.int64)
+        edge_features = np.zeros((num_edges, self.edge_feature_dim))
+        edge_types = np.zeros(num_edges, dtype=np.int64)
+        for position, ((src, dst), edge) in enumerate(sorted(graph.edges.items())):
+            edge_index[0, position] = index_of[src]
+            edge_index[1, position] = index_of[dst]
+            if use_edge_features:
+                edge_features[position] = [
+                    edge.src_stats.switching_activity(latency),
+                    edge.snk_stats.switching_activity(latency),
+                    edge.src_stats.activation_rate(latency),
+                    edge.snk_stats.activation_rate(latency),
+                ]
+            edge_types[position] = relation_type_index(
+                graph.nodes[src].is_arithmetic, graph.nodes[dst].is_arithmetic
+            )
+
+        metadata = report.metadata_vector(baseline_report)
+        return HeteroGraph(
+            node_features=node_features,
+            edge_index=edge_index,
+            edge_features=edge_features,
+            edge_types=edge_types,
+            metadata=metadata,
+            node_is_arithmetic=node_is_arithmetic,
+            node_names=node_names,
+        )
+
+    # --------------------------------------------------------------- internals
+
+    def _node_feature_row(self, node: PowerGraphNode, latency: int) -> np.ndarray:
+        type_onehot = np.zeros(len(NODE_TYPE_CATEGORIES))
+        category = "buffer" if node.kind == "buffer" else node.category
+        type_onehot[self._type_index.get(category, self._type_index["control"])] = 1.0
+
+        opcode_onehot = np.zeros(len(OPCODE_VOCABULARY))
+        if node.kind == "buffer":
+            opcode_key = "buffer_io" if node.buffer_kind == "io" else "buffer_internal"
+        else:
+            opcode_key = node.opcode
+        opcode_onehot[self._opcode_index.get(opcode_key, 0)] = 1.0
+
+        activation_rate = node.result_stats.activation_rate(latency)
+        input_sa = node.input_stats.switching_activity(latency)
+        output_sa = node.result_stats.switching_activity(latency)
+        if node.kind == "buffer":
+            # Buffers do not produce values themselves in the IR trace; their
+            # activity is carried by the adjacent load/store edges, so the node
+            # level features describe the memory itself.
+            activation_rate = node.input_stats.activation_rate(latency)
+        numeric = np.array(
+            [
+                activation_rate,
+                input_sa,
+                output_sa,
+                input_sa + output_sa,
+                np.log1p(node.bitwidth),
+                np.log1p(node.buffer_bits),
+                np.log1p(node.merged_count),
+                float(node.partition_factor),
+            ]
+        )
+        return np.concatenate([type_onehot, opcode_onehot, numeric])

@@ -1,0 +1,172 @@
+"""Mutable intermediate graph used by the construction passes.
+
+The construction flow starts from the instruction-level DFG, then mutates it:
+buffer insertion adds buffer nodes and removes address-generation nodes,
+datapath merging fuses nodes bound to the same functional unit, and trimming
+bypasses trivial cast nodes.  :class:`PowerGraph` supports those mutations
+while keeping the per-node / per-edge activity statistics consistent (merged
+nodes and parallel edges accumulate their statistics), before the feature
+encoder freezes everything into an immutable
+:class:`~repro.graph.hetero_graph.HeteroGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.activity.tracer import ValueStreamStats
+
+
+@dataclass
+class PowerGraphNode:
+    """One node: an operation, or a buffer inserted by buffer insertion."""
+
+    node_id: int
+    kind: str  # "op" or "buffer"
+    opcode: str
+    category: str
+    is_arithmetic: bool
+    bitwidth: int
+    result_stats: ValueStreamStats = field(default_factory=lambda: ValueStreamStats(0))
+    input_stats: ValueStreamStats = field(default_factory=lambda: ValueStreamStats(0))
+    buffer_name: str | None = None
+    buffer_kind: str = ""
+    buffer_bits: int = 0
+    partition_factor: int = 1
+    merged_count: int = 1
+    name: str = ""
+
+    def absorb(self, other: "PowerGraphNode") -> None:
+        """Merge ``other`` into this node (datapath merging)."""
+        self.result_stats = self.result_stats.merged_with(other.result_stats)
+        self.input_stats = self.input_stats.merged_with(other.input_stats)
+        self.bitwidth = max(self.bitwidth, other.bitwidth)
+        self.buffer_bits += other.buffer_bits if other.kind == "buffer" else 0
+        self.merged_count += other.merged_count
+
+
+@dataclass
+class PowerGraphEdge:
+    """One directed edge with its source / sink activity statistics."""
+
+    src: int
+    dst: int
+    src_stats: ValueStreamStats = field(default_factory=lambda: ValueStreamStats(0))
+    snk_stats: ValueStreamStats = field(default_factory=lambda: ValueStreamStats(0))
+    bitwidth: int = 0
+    merged_count: int = 1
+
+    def absorb(self, other: "PowerGraphEdge") -> None:
+        """Merge a parallel edge into this one."""
+        self.src_stats = self.src_stats.merged_with(other.src_stats)
+        self.snk_stats = self.snk_stats.merged_with(other.snk_stats)
+        self.bitwidth = max(self.bitwidth, other.bitwidth)
+        self.merged_count += other.merged_count
+
+
+class PowerGraph:
+    """Mutable directed graph with activity-annotated nodes and edges."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, PowerGraphNode] = {}
+        self.edges: dict[tuple[int, int], PowerGraphEdge] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------- mutation
+
+    def new_node_id(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def add_node(self, node: PowerGraphNode) -> PowerGraphNode:
+        if node.node_id in self.nodes:
+            raise ValueError(f"node {node.node_id} already exists")
+        self.nodes[node.node_id] = node
+        self._next_id = max(self._next_id, node.node_id + 1)
+        return node
+
+    def add_edge(self, edge: PowerGraphEdge) -> PowerGraphEdge:
+        """Insert an edge, merging statistics if a parallel edge already exists."""
+        if edge.src not in self.nodes or edge.dst not in self.nodes:
+            raise KeyError(f"edge ({edge.src}, {edge.dst}) references a missing node")
+        if edge.src == edge.dst:
+            return self.edges.get((edge.src, edge.dst), edge)
+        key = (edge.src, edge.dst)
+        existing = self.edges.get(key)
+        if existing is None:
+            self.edges[key] = edge
+            return edge
+        existing.absorb(edge)
+        return existing
+
+    def remove_node(self, node_id: int) -> None:
+        if node_id not in self.nodes:
+            raise KeyError(f"no node {node_id}")
+        del self.nodes[node_id]
+        self.edges = {
+            key: edge
+            for key, edge in self.edges.items()
+            if edge.src != node_id and edge.dst != node_id
+        }
+
+    def merge_nodes(self, keep_id: int, remove_id: int) -> None:
+        """Fuse ``remove_id`` into ``keep_id``, redirecting its edges."""
+        if keep_id == remove_id:
+            return
+        keep = self.nodes[keep_id]
+        remove = self.nodes[remove_id]
+        keep.absorb(remove)
+
+        redirected: list[PowerGraphEdge] = []
+        for (src, dst), edge in list(self.edges.items()):
+            if src != remove_id and dst != remove_id:
+                continue
+            del self.edges[(src, dst)]
+            new_src = keep_id if src == remove_id else src
+            new_dst = keep_id if dst == remove_id else dst
+            if new_src == new_dst:
+                continue
+            redirected.append(
+                PowerGraphEdge(
+                    src=new_src,
+                    dst=new_dst,
+                    src_stats=edge.src_stats,
+                    snk_stats=edge.snk_stats,
+                    bitwidth=edge.bitwidth,
+                    merged_count=edge.merged_count,
+                )
+            )
+        del self.nodes[remove_id]
+        for edge in redirected:
+            self.add_edge(edge)
+
+    # ------------------------------------------------------------- traversal
+
+    def predecessors(self, node_id: int) -> list[int]:
+        return [src for (src, dst) in self.edges if dst == node_id]
+
+    def successors(self, node_id: int) -> list[int]:
+        return [dst for (src, dst) in self.edges if src == node_id]
+
+    def in_edges(self, node_id: int) -> list[PowerGraphEdge]:
+        return [edge for edge in self.edges.values() if edge.dst == node_id]
+
+    def out_edges(self, node_id: int) -> list[PowerGraphEdge]:
+        return [edge for edge in self.edges.values() if edge.src == node_id]
+
+    def nodes_where(self, predicate) -> list[PowerGraphNode]:
+        return [node for node in self.nodes.values() if predicate(node)]
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        return f"PowerGraph(nodes={self.num_nodes}, edges={self.num_edges})"

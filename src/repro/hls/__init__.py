@@ -1,0 +1,47 @@
+"""HLS substrate: front end (kernel spec -> IR), back end (schedule, bind, report).
+
+This package plays the role of Vivado HLS in the original PowerGear flow.  It
+lowers PolyBench-style kernel specifications into the IR of :mod:`repro.ir`
+while applying loop directives (pipeline / unroll / array partition), then
+schedules the IR into a finite state machine with datapath (FSMD), binds
+operations to functional units, and emits an HLS report with latency, achieved
+clock period and resource utilisation — exactly the artefacts PowerGear's
+graph construction flow and metadata embedding consume.
+"""
+
+from repro.hls.pragmas import LoopPragmas, ArrayPartition, DesignDirectives
+from repro.hls.op_library import OperatorLibrary, OperatorEntry, DEFAULT_LIBRARY
+from repro.hls.frontend import HLSFrontend, lower_kernel
+from repro.hls.scheduling import Scheduler, Schedule, LoopSchedule
+from repro.hls.binding import Binder, BindingResult, FunctionalUnit
+from repro.hls.fsmd import FSMD, FSMDState, build_fsmd
+from repro.hls.resources import ResourceEstimator, ResourceUsage
+from repro.hls.report import HLSReport, HLSResult, run_hls
+from repro.hls.dfg import DataflowGraph, extract_dfg
+
+__all__ = [
+    "LoopPragmas",
+    "ArrayPartition",
+    "DesignDirectives",
+    "OperatorLibrary",
+    "OperatorEntry",
+    "DEFAULT_LIBRARY",
+    "HLSFrontend",
+    "lower_kernel",
+    "Scheduler",
+    "Schedule",
+    "LoopSchedule",
+    "Binder",
+    "BindingResult",
+    "FunctionalUnit",
+    "FSMD",
+    "FSMDState",
+    "build_fsmd",
+    "ResourceEstimator",
+    "ResourceUsage",
+    "HLSReport",
+    "HLSResult",
+    "run_hls",
+    "DataflowGraph",
+    "extract_dfg",
+]

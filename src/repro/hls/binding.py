@@ -1,0 +1,140 @@
+"""Resource binding: allocation of functional units and operation sharing.
+
+After scheduling, operations of the same sharing class (e.g. all ``fadd`` /
+``fsub``) are bound onto a set of functional-unit instances.  The number of
+instances is the maximum of
+
+* the peak concurrency observed in the ASAP schedule of straight-line blocks,
+  and
+* for each pipelined loop, ``ceil(#ops of the class in the body / II)`` —
+  the classic throughput-driven allocation of pipelined HLS designs.
+
+The binder assigns every shared operation to a concrete unit instance
+(round-robin within its class).  Datapath merging in the graph construction
+flow later fuses DFG nodes bound to the same instance, mirroring the paper's
+"merge the DFG nodes utilizing the same set of hardware resources".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hls.frontend import LoweredDesign
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.hls.pragmas import LoopPragmas
+from repro.hls.scheduling import Schedule
+from repro.ir.instructions import Instruction
+from repro.ir.module import Item, LoopRegion
+
+
+@dataclass
+class FunctionalUnit:
+    """One hardware instance of a shared operator."""
+
+    unit_id: str
+    sharing_class: str
+    opcode_names: set[str] = field(default_factory=set)
+    instruction_uids: list[int] = field(default_factory=list)
+
+    @property
+    def sharing_degree(self) -> int:
+        """Number of operations multiplexed onto this unit."""
+        return len(self.instruction_uids)
+
+
+@dataclass
+class BindingResult:
+    """Functional-unit allocation and the op -> unit assignment."""
+
+    units: list[FunctionalUnit] = field(default_factory=list)
+    assignment: dict[int, str] = field(default_factory=dict)
+    units_per_class: dict[str, int] = field(default_factory=dict)
+
+    def unit_of(self, instruction: Instruction) -> str | None:
+        return self.assignment.get(instruction.uid)
+
+    def unit_by_id(self, unit_id: str) -> FunctionalUnit:
+        for unit in self.units:
+            if unit.unit_id == unit_id:
+                return unit
+        raise KeyError(f"no functional unit {unit_id!r}")
+
+    @property
+    def total_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def max_sharing_degree(self) -> int:
+        return max((unit.sharing_degree for unit in self.units), default=0)
+
+
+class Binder:
+    """Allocates functional units and binds operations to them."""
+
+    def __init__(self, library: OperatorLibrary = DEFAULT_LIBRARY) -> None:
+        self.library = library
+
+    def bind(self, design: LoweredDesign, schedule: Schedule) -> BindingResult:
+        ops_by_class = self._collect_shared_ops(design)
+        required = dict(schedule.max_concurrency)
+
+        for region, pragmas in self._pipelined_loops(design):
+            loop_schedule = next(
+                (ls for ls in schedule.loop_schedules if ls.loop_name == region.name and ls.pipelined),
+                None,
+            )
+            if loop_schedule is None:
+                continue
+            ii = max(1, loop_schedule.initiation_interval)
+            per_class: dict[str, int] = {}
+            for item in region.body:
+                if isinstance(item, Instruction):
+                    sharing_class = self.library.sharing_class(item.opcode)
+                    if sharing_class is not None:
+                        per_class[sharing_class] = per_class.get(sharing_class, 0) + 1
+            for sharing_class, count in per_class.items():
+                required[sharing_class] = max(
+                    required.get(sharing_class, 0), math.ceil(count / ii)
+                )
+
+        result = BindingResult()
+        for sharing_class, instructions in sorted(ops_by_class.items()):
+            unit_count = max(1, required.get(sharing_class, 1))
+            unit_count = min(unit_count, len(instructions))
+            units = [
+                FunctionalUnit(f"{sharing_class}_{index}", sharing_class)
+                for index in range(unit_count)
+            ]
+            for position, instr in enumerate(instructions):
+                unit = units[position % unit_count]
+                unit.instruction_uids.append(instr.uid)
+                unit.opcode_names.add(instr.opcode.value)
+                result.assignment[instr.uid] = unit.unit_id
+            result.units.extend(units)
+            result.units_per_class[sharing_class] = unit_count
+        return result
+
+    # ------------------------------------------------------------------ helpers
+
+    def _collect_shared_ops(self, design: LoweredDesign) -> dict[str, list[Instruction]]:
+        ops: dict[str, list[Instruction]] = {}
+        for instr in design.function.instructions:
+            sharing_class = self.library.sharing_class(instr.opcode)
+            if sharing_class is not None:
+                ops.setdefault(sharing_class, []).append(instr)
+        return ops
+
+    @staticmethod
+    def _pipelined_loops(design: LoweredDesign):
+        def visit(items: list[Item]):
+            for item in items:
+                if isinstance(item, LoopRegion):
+                    pragmas = item.pragmas if isinstance(item.pragmas, LoopPragmas) else LoopPragmas()
+                    if pragmas.pipeline and not any(
+                        isinstance(child, LoopRegion) for child in item.body
+                    ):
+                        yield item, pragmas
+                    yield from visit(item.body)
+
+        yield from visit(design.function.body)

@@ -1,0 +1,131 @@
+"""Dataflow graph (DFG) extraction from the HLS IR.
+
+The raw DFG is the starting point of PowerGear's graph construction flow:
+every instruction becomes a node, every def-use relation becomes a directed
+edge, and loads/stores carry a reference to the buffer (array argument or
+``alloca``) they address.  The graph construction passes in
+:mod:`repro.graph` transform this raw DFG into the heterogeneous power graph;
+the ground-truth power model also consumes the raw DFG directly, because real
+power depends on *all* nets, including the trivial ones the model-facing graph
+trims away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.hls.frontend import LoweredDesign
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import ArrayType, PointerType
+from repro.ir.validation import pointer_roots
+from repro.ir.values import Argument
+
+
+@dataclass
+class BufferInfo:
+    """Description of one memory buffer referenced by the DFG."""
+
+    name: str
+    kind: str  # "io" for top-level array arguments, "internal" for allocas
+    num_elements: int
+    element_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_elements * self.element_bits
+
+
+@dataclass
+class DataflowGraph:
+    """Raw dataflow graph plus buffer metadata."""
+
+    graph: nx.DiGraph
+    buffers: dict[str, BufferInfo] = field(default_factory=dict)
+    instructions: dict[int, Instruction] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def node_instruction(self, uid: int) -> Instruction:
+        return self.instructions[uid]
+
+    def nodes_with_opcode(self, opcode: Opcode) -> list[int]:
+        return [
+            uid
+            for uid, data in self.graph.nodes(data=True)
+            if data.get("opcode") == opcode.value
+        ]
+
+
+def extract_dfg(design: LoweredDesign) -> DataflowGraph:
+    """Build the raw DFG of a lowered design."""
+    function = design.function
+    roots = pointer_roots(function)
+    graph = nx.DiGraph()
+    instructions: dict[int, Instruction] = {}
+    buffers: dict[str, BufferInfo] = {}
+
+    for arg in function.args:
+        ty = arg.type
+        if isinstance(ty, PointerType) and isinstance(ty.pointee, ArrayType):
+            array_ty = ty.pointee
+            buffers[arg.name] = BufferInfo(
+                name=arg.name,
+                kind="io",
+                num_elements=array_ty.num_elements,
+                element_bits=array_ty.element.bit_width,
+            )
+
+    for instr in function.instructions:
+        if instr.opcode == Opcode.RET:
+            continue
+        instructions[instr.uid] = instr
+        graph.add_node(
+            instr.uid,
+            opcode=instr.opcode.value,
+            category=instr.category.value,
+            is_arithmetic=instr.is_arithmetic,
+            bitwidth=instr.type.bit_width if instr.has_result else 0,
+            name=instr.name,
+        )
+        if instr.opcode == Opcode.ALLOCA:
+            allocated = instr.attrs["allocated_type"]
+            if isinstance(allocated, ArrayType):
+                num_elements = allocated.num_elements
+                element_bits = allocated.element.bit_width
+            else:
+                num_elements = 1
+                element_bits = allocated.bit_width
+            buffers[instr.name] = BufferInfo(
+                name=instr.name,
+                kind="internal",
+                num_elements=num_elements,
+                element_bits=element_bits,
+            )
+
+    for instr in function.instructions:
+        if instr.opcode == Opcode.RET:
+            continue
+        for operand_index, operand in enumerate(instr.operands):
+            if isinstance(operand, Instruction) and operand.uid in instructions:
+                graph.add_edge(
+                    operand.uid,
+                    instr.uid,
+                    operand_index=operand_index,
+                    bitwidth=operand.type.bit_width,
+                )
+        if instr.opcode in (Opcode.LOAD, Opcode.STORE):
+            pointer = instr.operands[0] if instr.opcode == Opcode.LOAD else instr.operands[1]
+            root = roots.get(pointer.uid)
+            if root is not None:
+                buffer_name = root.name if isinstance(root, (Argument, Instruction)) else str(root)
+                graph.nodes[instr.uid]["buffer"] = buffer_name
+
+    return DataflowGraph(graph=graph, buffers=buffers, instructions=instructions)

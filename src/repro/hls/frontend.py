@@ -1,0 +1,202 @@
+"""HLS front end: lowers kernel specifications into IR.
+
+The front end performs the job of Vivado HLS front-end compilation plus the
+loop transformations implied by the design directives:
+
+* arrays become top-level array arguments (candidate I/O buffers),
+* loops become structured :class:`~repro.ir.module.LoopRegion` items,
+* *loop unrolling* is applied during lowering: a loop with trip count ``T``
+  unrolled by ``U`` becomes a loop of ``T / U`` iterations whose body contains
+  ``U`` replicas of the original statements, each addressing
+  ``indvar * U + u``.  This replication is what creates additional DFG nodes
+  (parallel hardware) for aggressively unrolled design points,
+* *loop pipelining* does not change the IR; the pragma is attached to the loop
+  region and honoured by the scheduler,
+* array partitioning does not change the IR either; it is recorded in the
+  lowering result and consumed by the scheduler (memory ports) and the
+  resource estimator (BRAM banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function
+from repro.ir.types import FLOAT32
+from repro.ir.validation import validate_function
+from repro.ir.values import ArgumentDirection, Constant, Value
+from repro.ir.types import IntType
+from repro.kernels.spec import Assign, BinOp, Const, Expr, KernelSpec, Loop, Ref
+
+
+_DIRECTION_MAP = {
+    "in": ArgumentDirection.IN,
+    "out": ArgumentDirection.OUT,
+    "inout": ArgumentDirection.INOUT,
+}
+
+
+@dataclass
+class LoweredDesign:
+    """Result of lowering one (kernel, directives) pair."""
+
+    kernel: KernelSpec
+    directives: DesignDirectives
+    function: Function
+    array_partitions: dict[str, ArrayPartition] = field(default_factory=dict)
+    loop_pragmas: dict[str, LoopPragmas] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+
+class HLSFrontend:
+    """Lowers :class:`~repro.kernels.spec.KernelSpec` into IR functions."""
+
+    def __init__(self, validate: bool = True) -> None:
+        self.validate = validate
+
+    def lower(self, kernel: KernelSpec, directives: DesignDirectives | None = None) -> LoweredDesign:
+        """Lower ``kernel`` under ``directives`` and return the lowered design."""
+        directives = directives or DesignDirectives()
+        kernel.validate()
+        builder = IRBuilder(kernel.name)
+        arguments: dict[str, Value] = {}
+        for array in kernel.arrays:
+            arguments[array.name] = builder.add_array_argument(
+                array.name,
+                array.shape,
+                element=FLOAT32,
+                direction=_DIRECTION_MAP[array.direction],
+            )
+
+        lowering = _StatementLowering(builder, arguments, kernel, directives)
+        for loop in kernel.body:
+            lowering.lower_loop(loop, {})
+        builder.ret()
+
+        function = builder.build()
+        if self.validate:
+            validate_function(function)
+
+        partitions = {
+            array.name: directives.partition_for_array(array.name)
+            for array in kernel.arrays
+        }
+        pragmas = {
+            loop.var: directives.pragmas_for_loop(loop.var) for loop in kernel.all_loops()
+        }
+        return LoweredDesign(kernel, directives, function, partitions, pragmas)
+
+
+class _StatementLowering:
+    """Internal helper carrying the lowering context (variable bindings)."""
+
+    def __init__(
+        self,
+        builder: IRBuilder,
+        arguments: dict[str, Value],
+        kernel: KernelSpec,
+        directives: DesignDirectives,
+    ) -> None:
+        self.builder = builder
+        self.arguments = arguments
+        self.kernel = kernel
+        self.directives = directives
+
+    # ------------------------------------------------------------------ loops
+
+    def lower_loop(self, loop: Loop, bindings: dict[str, Value | int]) -> None:
+        pragmas = self.directives.pragmas_for_loop(loop.var)
+        unroll = min(pragmas.unroll_factor, loop.trip)
+        if loop.trip % unroll != 0:
+            # Clamp to the largest divisor below the requested factor, mirroring
+            # HLS tools that warn and reduce the factor for non-dividing bounds.
+            unroll = _largest_divisor_at_most(loop.trip, unroll)
+
+        if unroll == loop.trip:
+            # Fully unrolled: the loop disappears and every iteration is lowered
+            # with a constant index.
+            for iteration in range(loop.trip):
+                self._lower_items(loop.body, {**bindings, loop.var: iteration})
+            return
+
+        remaining_trip = loop.trip // unroll
+        with self.builder.loop(loop.var, remaining_trip, pragmas=pragmas) as indvar:
+            for copy in range(unroll):
+                index_value = self._unrolled_index(indvar, unroll, copy)
+                self._lower_items(loop.body, {**bindings, loop.var: index_value})
+
+    def _unrolled_index(self, indvar: Value, unroll: int, copy: int) -> Value | int:
+        if unroll == 1:
+            return indvar
+        scaled = self.builder.mul(indvar, self.builder.const_int(unroll))
+        if copy == 0:
+            return scaled
+        return self.builder.add(scaled, self.builder.const_int(copy))
+
+    def _lower_items(self, items: list, bindings: dict[str, Value | int]) -> None:
+        for item in items:
+            if isinstance(item, Loop):
+                self.lower_loop(item, bindings)
+            else:
+                self.lower_assign(item, bindings)
+
+    # -------------------------------------------------------------- statements
+
+    def lower_assign(self, statement: Assign, bindings: dict[str, Value | int]) -> None:
+        value = self.lower_expr(statement.expr, bindings)
+        pointer = self._lower_address(statement.target, bindings)
+        self.builder.store(value, pointer)
+
+    def lower_expr(self, expr: Expr, bindings: dict[str, Value | int]) -> Value:
+        if isinstance(expr, Const):
+            return self.builder.const_float(expr.value)
+        if isinstance(expr, Ref):
+            pointer = self._lower_address(expr, bindings)
+            return self.builder.load(pointer, name=f"ld_{expr.array}")
+        if isinstance(expr, BinOp):
+            lhs = self.lower_expr(expr.lhs, bindings)
+            rhs = self.lower_expr(expr.rhs, bindings)
+            if expr.op == "+":
+                return self.builder.fadd(lhs, rhs)
+            if expr.op == "-":
+                return self.builder.fsub(lhs, rhs)
+            if expr.op == "*":
+                return self.builder.fmul(lhs, rhs)
+            return self.builder.fdiv(lhs, rhs)
+        raise TypeError(f"unsupported expression node {expr!r}")
+
+    def _lower_address(self, ref: Ref, bindings: dict[str, Value | int]) -> Value:
+        base = self.arguments[ref.array]
+        indices: list[Value] = []
+        for index in ref.index:
+            indices.append(self._index_value(index, bindings))
+        return self.builder.getelementptr(base, indices)
+
+    def _index_value(self, index: str | int, bindings: dict[str, Value | int]) -> Value:
+        if isinstance(index, int):
+            return self.builder.const_int(index)
+        bound = bindings.get(index)
+        if bound is None:
+            raise KeyError(f"index variable {index!r} is not bound by an enclosing loop")
+        if isinstance(bound, int):
+            return self.builder.const_int(bound)
+        return bound
+
+
+def _largest_divisor_at_most(value: int, limit: int) -> int:
+    for candidate in range(min(limit, value), 0, -1):
+        if value % candidate == 0:
+            return candidate
+    return 1
+
+
+def lower_kernel(
+    kernel: KernelSpec, directives: DesignDirectives | None = None
+) -> LoweredDesign:
+    """Convenience wrapper around :class:`HLSFrontend`."""
+    return HLSFrontend().lower(kernel, directives)

@@ -1,0 +1,105 @@
+"""Finite state machine with datapath (FSMD) construction.
+
+The HLS back end exposes its scheduling result as an FSMD: control states,
+the operations active in each state, and the transitions between states
+(sequential plus loop-back edges).  PowerGear's graph construction flow reads
+the FSMD to recover the datapath; here it additionally feeds the control-logic
+resource estimate (FSM LUT/FF scale with the number of states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.frontend import LoweredDesign
+from repro.hls.scheduling import Schedule
+from repro.ir.instructions import Instruction
+from repro.ir.module import Item, LoopRegion
+
+
+@dataclass
+class FSMDState:
+    """One control state and the operations that start in it."""
+
+    state_id: int
+    label: str
+    operation_uids: list[int] = field(default_factory=list)
+    is_loop_body: bool = False
+    loop_name: str | None = None
+
+
+@dataclass
+class FSMD:
+    """The full controller: states plus (source, target) transition pairs."""
+
+    states: list[FSMDState] = field(default_factory=list)
+    transitions: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_loop_states(self) -> int:
+        return sum(1 for state in self.states if state.is_loop_body)
+
+    def state_of(self, instruction: Instruction) -> FSMDState | None:
+        for state in self.states:
+            if instruction.uid in state.operation_uids:
+                return state
+        return None
+
+
+def build_fsmd(design: LoweredDesign, schedule: Schedule) -> FSMD:
+    """Construct the FSMD from the schedule.
+
+    Each straight-line region contributes one state per schedule cycle; each
+    loop contributes its body states plus a loop-back transition.  States are
+    labelled with the loop they belong to so control-resource estimation and
+    debugging stay readable.
+    """
+    fsmd = FSMD()
+
+    def new_state(label: str, is_loop_body: bool = False, loop_name: str | None = None) -> FSMDState:
+        state = FSMDState(len(fsmd.states), label, is_loop_body=is_loop_body, loop_name=loop_name)
+        fsmd.states.append(state)
+        if state.state_id > 0:
+            fsmd.transitions.append((state.state_id - 1, state.state_id))
+        return state
+
+    new_state("entry")
+
+    def emit_block(items: list[Item], loop_name: str | None) -> None:
+        straightline: list[Instruction] = []
+
+        def flush() -> None:
+            if not straightline:
+                return
+            cycles: dict[int, list[int]] = {}
+            for instr in straightline:
+                cycle = schedule.op_start_cycle.get(instr.uid, 0)
+                cycles.setdefault(cycle, []).append(instr.uid)
+            for cycle in sorted(cycles):
+                state = new_state(
+                    f"{loop_name or 'top'}_c{cycle}",
+                    is_loop_body=loop_name is not None,
+                    loop_name=loop_name,
+                )
+                state.operation_uids.extend(cycles[cycle])
+            straightline.clear()
+
+        for item in items:
+            if isinstance(item, LoopRegion):
+                flush()
+                loop_entry = len(fsmd.states)
+                emit_block(item.body, item.name)
+                loop_exit = len(fsmd.states) - 1
+                if loop_exit >= loop_entry:
+                    fsmd.transitions.append((loop_exit, loop_entry))
+            else:
+                straightline.append(item)
+        flush()
+
+    emit_block(design.function.body, None)
+    new_state("exit")
+    return fsmd

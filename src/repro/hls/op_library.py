@@ -1,0 +1,121 @@
+"""Operator characterisation library.
+
+Each IR opcode maps to an :class:`OperatorEntry` describing its hardware cost
+on the target device: latency in cycles at the target clock, resource usage of
+one functional-unit instance (LUT / FF / DSP), the combinational delay of the
+unit (used for the achieved-clock-period model) and an energy scale used by
+the power substrate.  The numbers follow the characteristics of Xilinx
+UltraScale+ floating-point operator IP at 100 MHz (the paper's target); they
+only need to be *relatively* consistent, since the GNN never sees them
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import Opcode
+
+
+@dataclass(frozen=True)
+class OperatorEntry:
+    """Hardware characterisation of one operator type."""
+
+    latency: int
+    lut: int
+    ff: int
+    dsp: int
+    delay_ns: float
+    energy_scale: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("operator latency must be non-negative")
+        if min(self.lut, self.ff, self.dsp) < 0:
+            raise ValueError("operator resources must be non-negative")
+
+
+_DEFAULT_ENTRIES: dict[Opcode, OperatorEntry] = {
+    # Memory: BRAM accesses take one cycle for address, one for data.
+    Opcode.ALLOCA: OperatorEntry(0, 0, 0, 0, 0.0, 0.0),
+    Opcode.GETELEMENTPTR: OperatorEntry(0, 12, 8, 0, 0.9, 0.2),
+    Opcode.LOAD: OperatorEntry(2, 20, 24, 0, 2.2, 1.0),
+    Opcode.STORE: OperatorEntry(1, 16, 16, 0, 1.8, 1.0),
+    # Single-precision floating point operators (UltraScale+ full-DSP variants).
+    Opcode.FADD: OperatorEntry(4, 200, 320, 2, 6.4, 2.5),
+    Opcode.FSUB: OperatorEntry(4, 205, 320, 2, 6.4, 2.5),
+    Opcode.FMUL: OperatorEntry(3, 90, 180, 3, 5.8, 3.0),
+    Opcode.FDIV: OperatorEntry(12, 780, 1460, 0, 8.3, 6.0),
+    # Integer arithmetic.
+    Opcode.ADD: OperatorEntry(0, 32, 32, 0, 1.4, 0.4),
+    Opcode.SUB: OperatorEntry(0, 32, 32, 0, 1.4, 0.4),
+    Opcode.MUL: OperatorEntry(1, 40, 64, 1, 3.9, 1.2),
+    Opcode.SDIV: OperatorEntry(8, 420, 600, 0, 7.5, 4.0),
+    # Comparisons and selection.
+    Opcode.ICMP: OperatorEntry(0, 18, 8, 0, 1.1, 0.2),
+    Opcode.FCMP: OperatorEntry(1, 60, 80, 0, 2.8, 0.6),
+    Opcode.SELECT: OperatorEntry(0, 16, 8, 0, 0.8, 0.2),
+    # Casts: free or nearly free in hardware (wiring / small logic).
+    Opcode.SEXT: OperatorEntry(0, 0, 0, 0, 0.1, 0.05),
+    Opcode.ZEXT: OperatorEntry(0, 0, 0, 0, 0.1, 0.05),
+    Opcode.TRUNC: OperatorEntry(0, 0, 0, 0, 0.1, 0.05),
+    Opcode.SITOFP: OperatorEntry(3, 120, 180, 0, 4.5, 1.0),
+    Opcode.FPTOSI: OperatorEntry(3, 120, 180, 0, 4.5, 1.0),
+    Opcode.BITCAST: OperatorEntry(0, 0, 0, 0, 0.0, 0.0),
+    # Bitwise logic.
+    Opcode.AND: OperatorEntry(0, 16, 8, 0, 0.7, 0.15),
+    Opcode.OR: OperatorEntry(0, 16, 8, 0, 0.7, 0.15),
+    Opcode.XOR: OperatorEntry(0, 16, 8, 0, 0.7, 0.15),
+    Opcode.SHL: OperatorEntry(0, 24, 8, 0, 1.0, 0.2),
+    Opcode.LSHR: OperatorEntry(0, 24, 8, 0, 1.0, 0.2),
+    Opcode.ASHR: OperatorEntry(0, 24, 8, 0, 1.0, 0.2),
+    # Control.
+    Opcode.PHI: OperatorEntry(0, 8, 8, 0, 0.5, 0.1),
+    Opcode.RET: OperatorEntry(0, 0, 0, 0, 0.0, 0.0),
+}
+
+#: Opcode classes that share functional units of the same kind during binding.
+SHARING_CLASSES: dict[Opcode, str] = {
+    Opcode.FADD: "fadd_fsub",
+    Opcode.FSUB: "fadd_fsub",
+    Opcode.FMUL: "fmul",
+    Opcode.FDIV: "fdiv",
+    Opcode.MUL: "imul",
+    Opcode.SDIV: "idiv",
+    Opcode.ADD: "ialu",
+    Opcode.SUB: "ialu",
+    Opcode.ICMP: "ialu",
+    Opcode.FCMP: "fcmp",
+}
+
+
+class OperatorLibrary:
+    """Lookup table from opcode to :class:`OperatorEntry`."""
+
+    def __init__(self, entries: dict[Opcode, OperatorEntry] | None = None) -> None:
+        self.entries = dict(_DEFAULT_ENTRIES)
+        if entries:
+            self.entries.update(entries)
+
+    def entry(self, opcode: Opcode) -> OperatorEntry:
+        if opcode not in self.entries:
+            raise KeyError(f"operator library has no entry for opcode {opcode}")
+        return self.entries[opcode]
+
+    def latency(self, opcode: Opcode) -> int:
+        return self.entry(opcode).latency
+
+    def delay_ns(self, opcode: Opcode) -> float:
+        return self.entry(opcode).delay_ns
+
+    def sharing_class(self, opcode: Opcode) -> str | None:
+        """Functional-unit class for resource sharing, or None for free ops."""
+        return SHARING_CLASSES.get(opcode)
+
+    def with_overrides(self, **overrides: OperatorEntry) -> "OperatorLibrary":
+        """Return a copy with entries overridden by opcode name."""
+        extra = {Opcode(name): entry for name, entry in overrides.items()}
+        return OperatorLibrary({**self.entries, **extra})
+
+
+DEFAULT_LIBRARY = OperatorLibrary()

@@ -1,0 +1,110 @@
+"""HLS directives (pragmas) defining one design point.
+
+The paper's design spaces are generated "by applying loop pipelining, loop
+unrolling and buffer partitioning" to each PolyBench kernel; a *design point*
+is one concrete assignment of these directives.  :class:`DesignDirectives`
+captures that assignment and is hashable so design points can be deduplicated
+and used as dictionary keys by the design-space generator and the DSE
+explorer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LoopPragmas:
+    """Directives attached to a single loop level.
+
+    ``unroll_factor`` of 1 means no unrolling; ``pipeline`` requests an
+    initiation-interval-driven schedule for the loop body (only honoured on
+    innermost loops, matching common Vivado HLS practice for these kernels).
+    """
+
+    unroll_factor: int = 1
+    pipeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.unroll_factor < 1:
+            raise ValueError(f"unroll factor must be >= 1, got {self.unroll_factor}")
+
+    @property
+    def is_default(self) -> bool:
+        return self.unroll_factor == 1 and not self.pipeline
+
+
+@dataclass(frozen=True)
+class ArrayPartition:
+    """Cyclic array partitioning directive for one buffer.
+
+    Partitioning multiplies the number of physical memory banks (and therefore
+    concurrently usable ports) for the buffer by ``factor``.
+    """
+
+    factor: int = 1
+    kind: str = "cyclic"
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError(f"partition factor must be >= 1, got {self.factor}")
+        if self.kind not in ("cyclic", "block", "complete"):
+            raise ValueError(f"unknown partition kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class DesignDirectives:
+    """A full design point: per-loop pragmas plus per-array partitioning.
+
+    ``loop_pragmas`` maps loop names (as defined by the kernel specification,
+    e.g. ``"j"`` for the loop over ``j``) to :class:`LoopPragmas`;
+    ``array_partitions`` maps array names to :class:`ArrayPartition`.
+    Unmentioned loops/arrays use defaults.
+    """
+
+    loop_pragmas: tuple[tuple[str, LoopPragmas], ...] = field(default_factory=tuple)
+    array_partitions: tuple[tuple[str, ArrayPartition], ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def from_dicts(
+        loop_pragmas: dict[str, LoopPragmas] | None = None,
+        array_partitions: dict[str, ArrayPartition] | None = None,
+    ) -> "DesignDirectives":
+        return DesignDirectives(
+            tuple(sorted((loop_pragmas or {}).items())),
+            tuple(sorted((array_partitions or {}).items())),
+        )
+
+    def pragmas_for_loop(self, loop_name: str) -> LoopPragmas:
+        for name, pragmas in self.loop_pragmas:
+            if name == loop_name:
+                return pragmas
+        return LoopPragmas()
+
+    def partition_for_array(self, array_name: str) -> ArrayPartition:
+        for name, partition in self.array_partitions:
+            if name == array_name:
+                return partition
+        return ArrayPartition()
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when every directive is the default (the unoptimised design)."""
+        return all(p.is_default for _, p in self.loop_pragmas) and all(
+            a.factor == 1 for _, a in self.array_partitions
+        )
+
+    def describe(self) -> str:
+        """Short human-readable description used in logs and examples."""
+        loop_bits = [
+            f"{name}:u{p.unroll_factor}{'p' if p.pipeline else ''}"
+            for name, p in self.loop_pragmas
+            if not p.is_default
+        ]
+        array_bits = [
+            f"{name}:x{a.factor}" for name, a in self.array_partitions if a.factor > 1
+        ]
+        return ",".join(loop_bits + array_bits) or "baseline"
+
+
+BASELINE_DIRECTIVES = DesignDirectives()

@@ -1,0 +1,142 @@
+"""HLS report generation and the top-level ``run_hls`` entry point.
+
+``run_hls`` chains the front end, scheduler, binder, FSMD builder and resource
+estimator, returning an :class:`HLSResult` that bundles every artefact the
+rest of the PowerGear flow needs: the IR, the schedule, the binding, the FSMD
+and the :class:`HLSReport` (latency, achieved clock, resources) from which the
+global metadata embedding of HEC-GNN is built.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hls.binding import Binder, BindingResult
+from repro.hls.frontend import HLSFrontend, LoweredDesign
+from repro.hls.fsmd import FSMD, build_fsmd
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.hls.pragmas import DesignDirectives
+from repro.hls.resources import ResourceEstimator, ResourceUsage
+from repro.hls.scheduling import Schedule, Scheduler
+from repro.kernels.spec import KernelSpec
+
+#: Target clock period at the paper's 100 MHz operating frequency.
+TARGET_CLOCK_NS = 10.0
+
+
+@dataclass
+class HLSReport:
+    """Summary report of one HLS run (the paper's "global metadata" source)."""
+
+    kernel_name: str
+    directives: DesignDirectives
+    latency_cycles: int
+    target_clock_ns: float
+    achieved_clock_ns: float
+    resources: ResourceUsage
+    fsm_states: int
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_cycles * self.target_clock_ns * 1e-9
+
+    def metadata_vector(self, baseline: "HLSReport | None" = None) -> np.ndarray:
+        """Global metadata features for the GNN (Section III-B).
+
+        The paper uses LUT / DSP / BRAM utilisation, latency and achieved
+        clock period, plus their ratios over the unoptimised baseline design.
+        Counts are log-compressed so that widely varying magnitudes remain
+        comparable.
+        """
+        base = baseline or self
+        metrics = np.array(
+            [
+                self.resources.lut,
+                self.resources.dsp,
+                self.resources.bram,
+                self.latency_cycles,
+                self.achieved_clock_ns,
+            ],
+            dtype=float,
+        )
+        base_metrics = np.array(
+            [
+                base.resources.lut,
+                base.resources.dsp,
+                base.resources.bram,
+                base.latency_cycles,
+                base.achieved_clock_ns,
+            ],
+            dtype=float,
+        )
+        ratios = metrics / np.maximum(base_metrics, 1e-9)
+        return np.concatenate([np.log1p(metrics), ratios])
+
+
+@dataclass
+class HLSResult:
+    """Every artefact produced by one HLS run."""
+
+    design: LoweredDesign
+    schedule: Schedule
+    binding: BindingResult
+    fsmd: FSMD
+    report: HLSReport
+
+    @property
+    def function(self):
+        return self.design.function
+
+    @property
+    def kernel_name(self) -> str:
+        return self.design.kernel.name
+
+
+def _achieved_clock_ns(
+    design: LoweredDesign,
+    resources: ResourceUsage,
+    library: OperatorLibrary,
+    target_clock_ns: float,
+) -> float:
+    """Deterministic achieved-clock model: slowest operator plus congestion.
+
+    Larger designs suffer routing congestion that degrades timing; the model
+    adds a logarithmic penalty in total cell count on top of the slowest
+    operator delay, saturating a little above the target period (HLS reports
+    occasionally miss timing slightly for big unrolled designs).
+    """
+    used_delays = [
+        library.delay_ns(instr.opcode) for instr in design.function.instructions
+    ]
+    slowest = max(used_delays) if used_delays else 1.0
+    congestion = 1.0 + 0.04 * math.log1p(resources.total_cells / 5000.0)
+    achieved = slowest * congestion
+    return float(min(max(achieved, 0.5), target_clock_ns * 1.15))
+
+
+def run_hls(
+    kernel: KernelSpec,
+    directives: DesignDirectives | None = None,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+    target_clock_ns: float = TARGET_CLOCK_NS,
+) -> HLSResult:
+    """Run the full HLS flow for one design point."""
+    directives = directives or DesignDirectives()
+    design = HLSFrontend().lower(kernel, directives)
+    schedule = Scheduler(library).schedule(design)
+    binding = Binder(library).bind(design, schedule)
+    fsmd = build_fsmd(design, schedule)
+    resources = ResourceEstimator(library).estimate(design, binding, fsmd)
+    report = HLSReport(
+        kernel_name=kernel.name,
+        directives=directives,
+        latency_cycles=schedule.total_latency,
+        target_clock_ns=target_clock_ns,
+        achieved_clock_ns=_achieved_clock_ns(design, resources, library, target_clock_ns),
+        resources=resources,
+        fsm_states=fsmd.num_states,
+    )
+    return HLSResult(design, schedule, binding, fsmd, report)

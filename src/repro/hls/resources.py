@@ -1,0 +1,177 @@
+"""Post-HLS resource estimation (LUT / FF / DSP / BRAM).
+
+The estimate combines
+
+* functional-unit costs from the operator library multiplied by the number of
+  allocated instances,
+* per-instance costs of the non-shared operations (address generation, loads,
+  stores, casts),
+* multiplexing overhead proportional to each unit's sharing degree,
+* FSM control logic proportional to the number of FSMD states,
+* pipeline / output registers, and
+* BRAM banks derived from array sizes and partition factors (18 Kb blocks,
+  matching UltraScale+ RAMB18 primitives).
+
+These figures feed both the metadata embedding of HEC-GNN (the paper uses
+LUT / DSP / BRAM, latency and clock from the HLS report) and the power
+substrate's leakage / clock-tree models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hls.binding import BindingResult
+from repro.hls.frontend import LoweredDesign
+from repro.hls.fsmd import FSMD
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.ir.instructions import Opcode
+from repro.ir.types import ArrayType, PointerType
+
+#: Capacity of one BRAM primitive in bits (RAMB18).
+BRAM_BITS = 18 * 1024
+
+#: Width of the datapath elements (single-precision floats).
+DATA_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resource utilisation of one implemented design."""
+
+    lut: int
+    ff: int
+    dsp: int
+    bram: int
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            self.lut + other.lut,
+            self.ff + other.ff,
+            self.dsp + other.dsp,
+            self.bram + other.bram,
+        )
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        return ResourceUsage(
+            int(self.lut * factor),
+            int(self.ff * factor),
+            int(self.dsp * factor),
+            int(self.bram * factor),
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {"lut": self.lut, "ff": self.ff, "dsp": self.dsp, "bram": self.bram}
+
+    @property
+    def total_cells(self) -> int:
+        """Rough count of occupied logic cells, used by the placement surrogate."""
+        return self.lut + self.ff // 2 + self.dsp * 50 + self.bram * 100
+
+
+ZERO_RESOURCES = ResourceUsage(0, 0, 0, 0)
+
+
+class ResourceEstimator:
+    """Estimates post-implementation resources for a scheduled, bound design."""
+
+    def __init__(self, library: OperatorLibrary = DEFAULT_LIBRARY) -> None:
+        self.library = library
+
+    def estimate(
+        self,
+        design: LoweredDesign,
+        binding: BindingResult,
+        fsmd: FSMD,
+    ) -> ResourceUsage:
+        units = self._functional_unit_resources(design, binding)
+        unshared = self._unshared_resources(design, binding)
+        muxes = self._mux_overhead(binding)
+        control = self._control_resources(fsmd)
+        registers = self._register_resources(design, binding)
+        memories = self._memory_resources(design)
+        return units + unshared + muxes + control + registers + memories
+
+    # ------------------------------------------------------------------ pieces
+
+    def _functional_unit_resources(
+        self, design: LoweredDesign, binding: BindingResult
+    ) -> ResourceUsage:
+        lut = ff = dsp = 0
+        uid_to_opcode = {
+            instr.uid: instr.opcode for instr in design.function.instructions
+        }
+        for unit in binding.units:
+            if not unit.instruction_uids:
+                continue
+            # Characterise the unit by the most expensive opcode mapped onto it.
+            entries = [
+                self.library.entry(uid_to_opcode[uid]) for uid in unit.instruction_uids
+            ]
+            lut += max(entry.lut for entry in entries)
+            ff += max(entry.ff for entry in entries)
+            dsp += max(entry.dsp for entry in entries)
+        return ResourceUsage(lut, ff, dsp, 0)
+
+    def _unshared_resources(
+        self, design: LoweredDesign, binding: BindingResult
+    ) -> ResourceUsage:
+        lut = ff = dsp = 0
+        for instr in design.function.instructions:
+            if binding.unit_of(instr) is not None:
+                continue
+            entry = self.library.entry(instr.opcode)
+            lut += entry.lut
+            ff += entry.ff
+            dsp += entry.dsp
+        return ResourceUsage(lut, ff, dsp, 0)
+
+    @staticmethod
+    def _mux_overhead(binding: BindingResult) -> ResourceUsage:
+        lut = 0
+        for unit in binding.units:
+            degree = unit.sharing_degree
+            if degree > 1:
+                # A degree-k input multiplexer costs roughly width * ceil(log2(k))
+                # LUTs per operand; two operands per arithmetic unit.
+                lut += 2 * DATA_WIDTH * math.ceil(math.log2(degree))
+        return ResourceUsage(lut, 0, 0, 0)
+
+    @staticmethod
+    def _control_resources(fsmd: FSMD) -> ResourceUsage:
+        states = max(1, fsmd.num_states)
+        lut = 3 * states + 16
+        ff = max(1, math.ceil(math.log2(states + 1))) + states // 4
+        return ResourceUsage(lut, ff, 0, 0)
+
+    @staticmethod
+    def _register_resources(design: LoweredDesign, binding: BindingResult) -> ResourceUsage:
+        # Each bound operation keeps an output register; loads keep data registers.
+        registered_ops = len(binding.assignment)
+        loads = sum(
+            1 for instr in design.function.instructions if instr.opcode == Opcode.LOAD
+        )
+        ff = DATA_WIDTH * (registered_ops + loads)
+        return ResourceUsage(0, ff, 0, 0)
+
+    @staticmethod
+    def _memory_resources(design: LoweredDesign) -> ResourceUsage:
+        bram = 0
+        lut = 0
+        for arg in design.function.args:
+            ty = arg.type
+            if not isinstance(ty, PointerType) or not isinstance(ty.pointee, ArrayType):
+                continue
+            array_ty = ty.pointee
+            partition = design.array_partitions.get(arg.name)
+            banks = partition.factor if partition is not None else 1
+            bits_total = array_ty.num_elements * array_ty.element.bit_width
+            bits_per_bank = math.ceil(bits_total / banks)
+            bram += banks * max(1, math.ceil(bits_per_bank / BRAM_BITS))
+            # Bank-selection decoding logic grows with partitioning.
+            if banks > 1:
+                lut += 8 * banks
+        # Internal scalar allocas are implemented in flip-flops; handled in
+        # register resources implicitly via their load/store logic.
+        return ResourceUsage(lut, 0, 0, bram)

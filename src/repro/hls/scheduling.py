@@ -1,0 +1,240 @@
+"""HLS scheduling: ASAP list scheduling with loop pipelining.
+
+The scheduler converts a lowered design into per-instruction start cycles and
+per-loop latency figures, honouring the pipeline pragma of each loop region.
+Latency composition follows standard HLS practice:
+
+* a straight-line block is scheduled ASAP against data dependencies, with
+  per-opcode latencies from the operator library and a serialisation penalty
+  when more memory accesses target a buffer than it has ports (two ports per
+  physical BRAM bank, multiplied by the array-partition factor),
+* a non-pipelined loop costs ``trip * (body_latency + 1) + 1`` cycles (one
+  cycle of loop control per iteration),
+* a pipelined loop costs ``body_latency + (trip - 1) * II + 2`` cycles where
+  the initiation interval ``II`` is the maximum port pressure across buffers.
+
+The resulting :class:`Schedule` exposes the total design latency, the maximum
+concurrency per functional-unit sharing class (which drives binding) and the
+memory pressure per buffer (which drives BRAM/port estimation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hls.frontend import LoweredDesign
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.hls.pragmas import LoopPragmas
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Item, LoopRegion
+from repro.ir.validation import pointer_roots
+
+#: Number of concurrently usable ports of one physical BRAM bank (true dual port).
+PORTS_PER_BANK = 2
+
+
+@dataclass
+class LoopSchedule:
+    """Schedule summary of one loop region."""
+
+    loop_name: str
+    pipelined: bool
+    initiation_interval: int
+    iteration_latency: int
+    trip_count: int
+    total_latency: int
+
+
+@dataclass
+class Schedule:
+    """Full schedule of one design."""
+
+    design: LoweredDesign
+    total_latency: int
+    op_start_cycle: dict[int, int] = field(default_factory=dict)
+    loop_schedules: list[LoopSchedule] = field(default_factory=list)
+    max_concurrency: dict[str, int] = field(default_factory=dict)
+    memory_accesses: dict[str, int] = field(default_factory=dict)
+    buffer_ports: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def pipelined_loops(self) -> list[LoopSchedule]:
+        return [ls for ls in self.loop_schedules if ls.pipelined]
+
+    def start_cycle(self, instruction: Instruction) -> int:
+        return self.op_start_cycle.get(instruction.uid, 0)
+
+
+class Scheduler:
+    """Schedules lowered designs into cycles."""
+
+    def __init__(self, library: OperatorLibrary = DEFAULT_LIBRARY) -> None:
+        self.library = library
+
+    def schedule(self, design: LoweredDesign) -> Schedule:
+        function = design.function
+        roots = pointer_roots(function)
+        schedule = Schedule(design=design, total_latency=0)
+        for array_name, partition in design.array_partitions.items():
+            schedule.buffer_ports[array_name] = PORTS_PER_BANK * partition.factor
+
+        total = self._schedule_block(function.body, design, roots, schedule)
+        # Function prologue / epilogue handshake cycles.
+        schedule.total_latency = total + 2
+        return schedule
+
+    # ------------------------------------------------------------------ internals
+
+    def _schedule_block(
+        self,
+        items: list[Item],
+        design: LoweredDesign,
+        roots,
+        schedule: Schedule,
+    ) -> int:
+        """Schedule a body list; returns its latency in cycles."""
+        latency = 0
+        pending: list[Instruction] = []
+        for item in items:
+            if isinstance(item, LoopRegion):
+                latency += self._flush_straightline(pending, roots, design, schedule)
+                pending = []
+                latency += self._schedule_loop(item, design, roots, schedule)
+            else:
+                pending.append(item)
+        latency += self._flush_straightline(pending, roots, design, schedule)
+        return latency
+
+    def _schedule_loop(
+        self,
+        region: LoopRegion,
+        design: LoweredDesign,
+        roots,
+        schedule: Schedule,
+    ) -> int:
+        pragmas = region.pragmas if isinstance(region.pragmas, LoopPragmas) else LoopPragmas()
+        has_inner_loop = any(isinstance(item, LoopRegion) for item in region.body)
+
+        if has_inner_loop:
+            body_latency = self._schedule_block(region.body, design, roots, schedule)
+            total = region.trip_count * (body_latency + 1) + 1
+            schedule.loop_schedules.append(
+                LoopSchedule(
+                    loop_name=region.name,
+                    pipelined=False,
+                    initiation_interval=body_latency + 1,
+                    iteration_latency=body_latency,
+                    trip_count=region.trip_count,
+                    total_latency=total,
+                )
+            )
+            return total
+
+        body_latency = self._flush_straightline(
+            list(region.body), roots, design, schedule
+        )
+        port_pressure = self._port_pressure(region.body, roots, design, schedule)
+
+        if pragmas.pipeline:
+            initiation_interval = max(1, port_pressure)
+            total = body_latency + (region.trip_count - 1) * initiation_interval + 2
+            pipelined = True
+        else:
+            initiation_interval = body_latency + 1
+            total = region.trip_count * (body_latency + 1) + 1
+            pipelined = False
+
+        schedule.loop_schedules.append(
+            LoopSchedule(
+                loop_name=region.name,
+                pipelined=pipelined,
+                initiation_interval=initiation_interval,
+                iteration_latency=body_latency,
+                trip_count=region.trip_count,
+                total_latency=total,
+            )
+        )
+        return total
+
+    def _flush_straightline(
+        self,
+        instructions: list[Instruction],
+        roots,
+        design: LoweredDesign,
+        schedule: Schedule,
+    ) -> int:
+        """ASAP-schedule a straight-line instruction list; returns its depth."""
+        if not instructions:
+            return 0
+        ready: dict[int, int] = {}
+        finish_max = 0
+        concurrency: dict[tuple[str, int], int] = {}
+        for instr in instructions:
+            start = 0
+            for operand in instr.operands:
+                if operand.uid in ready:
+                    start = max(start, ready[operand.uid])
+            latency = self.library.latency(instr.opcode)
+            finish = start + latency
+            ready[instr.uid] = finish
+            schedule.op_start_cycle[instr.uid] = start
+            finish_max = max(finish_max, finish)
+
+            sharing_class = self.library.sharing_class(instr.opcode)
+            if sharing_class is not None:
+                key = (sharing_class, start)
+                concurrency[key] = concurrency.get(key, 0) + 1
+
+            if instr.opcode in (Opcode.LOAD, Opcode.STORE):
+                buffer_name = self._buffer_name(instr, roots)
+                schedule.memory_accesses[buffer_name] = (
+                    schedule.memory_accesses.get(buffer_name, 0) + 1
+                )
+
+        for (sharing_class, _cycle), count in concurrency.items():
+            schedule.max_concurrency[sharing_class] = max(
+                schedule.max_concurrency.get(sharing_class, 0), count
+            )
+
+        serialisation = self._serialisation_penalty(instructions, roots, design, schedule)
+        return max(finish_max, serialisation) + 1
+
+    def _port_pressure(
+        self, items: list[Item], roots, design: LoweredDesign, schedule: Schedule
+    ) -> int:
+        """Maximum ceil(accesses / ports) across buffers accessed in ``items``."""
+        per_buffer: dict[str, int] = {}
+        for item in items:
+            if isinstance(item, Instruction) and item.opcode in (Opcode.LOAD, Opcode.STORE):
+                name = self._buffer_name(item, roots)
+                per_buffer[name] = per_buffer.get(name, 0) + 1
+        pressure = 1
+        for name, accesses in per_buffer.items():
+            ports = schedule.buffer_ports.get(name, PORTS_PER_BANK)
+            pressure = max(pressure, math.ceil(accesses / ports))
+        return pressure
+
+    def _serialisation_penalty(
+        self,
+        instructions: list[Instruction],
+        roots,
+        design: LoweredDesign,
+        schedule: Schedule,
+    ) -> int:
+        per_buffer: dict[str, int] = {}
+        for instr in instructions:
+            if instr.opcode in (Opcode.LOAD, Opcode.STORE):
+                name = self._buffer_name(instr, roots)
+                per_buffer[name] = per_buffer.get(name, 0) + 1
+        penalty = 0
+        for name, accesses in per_buffer.items():
+            ports = schedule.buffer_ports.get(name, PORTS_PER_BANK)
+            penalty = max(penalty, math.ceil(accesses / ports))
+        return penalty
+
+    @staticmethod
+    def _buffer_name(instr: Instruction, roots) -> str:
+        pointer = instr.operands[0] if instr.opcode == Opcode.LOAD else instr.operands[1]
+        root = roots.get(pointer.uid)
+        return root.name if root is not None else pointer.name

@@ -1,0 +1,63 @@
+"""LLVM-flavoured intermediate representation used by the HLS substrate.
+
+Vivado HLS exposes its front-end compilation result as LLVM IR; PowerGear's
+graph construction flow consumes that IR together with the FSMD produced by the
+HLS back end.  This package provides a compact, structured SSA-style IR with
+the opcodes the paper's flow keys on (``alloca``, ``getelementptr``, ``load``,
+``store``, floating point and integer arithmetic, width casts), a builder API,
+a validator and an interpreter used for switching-activity tracing.
+"""
+
+from repro.ir.types import (
+    IRType,
+    IntType,
+    FloatType,
+    PointerType,
+    ArrayType,
+    VoidType,
+    INT32,
+    INT64,
+    FLOAT32,
+    INT1,
+)
+from repro.ir.values import Value, Constant, Argument, ArgumentDirection
+from repro.ir.instructions import Opcode, Instruction, OP_CATEGORIES, OpCategory
+from repro.ir.module import Module, Function, LoopRegion, walk_instructions, walk_items
+from repro.ir.builder import IRBuilder
+from repro.ir.validation import validate_function, IRValidationError
+from repro.ir.interpreter import IRInterpreter, ExecutionTrace
+from repro.ir.bitpack import to_bits, hamming_distance, value_bit_width
+
+__all__ = [
+    "IRType",
+    "IntType",
+    "FloatType",
+    "PointerType",
+    "ArrayType",
+    "VoidType",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "INT1",
+    "Value",
+    "Constant",
+    "Argument",
+    "ArgumentDirection",
+    "Opcode",
+    "Instruction",
+    "OpCategory",
+    "OP_CATEGORIES",
+    "Module",
+    "Function",
+    "LoopRegion",
+    "walk_instructions",
+    "walk_items",
+    "IRBuilder",
+    "validate_function",
+    "IRValidationError",
+    "IRInterpreter",
+    "ExecutionTrace",
+    "to_bits",
+    "hamming_distance",
+    "value_bit_width",
+]

@@ -1,0 +1,45 @@
+"""Bit-level value packing used by the switching-activity computation.
+
+Equation (2) of the paper computes Hamming distances between consecutive bit
+vectors of the values crossing a DFG edge.  These helpers convert runtime
+values (Python ints / floats produced by the interpreter) into fixed-width bit
+patterns matching their IR type, and compute Hamming distances between them.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.ir.types import FloatType, IntType, IRType, PointerType
+
+
+def value_bit_width(ty: IRType) -> int:
+    """Datapath width of a scalar value of type ``ty``."""
+    return ty.bit_width
+
+
+def to_bits(value: float | int, ty: IRType) -> int:
+    """Pack ``value`` into an unsigned integer holding its bit pattern."""
+    if isinstance(ty, IntType):
+        mask = (1 << ty.width) - 1
+        return int(value) & mask
+    if isinstance(ty, FloatType):
+        if ty.width == 32:
+            packed = struct.pack("<f", float(value))
+            return int.from_bytes(packed, "little")
+        packed = struct.pack("<d", float(value))
+        return int.from_bytes(packed, "little")
+    if isinstance(ty, PointerType):
+        mask = (1 << ty.address_width) - 1
+        return int(value) & mask
+    raise TypeError(f"cannot bit-pack values of type {ty}")
+
+
+def hamming_distance(bits_a: int, bits_b: int) -> int:
+    """Number of differing bits between two packed values."""
+    return int(bin(bits_a ^ bits_b).count("1"))
+
+
+def hamming_between(value_a, value_b, ty: IRType) -> int:
+    """Hamming distance between two runtime values of the same IR type."""
+    return hamming_distance(to_bits(value_a, ty), to_bits(value_b, ty))

@@ -1,0 +1,170 @@
+"""Instruction set of the HLS IR.
+
+The opcode vocabulary follows LLVM, restricted to what Vivado HLS emits for
+PolyBench-style kernels and what the PowerGear graph construction flow keys on:
+memory management (``alloca``/``getelementptr``/``load``/``store``), integer and
+floating-point arithmetic, comparisons, width casts and bitwise logic.
+
+Each opcode belongs to an :class:`OpCategory`, which determines
+
+* whether the corresponding DFG node counts as *arithmetic* (``A``) or
+  *non-arithmetic* (``N``) in the heterogeneous graph (Section III-A), and
+* its latency / resource entry in the HLS operator library
+  (:mod:`repro.hls.op_library`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ir.types import IRType, VoidType
+from repro.ir.values import Value
+
+
+class Opcode(enum.Enum):
+    """LLVM-style opcode names."""
+
+    # Memory
+    ALLOCA = "alloca"
+    GETELEMENTPTR = "getelementptr"
+    LOAD = "load"
+    STORE = "store"
+    # Floating point arithmetic
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SDIV = "sdiv"
+    # Comparison / selection
+    ICMP = "icmp"
+    FCMP = "fcmp"
+    SELECT = "select"
+    # Casts
+    SEXT = "sext"
+    ZEXT = "zext"
+    TRUNC = "trunc"
+    SITOFP = "sitofp"
+    FPTOSI = "fptosi"
+    BITCAST = "bitcast"
+    # Bitwise
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    # Control / misc
+    PHI = "phi"
+    RET = "ret"
+
+
+class OpCategory(enum.Enum):
+    """Coarse operation categories used for features and the operator library."""
+
+    MEMORY = "memory"
+    FLOAT_ARITH = "float_arith"
+    INT_ARITH = "int_arith"
+    COMPARE = "compare"
+    CAST = "cast"
+    BITWISE = "bitwise"
+    CONTROL = "control"
+
+
+OP_CATEGORIES: dict[Opcode, OpCategory] = {
+    Opcode.ALLOCA: OpCategory.MEMORY,
+    Opcode.GETELEMENTPTR: OpCategory.MEMORY,
+    Opcode.LOAD: OpCategory.MEMORY,
+    Opcode.STORE: OpCategory.MEMORY,
+    Opcode.FADD: OpCategory.FLOAT_ARITH,
+    Opcode.FSUB: OpCategory.FLOAT_ARITH,
+    Opcode.FMUL: OpCategory.FLOAT_ARITH,
+    Opcode.FDIV: OpCategory.FLOAT_ARITH,
+    Opcode.ADD: OpCategory.INT_ARITH,
+    Opcode.SUB: OpCategory.INT_ARITH,
+    Opcode.MUL: OpCategory.INT_ARITH,
+    Opcode.SDIV: OpCategory.INT_ARITH,
+    Opcode.ICMP: OpCategory.COMPARE,
+    Opcode.FCMP: OpCategory.COMPARE,
+    Opcode.SELECT: OpCategory.COMPARE,
+    Opcode.SEXT: OpCategory.CAST,
+    Opcode.ZEXT: OpCategory.CAST,
+    Opcode.TRUNC: OpCategory.CAST,
+    Opcode.SITOFP: OpCategory.CAST,
+    Opcode.FPTOSI: OpCategory.CAST,
+    Opcode.BITCAST: OpCategory.CAST,
+    Opcode.AND: OpCategory.BITWISE,
+    Opcode.OR: OpCategory.BITWISE,
+    Opcode.XOR: OpCategory.BITWISE,
+    Opcode.SHL: OpCategory.BITWISE,
+    Opcode.LSHR: OpCategory.BITWISE,
+    Opcode.ASHR: OpCategory.BITWISE,
+    Opcode.PHI: OpCategory.CONTROL,
+    Opcode.RET: OpCategory.CONTROL,
+}
+
+#: Opcodes whose DFG nodes count as arithmetic (``A``) in the heterogeneous graph.
+ARITHMETIC_OPCODES: frozenset[Opcode] = frozenset(
+    op
+    for op, cat in OP_CATEGORIES.items()
+    if cat in (OpCategory.FLOAT_ARITH, OpCategory.INT_ARITH)
+)
+
+#: Opcodes that produce trivial hardware and are bypassed during graph trimming.
+TRIVIAL_OPCODES: frozenset[Opcode] = frozenset(
+    {Opcode.SEXT, Opcode.ZEXT, Opcode.TRUNC, Opcode.BITCAST, Opcode.SITOFP, Opcode.FPTOSI}
+)
+
+#: Opcodes involved in on-chip buffer inference (Section III-A, buffer insertion).
+MEMORY_ACCESS_OPCODES: frozenset[Opcode] = frozenset({Opcode.LOAD, Opcode.STORE})
+ADDRESS_OPCODES: frozenset[Opcode] = frozenset({Opcode.ALLOCA, Opcode.GETELEMENTPTR})
+
+
+class Instruction(Value):
+    """A single SSA instruction.
+
+    ``operands`` reference :class:`~repro.ir.values.Value` objects, which makes
+    def-use edges (and therefore DFG edges) implicit in the IR itself.
+    ``attrs`` carries opcode-specific extras such as the comparison predicate
+    of ``icmp`` or the allocated array type of ``alloca``.
+    """
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        operands: list[Value],
+        result_type: IRType,
+        name: str = "",
+        attrs: dict | None = None,
+    ) -> None:
+        super().__init__(result_type, name)
+        self.opcode = opcode
+        self.operands = list(operands)
+        self.attrs = dict(attrs or {})
+
+    @property
+    def category(self) -> OpCategory:
+        return OP_CATEGORIES[self.opcode]
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """True for nodes classified as arithmetic (``A``) in the power graph."""
+        return self.opcode in ARITHMETIC_OPCODES
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for cast-like operations removed by graph trimming."""
+        return self.opcode in TRIVIAL_OPCODES
+
+    @property
+    def has_result(self) -> bool:
+        return not isinstance(self.type, VoidType)
+
+    def __repr__(self) -> str:
+        ops = ", ".join(op.name for op in self.operands)
+        if self.has_result:
+            return f"%{self.name} = {self.opcode.value} {ops}"
+        return f"{self.opcode.value} {ops}"

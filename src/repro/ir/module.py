@@ -1,0 +1,146 @@
+"""Structured IR containers: modules, functions and loop regions.
+
+Vivado HLS performs loop analysis before scheduling, so the IR consumed by the
+back end is effectively *structured*: a function body is a sequence of
+instructions and perfectly nested loop regions, each carrying its directives
+(pipeline / unroll).  We model that shape directly instead of a generic CFG,
+which keeps scheduling, interpretation and DFG extraction simple while
+preserving the LLVM opcode vocabulary the paper's flow inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.ir.instructions import Instruction
+from repro.ir.types import IntType
+from repro.ir.values import Argument, InductionVariable
+
+
+class LoopRegion:
+    """A counted loop with a fixed trip count, step 1 and an induction variable.
+
+    ``pragmas`` is filled by the HLS front end with a
+    :class:`repro.hls.pragmas.LoopPragmas` instance; it is kept untyped here to
+    avoid a circular dependency between the IR and HLS packages.
+    """
+
+    def __init__(
+        self,
+        indvar: InductionVariable,
+        trip_count: int,
+        body: list["Item"] | None = None,
+        pragmas: object | None = None,
+        name: str = "",
+    ) -> None:
+        if trip_count <= 0:
+            raise ValueError(f"loop trip count must be positive, got {trip_count}")
+        self.indvar = indvar
+        self.trip_count = trip_count
+        self.body: list[Item] = list(body or [])
+        self.pragmas = pragmas
+        self.name = name or f"loop_{indvar.name}"
+
+    def __repr__(self) -> str:
+        return f"LoopRegion({self.name}, trip={self.trip_count}, items={len(self.body)})"
+
+
+Item = Union[Instruction, LoopRegion]
+
+
+@dataclass
+class Function:
+    """A top-level HLS function (one hardware kernel)."""
+
+    name: str
+    args: list[Argument] = field(default_factory=list)
+    body: list[Item] = field(default_factory=list)
+
+    def argument(self, name: str) -> Argument:
+        for arg in self.args:
+            if arg.name == name:
+                return arg
+        raise KeyError(f"function {self.name!r} has no argument {name!r}")
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        return list(walk_instructions(self.body))
+
+    @property
+    def loops(self) -> list[LoopRegion]:
+        return [item for item in walk_items(self.body) if isinstance(item, LoopRegion)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Function({self.name}, args={len(self.args)}, "
+            f"instructions={len(self.instructions)})"
+        )
+
+
+@dataclass
+class Module:
+    """A compilation unit: currently a single kernel function plus metadata."""
+
+    name: str
+    functions: list[Function] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add_function(self, function: Function) -> Function:
+        self.functions.append(function)
+        return function
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"module {self.name!r} has no function {name!r}")
+
+
+def walk_items(body: list[Item]) -> Iterator[Item]:
+    """Yield every item (instructions and loop regions) in nesting order."""
+    for item in body:
+        yield item
+        if isinstance(item, LoopRegion):
+            yield from walk_items(item.body)
+
+
+def walk_instructions(body: list[Item]) -> Iterator[Instruction]:
+    """Yield every instruction in nesting order."""
+    for item in walk_items(body):
+        if isinstance(item, Instruction):
+            yield item
+
+
+def loop_depth_of(function: Function) -> dict[int, int]:
+    """Map each instruction ``uid`` to its loop nesting depth (0 = top level)."""
+    depths: dict[int, int] = {}
+
+    def visit(body: list[Item], depth: int) -> None:
+        for item in body:
+            if isinstance(item, Instruction):
+                depths[item.uid] = depth
+            else:
+                visit(item.body, depth + 1)
+
+    visit(function.body, 0)
+    return depths
+
+
+def total_trip_count(function: Function) -> int:
+    """Product of trip counts along the deepest loop nest (an upper bound on
+    the number of innermost-body executions), used for latency sanity checks."""
+
+    def visit(body: list[Item]) -> int:
+        best = 1
+        for item in body:
+            if isinstance(item, LoopRegion):
+                best = max(best, item.trip_count * visit(item.body))
+        return best
+
+    return visit(function.body)
+
+
+def new_indvar(name: str, width: int = 32) -> InductionVariable:
+    """Convenience constructor for loop induction variables."""
+    return InductionVariable(name, IntType(width))

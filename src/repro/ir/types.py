@@ -1,0 +1,136 @@
+"""Type system for the HLS intermediate representation.
+
+The types mirror the subset of LLVM types that matter for HLS power modelling:
+fixed-width integers (bit width drives interconnect width and therefore
+switching energy), IEEE-754 floats, pointers and statically shaped arrays
+(which become on-chip buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+import operator
+
+
+class IRType:
+    """Base class of every IR type."""
+
+    @property
+    def bit_width(self) -> int:
+        """Number of datapath bits a value of this type occupies."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return str(self)
+
+
+@dataclass(frozen=True)
+class IntType(IRType):
+    """Fixed-width integer type (``i1``, ``i8``, ``i32``...)."""
+
+    width: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"integer width must be positive, got {self.width}")
+
+    @property
+    def bit_width(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+@dataclass(frozen=True)
+class FloatType(IRType):
+    """IEEE-754 floating point type (32-bit ``float`` or 64-bit ``double``)."""
+
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width not in (32, 64):
+            raise ValueError(f"float width must be 32 or 64, got {self.width}")
+
+    @property
+    def bit_width(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return "float" if self.width == 32 else "double"
+
+
+@dataclass(frozen=True)
+class VoidType(IRType):
+    """Type of instructions that produce no value (e.g. ``store``)."""
+
+    @property
+    def bit_width(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class ArrayType(IRType):
+    """Statically shaped array, the source of on-chip buffers after HLS."""
+
+    element: IRType
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("array shape must have at least one dimension")
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError(f"array dimensions must be positive, got {self.shape}")
+        if isinstance(self.element, (ArrayType, VoidType, PointerType)):
+            raise ValueError("array element must be a scalar type")
+
+    @property
+    def num_elements(self) -> int:
+        return reduce(operator.mul, self.shape, 1)
+
+    @property
+    def bit_width(self) -> int:
+        return self.element.bit_width * self.num_elements
+
+    def __str__(self) -> str:
+        dims = " x ".join(str(dim) for dim in self.shape)
+        return f"[{dims} x {self.element}]"
+
+
+@dataclass(frozen=True)
+class PointerType(IRType):
+    """Pointer to a scalar or array; the width models the address bus."""
+
+    pointee: IRType
+    address_width: int = 32
+
+    @property
+    def bit_width(self) -> int:
+        return self.address_width
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+def element_type(ty: IRType) -> IRType:
+    """Return the scalar element type behind a pointer or array type."""
+    if isinstance(ty, PointerType):
+        return element_type(ty.pointee)
+    if isinstance(ty, ArrayType):
+        return ty.element
+    return ty
+
+
+INT1 = IntType(1)
+INT8 = IntType(8)
+INT16 = IntType(16)
+INT32 = IntType(32)
+INT64 = IntType(64)
+FLOAT32 = FloatType(32)
+FLOAT64 = FloatType(64)
+VOID = VoidType()

@@ -1,0 +1,125 @@
+"""Structural validation of IR functions.
+
+The validator checks the invariants the rest of the pipeline relies on:
+operands are defined before use (SSA dominance in the structured sense),
+pointers are only produced by ``alloca``/``getelementptr``/array arguments,
+loads and stores address pointers, and loop trip counts are positive.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Function, Item, LoopRegion
+from repro.ir.types import PointerType, VoidType
+from repro.ir.values import Argument, Constant, InductionVariable, Value
+
+
+class IRValidationError(Exception):
+    """Raised when a function violates an IR invariant."""
+
+
+def validate_function(function: Function) -> None:
+    """Validate ``function``; raise :class:`IRValidationError` on the first violation."""
+    defined: set[int] = {arg.uid for arg in function.args}
+
+    def check_operand(instr: Instruction, operand: Value) -> None:
+        if isinstance(operand, (Constant,)):
+            return
+        if operand.uid not in defined:
+            raise IRValidationError(
+                f"instruction {instr!r} uses {operand!r} before definition"
+            )
+
+    def visit(body: list[Item]) -> None:
+        for item in body:
+            if isinstance(item, LoopRegion):
+                if item.trip_count <= 0:
+                    raise IRValidationError(f"loop {item.name} has non-positive trip count")
+                defined.add(item.indvar.uid)
+                visit(item.body)
+                continue
+            instr = item
+            for operand in instr.operands:
+                check_operand(instr, operand)
+            _check_instruction(instr)
+            if instr.has_result:
+                defined.add(instr.uid)
+
+    visit(function.body)
+
+
+def _check_instruction(instr: Instruction) -> None:
+    opcode = instr.opcode
+    if opcode == Opcode.LOAD:
+        if len(instr.operands) != 1 or not isinstance(instr.operands[0].type, PointerType):
+            raise IRValidationError(f"load must take a single pointer operand: {instr!r}")
+        if isinstance(instr.type, VoidType):
+            raise IRValidationError(f"load must produce a value: {instr!r}")
+    elif opcode == Opcode.STORE:
+        if len(instr.operands) != 2 or not isinstance(instr.operands[1].type, PointerType):
+            raise IRValidationError(
+                f"store must take (value, pointer) operands: {instr!r}"
+            )
+        if not isinstance(instr.type, VoidType):
+            raise IRValidationError(f"store must not produce a value: {instr!r}")
+    elif opcode == Opcode.GETELEMENTPTR:
+        if not instr.operands or not isinstance(instr.operands[0].type, PointerType):
+            raise IRValidationError(
+                f"getelementptr base operand must be a pointer: {instr!r}"
+            )
+        if not isinstance(instr.type, PointerType):
+            raise IRValidationError(f"getelementptr must produce a pointer: {instr!r}")
+    elif opcode == Opcode.ALLOCA:
+        if "allocated_type" not in instr.attrs:
+            raise IRValidationError(f"alloca must record its allocated type: {instr!r}")
+        if not isinstance(instr.type, PointerType):
+            raise IRValidationError(f"alloca must produce a pointer: {instr!r}")
+    elif opcode in (
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.SDIV,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.LSHR,
+        Opcode.ASHR,
+    ):
+        if len(instr.operands) != 2:
+            raise IRValidationError(f"binary operation must have two operands: {instr!r}")
+    elif opcode in (Opcode.ICMP, Opcode.FCMP):
+        if "predicate" not in instr.attrs:
+            raise IRValidationError(f"comparison must carry a predicate: {instr!r}")
+    elif opcode == Opcode.SELECT:
+        if len(instr.operands) != 3:
+            raise IRValidationError(f"select must have three operands: {instr!r}")
+
+
+def pointer_roots(function: Function) -> dict[int, Value]:
+    """Map each pointer-producing value's uid to its *root* buffer value.
+
+    The root of a ``getelementptr`` chain is the ``alloca`` instruction or the
+    array :class:`~repro.ir.values.Argument` it ultimately addresses.  Buffer
+    insertion and the interpreter both rely on this mapping.
+    """
+    roots: dict[int, Value] = {}
+    for arg in function.args:
+        if isinstance(arg.type, PointerType):
+            roots[arg.uid] = arg
+    for instr in function.instructions:
+        if instr.opcode == Opcode.ALLOCA:
+            roots[instr.uid] = instr
+        elif instr.opcode == Opcode.GETELEMENTPTR:
+            base = instr.operands[0]
+            root = roots.get(base.uid)
+            if root is None:
+                raise IRValidationError(
+                    f"getelementptr base {base!r} does not trace back to a buffer"
+                )
+            roots[instr.uid] = root
+    return roots

@@ -1,0 +1,75 @@
+"""Value hierarchy of the IR: constants, function arguments and instruction results.
+
+Every operand of an instruction is a :class:`Value`.  Instructions themselves
+are values (their result), mirroring LLVM's SSA design.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+from repro.ir.types import IRType, IntType, FloatType
+
+
+_value_counter = itertools.count()
+
+
+class Value:
+    """Base class of everything that can appear as an instruction operand."""
+
+    def __init__(self, ty: IRType, name: str = "") -> None:
+        self.type = ty
+        self.uid = next(_value_counter)
+        self.name = name or f"v{self.uid}"
+
+    @property
+    def bit_width(self) -> int:
+        return self.type.bit_width
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}: {self.type})"
+
+
+class Constant(Value):
+    """Compile-time constant (loop bounds, literals, array indices)."""
+
+    def __init__(self, value: float | int, ty: IRType, name: str = "") -> None:
+        super().__init__(ty, name or f"const_{value}")
+        if isinstance(ty, IntType):
+            self.value: float | int = int(value)
+        elif isinstance(ty, FloatType):
+            self.value = float(value)
+        else:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value}: {self.type})"
+
+
+class ArgumentDirection(enum.Enum):
+    """Dataflow direction of a top-level function argument."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+
+class Argument(Value):
+    """Top-level function argument; array arguments become I/O buffers."""
+
+    def __init__(
+        self,
+        name: str,
+        ty: IRType,
+        direction: ArgumentDirection = ArgumentDirection.IN,
+    ) -> None:
+        super().__init__(ty, name)
+        self.direction = direction
+
+
+class InductionVariable(Value):
+    """Loop induction variable of a structured :class:`~repro.ir.module.LoopRegion`."""
+
+    def __init__(self, name: str, ty: IRType) -> None:
+        super().__init__(ty, name)

@@ -1,0 +1,31 @@
+"""Kernel specifications: PolyBench kernels, synthetic kernels and design spaces."""
+
+from repro.kernels.spec import (
+    ArraySpec,
+    Assign,
+    BinOp,
+    Const,
+    KernelSpec,
+    Loop,
+    Ref,
+)
+from repro.kernels.polybench import POLYBENCH_KERNELS, polybench_kernel, polybench_names
+from repro.kernels.synthetic import synthetic_kernel, synthetic_names
+from repro.kernels.design_space import DesignSpace, generate_design_space
+
+__all__ = [
+    "ArraySpec",
+    "Assign",
+    "BinOp",
+    "Const",
+    "KernelSpec",
+    "Loop",
+    "Ref",
+    "POLYBENCH_KERNELS",
+    "polybench_kernel",
+    "polybench_names",
+    "synthetic_kernel",
+    "synthetic_names",
+    "DesignSpace",
+    "generate_design_space",
+]

@@ -1,0 +1,136 @@
+"""Design-space generation: pragma sweeps over a kernel.
+
+The paper builds ~500 design points per kernel "by applying loop pipelining,
+loop unrolling and buffer partitioning".  :func:`generate_design_space`
+enumerates the cross product of
+
+* per-innermost-loop unroll factors (divisors of the trip count),
+* per-innermost-loop pipelining on/off, and
+* per-array partition factors for the arrays accessed in innermost loops,
+
+and, if the product exceeds the requested number of points, draws a
+reproducible random subset that always includes the unoptimised baseline
+design (which the metadata scaling factors are normalised against).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.kernels.spec import KernelSpec
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class DesignSpace:
+    """A kernel together with the design points to evaluate."""
+
+    kernel: KernelSpec
+    points: list[DesignDirectives] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def baseline(self) -> DesignDirectives:
+        for point in self.points:
+            if point.is_baseline:
+                return point
+        raise ValueError("design space does not contain the baseline point")
+
+
+def _divisor_factors(trip: int, factors: tuple[int, ...]) -> list[int]:
+    valid = sorted({f for f in factors if f <= trip and trip % f == 0})
+    return valid or [1]
+
+
+def generate_design_space(
+    kernel: KernelSpec,
+    max_points: int = 60,
+    unroll_factors: tuple[int, ...] = (1, 2, 4, 8),
+    partition_factors: tuple[int, ...] = (1, 2, 4),
+    seed: int = 0,
+) -> DesignSpace:
+    """Generate up to ``max_points`` design points for ``kernel``.
+
+    The baseline (all defaults) is always the first point.  The remaining
+    points are drawn without replacement from the full pragma cross product.
+    """
+    if max_points < 1:
+        raise ValueError("max_points must be >= 1")
+
+    innermost = kernel.innermost_loops()
+    loop_options: list[list[LoopPragmas]] = []
+    for loop in innermost:
+        options = [
+            LoopPragmas(unroll_factor=factor, pipeline=pipeline)
+            for factor in _divisor_factors(loop.trip, unroll_factors)
+            for pipeline in (False, True)
+        ]
+        loop_options.append(options)
+
+    # Partition only the arrays that matter for memory bandwidth: the 2-D
+    # arrays (matrices), which dominate port pressure in these kernels.
+    partitioned_arrays = [spec.name for spec in kernel.arrays if len(spec.shape) >= 2]
+    array_options: list[list[ArrayPartition]] = [
+        [ArrayPartition(factor=f) for f in sorted(set(partition_factors))]
+        for _ in partitioned_arrays
+    ]
+
+    loop_names = [loop.var for loop in innermost]
+
+    def build_point(loop_choice, array_choice) -> DesignDirectives:
+        return DesignDirectives.from_dicts(
+            {name: pragmas for name, pragmas in zip(loop_names, loop_choice)},
+            {name: part for name, part in zip(partitioned_arrays, array_choice)},
+        )
+
+    total_combinations = 1
+    for options in loop_options:
+        total_combinations *= len(options)
+    for options in array_options:
+        total_combinations *= len(options)
+
+    baseline = DesignDirectives.from_dicts(
+        {name: LoopPragmas() for name in loop_names},
+        {name: ArrayPartition() for name in partitioned_arrays},
+    )
+
+    points: list[DesignDirectives] = [baseline]
+    seen = {baseline}
+
+    if total_combinations <= max_points * 4:
+        # Small space: enumerate it and subsample deterministically if needed.
+        all_points = [
+            build_point(loop_choice, array_choice)
+            for loop_choice in itertools.product(*loop_options)
+            for array_choice in itertools.product(*array_options)
+        ]
+        rng = spawn_rng(seed, "design_space", kernel.name)
+        rng.shuffle(all_points)
+        for point in all_points:
+            if len(points) >= max_points:
+                break
+            if point not in seen:
+                points.append(point)
+                seen.add(point)
+    else:
+        rng = spawn_rng(seed, "design_space", kernel.name)
+        attempts = 0
+        while len(points) < max_points and attempts < max_points * 50:
+            attempts += 1
+            loop_choice = [options[int(rng.integers(len(options)))] for options in loop_options]
+            array_choice = [
+                options[int(rng.integers(len(options)))] for options in array_options
+            ]
+            point = build_point(loop_choice, array_choice)
+            if point not in seen:
+                points.append(point)
+                seen.add(point)
+
+    return DesignSpace(kernel=kernel, points=points)

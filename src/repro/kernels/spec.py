@@ -1,0 +1,212 @@
+"""Kernel specification language.
+
+The paper compiles PolyBench C kernels with Vivado HLS.  We express the same
+kernels as small loop-nest specifications — arrays, perfectly or imperfectly
+nested counted loops, and assignment statements over affine array references —
+which the HLS front end (:mod:`repro.hls.frontend`) lowers into IR while
+applying the design directives.
+
+The expression language is intentionally tiny: array references indexed by
+loop variables or constants, floating point constants, and binary arithmetic.
+That is sufficient for every PolyBench kernel used in the paper (atax, bicg,
+gemm, gesummv, 2mm, 3mm, mvt, syrk, syr2k) and for the synthetic loop-pattern
+kernels used to diversify training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+# --------------------------------------------------------------------------- expressions
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Reference to ``array[index...]`` where each index is a loop variable name
+    or an integer constant."""
+
+    array: str
+    index: tuple[Union[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.array:
+            raise ValueError("array name must be non-empty")
+
+    @property
+    def rank(self) -> int:
+        return len(self.index)
+
+
+@dataclass(frozen=True)
+class Const:
+    """Floating-point literal (e.g. the ``alpha`` / ``beta`` scaling factors)."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary arithmetic over expressions; ``op`` is one of ``+ - * /``."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+
+Expr = Union[Ref, Const, BinOp]
+
+
+def add(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("+", lhs, rhs)
+
+
+def sub(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("-", lhs, rhs)
+
+
+def mul(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("*", lhs, rhs)
+
+
+def div(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("/", lhs, rhs)
+
+
+# --------------------------------------------------------------------------- statements
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = expr``; accumulation is expressed by referencing the target in
+    ``expr`` (e.g. ``C[i,j] = C[i,j] + alpha * A[i,k] * B[k,j]``)."""
+
+    target: Ref
+    expr: Expr
+
+
+@dataclass
+class Loop:
+    """A counted loop ``for var in range(trip)`` containing statements and/or
+    nested loops.  ``name`` doubles as the key design directives refer to."""
+
+    var: str
+    trip: int
+    body: list[Union["Loop", Assign]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.trip <= 0:
+            raise ValueError(f"loop trip count must be positive, got {self.trip}")
+        if not self.var:
+            raise ValueError("loop variable name must be non-empty")
+
+    @property
+    def innermost(self) -> bool:
+        return not any(isinstance(item, Loop) for item in self.body)
+
+    def nested_loops(self) -> list["Loop"]:
+        """All loops in this subtree, including self, in nesting order."""
+        loops = [self]
+        for item in self.body:
+            if isinstance(item, Loop):
+                loops.extend(item.nested_loops())
+        return loops
+
+
+# --------------------------------------------------------------------------- arrays / kernels
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Declaration of a kernel array: name, static shape and dataflow direction."""
+
+    name: str
+    shape: tuple[int, ...]
+    direction: str = "in"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out", "inout"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if not self.shape or any(d <= 0 for d in self.shape):
+            raise ValueError(f"array shape must be positive, got {self.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+
+@dataclass
+class KernelSpec:
+    """A complete kernel: arrays plus a list of top-level loops."""
+
+    name: str
+    arrays: list[ArraySpec]
+    body: list[Loop]
+    description: str = ""
+
+    def array(self, name: str) -> ArraySpec:
+        for spec in self.arrays:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"kernel {self.name!r} has no array {name!r}")
+
+    def all_loops(self) -> list[Loop]:
+        loops: list[Loop] = []
+        for loop in self.body:
+            loops.extend(loop.nested_loops())
+        return loops
+
+    def innermost_loops(self) -> list[Loop]:
+        return [loop for loop in self.all_loops() if loop.innermost]
+
+    def loop_names(self) -> list[str]:
+        return [loop.var for loop in self.all_loops()]
+
+    def validate(self) -> None:
+        """Check that all referenced arrays exist and indices use in-scope loop vars."""
+        array_names = {spec.name for spec in self.arrays}
+
+        def check_expr(expr: Expr, in_scope: set[str]) -> None:
+            if isinstance(expr, Ref):
+                if expr.array not in array_names:
+                    raise ValueError(
+                        f"kernel {self.name!r}: unknown array {expr.array!r}"
+                    )
+                expected_rank = len(self.array(expr.array).shape)
+                if expr.rank != expected_rank:
+                    raise ValueError(
+                        f"kernel {self.name!r}: array {expr.array!r} expects "
+                        f"{expected_rank} indices, got {expr.rank}"
+                    )
+                for index in expr.index:
+                    if isinstance(index, str) and index not in in_scope:
+                        raise ValueError(
+                            f"kernel {self.name!r}: index variable {index!r} "
+                            "is not an enclosing loop variable"
+                        )
+            elif isinstance(expr, BinOp):
+                check_expr(expr.lhs, in_scope)
+                check_expr(expr.rhs, in_scope)
+
+        def visit(items: list, in_scope: set[str]) -> None:
+            for item in items:
+                if isinstance(item, Loop):
+                    if item.var in in_scope:
+                        raise ValueError(
+                            f"kernel {self.name!r}: loop variable {item.var!r} shadows "
+                            "an enclosing loop"
+                        )
+                    visit(item.body, in_scope | {item.var})
+                else:
+                    check_expr(item.target, in_scope)
+                    check_expr(item.expr, in_scope)
+
+        visit(self.body, set())

@@ -1,0 +1,171 @@
+"""Synthetic loop-pattern kernels.
+
+The paper augments the PolyBench training data with "synthetic datasets to
+increase the diversity of loop patterns in training".  These generators build
+parametric kernels with controllable arithmetic-intensity, loop depth and
+dataflow shape: elementwise chains, reductions, stencils and outer products.
+They exercise the same HLS / graph-construction / power pipeline as the
+PolyBench kernels and can be mixed into training sets via the dataset
+generator.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.spec import ArraySpec, Assign, BinOp, Const, KernelSpec, Loop, Ref, add, mul
+from repro.utils.rng import new_rng
+
+DEFAULT_SIZE = 8
+
+
+def elementwise_chain(size: int = DEFAULT_SIZE, depth: int = 3, name: str = "syn_chain") -> KernelSpec:
+    """``out[i] = (((a[i] op b[i]) op b[i]) ...)`` with ``depth`` chained ops."""
+    if depth < 1:
+        raise ValueError("chain depth must be >= 1")
+    expr = mul(Ref("a", ("i0",)), Ref("b", ("i0",)))
+    for level in range(1, depth):
+        op = "+" if level % 2 else "*"
+        expr = BinOp(op, expr, Ref("b", ("i0",)))
+    body = [Loop("i0", size, [Assign(Ref("out", ("i0",)), expr)])]
+    return KernelSpec(
+        name=name,
+        arrays=[
+            ArraySpec("a", (size,), "in"),
+            ArraySpec("b", (size,), "in"),
+            ArraySpec("out", (size,), "out"),
+        ],
+        body=body,
+        description=f"elementwise arithmetic chain of depth {depth}",
+    )
+
+
+def reduction(size: int = DEFAULT_SIZE, name: str = "syn_reduce") -> KernelSpec:
+    """Dot-product style reduction ``acc[0] += a[i] * b[i]``."""
+    body = [
+        Loop("z0", 1, [Assign(Ref("acc", ("z0",)), Const(0.0))]),
+        Loop(
+            "i0",
+            size,
+            [
+                Assign(
+                    Ref("acc", (0,)),
+                    add(Ref("acc", (0,)), mul(Ref("a", ("i0",)), Ref("b", ("i0",)))),
+                )
+            ],
+        ),
+    ]
+    return KernelSpec(
+        name=name,
+        arrays=[
+            ArraySpec("a", (size,), "in"),
+            ArraySpec("b", (size,), "in"),
+            ArraySpec("acc", (1,), "out"),
+        ],
+        body=body,
+        description="dot-product reduction",
+    )
+
+
+def stencil_1d(size: int = DEFAULT_SIZE, name: str = "syn_stencil") -> KernelSpec:
+    """Three-point weighted stencil over a 1-D array (interior points only)."""
+    if size < 3:
+        raise ValueError("stencil requires size >= 3")
+    # Interior points are addressed by an offset loop: out[i+1] uses in[i], in[i+1], in[i+2].
+    # The spec language only supports plain loop-variable indices, so the kernel
+    # uses three shifted copies of the input prepared by the testbench.
+    body = [
+        Loop(
+            "i0",
+            size,
+            [
+                Assign(
+                    Ref("out", ("i0",)),
+                    add(
+                        mul(Const(0.25), Ref("left", ("i0",))),
+                        add(
+                            mul(Const(0.5), Ref("center", ("i0",))),
+                            mul(Const(0.25), Ref("right", ("i0",))),
+                        ),
+                    ),
+                )
+            ],
+        )
+    ]
+    return KernelSpec(
+        name=name,
+        arrays=[
+            ArraySpec("left", (size,), "in"),
+            ArraySpec("center", (size,), "in"),
+            ArraySpec("right", (size,), "in"),
+            ArraySpec("out", (size,), "out"),
+        ],
+        body=body,
+        description="three-point 1-D stencil",
+    )
+
+
+def outer_product(size: int = DEFAULT_SIZE, name: str = "syn_outer") -> KernelSpec:
+    """Rank-1 update ``C[i][j] += a[i] * b[j]``."""
+    body = [
+        Loop(
+            "i0",
+            size,
+            [
+                Loop(
+                    "j0",
+                    size,
+                    [
+                        Assign(
+                            Ref("C", ("i0", "j0")),
+                            add(Ref("C", ("i0", "j0")), mul(Ref("a", ("i0",)), Ref("b", ("j0",)))),
+                        )
+                    ],
+                )
+            ],
+        )
+    ]
+    return KernelSpec(
+        name=name,
+        arrays=[
+            ArraySpec("a", (size,), "in"),
+            ArraySpec("b", (size,), "in"),
+            ArraySpec("C", (size, size), "inout"),
+        ],
+        body=body,
+        description="rank-1 outer-product update",
+    )
+
+
+_GENERATORS = {
+    "chain": elementwise_chain,
+    "reduce": reduction,
+    "stencil": stencil_1d,
+    "outer": outer_product,
+}
+
+
+def synthetic_names() -> list[str]:
+    return sorted(_GENERATORS)
+
+
+def synthetic_kernel(pattern: str, size: int = DEFAULT_SIZE, **kwargs) -> KernelSpec:
+    """Build a synthetic kernel of the given ``pattern``."""
+    if pattern not in _GENERATORS:
+        raise KeyError(f"unknown synthetic pattern {pattern!r}; available: {synthetic_names()}")
+    kernel = _GENERATORS[pattern](size, **kwargs)
+    kernel.validate()
+    return kernel
+
+
+def random_synthetic_suite(count: int, size: int = DEFAULT_SIZE, seed: int = 0) -> list[KernelSpec]:
+    """A reproducible mix of synthetic kernels used to diversify training data."""
+    rng = new_rng(seed)
+    patterns = synthetic_names()
+    suite: list[KernelSpec] = []
+    for index in range(count):
+        pattern = patterns[int(rng.integers(len(patterns)))]
+        if pattern == "chain":
+            depth = int(rng.integers(2, 6))
+            suite.append(elementwise_chain(size, depth=depth, name=f"syn_chain_{index}"))
+        else:
+            suite.append(synthetic_kernel(pattern, size, name=f"syn_{pattern}_{index}"))
+    return suite

@@ -1,0 +1,33 @@
+"""Neural-network substrate: numpy autograd, layers, optimiser and losses.
+
+PyTorch / PyTorch Geometric are not available in this offline reproduction, so
+this package provides the minimal pieces the GNN models need: a reverse-mode
+autograd :class:`~repro.nn.tensor.Tensor` over numpy arrays (matmul, ReLU,
+dropout, concatenation, gather / segment-sum for message passing), standard
+layers, Adam, and the MAPE regression loss the paper trains with.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.layers import Linear, MLP, Dropout, Module, Parameter, Sequential, ReLU
+from repro.nn.optim import Adam, SGD
+from repro.nn.losses import mape_loss, mse_loss, mae_loss
+from repro.nn.init import glorot_uniform, zeros_init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Linear",
+    "MLP",
+    "Dropout",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ReLU",
+    "Adam",
+    "SGD",
+    "mape_loss",
+    "mse_loss",
+    "mae_loss",
+    "glorot_uniform",
+    "zeros_init",
+]

@@ -1,0 +1,199 @@
+"""Layers and module plumbing built on the autograd tensor.
+
+:class:`Module` provides parameter registration and traversal (so optimisers
+can collect every trainable tensor), plus the train / eval mode switch used by
+dropout.  :class:`Linear`, :class:`Dropout`, :class:`ReLU`, :class:`Sequential`
+and :class:`MLP` are the building blocks used by the GNN heads and the
+metadata embedding branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, zeros_init
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with parameter registration and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ---------------------------------------------------------------- traversal
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its sub-modules."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+
+        def visit(obj) -> None:
+            if isinstance(obj, Parameter):
+                if id(obj) not in seen:
+                    seen.add(id(obj))
+                    found.append(obj)
+            elif isinstance(obj, Module):
+                for value in vars(obj).values():
+                    visit(value)
+            elif isinstance(obj, (list, tuple)):
+                for value in obj:
+                    visit(value)
+            elif isinstance(obj, dict):
+                for value in obj.values():
+                    visit(value)
+
+        visit(self)
+        return found
+
+    def modules(self) -> list["Module"]:
+        found: list[Module] = []
+
+        def visit(obj) -> None:
+            if isinstance(obj, Module):
+                found.append(obj)
+                for value in vars(obj).values():
+                    visit(value)
+            elif isinstance(obj, (list, tuple)):
+                for value in obj:
+                    visit(value)
+            elif isinstance(obj, dict):
+                for value in obj.values():
+                    visit(value)
+
+        visit(self)
+        return found
+
+    # -------------------------------------------------------------------- modes
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------ (de)serialise
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of parameter index to value (sufficient for ensembling)."""
+        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        parameters = self.parameters()
+        if len(state) != len(parameters):
+            raise ValueError(
+                f"state dict has {len(state)} entries but the module has "
+                f"{len(parameters)} parameters"
+            )
+        for i, parameter in enumerate(parameters):
+            value = state[f"param_{i}"]
+            if value.shape != parameter.data.shape:
+                raise ValueError(f"shape mismatch for parameter {i}")
+            parameter.data = value.copy()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        name: str = "linear",
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            glorot_uniform(in_features, out_features, rng), name=f"{name}.weight"
+        )
+        self.bias = Parameter(zeros_init(out_features), name=f"{name}.bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit generator for reproducibility."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.dropout(self.rate, self.rng, self.training)
+
+
+class Sequential(Module):
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs
+        for layer in self.layers:
+            out = layer(out)
+        return out
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between layers."""
+
+    def __init__(
+        self,
+        dims: list[int],
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        name: str = "mlp",
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("an MLP needs at least input and output dimensions")
+        layers: list[Module] = []
+        for index in range(len(dims) - 1):
+            layers.append(Linear(dims[index], dims[index + 1], rng, name=f"{name}.{index}"))
+            if index < len(dims) - 2:
+                layers.append(ReLU())
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.network(inputs)

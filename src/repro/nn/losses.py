@@ -1,0 +1,36 @@
+"""Regression losses.
+
+The paper trains HEC-GNN "via regression to minimize the mean average
+percentage error loss"; MAPE is therefore the primary loss, with MSE and MAE
+available for tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def _as_target(targets) -> Tensor:
+    if isinstance(targets, Tensor):
+        return targets
+    return Tensor(np.asarray(targets, dtype=np.float64))
+
+
+def mape_loss(predictions: Tensor, targets) -> Tensor:
+    """Mean absolute percentage error (as a fraction, not percent)."""
+    targets = _as_target(targets)
+    if np.any(targets.data == 0):
+        raise ValueError("MAPE is undefined for zero targets")
+    return ((predictions - targets) / targets).abs().mean()
+
+
+def mse_loss(predictions: Tensor, targets) -> Tensor:
+    targets = _as_target(targets)
+    return ((predictions - targets) ** 2).mean()
+
+
+def mae_loss(predictions: Tensor, targets) -> Tensor:
+    targets = _as_target(targets)
+    return (predictions - targets).abs().mean()

@@ -1,0 +1,37 @@
+"""FPGA power substrate.
+
+This package replaces the physical part of the paper's flow — the Vivado RTL
+implementation, the ZCU102 board and the Power Advantage Tool measurements —
+with a consistent analytical model:
+
+* :mod:`repro.power.device` — ZCU102-like device constants (voltage, clock,
+  leakage, capacitance units, power gating efficiency),
+* :mod:`repro.power.placement` — a placement / wirelength surrogate that
+  assigns each DFG net a capacitance,
+* :mod:`repro.power.ground_truth` — the "on-board measurement": per-net
+  ``α·C·V²·f`` dynamic power plus gated leakage plus measurement noise,
+* :mod:`repro.power.vivado` — a report-based estimator with the systematic
+  biases the paper observes in the Vivado power estimator (no power gating,
+  coarse average toggle rates), plus the linear calibration the paper applies,
+* :mod:`repro.power.runtime` — runtime cost models of the competing flows
+  (used for the Table I speedup column).
+"""
+
+from repro.power.device import DeviceModel, ZCU102
+from repro.power.placement import PlacementSurrogate, NetCapacitance
+from repro.power.ground_truth import GroundTruthPowerModel, PowerMeasurement
+from repro.power.vivado import VivadoPowerEstimator, VivadoCalibration
+from repro.power.runtime import RuntimeModel, FlowRuntimes
+
+__all__ = [
+    "DeviceModel",
+    "ZCU102",
+    "PlacementSurrogate",
+    "NetCapacitance",
+    "GroundTruthPowerModel",
+    "PowerMeasurement",
+    "VivadoPowerEstimator",
+    "VivadoCalibration",
+    "RuntimeModel",
+    "FlowRuntimes",
+]

@@ -1,0 +1,74 @@
+"""Device model: electrical constants of the target FPGA.
+
+The constants are tuned so that the PolyBench design points land in the power
+range reported by the paper for the ZCU102 board at 100 MHz: total power of
+roughly 0.4–1.2 W with a dynamic component of 0.02–0.3 W (compare the axes of
+Fig. 4).  Only the *relative* behaviour matters for the reproduction — the
+models never see these constants, they only see graphs and measured labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Electrical and technology constants of one FPGA device."""
+
+    name: str
+    #: Core supply voltage in volts.
+    voltage: float
+    #: Operating frequency in hertz.
+    frequency: float
+    #: Capacitance per toggled bit of a short local net, in farads.
+    net_capacitance_per_bit: float
+    #: Additional capacitance per unit of estimated wirelength, in farads.
+    wire_capacitance_per_unit: float
+    #: Clock-tree + register capacitance per flip-flop, in farads.
+    clock_capacitance_per_ff: float
+    #: Dynamic energy per BRAM access, in joules.
+    bram_access_energy: float
+    #: Dynamic energy per DSP operation, in joules.
+    dsp_op_energy: float
+    #: Leakage power of the always-on fabric (PS + static infrastructure), in watts.
+    base_static_power: float
+    #: Leakage per occupied LUT / FF / DSP / BRAM, in watts.
+    lut_leakage: float
+    ff_leakage: float
+    dsp_leakage: float
+    bram_leakage: float
+    #: Fraction of leakage that power gating removes from *unused* hard blocks.
+    power_gating_efficiency: float
+    #: Total hard-block counts of the device (used to compute unused leakage).
+    total_dsp: int
+    total_bram: int
+    #: Relative standard deviation of the measurement noise.
+    measurement_noise: float
+
+    @property
+    def vdd_squared_f(self) -> float:
+        """The ``V² · f`` factor of Eq. (1)."""
+        return self.voltage**2 * self.frequency
+
+
+#: Xilinx Zynq UltraScale+ ZCU102-like device at 100 MHz.
+ZCU102 = DeviceModel(
+    name="zcu102",
+    voltage=0.85,
+    frequency=100e6,
+    net_capacitance_per_bit=4.0e-12,
+    wire_capacitance_per_unit=1.5e-13,
+    clock_capacitance_per_ff=2.0e-14,
+    bram_access_energy=1.1e-11,
+    dsp_op_energy=6.0e-12,
+    base_static_power=0.355,
+    lut_leakage=1.6e-6,
+    ff_leakage=0.8e-6,
+    dsp_leakage=3.5e-4,
+    bram_leakage=5.5e-4,
+    power_gating_efficiency=0.8,
+    total_dsp=2520,
+    total_bram=912,
+    measurement_noise=0.01,
+)

@@ -1,0 +1,88 @@
+"""Placement / routing surrogate: per-net effective capacitance.
+
+In the real flow the interconnect capacitance ``C_i`` of Eq. (1) is fixed by
+placement and routing.  The surrogate assigns every dataflow net an effective
+capacitance composed of
+
+* a per-bit local-net component,
+* a wirelength component that grows with the square root of the occupied area
+  (average Manhattan distance on a larger die region) and with routing
+  congestion (utilisation of the occupied region), and
+* a deterministic per-net jitter derived from a hash of the net's endpoints —
+  placement idiosyncrasies that the high-level graph features cannot predict,
+  which gives the learning problem the same irreducible-error character as the
+  real board data.
+
+Each IR-level dataflow edge stands for the whole bundle of physical nets of
+that datapath (fan-out, control enables), so the constants in
+:mod:`repro.power.device` are *effective* values tuned to land in the power
+range reported by the paper, not per-wire SPICE values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.hls.resources import ResourceUsage
+from repro.power.device import DeviceModel, ZCU102
+
+
+@dataclass(frozen=True)
+class NetCapacitance:
+    """Effective capacitance of one net in farads, with its wirelength in units."""
+
+    capacitance: float
+    wirelength: float
+
+
+class PlacementSurrogate:
+    """Derives per-net capacitances for an implemented design."""
+
+    def __init__(self, device: DeviceModel = ZCU102, seed: int = 0) -> None:
+        self.device = device
+        self.seed = seed
+
+    # ------------------------------------------------------------------ sizing
+
+    def region_side(self, resources: ResourceUsage) -> float:
+        """Side length (in placement units) of the region occupied by the design."""
+        cells = max(resources.total_cells, 1)
+        return math.sqrt(float(cells))
+
+    def congestion_factor(self, resources: ResourceUsage) -> float:
+        """Routing congestion grows slowly with design size."""
+        cells = max(resources.total_cells, 1)
+        return 1.0 + 0.15 * math.log1p(cells / 2000.0)
+
+    # ------------------------------------------------------------------- nets
+
+    def _jitter(self, design_key: str, net_key: str) -> float:
+        """Deterministic per-net wirelength jitter in [0.6, 1.6)."""
+        digest = hashlib.sha256(
+            f"{self.seed}/{design_key}/{net_key}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "little") / float(2**64)
+        return 0.6 + fraction
+
+    def net_capacitance(
+        self,
+        design_key: str,
+        net_key: str,
+        bitwidth: int,
+        resources: ResourceUsage,
+        fanout: int = 1,
+    ) -> NetCapacitance:
+        """Effective capacitance of the net identified by ``net_key``."""
+        side = self.region_side(resources)
+        congestion = self.congestion_factor(resources)
+        jitter = self._jitter(design_key, net_key)
+        # Average net length is roughly half the region side, stretched by
+        # congestion and by fan-out (each extra sink adds a branch).
+        wirelength = 0.5 * side * congestion * jitter * (1.0 + 0.25 * max(fanout - 1, 0))
+        capacitance = (
+            self.device.net_capacitance_per_bit * max(bitwidth, 1)
+            + self.device.wire_capacitance_per_unit * wirelength * max(bitwidth, 1) / 32.0
+        )
+        return NetCapacitance(capacitance=capacitance, wirelength=wirelength)

@@ -1,0 +1,84 @@
+"""Runtime cost models of the competing power-estimation flows.
+
+Table I reports a 1.47–10.81× (average 4.06×) speedup of PowerGear over the
+Vivado power-estimation process.  Both flows start from HLS; the Vivado flow
+then needs RTL synthesis + placement + routing, vector-based gate-level
+simulation and the power analysis itself, while PowerGear only needs graph
+construction and GNN inference.  The models below estimate each step's wall
+clock time from design characteristics with constants representative of the
+paper's setup (Vivado 2018.2 on a Xeon server); the speedup column is then the
+ratio of the two totals for each design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.report import HLSResult
+
+
+@dataclass(frozen=True)
+class FlowRuntimes:
+    """Wall-clock estimates, in seconds, of one design point's flows."""
+
+    hls_seconds: float
+    implementation_seconds: float
+    simulation_seconds: float
+    power_analysis_seconds: float
+    graph_construction_seconds: float
+    inference_seconds: float
+
+    @property
+    def vivado_flow_seconds(self) -> float:
+        """The Vivado power-estimation flow (HLS + impl + sim + power analysis)."""
+        return (
+            self.hls_seconds
+            + self.implementation_seconds
+            + self.simulation_seconds
+            + self.power_analysis_seconds
+        )
+
+    @property
+    def powergear_flow_seconds(self) -> float:
+        """The PowerGear flow (HLS + graph construction + GNN inference)."""
+        return self.hls_seconds + self.graph_construction_seconds + self.inference_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.vivado_flow_seconds / self.powergear_flow_seconds
+
+
+class RuntimeModel:
+    """Estimates flow runtimes from HLS results."""
+
+    # HLS front + back end: scales with the number of static instructions.
+    HLS_BASE = 140.0
+    HLS_PER_INSTRUCTION = 0.1
+    # Synthesis + placement + routing: scales with logic cells.
+    IMPL_BASE = 30.0
+    IMPL_PER_CELL = 0.03
+    # Vector-based gate-level simulation: scales with latency x design size.
+    SIM_BASE = 15.0
+    SIM_PER_CYCLE_CELL = 3.0e-6
+    # Vivado report_power on the simulated activity.
+    POWER_ANALYSIS_BASE = 20.0
+    POWER_ANALYSIS_PER_CELL = 0.003
+    # PowerGear-side steps.
+    GRAPH_BASE = 1.5
+    GRAPH_PER_INSTRUCTION = 0.004
+    INFERENCE_SECONDS = 0.08
+
+    def runtimes(self, hls_result: HLSResult) -> FlowRuntimes:
+        instructions = len(hls_result.design.function.instructions)
+        cells = hls_result.report.resources.total_cells
+        latency = hls_result.report.latency_cycles
+        return FlowRuntimes(
+            hls_seconds=self.HLS_BASE + self.HLS_PER_INSTRUCTION * instructions,
+            implementation_seconds=self.IMPL_BASE + self.IMPL_PER_CELL * cells,
+            simulation_seconds=self.SIM_BASE + self.SIM_PER_CYCLE_CELL * latency * cells,
+            power_analysis_seconds=self.POWER_ANALYSIS_BASE
+            + self.POWER_ANALYSIS_PER_CELL * cells,
+            graph_construction_seconds=self.GRAPH_BASE
+            + self.GRAPH_PER_INSTRUCTION * instructions,
+            inference_seconds=self.INFERENCE_SECONDS,
+        )

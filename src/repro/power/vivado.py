@@ -1,0 +1,133 @@
+"""Vivado-like power estimator baseline.
+
+The paper compares against the Vivado power estimator fed with post-
+implementation netlists and ``.saif`` activity files, and observes that it
+still deviates substantially from board measurements, mainly because it does
+not model the UltraScale power gating of unused hard blocks; the authors
+therefore calibrate it with a linear regression model and still measure an
+average total-power error of ~22 %.
+
+This estimator reproduces those characteristics:
+
+* static power assumes *no* power gating (every hard block leaks), a large
+  systematic overestimate,
+* dynamic power is report-based: per-resource unit powers multiplied by the
+  design's average toggle rate — it has access to the simulated activity (like
+  the ``.saif``-driven Vivado flow) but not to the per-net capacitances, so a
+  design-dependent error remains,
+* :class:`VivadoCalibration` implements the paper's linear-regression
+  calibration, fitted on training kernels and applied to the held-out kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.activity.simulator import ActivityProfile
+from repro.hls.report import HLSResult
+from repro.power.device import DeviceModel, ZCU102
+
+
+@dataclass(frozen=True)
+class VivadoEstimate:
+    """Raw (uncalibrated) Vivado-like estimate in watts."""
+
+    total: float
+    dynamic: float
+    static: float
+
+
+class VivadoPowerEstimator:
+    """Report-driven estimator with Vivado-like systematic biases."""
+
+    #: Dynamic unit powers in watts per resource at the reference toggle rate.
+    LUT_UNIT_POWER = 2.4e-5
+    FF_UNIT_POWER = 6.0e-6
+    DSP_UNIT_POWER = 1.9e-3
+    BRAM_UNIT_POWER = 2.6e-3
+    #: Fixed dynamic overhead (clock network) in watts.
+    CLOCK_OVERHEAD = 0.012
+    #: Report-based estimation blends the simulated average toggle rate with the
+    #: tool's default assumption; per-net activity (which dominates the real
+    #: dynamic power) is never used, which is the structural error the paper
+    #: observes surviving calibration.
+    DEFAULT_TOGGLE_RATE = 0.125
+    SIMULATED_TOGGLE_WEIGHT = 0.3
+
+    def __init__(self, device: DeviceModel = ZCU102) -> None:
+        self.device = device
+
+    def estimate(self, hls_result: HLSResult, profile: ActivityProfile) -> VivadoEstimate:
+        report = hls_result.report
+        resources = report.resources
+        latency = max(1, report.latency_cycles)
+        simulated_toggle = profile.average_toggle_rate(latency)
+        toggle = (
+            self.SIMULATED_TOGGLE_WEIGHT * simulated_toggle
+            + (1.0 - self.SIMULATED_TOGGLE_WEIGHT) * self.DEFAULT_TOGGLE_RATE
+        )
+
+        dynamic = self.CLOCK_OVERHEAD + toggle * (
+            self.LUT_UNIT_POWER * resources.lut
+            + self.FF_UNIT_POWER * resources.ff
+            + self.DSP_UNIT_POWER * resources.dsp
+            + self.BRAM_UNIT_POWER * resources.bram
+        )
+
+        # No power gating: every hard block on the device leaks.
+        static = (
+            self.device.base_static_power
+            + self.device.lut_leakage * resources.lut
+            + self.device.ff_leakage * resources.ff
+            + self.device.dsp_leakage * self.device.total_dsp
+            + self.device.bram_leakage * self.device.total_bram
+        )
+        return VivadoEstimate(total=dynamic + static, dynamic=dynamic, static=static)
+
+
+class VivadoCalibration:
+    """Linear calibration of the raw Vivado estimates against measurements.
+
+    Mirrors the paper: "we further calibrate the results with a linear
+    regression model".  A separate line is fitted for total and dynamic power
+    on the training kernels, then applied to the held-out kernel.
+    """
+
+    def __init__(self) -> None:
+        self.total_coefficients: tuple[float, float] | None = None
+        self.dynamic_coefficients: tuple[float, float] | None = None
+
+    @staticmethod
+    def _fit_line(estimates: np.ndarray, targets: np.ndarray) -> tuple[float, float]:
+        estimates = np.asarray(estimates, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if estimates.size < 2:
+            raise ValueError("calibration requires at least two samples")
+        design = np.stack([estimates, np.ones_like(estimates)], axis=1)
+        solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        return float(solution[0]), float(solution[1])
+
+    def fit(
+        self,
+        raw_total: np.ndarray,
+        measured_total: np.ndarray,
+        raw_dynamic: np.ndarray,
+        measured_dynamic: np.ndarray,
+    ) -> "VivadoCalibration":
+        self.total_coefficients = self._fit_line(raw_total, measured_total)
+        self.dynamic_coefficients = self._fit_line(raw_dynamic, measured_dynamic)
+        return self
+
+    def calibrate_total(self, raw_total: np.ndarray) -> np.ndarray:
+        if self.total_coefficients is None:
+            raise RuntimeError("calibration has not been fitted")
+        slope, intercept = self.total_coefficients
+        return slope * np.asarray(raw_total, dtype=float) + intercept
+
+    def calibrate_dynamic(self, raw_dynamic: np.ndarray) -> np.ndarray:
+        if self.dynamic_coefficients is None:
+            raise RuntimeError("calibration has not been fitted")
+        slope, intercept = self.dynamic_coefficients
+        return slope * np.asarray(raw_dynamic, dtype=float) + intercept

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG management, metrics and validation helpers."""
+
+from repro.utils.rng import new_rng, derive_seed
+from repro.utils.metrics import (
+    mape,
+    mean_absolute_error,
+    root_mean_squared_error,
+    absolute_percentage_errors,
+)
+
+__all__ = [
+    "new_rng",
+    "derive_seed",
+    "mape",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "absolute_percentage_errors",
+]

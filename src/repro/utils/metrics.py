@@ -1,0 +1,57 @@
+"""Error metrics used throughout the evaluation.
+
+The paper reports mean absolute percentage error (MAPE) against on-board
+measurement for total and dynamic power (Tables I and II) and the average
+distance from reference set (ADRS) for the DSE case study (Table III, defined
+in :mod:`repro.dse.pareto`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_arrays(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch between targets {y_true.shape} and predictions {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def absolute_percentage_errors(y_true, y_pred) -> np.ndarray:
+    """Per-sample absolute percentage errors, in percent."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    if np.any(y_true == 0):
+        raise ValueError("percentage error is undefined for zero targets")
+    return np.abs((y_pred - y_true) / y_true) * 100.0
+
+
+def mape(y_true, y_pred) -> float:
+    """Mean absolute percentage error in percent (the paper's accuracy metric)."""
+    return float(np.mean(absolute_percentage_errors(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.mean(np.abs(y_pred - y_true)))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_pred - y_true) ** 2)))
+
+
+def relative_gain(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` in percent.
+
+    Used for the "PowerGear gains" columns of Table III, where lower values
+    (ADRS) are better: ``relative_gain(0.1050, 0.0981) ≈ 6.6``.
+    """
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return float((baseline - improved) / baseline * 100.0)

@@ -1,0 +1,45 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (stimulus generation, measurement
+noise, model initialisation, data splits) takes an explicit seed or
+:class:`numpy.random.Generator` so experiments are reproducible.  These helpers
+centralise the conventions used to create and derive generators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def new_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may already be a generator (returned unchanged), ``None`` (a
+    non-deterministic generator) or an integer seed.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a stable sub-seed from ``base_seed`` and a sequence of labels.
+
+    The derivation hashes the labels so that independent components (for
+    example the stimulus generator of the ``atax`` kernel and the measurement
+    noise of design point 17) receive decorrelated streams, while remaining
+    fully reproducible across runs and platforms.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(base_seed)).encode("utf-8"))
+    for label in labels:
+        digest.update(b"/")
+        digest.update(str(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "little") % (2**63)
+
+
+def spawn_rng(base_seed: int, *labels: object) -> np.random.Generator:
+    """Create a generator seeded by :func:`derive_seed`."""
+    return np.random.default_rng(derive_seed(base_seed, *labels))

@@ -1,0 +1,125 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (HLS results, activity profiles, small generated datasets)
+are session-scoped so the suite stays fast while still exercising the real
+end-to-end pipeline rather than mocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.activity.simulator import simulate_activity
+from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
+from repro.graph.construction import GraphConstructor
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.dataset import GraphSample
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.hls.report import run_hls
+from repro.kernels.polybench import polybench_kernel
+
+
+@pytest.fixture(scope="session")
+def atax_kernel():
+    return polybench_kernel("atax", 6)
+
+
+@pytest.fixture(scope="session")
+def gemm_kernel():
+    return polybench_kernel("gemm", 6)
+
+
+@pytest.fixture(scope="session")
+def gemm_baseline_result(gemm_kernel):
+    return run_hls(gemm_kernel)
+
+
+@pytest.fixture(scope="session")
+def gemm_unrolled_result(gemm_kernel):
+    directives = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=2, pipeline=True)},
+        {"A": ArrayPartition(2), "B": ArrayPartition(2)},
+    )
+    return run_hls(gemm_kernel, directives)
+
+
+@pytest.fixture(scope="session")
+def gemm_activity(gemm_baseline_result):
+    return simulate_activity(gemm_baseline_result.design, seed=3)
+
+
+@pytest.fixture(scope="session")
+def gemm_graph(gemm_baseline_result, gemm_activity):
+    return GraphConstructor().build(gemm_baseline_result, gemm_activity)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small two-kernel dataset generated through the real pipeline."""
+    config = DatasetConfig(kernel_size=6, designs_per_kernel=10)
+    generator = DatasetGenerator(config)
+    return generator.generate(["atax", "gemm"])
+
+
+@pytest.fixture()
+def random_graph_factory():
+    """Factory for synthetic HeteroGraphs used by model unit tests."""
+
+    def build(
+        num_nodes: int = 8,
+        num_edges: int = 16,
+        node_dim: int = 6,
+        edge_dim: int = 4,
+        meta_dim: int = 5,
+        seed: int = 0,
+    ) -> HeteroGraph:
+        rng = np.random.default_rng(seed)
+        return HeteroGraph(
+            node_features=rng.random((num_nodes, node_dim)),
+            edge_index=np.stack(
+                [rng.integers(0, num_nodes, num_edges), rng.integers(0, num_nodes, num_edges)]
+            ),
+            edge_features=rng.random((num_edges, edge_dim)),
+            edge_types=rng.integers(0, 4, num_edges),
+            metadata=rng.random(meta_dim),
+            node_is_arithmetic=rng.random(num_nodes) > 0.5,
+        )
+
+    return build
+
+
+@pytest.fixture()
+def random_sample_factory(random_graph_factory):
+    """Factory for synthetic GraphSamples whose target depends on the features."""
+
+    def build(count: int = 24, seed: int = 0) -> list[GraphSample]:
+        rng = np.random.default_rng(seed)
+        samples = []
+        for index in range(count):
+            power = 0.1 + float(rng.random()) * 0.5
+            graph = random_graph_factory(
+                num_nodes=int(rng.integers(6, 14)), seed=seed * 1000 + index
+            )
+            graph = HeteroGraph(
+                node_features=graph.node_features,
+                edge_index=graph.edge_index,
+                edge_features=graph.edge_features * power,
+                edge_types=graph.edge_types,
+                metadata=graph.metadata * power,
+                node_is_arithmetic=graph.node_is_arithmetic,
+            )
+            samples.append(
+                GraphSample(
+                    graph=graph,
+                    kernel="synthetic",
+                    directives=f"point{index}",
+                    total_power=power + 0.6,
+                    dynamic_power=power,
+                    static_power=0.6,
+                    latency_cycles=100 + index,
+                )
+            )
+        return samples
+
+    return build

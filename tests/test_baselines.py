@@ -1,0 +1,131 @@
+"""Tests for the GBDT implementation and the HL-Pow baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gbdt import (
+    DecisionTreeRegressor,
+    GBDTConfig,
+    GradientBoostingRegressor,
+    tune_gbdt,
+)
+from repro.baselines.hlpow import HLPowConfig, HLPowModel, hlpow_features
+
+
+# --------------------------------------------------------------------------- decision tree
+
+
+def test_tree_fits_piecewise_constant_function():
+    rng = np.random.default_rng(0)
+    features = rng.random((200, 3))
+    targets = np.where(features[:, 0] > 0.5, 2.0, -1.0)
+    tree = DecisionTreeRegressor(max_depth=2).fit(features, targets)
+    predictions = tree.predict(features)
+    assert np.mean(np.abs(predictions - targets)) < 0.05
+
+
+def test_tree_respects_min_samples_leaf():
+    features = np.arange(10.0).reshape(-1, 1)
+    targets = np.arange(10.0)
+    deep = DecisionTreeRegressor(max_depth=10, min_samples_leaf=5).fit(features, targets)
+    # With a leaf size of 5 on 10 samples the tree can split at most once.
+    assert len(set(deep.predict(features))) <= 2
+
+
+def test_tree_constant_targets_is_single_leaf():
+    features = np.random.default_rng(0).random((20, 4))
+    targets = np.full(20, 3.3)
+    tree = DecisionTreeRegressor().fit(features, targets)
+    assert np.allclose(tree.predict(features), 3.3)
+
+
+def test_tree_validation_errors():
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(max_depth=0)
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(max_features=1.5)
+    tree = DecisionTreeRegressor()
+    with pytest.raises(RuntimeError):
+        tree.predict(np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros(5), np.zeros(5))
+
+
+# --------------------------------------------------------------------------- GBDT
+
+
+def test_gbdt_outperforms_single_tree_on_smooth_function():
+    rng = np.random.default_rng(1)
+    features = rng.random((300, 4))
+    targets = np.sin(3 * features[:, 0]) + features[:, 1] ** 2
+    tree = DecisionTreeRegressor(max_depth=3).fit(features, targets)
+    boosted = GradientBoostingRegressor(
+        GBDTConfig(n_estimators=60, max_depth=3, max_features=None)
+    ).fit(features, targets)
+    tree_error = np.mean(np.abs(tree.predict(features) - targets))
+    boosted_error = np.mean(np.abs(boosted.predict(features) - targets))
+    assert boosted_error < tree_error * 0.6
+    assert boosted.num_trees == 60
+
+
+def test_gbdt_config_validation():
+    with pytest.raises(ValueError):
+        GBDTConfig(n_estimators=0)
+    with pytest.raises(ValueError):
+        GBDTConfig(learning_rate=0.0)
+
+
+def test_tune_gbdt_returns_best_on_validation():
+    rng = np.random.default_rng(2)
+    features = rng.random((150, 5))
+    targets = 2.0 * features[:, 0] + features[:, 3] + 0.5
+    model, config = tune_gbdt(
+        features[:100], targets[:100], features[100:], targets[100:],
+        n_estimators_grid=(30,), max_depth_grid=(2, 4), learning_rate_grid=(0.1,),
+    )
+    assert config.max_depth in (2, 4)
+    predictions = model.predict(features[100:])
+    assert np.mean(np.abs(predictions - targets[100:]) / targets[100:]) < 0.2
+
+
+# --------------------------------------------------------------------------- HL-Pow
+
+
+def test_hlpow_feature_vector_is_fixed_length(small_dataset):
+    config = HLPowConfig(histogram_bins=6)
+    lengths = {hlpow_features(sample, config).shape[0] for sample in small_dataset}
+    assert len(lengths) == 1  # alignment across designs, the point of histograms
+
+
+def test_hlpow_features_depend_on_activity_not_structure(small_dataset):
+    sample = small_dataset[0]
+    features = hlpow_features(sample)
+    assert features.ndim == 1
+    assert np.all(np.isfinite(features))
+    assert features.sum() > 0
+
+
+def test_hlpow_config_validation():
+    with pytest.raises(ValueError):
+        HLPowConfig(histogram_bins=1)
+    with pytest.raises(ValueError):
+        HLPowConfig(activation_rate_cap=0.0)
+
+
+def test_hlpow_model_fit_predict(small_dataset):
+    model = HLPowModel(HLPowConfig(tune_hyperparameters=False))
+    model.fit(small_dataset.samples, target="dynamic")
+    predictions = model.predict(small_dataset.samples)
+    assert predictions.shape == (len(small_dataset),)
+    assert np.all(predictions > 0)
+    targets = small_dataset.targets("dynamic")
+    training_error = np.mean(np.abs(predictions - targets) / targets)
+    assert training_error < 0.5  # fits the training set reasonably
+
+
+def test_hlpow_model_requires_fit_and_enough_samples(small_dataset):
+    model = HLPowModel()
+    with pytest.raises(RuntimeError):
+        model.predict(small_dataset.samples)
+    with pytest.raises(ValueError):
+        model.fit(small_dataset.samples[:2])

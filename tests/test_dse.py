@@ -1,0 +1,150 @@
+"""Tests for Pareto utilities, ADRS and the DSE explorer."""
+
+import numpy as np
+import pytest
+
+from repro.dse.explorer import DesignCandidate, DSEConfig, DSEResult, ParetoExplorer
+from repro.dse.pareto import ParetoPoint, adrs, pareto_front
+
+
+# --------------------------------------------------------------------------- pareto / adrs
+
+
+def test_pareto_front_simple_case():
+    points = np.array(
+        [
+            [1.0, 5.0],  # frontier (lowest latency)
+            [2.0, 3.0],  # frontier
+            [3.0, 4.0],  # dominated by (2, 3)
+            [4.0, 1.0],  # frontier (lowest power)
+            [5.0, 2.0],  # dominated by (4, 1)
+        ]
+    )
+    assert set(pareto_front(points).tolist()) == {0, 1, 3}
+
+
+def test_pareto_front_single_point_and_validation():
+    assert pareto_front(np.array([[1.0, 1.0]])).tolist() == [0]
+    with pytest.raises(ValueError):
+        pareto_front(np.zeros((0, 2)))
+    with pytest.raises(ValueError):
+        pareto_front(np.zeros((3, 3)))
+
+
+def test_pareto_front_accepts_pareto_points():
+    points = [ParetoPoint(1.0, 2.0), ParetoPoint(2.0, 1.0), ParetoPoint(3.0, 3.0)]
+    assert set(pareto_front(points).tolist()) == {0, 1}
+
+
+def test_adrs_zero_when_sets_match():
+    exact = np.array([[1.0, 4.0], [2.0, 2.0], [4.0, 1.0]])
+    assert adrs(exact, exact) == pytest.approx(0.0)
+
+
+def test_adrs_positive_for_worse_approximation():
+    exact = np.array([[1.0, 4.0], [2.0, 2.0], [4.0, 1.0]])
+    worse = np.array([[1.0, 5.0], [2.0, 3.0], [4.0, 2.0]])
+    value = adrs(exact, worse)
+    assert value > 0
+    # 25 % degradation on the first point, 50 % on the second, 100 % on the third.
+    assert value == pytest.approx((0.25 + 0.5 + 1.0) / 3)
+
+
+def test_adrs_ignores_dominating_approximations():
+    exact = np.array([[2.0, 2.0]])
+    better = np.array([[1.0, 1.0]])
+    assert adrs(exact, better) == 0.0
+
+
+# --------------------------------------------------------------------------- explorer
+
+
+def make_candidates(count: int = 50, seed: int = 0) -> list[DesignCandidate]:
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for index in range(count):
+        config = rng.random(4)
+        latency = 100.0 + 900.0 * config[0]
+        power = 0.05 + 0.25 * (1.2 - config[0]) + 0.02 * config[1]
+        candidates.append(
+            DesignCandidate(
+                index=index,
+                latency=latency,
+                true_power=float(power),
+                config_vector=config,
+            )
+        )
+    return candidates
+
+
+def perfect_predictor(batch):
+    return np.array([c.true_power for c in batch])
+
+
+def noisy_predictor(noise, seed=0):
+    rng = np.random.default_rng(seed)
+
+    def predict(batch):
+        return np.array([c.true_power * (1 + rng.normal(0, noise)) for c in batch])
+
+    return predict
+
+
+def test_dse_config_validation():
+    with pytest.raises(ValueError):
+        DSEConfig(initial_budget=0.5, total_budget=0.2)
+    with pytest.raises(ValueError):
+        DSEConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        DSEConfig(exploration_fraction=2.0)
+
+
+def test_candidate_validation():
+    with pytest.raises(ValueError):
+        DesignCandidate(index=0, latency=0.0, true_power=0.1, config_vector=[1.0])
+
+
+def test_explorer_respects_budget():
+    candidates = make_candidates(60)
+    config = DSEConfig(initial_budget=0.05, total_budget=0.3, seed=1)
+    result = ParetoExplorer(config).explore(candidates, perfect_predictor)
+    assert isinstance(result, DSEResult)
+    assert result.num_sampled <= int(round(0.3 * 60))
+    assert result.num_sampled >= int(round(0.05 * 60))
+    assert result.history
+
+
+def test_explorer_with_perfect_predictor_achieves_low_adrs():
+    candidates = make_candidates(80, seed=3)
+    config = DSEConfig(initial_budget=0.05, total_budget=0.5, seed=0)
+    result = ParetoExplorer(config).explore(candidates, perfect_predictor)
+    assert result.adrs < 0.35
+    assert set(result.approximate_pareto_indices).issubset(set(result.sampled_indices))
+
+
+def test_explorer_better_predictor_gives_better_adrs_on_average():
+    candidates = make_candidates(80, seed=4)
+    good, bad = [], []
+    for seed in range(3):
+        config = DSEConfig(initial_budget=0.05, total_budget=0.4, seed=seed)
+        good.append(ParetoExplorer(config).explore(candidates, perfect_predictor).adrs)
+        bad.append(
+            ParetoExplorer(config).explore(candidates, noisy_predictor(0.8, seed)).adrs
+        )
+    assert np.mean(good) <= np.mean(bad) + 1e-9
+
+
+def test_explorer_larger_budget_does_not_hurt():
+    candidates = make_candidates(70, seed=5)
+    small = ParetoExplorer(DSEConfig(total_budget=0.15, seed=2)).explore(
+        candidates, perfect_predictor
+    )
+    large = ParetoExplorer(DSEConfig(total_budget=0.6, seed=2)).explore(
+        candidates, perfect_predictor
+    )
+    assert large.adrs <= small.adrs + 0.05
+
+
+def test_explorer_requires_enough_candidates():
+    with pytest.raises(ValueError):
+        ParetoExplorer().explore(make_candidates(2), perfect_predictor)

@@ -1,0 +1,102 @@
+"""Tests for the trainer and the k-fold x seeds ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.config import GNNConfig
+from repro.gnn.ensemble import EnsembleConfig, EnsembleRegressor
+from repro.gnn.hecgnn import HECGNN
+from repro.gnn.trainer import Trainer, TrainingConfig
+
+
+def test_training_config_validation():
+    with pytest.raises(ValueError):
+        TrainingConfig(epochs=0)
+    with pytest.raises(ValueError):
+        TrainingConfig(target="area")
+    paper = TrainingConfig.paper("dynamic")
+    assert paper.epochs == 2400
+    assert TrainingConfig.paper("total").epochs == 1200
+
+
+def test_trainer_reduces_loss_and_tracks_history(random_sample_factory):
+    samples = random_sample_factory(30, seed=1)
+    model = HECGNN(6, 4, 5, GNNConfig(hidden_dim=16, num_layers=2, seed=0))
+    trainer = Trainer(
+        TrainingConfig(epochs=60, batch_size=8, learning_rate=3e-3, target="dynamic", seed=0)
+    )
+    history = trainer.fit(model, samples)
+    assert len(history.train_loss) <= 60
+    assert history.train_loss[-1] < history.train_loss[0]
+    assert history.best_epoch >= 0
+    error = trainer.evaluate(model, samples)
+    assert error < 60.0
+
+
+def test_trainer_uses_explicit_validation_set(random_sample_factory):
+    samples = random_sample_factory(20, seed=2)
+    validation = random_sample_factory(6, seed=3)
+    model = HECGNN(6, 4, 5, GNNConfig(hidden_dim=8, num_layers=1))
+    trainer = Trainer(TrainingConfig(epochs=5, batch_size=8, target="dynamic"))
+    history = trainer.fit(model, samples, validation_samples=validation)
+    assert len(history.validation_error) == 5
+
+
+def test_trainer_early_stopping(random_sample_factory):
+    samples = random_sample_factory(20, seed=4)
+    model = HECGNN(6, 4, 5, GNNConfig(hidden_dim=8, num_layers=1))
+    trainer = Trainer(
+        TrainingConfig(epochs=100, batch_size=8, target="dynamic", patience=3, seed=0)
+    )
+    history = trainer.fit(model, samples)
+    assert len(history.train_loss) < 100
+
+
+def test_trainer_rejects_empty_input(random_sample_factory):
+    trainer = Trainer(TrainingConfig(epochs=1))
+    model = HECGNN(6, 4, 5, GNNConfig(hidden_dim=8, num_layers=1))
+    with pytest.raises(ValueError):
+        trainer.fit(model, [])
+    with pytest.raises(ValueError):
+        trainer.evaluate(model, [])
+
+
+def test_ensemble_config_validation():
+    with pytest.raises(ValueError):
+        EnsembleConfig(folds=1)
+    with pytest.raises(ValueError):
+        EnsembleConfig(seeds=())
+    assert EnsembleConfig.paper().num_members == 30
+    assert EnsembleConfig(folds=3, seeds=(0, 1)).num_members == 6
+
+
+def test_ensemble_trains_members_and_averages(random_sample_factory):
+    samples = random_sample_factory(24, seed=5)
+    ensemble = EnsembleRegressor(
+        model_factory=lambda config: HECGNN(6, 4, 5, config),
+        model_config=GNNConfig(hidden_dim=8, num_layers=1, dropout=0.0),
+        training_config=TrainingConfig(epochs=15, batch_size=8, learning_rate=3e-3, target="dynamic"),
+        ensemble_config=EnsembleConfig(folds=2, seeds=(0,)),
+    )
+    ensemble.fit(samples)
+    assert len(ensemble.members) == 2
+    assert len(ensemble.validation_errors()) == 2
+    predictions = ensemble.predict(samples[:5])
+    assert predictions.shape == (5,)
+    member_predictions = np.stack(
+        [member.model.predict([s.graph for s in samples[:5]]) for member in ensemble.members]
+    )
+    assert np.allclose(predictions, member_predictions.mean(axis=0))
+
+
+def test_ensemble_requires_fit_before_predict(random_sample_factory):
+    ensemble = EnsembleRegressor(
+        model_factory=lambda config: HECGNN(6, 4, 5, config),
+        model_config=GNNConfig(hidden_dim=8, num_layers=1),
+        training_config=TrainingConfig(epochs=1),
+        ensemble_config=EnsembleConfig(folds=2, seeds=(0,)),
+    )
+    with pytest.raises(RuntimeError):
+        ensemble.predict(random_sample_factory(2))
+    with pytest.raises(ValueError):
+        ensemble.fit(random_sample_factory(1))

@@ -1,0 +1,110 @@
+"""Tests for the graph construction flow (buffer insertion, merging, trimming, features)."""
+
+import numpy as np
+
+from repro.activity.simulator import simulate_activity
+from repro.graph.construction import GraphConstructionConfig, GraphConstructor, build_power_graph
+from repro.graph.features import (
+    EDGE_FEATURE_NAMES,
+    FeatureEncoder,
+    NODE_NUMERIC_FEATURES,
+    NODE_TYPE_CATEGORIES,
+    OPCODE_VOCABULARY,
+)
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.hls.report import run_hls
+from repro.kernels.polybench import polybench_kernel
+
+
+def test_buffer_insertion_creates_buffer_nodes(gemm_baseline_result, gemm_activity):
+    graph = build_power_graph(gemm_baseline_result, gemm_activity)
+    buffers = [n for n in graph.nodes.values() if n.kind == "buffer"]
+    assert {n.buffer_name for n in buffers} == {"A", "B", "C"}
+    assert all(n.buffer_bits > 0 for n in buffers)
+    # Address-generation nodes are gone after buffer insertion.
+    assert not any(n.opcode in ("getelementptr", "alloca") for n in graph.nodes.values())
+
+
+def test_buffers_connect_loads_and_stores(gemm_baseline_result, gemm_activity):
+    graph = build_power_graph(gemm_baseline_result, gemm_activity)
+    buffer_ids = {n.buffer_name: nid for nid, n in graph.nodes.items() if n.kind == "buffer"}
+    load_ids = [nid for nid, n in graph.nodes.items() if n.opcode == "load"]
+    store_ids = [nid for nid, n in graph.nodes.items() if n.opcode == "store"]
+    assert load_ids and store_ids
+    # Every load is fed by some buffer; every store feeds some buffer.
+    for load_id in load_ids:
+        assert any(src in buffer_ids.values() for src in graph.predecessors(load_id))
+    for store_id in store_ids:
+        assert any(dst in buffer_ids.values() for dst in graph.successors(store_id))
+
+
+def test_datapath_merging_shrinks_graph(gemm_baseline_result, gemm_activity):
+    merged = GraphConstructor(GraphConstructionConfig()).build_power_graph(
+        gemm_baseline_result, gemm_activity
+    )
+    unmerged = GraphConstructor(
+        GraphConstructionConfig(datapath_merging=False)
+    ).build_power_graph(gemm_baseline_result, gemm_activity)
+    assert merged.num_nodes <= unmerged.num_nodes
+    assert any(n.merged_count > 1 for n in merged.nodes.values())
+
+
+def test_raw_configuration_keeps_address_nodes(gemm_baseline_result, gemm_activity):
+    raw = GraphConstructor(GraphConstructionConfig.raw()).build_power_graph(
+        gemm_baseline_result, gemm_activity
+    )
+    assert any(n.opcode == "getelementptr" for n in raw.nodes.values())
+    assert not any(n.kind == "buffer" for n in raw.nodes.values())
+
+
+def test_encoded_graph_shapes_and_relations(gemm_graph):
+    encoder = FeatureEncoder()
+    assert gemm_graph.node_feature_dim == encoder.node_feature_dim
+    assert gemm_graph.edge_feature_dim == len(EDGE_FEATURE_NAMES)
+    assert gemm_graph.metadata_dim == 10
+    assert gemm_graph.num_nodes > 0 and gemm_graph.num_edges > 0
+    assert set(np.unique(gemm_graph.edge_types)).issubset({0, 1, 2, 3})
+    # One-hot blocks sum to one per node (type and opcode).
+    type_block = gemm_graph.node_features[:, : len(NODE_TYPE_CATEGORIES)]
+    opcode_block = gemm_graph.node_features[
+        :, len(NODE_TYPE_CATEGORIES) : len(NODE_TYPE_CATEGORIES) + len(OPCODE_VOCABULARY)
+    ]
+    assert np.allclose(type_block.sum(axis=1), 1.0)
+    assert np.allclose(opcode_block.sum(axis=1), 1.0)
+
+
+def test_edge_features_nonzero_and_nonnegative(gemm_graph):
+    assert gemm_graph.edge_features.min() >= 0.0
+    assert gemm_graph.edge_features.max() > 0.0
+
+
+def test_edge_feature_switch_disables_activity(gemm_baseline_result, gemm_activity):
+    constructor = GraphConstructor(GraphConstructionConfig(edge_features=False))
+    graph = constructor.build(gemm_baseline_result, gemm_activity)
+    assert np.allclose(graph.edge_features, 0.0)
+
+
+def test_unrolled_designs_have_larger_graphs(gemm_kernel, gemm_graph):
+    directives = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=3, pipeline=True)},
+        {"A": ArrayPartition(2), "B": ArrayPartition(2)},
+    )
+    result = run_hls(gemm_kernel, directives)
+    profile = simulate_activity(result.design, seed=3)
+    unrolled_graph = GraphConstructor().build(result, profile)
+    assert unrolled_graph.num_nodes > gemm_graph.num_nodes
+
+
+def test_trimming_removes_cast_nodes(gemm_baseline_result, gemm_activity):
+    trimmed = GraphConstructor(GraphConstructionConfig()).build_power_graph(
+        gemm_baseline_result, gemm_activity
+    )
+    cast_names = {"sext", "zext", "trunc", "bitcast", "sitofp", "fptosi"}
+    assert not any(n.opcode in cast_names for n in trimmed.nodes.values())
+
+
+def test_node_numeric_feature_names_align_with_encoder():
+    encoder = FeatureEncoder()
+    expected = len(NODE_TYPE_CATEGORIES) + len(OPCODE_VOCABULARY) + len(NODE_NUMERIC_FEATURES)
+    assert encoder.node_feature_dim == expected
+    assert encoder.edge_feature_dim == 4

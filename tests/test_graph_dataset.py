@@ -1,0 +1,89 @@
+"""Tests for GraphSample, FeatureScaler and GraphDataset."""
+
+import numpy as np
+import pytest
+
+from repro.graph.dataset import FeatureScaler, GraphDataset, GraphSample
+
+
+def test_graph_sample_target_selection(random_sample_factory):
+    sample = random_sample_factory(1)[0]
+    assert sample.target("dynamic") == sample.dynamic_power
+    assert sample.target("total") == sample.total_power
+    assert sample.target("static") == sample.static_power
+    with pytest.raises(ValueError):
+        sample.target("leakage")
+
+
+def test_scaler_standardises_training_features(random_sample_factory):
+    samples = random_sample_factory(20)
+    scaler = FeatureScaler().fit(samples)
+    transformed = scaler.transform(samples)
+    node_rows = np.concatenate([s.graph.node_features for s in transformed])
+    assert abs(node_rows.mean()) < 0.2
+    # Labels are untouched by scaling.
+    assert transformed[0].dynamic_power == samples[0].dynamic_power
+
+
+def test_scaler_requires_fit_before_transform(random_sample_factory):
+    with pytest.raises(RuntimeError):
+        FeatureScaler().transform_graph(random_sample_factory(1)[0].graph)
+    with pytest.raises(ValueError):
+        FeatureScaler().fit([])
+
+
+def test_dataset_kernel_bookkeeping(small_dataset):
+    assert set(small_dataset.kernels()) == {"atax", "gemm"}
+    atax_only = small_dataset.by_kernel("atax")
+    assert len(atax_only) > 0
+    assert all(s.kernel == "atax" for s in atax_only)
+    summary = small_dataset.summary()
+    assert summary["num_samples"] == len(small_dataset)
+    assert summary["avg_nodes"] > 0
+
+
+def test_leave_one_out_split(small_dataset):
+    train, test = small_dataset.leave_one_out("gemm")
+    assert all(s.kernel != "gemm" for s in train)
+    assert all(s.kernel == "gemm" for s in test)
+    assert len(train) + len(test) == len(small_dataset)
+    with pytest.raises(KeyError):
+        small_dataset.leave_one_out("fft")
+
+
+def test_kfold_indices_partition_everything(small_dataset):
+    folds = small_dataset.kfold_indices(4, seed=0)
+    assert len(folds) == 4
+    all_validation = np.concatenate([valid for _, valid in folds])
+    assert sorted(all_validation.tolist()) == list(range(len(small_dataset)))
+    for train, valid in folds:
+        assert set(train) & set(valid) == set()
+    with pytest.raises(ValueError):
+        small_dataset.kfold_indices(1)
+
+
+def test_random_split_fractions(small_dataset):
+    first, second = small_dataset.random_split(0.25, seed=1)
+    assert len(first) + len(second) == len(small_dataset)
+    assert len(second) == pytest.approx(len(small_dataset) * 0.25, abs=1)
+    with pytest.raises(ValueError):
+        small_dataset.random_split(1.5)
+
+
+def test_targets_vector(small_dataset):
+    dynamic = small_dataset.targets("dynamic")
+    total = small_dataset.targets("total")
+    assert dynamic.shape == (len(small_dataset),)
+    assert np.all(total > dynamic)
+
+
+def test_npz_round_trip(tmp_path, small_dataset):
+    path = tmp_path / "dataset.npz"
+    small_dataset.save_npz(path)
+    restored = GraphDataset.load_npz(path)
+    assert len(restored) == len(small_dataset)
+    original, loaded = small_dataset[0], restored[0]
+    assert loaded.kernel == original.kernel
+    assert loaded.dynamic_power == pytest.approx(original.dynamic_power)
+    assert np.allclose(loaded.graph.node_features, original.graph.node_features)
+    assert np.array_equal(loaded.graph.edge_index, original.graph.edge_index)

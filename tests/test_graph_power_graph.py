@@ -1,0 +1,97 @@
+"""Tests for the mutable power graph used by the construction passes."""
+
+import pytest
+
+from repro.activity.tracer import ValueStreamStats
+from repro.graph.power_graph import PowerGraph, PowerGraphEdge, PowerGraphNode
+
+
+def make_node(graph: PowerGraph, opcode: str = "fadd", arithmetic: bool = True) -> PowerGraphNode:
+    node = PowerGraphNode(
+        node_id=graph.new_node_id(),
+        kind="op",
+        opcode=opcode,
+        category="float_arith" if arithmetic else "memory",
+        is_arithmetic=arithmetic,
+        bitwidth=32,
+    )
+    return graph.add_node(node)
+
+
+def stats_with(hamming: int, changes: int = 1, execs: int = 2) -> ValueStreamStats:
+    return ValueStreamStats(bit_width=32, exec_count=execs, change_count=changes, hamming_sum=hamming)
+
+
+def test_add_edge_merges_parallel_edges():
+    graph = PowerGraph()
+    a, b = make_node(graph), make_node(graph)
+    graph.add_edge(PowerGraphEdge(a.node_id, b.node_id, src_stats=stats_with(4)))
+    graph.add_edge(PowerGraphEdge(a.node_id, b.node_id, src_stats=stats_with(6)))
+    assert graph.num_edges == 1
+    edge = graph.edges[(a.node_id, b.node_id)]
+    assert edge.src_stats.hamming_sum == 10
+    assert edge.merged_count == 2
+
+
+def test_add_edge_ignores_self_loops_and_missing_nodes():
+    graph = PowerGraph()
+    a = make_node(graph)
+    graph.add_edge(PowerGraphEdge(a.node_id, a.node_id))
+    assert graph.num_edges == 0
+    with pytest.raises(KeyError):
+        graph.add_edge(PowerGraphEdge(a.node_id, 999))
+
+
+def test_remove_node_drops_incident_edges():
+    graph = PowerGraph()
+    a, b, c = make_node(graph), make_node(graph), make_node(graph)
+    graph.add_edge(PowerGraphEdge(a.node_id, b.node_id))
+    graph.add_edge(PowerGraphEdge(b.node_id, c.node_id))
+    graph.remove_node(b.node_id)
+    assert graph.num_nodes == 2
+    assert graph.num_edges == 0
+
+
+def test_merge_nodes_redirects_edges_and_accumulates_stats():
+    graph = PowerGraph()
+    a, b, c = make_node(graph), make_node(graph), make_node(graph)
+    a.result_stats = stats_with(3)
+    b.result_stats = stats_with(5)
+    graph.add_edge(PowerGraphEdge(a.node_id, c.node_id, src_stats=stats_with(1)))
+    graph.add_edge(PowerGraphEdge(b.node_id, c.node_id, src_stats=stats_with(2)))
+    graph.merge_nodes(a.node_id, b.node_id)
+    assert graph.num_nodes == 2
+    assert graph.nodes[a.node_id].merged_count == 2
+    assert graph.nodes[a.node_id].result_stats.hamming_sum == 8
+    # The two edges to c become one with merged statistics.
+    assert graph.num_edges == 1
+    assert graph.edges[(a.node_id, c.node_id)].src_stats.hamming_sum == 3
+
+
+def test_merge_nodes_avoids_self_loops():
+    graph = PowerGraph()
+    a, b = make_node(graph), make_node(graph)
+    graph.add_edge(PowerGraphEdge(a.node_id, b.node_id))
+    graph.merge_nodes(a.node_id, b.node_id)
+    assert graph.num_edges == 0
+    assert graph.num_nodes == 1
+
+
+def test_traversal_helpers():
+    graph = PowerGraph()
+    a, b, c = make_node(graph), make_node(graph), make_node(graph)
+    graph.add_edge(PowerGraphEdge(a.node_id, b.node_id))
+    graph.add_edge(PowerGraphEdge(a.node_id, c.node_id))
+    assert set(graph.successors(a.node_id)) == {b.node_id, c.node_id}
+    assert graph.predecessors(b.node_id) == [a.node_id]
+    assert len(graph.out_edges(a.node_id)) == 2
+    assert len(graph.in_edges(c.node_id)) == 1
+    arithmetic_nodes = graph.nodes_where(lambda n: n.is_arithmetic)
+    assert len(arithmetic_nodes) == 3
+
+
+def test_duplicate_node_id_rejected():
+    graph = PowerGraph()
+    node = make_node(graph)
+    with pytest.raises(ValueError):
+        graph.add_node(node)

@@ -1,0 +1,83 @@
+"""Tests for the HLS front end (kernel lowering, unrolling)."""
+
+import pytest
+
+from repro.hls.frontend import HLSFrontend, _largest_divisor_at_most, lower_kernel
+from repro.hls.pragmas import DesignDirectives, LoopPragmas
+from repro.ir.instructions import Opcode
+from repro.ir.validation import validate_function
+from repro.kernels.polybench import polybench_kernel
+
+
+def count_opcode(function, opcode):
+    return sum(1 for instr in function.instructions if instr.opcode == opcode)
+
+
+def test_lowering_produces_valid_ir(gemm_kernel):
+    design = lower_kernel(gemm_kernel)
+    validate_function(design.function)
+    assert design.kernel.name == "gemm"
+    assert {arg.name for arg in design.function.args} == {"A", "B", "C"}
+
+
+def test_lowering_respects_loop_structure(gemm_kernel):
+    design = lower_kernel(gemm_kernel)
+    loops = design.function.loops
+    assert [loop.name for loop in loops] == ["i0", "j0", "k0"]
+    assert all(loop.trip_count == 6 for loop in loops)
+
+
+def test_unrolling_replicates_body_and_shrinks_trip(gemm_kernel):
+    baseline = lower_kernel(gemm_kernel)
+    unrolled = lower_kernel(
+        gemm_kernel,
+        DesignDirectives.from_dicts({"k0": LoopPragmas(unroll_factor=2)}),
+    )
+    k_baseline = next(l for l in baseline.function.loops if l.name == "k0")
+    k_unrolled = next(l for l in unrolled.function.loops if l.name == "k0")
+    assert k_unrolled.trip_count == k_baseline.trip_count // 2
+    assert count_opcode(unrolled.function, Opcode.FMUL) > count_opcode(
+        baseline.function, Opcode.FMUL
+    )
+
+
+def test_full_unroll_removes_loop(atax_kernel):
+    directives = DesignDirectives.from_dicts({"j1": LoopPragmas(unroll_factor=6)})
+    design = lower_kernel(atax_kernel, directives)
+    assert "j1" not in [loop.name for loop in design.function.loops]
+
+
+def test_nondividing_unroll_factor_is_clamped(gemm_kernel):
+    directives = DesignDirectives.from_dicts({"k0": LoopPragmas(unroll_factor=4)})
+    design = lower_kernel(gemm_kernel, directives)  # trip 6, factor 4 -> clamp to 3
+    k_loop = next(l for l in design.function.loops if l.name == "k0")
+    assert k_loop.trip_count == 2  # 6 / 3
+
+
+def test_largest_divisor_helper():
+    assert _largest_divisor_at_most(8, 4) == 4
+    assert _largest_divisor_at_most(6, 4) == 3
+    assert _largest_divisor_at_most(7, 4) == 1
+
+
+def test_pipeline_pragma_attached_to_loop(gemm_kernel):
+    directives = DesignDirectives.from_dicts({"k0": LoopPragmas(pipeline=True)})
+    design = lower_kernel(gemm_kernel, directives)
+    k_loop = next(l for l in design.function.loops if l.name == "k0")
+    assert k_loop.pragmas.pipeline
+
+
+def test_lowered_design_records_partitions(gemm_kernel):
+    from repro.hls.pragmas import ArrayPartition
+
+    directives = DesignDirectives.from_dicts({}, {"A": ArrayPartition(4)})
+    design = lower_kernel(gemm_kernel, directives)
+    assert design.array_partitions["A"].factor == 4
+    assert design.array_partitions["B"].factor == 1
+
+
+def test_lowering_all_polybench_kernels_is_valid():
+    for name in ("atax", "bicg", "gemm", "gesummv", "2mm", "3mm", "mvt", "syrk", "syr2k"):
+        design = HLSFrontend().lower(polybench_kernel(name, 4))
+        validate_function(design.function)
+        assert design.function.instructions, name

@@ -1,0 +1,49 @@
+"""Tests for HLS design directives."""
+
+import pytest
+
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+
+
+def test_loop_pragmas_defaults_and_validation():
+    assert LoopPragmas().is_default
+    assert not LoopPragmas(unroll_factor=2).is_default
+    assert not LoopPragmas(pipeline=True).is_default
+    with pytest.raises(ValueError):
+        LoopPragmas(unroll_factor=0)
+
+
+def test_array_partition_validation():
+    assert ArrayPartition().factor == 1
+    with pytest.raises(ValueError):
+        ArrayPartition(factor=0)
+    with pytest.raises(ValueError):
+        ArrayPartition(kind="diagonal")
+
+
+def test_design_directives_lookup_defaults():
+    directives = DesignDirectives.from_dicts(
+        {"i": LoopPragmas(unroll_factor=4)}, {"A": ArrayPartition(2)}
+    )
+    assert directives.pragmas_for_loop("i").unroll_factor == 4
+    assert directives.pragmas_for_loop("missing").is_default
+    assert directives.partition_for_array("A").factor == 2
+    assert directives.partition_for_array("missing").factor == 1
+
+
+def test_design_directives_baseline_detection():
+    assert DesignDirectives().is_baseline
+    assert DesignDirectives.from_dicts({"i": LoopPragmas()}, {"A": ArrayPartition()}).is_baseline
+    assert not DesignDirectives.from_dicts({"i": LoopPragmas(pipeline=True)}).is_baseline
+
+
+def test_design_directives_describe_and_hashable():
+    directives = DesignDirectives.from_dicts(
+        {"i": LoopPragmas(unroll_factor=2, pipeline=True)}, {"A": ArrayPartition(4)}
+    )
+    description = directives.describe()
+    assert "i:u2p" in description
+    assert "A:x4" in description
+    assert DesignDirectives().describe() == "baseline"
+    # Hashability is required for design-space deduplication.
+    assert len({directives, directives}) == 1

@@ -1,0 +1,64 @@
+"""Tests for HLS reports, metadata vectors and DFG extraction."""
+
+import numpy as np
+
+from repro.hls.dfg import extract_dfg
+from repro.hls.report import run_hls
+from repro.ir.instructions import Opcode
+
+
+def test_report_fields(gemm_baseline_result):
+    report = gemm_baseline_result.report
+    assert report.kernel_name == "gemm"
+    assert report.latency_cycles > 0
+    assert 0 < report.achieved_clock_ns <= report.target_clock_ns * 1.15
+    assert report.fsm_states > 0
+    assert report.latency_seconds > 0
+
+
+def test_metadata_vector_shape_and_baseline_ratios(gemm_baseline_result, gemm_unrolled_result):
+    baseline = gemm_baseline_result.report
+    metadata = baseline.metadata_vector(baseline)
+    assert metadata.shape == (10,)
+    # Against itself every ratio is exactly 1.
+    assert np.allclose(metadata[5:], 1.0)
+
+    unrolled = gemm_unrolled_result.report.metadata_vector(baseline)
+    assert unrolled.shape == (10,)
+    # The unrolled design uses more LUTs and fewer cycles than the baseline.
+    assert unrolled[5] > 1.0
+    assert unrolled[8] < 1.0
+
+
+def test_dfg_nodes_match_instructions(gemm_baseline_result):
+    dfg = extract_dfg(gemm_baseline_result.design)
+    non_ret = [
+        instr
+        for instr in gemm_baseline_result.design.function.instructions
+        if instr.opcode != Opcode.RET
+    ]
+    assert dfg.num_nodes == len(non_ret)
+    assert dfg.num_edges > 0
+
+
+def test_dfg_buffers_and_load_annotation(gemm_baseline_result):
+    dfg = extract_dfg(gemm_baseline_result.design)
+    assert set(dfg.buffers) == {"A", "B", "C"}
+    assert all(info.kind == "io" for info in dfg.buffers.values())
+    for uid in dfg.nodes_with_opcode(Opcode.LOAD):
+        assert dfg.graph.nodes[uid]["buffer"] in dfg.buffers
+
+
+def test_dfg_edges_follow_def_use(gemm_baseline_result):
+    dfg = extract_dfg(gemm_baseline_result.design)
+    for src, dst in dfg.graph.edges():
+        src_instr = dfg.node_instruction(src)
+        dst_instr = dfg.node_instruction(dst)
+        assert src_instr in dst_instr.operands
+
+
+def test_unrolled_dfg_is_larger(gemm_baseline_result, gemm_unrolled_result):
+    baseline = extract_dfg(gemm_baseline_result.design)
+    unrolled = extract_dfg(gemm_unrolled_result.design)
+    assert unrolled.num_nodes > baseline.num_nodes
+    assert unrolled.num_edges > baseline.num_edges

@@ -1,0 +1,129 @@
+"""Tests for the scheduler, binder, FSMD and resource estimator."""
+
+from repro.hls.binding import Binder
+from repro.hls.frontend import lower_kernel
+from repro.hls.fsmd import build_fsmd
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.hls.report import run_hls
+from repro.hls.resources import ResourceEstimator, ResourceUsage
+from repro.hls.scheduling import Scheduler
+
+
+def schedule_for(kernel, directives=None):
+    design = lower_kernel(kernel, directives)
+    return design, Scheduler().schedule(design)
+
+
+def test_schedule_latency_positive_and_ordered(gemm_kernel):
+    _, schedule = schedule_for(gemm_kernel)
+    assert schedule.total_latency > 0
+    assert schedule.loop_schedules
+    for loop in schedule.loop_schedules:
+        assert loop.total_latency >= loop.iteration_latency
+
+
+def test_pipelining_reduces_latency(gemm_kernel):
+    _, baseline = schedule_for(gemm_kernel)
+    _, pipelined = schedule_for(
+        gemm_kernel, DesignDirectives.from_dicts({"k0": LoopPragmas(pipeline=True)})
+    )
+    assert pipelined.total_latency < baseline.total_latency
+    assert any(loop.pipelined for loop in pipelined.loop_schedules)
+
+
+def test_array_partitioning_improves_initiation_interval(gemm_kernel):
+    unrolled = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=3, pipeline=True)}
+    )
+    partitioned = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=3, pipeline=True)},
+        {"A": ArrayPartition(4), "B": ArrayPartition(4)},
+    )
+    _, without = schedule_for(gemm_kernel, unrolled)
+    _, with_partition = schedule_for(gemm_kernel, partitioned)
+    ii_without = min(l.initiation_interval for l in without.pipelined_loops)
+    ii_with = min(l.initiation_interval for l in with_partition.pipelined_loops)
+    assert ii_with <= ii_without
+    assert with_partition.total_latency <= without.total_latency
+
+
+def test_unrolling_reduces_latency_with_ports(gemm_kernel):
+    directives = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=3)},
+        {"A": ArrayPartition(4), "B": ArrayPartition(4), "C": ArrayPartition(4)},
+    )
+    _, baseline = schedule_for(gemm_kernel)
+    _, unrolled = schedule_for(gemm_kernel, directives)
+    assert unrolled.total_latency < baseline.total_latency
+
+
+def test_memory_accesses_tracked_per_buffer(gemm_kernel):
+    _, schedule = schedule_for(gemm_kernel)
+    assert "A" in schedule.memory_accesses
+    assert "C" in schedule.memory_accesses
+    assert all(count > 0 for count in schedule.memory_accesses.values())
+
+
+def test_binder_allocates_units_and_assigns_all_shared_ops(gemm_kernel):
+    design, schedule = schedule_for(gemm_kernel)
+    binding = Binder().bind(design, schedule)
+    assert binding.total_units >= 1
+    shared_opcodes = {"fadd", "fsub", "fmul", "fdiv", "mul", "sdiv", "add", "sub", "icmp", "fcmp"}
+    for instr in design.function.instructions:
+        if instr.opcode.value in shared_opcodes:
+            assert binding.unit_of(instr) is not None
+
+
+def test_unrolling_increases_functional_units(gemm_kernel):
+    base_design, base_schedule = schedule_for(gemm_kernel)
+    unrolled_directives = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=3, pipeline=True)},
+        {"A": ArrayPartition(4), "B": ArrayPartition(4)},
+    )
+    unrolled_design, unrolled_schedule = schedule_for(gemm_kernel, unrolled_directives)
+    base_binding = Binder().bind(base_design, base_schedule)
+    unrolled_binding = Binder().bind(unrolled_design, unrolled_schedule)
+    assert unrolled_binding.total_units >= base_binding.total_units
+
+
+def test_fsmd_states_and_transitions(gemm_baseline_result):
+    fsmd = gemm_baseline_result.fsmd
+    assert fsmd.num_states >= 3
+    assert fsmd.transitions
+    # Loop-back transitions exist for the loop nest.
+    assert any(dst <= src for src, dst in fsmd.transitions)
+    all_ops = {uid for state in fsmd.states for uid in state.operation_uids}
+    assert all_ops
+
+
+def test_resource_estimator_monotone_in_unrolling(gemm_kernel):
+    baseline = run_hls(gemm_kernel)
+    unrolled = run_hls(
+        gemm_kernel,
+        DesignDirectives.from_dicts(
+            {"k0": LoopPragmas(unroll_factor=3, pipeline=True)},
+            {"A": ArrayPartition(2), "B": ArrayPartition(2)},
+        ),
+    )
+    assert unrolled.report.resources.lut > baseline.report.resources.lut
+    assert unrolled.report.resources.dsp >= baseline.report.resources.dsp
+    assert unrolled.report.resources.bram >= baseline.report.resources.bram
+
+
+def test_resource_usage_arithmetic():
+    a = ResourceUsage(10, 20, 1, 2)
+    b = ResourceUsage(5, 5, 1, 0)
+    total = a + b
+    assert (total.lut, total.ff, total.dsp, total.bram) == (15, 25, 2, 2)
+    assert total.total_cells > 0
+    assert a.scaled(2.0).lut == 20
+    assert a.as_dict()["bram"] == 2
+
+
+def test_bram_grows_with_partitioning(gemm_kernel):
+    baseline = run_hls(gemm_kernel)
+    partitioned = run_hls(
+        gemm_kernel,
+        DesignDirectives.from_dicts({}, {"A": ArrayPartition(4)}),
+    )
+    assert partitioned.report.resources.bram >= baseline.report.resources.bram

@@ -1,0 +1,42 @@
+"""Tests for bit packing and Hamming distances."""
+
+import pytest
+
+from repro.ir.bitpack import hamming_between, hamming_distance, to_bits
+from repro.ir.types import FloatType, IntType, PointerType
+
+
+def test_int_packing_masks_to_width():
+    assert to_bits(5, IntType(8)) == 5
+    assert to_bits(-1, IntType(8)) == 0xFF
+    assert to_bits(256, IntType(8)) == 0
+
+
+def test_float_packing_is_ieee754():
+    assert to_bits(0.0, FloatType(32)) == 0
+    assert to_bits(1.0, FloatType(32)) == 0x3F800000
+    assert to_bits(1.0, FloatType(64)) == 0x3FF0000000000000
+
+
+def test_pointer_packing_uses_address_width():
+    assert to_bits(3, PointerType(FloatType(32), address_width=16)) == 3
+
+
+def test_hamming_distance_counts_differing_bits():
+    assert hamming_distance(0b1010, 0b1010) == 0
+    assert hamming_distance(0b1010, 0b0101) == 4
+    assert hamming_distance(0, 0xFF) == 8
+
+
+def test_hamming_between_values():
+    assert hamming_between(0, 255, IntType(8)) == 8
+    assert hamming_between(1.0, 1.0, FloatType(32)) == 0
+    assert hamming_between(1.0, -1.0, FloatType(32)) == 1  # only the sign bit differs
+
+
+def test_to_bits_rejects_unsupported_types():
+    class FakeType:
+        bit_width = 4
+
+    with pytest.raises(TypeError):
+        to_bits(1, FakeType())

@@ -1,0 +1,117 @@
+"""Tests for the IR builder and validator."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import walk_instructions
+from repro.ir.types import ArrayType, FloatType, PointerType, VOID
+from repro.ir.validation import IRValidationError, pointer_roots, validate_function
+from repro.ir.values import ArgumentDirection
+
+
+def build_simple_function():
+    builder = IRBuilder("simple")
+    a = builder.add_array_argument("a", (4,))
+    out = builder.add_array_argument("out", (4,), direction=ArgumentDirection.OUT)
+    with builder.loop("i", 4) as i:
+        addr = builder.getelementptr(a, [i])
+        value = builder.load(addr)
+        doubled = builder.fmul(value, builder.const_float(2.0))
+        out_addr = builder.getelementptr(out, [i])
+        builder.store(doubled, out_addr)
+    builder.ret()
+    return builder.build()
+
+
+def test_builder_constructs_valid_function():
+    function = build_simple_function()
+    validate_function(function)
+    opcodes = [instr.opcode for instr in function.instructions]
+    assert Opcode.LOAD in opcodes
+    assert Opcode.STORE in opcodes
+    assert Opcode.FMUL in opcodes
+
+
+def test_builder_loop_nesting_and_names():
+    builder = IRBuilder("nest")
+    array = builder.add_array_argument("a", (2, 2))
+    with builder.loop("i", 2) as i:
+        with builder.loop("j", 2) as j:
+            addr = builder.getelementptr(array, [i, j])
+            builder.load(addr)
+    function = builder.build()
+    loops = function.loops
+    assert len(loops) == 2
+    assert loops[0].name == "i"
+    assert loops[1].name == "j"
+
+
+def test_builder_rejects_unterminated_loop():
+    builder = IRBuilder("broken")
+    builder.add_array_argument("a", (4,))
+    context = builder.loop("i", 4)
+    context.__enter__()
+    with pytest.raises(RuntimeError):
+        builder.build()
+
+
+def test_load_requires_pointer_operand():
+    builder = IRBuilder("bad_load")
+    scalar = builder.add_scalar_argument("x")
+    with pytest.raises(TypeError):
+        builder.load(scalar)
+
+
+def test_validator_detects_use_before_definition():
+    builder = IRBuilder("oops")
+    builder.add_array_argument("a", (4,))
+    function = builder.build()
+    orphan = Instruction(Opcode.FADD, [], FloatType(32), name="orphan")
+    ghost = Instruction(Opcode.FADD, [orphan, orphan], FloatType(32), name="ghost")
+    function.body.append(ghost)
+    with pytest.raises(IRValidationError):
+        validate_function(function)
+
+
+def test_validator_requires_alloca_metadata():
+    bad_alloca = Instruction(Opcode.ALLOCA, [], PointerType(FloatType(32)), name="buf")
+    builder = IRBuilder("alloca")
+    function = builder.build()
+    function.body.append(bad_alloca)
+    with pytest.raises(IRValidationError):
+        validate_function(function)
+
+
+def test_pointer_roots_resolve_gep_chains():
+    function = build_simple_function()
+    roots = pointer_roots(function)
+    gep_instructions = [
+        instr for instr in function.instructions if instr.opcode == Opcode.GETELEMENTPTR
+    ]
+    assert gep_instructions
+    for gep in gep_instructions:
+        root = roots[gep.uid]
+        assert root.name in ("a", "out")
+
+
+def test_alloca_records_allocated_type():
+    builder = IRBuilder("alloca_ok")
+    buffer = builder.alloca("acc", ArrayType(FloatType(32), (4,)))
+    assert isinstance(buffer.attrs["allocated_type"], ArrayType)
+    validate_function(builder.build())
+
+
+def test_store_has_void_type():
+    builder = IRBuilder("store")
+    a = builder.add_array_argument("a", (2,))
+    addr = builder.getelementptr(a, [builder.const_int(0)])
+    store = builder.store(builder.const_float(1.0), addr)
+    assert store.type == VOID
+    assert not store.has_result
+
+
+def test_walk_instructions_covers_nested_loops():
+    function = build_simple_function()
+    walked = list(walk_instructions(function.body))
+    assert len(walked) == len(function.instructions)

@@ -1,0 +1,149 @@
+"""Tests for the IR interpreter: numerical correctness against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.hls.frontend import lower_kernel
+from repro.ir.builder import IRBuilder
+from repro.ir.interpreter import ExecutionTrace, IRInterpreter
+from repro.ir.types import ArrayType, FloatType
+from repro.ir.values import ArgumentDirection
+from repro.kernels.polybench import ALPHA, BETA, polybench_kernel
+
+
+def test_interpreter_elementwise_multiply():
+    builder = IRBuilder("scale")
+    a = builder.add_array_argument("a", (4,))
+    out = builder.add_array_argument("out", (4,), direction=ArgumentDirection.OUT)
+    with builder.loop("i", 4) as i:
+        addr = builder.getelementptr(a, [i])
+        value = builder.load(addr)
+        scaled = builder.fmul(value, builder.const_float(3.0))
+        builder.store(scaled, builder.getelementptr(out, [i]))
+    builder.ret()
+    function = builder.build()
+
+    inputs = {"a": np.array([1.0, 2.0, 3.0, 4.0])}
+    outputs = IRInterpreter(function).run(inputs)
+    assert np.allclose(outputs["out"], np.array([3.0, 6.0, 9.0, 12.0]))
+
+
+def test_interpreter_accumulator_via_internal_buffer():
+    builder = IRBuilder("dot")
+    a = builder.add_array_argument("a", (5,))
+    b = builder.add_array_argument("b", (5,))
+    out = builder.add_array_argument("out", (1,), direction=ArgumentDirection.OUT)
+    acc = builder.alloca("acc", ArrayType(FloatType(32), (1,)))
+    builder.store(builder.const_float(0.0), builder.getelementptr(acc, [builder.const_int(0)]))
+    with builder.loop("i", 5) as i:
+        lhs = builder.load(builder.getelementptr(a, [i]))
+        rhs = builder.load(builder.getelementptr(b, [i]))
+        product = builder.fmul(lhs, rhs)
+        current = builder.load(builder.getelementptr(acc, [builder.const_int(0)]))
+        builder.store(builder.fadd(current, product), builder.getelementptr(acc, [builder.const_int(0)]))
+    final = builder.load(builder.getelementptr(acc, [builder.const_int(0)]))
+    builder.store(final, builder.getelementptr(out, [builder.const_int(0)]))
+    builder.ret()
+    function = builder.build()
+
+    rng = np.random.default_rng(0)
+    a_values, b_values = rng.random(5), rng.random(5)
+    outputs = IRInterpreter(function).run({"a": a_values, "b": b_values})
+    assert outputs["out"][0] == pytest.approx(float(np.dot(a_values, b_values)), rel=1e-5)
+
+
+def test_interpreter_requires_scalar_inputs():
+    builder = IRBuilder("needs_scalar")
+    builder.add_scalar_argument("x")
+    builder.ret()
+    with pytest.raises(ValueError):
+        IRInterpreter(builder.build()).run({})
+
+
+def test_interpreter_rejects_wrong_array_size():
+    builder = IRBuilder("wrong_size")
+    builder.add_array_argument("a", (4,))
+    builder.ret()
+    with pytest.raises(ValueError):
+        IRInterpreter(builder.build()).run({"a": np.zeros(3)})
+
+
+def test_execution_trace_records_and_truncates():
+    builder = IRBuilder("traced")
+    a = builder.add_array_argument("a", (4,))
+    with builder.loop("i", 4) as i:
+        builder.load(builder.getelementptr(a, [i]))
+    builder.ret()
+    function = builder.build()
+
+    trace = ExecutionTrace(max_events=3)
+    interpreter = IRInterpreter(function)
+    interpreter.add_observer(trace)
+    interpreter.run({"a": np.arange(4.0)})
+    assert len(trace.events) == 3
+    assert trace.truncated
+    assert interpreter.dynamic_instruction_count > 3
+
+
+# --------------------------------------------------------------------------- PolyBench correctness
+
+
+def _reference(name: str, n: int, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Numpy reference implementations of the PolyBench kernels under test."""
+    if name == "gemm":
+        c = inputs["C"].copy()
+        return {"C": ALPHA * inputs["A"] @ inputs["B"] + BETA * c}
+    if name == "atax":
+        tmp = inputs["A"] @ inputs["x"]
+        return {"y": inputs["A"].T @ tmp}
+    if name == "mvt":
+        return {
+            "x1": inputs["x1"] + inputs["A"] @ inputs["y1"],
+            "x2": inputs["x2"] + inputs["A"].T @ inputs["y2"],
+        }
+    if name == "bicg":
+        return {"s": inputs["A"].T @ inputs["r"], "q": inputs["A"] @ inputs["p"]}
+    if name == "gesummv":
+        return {"y": ALPHA * inputs["A"] @ inputs["x"] + BETA * inputs["B"] @ inputs["x"]}
+    if name == "syrk":
+        return {"C": ALPHA * inputs["A"] @ inputs["A"].T + BETA * inputs["C"]}
+    raise KeyError(name)
+
+
+@pytest.mark.parametrize("name", ["gemm", "atax", "mvt", "bicg", "gesummv", "syrk"])
+def test_polybench_kernels_match_numpy_reference(name):
+    n = 5
+    kernel = polybench_kernel(name, n)
+    design = lower_kernel(kernel)
+    rng = np.random.default_rng(42)
+    inputs = {}
+    for spec in kernel.arrays:
+        if spec.direction == "out":
+            inputs[spec.name] = np.zeros(spec.shape)
+        else:
+            inputs[spec.name] = rng.uniform(-1.0, 1.0, size=spec.shape)
+    outputs = IRInterpreter(design.function).run(inputs)
+    expected = _reference(name, n, inputs)
+    for array_name, reference in expected.items():
+        assert np.allclose(outputs[array_name], reference, rtol=1e-4, atol=1e-5), array_name
+
+
+def test_unrolled_gemm_matches_baseline_result():
+    from repro.hls.pragmas import DesignDirectives, LoopPragmas
+
+    n = 4
+    kernel = polybench_kernel("gemm", n)
+    rng = np.random.default_rng(1)
+    inputs = {
+        "A": rng.random((n, n)),
+        "B": rng.random((n, n)),
+        "C": rng.random((n, n)),
+    }
+    baseline = IRInterpreter(lower_kernel(kernel).function).run(dict(inputs))
+    unrolled_directives = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=2), "j0": LoopPragmas(unroll_factor=2)}
+    )
+    unrolled = IRInterpreter(
+        lower_kernel(polybench_kernel("gemm", n), unrolled_directives).function
+    ).run(dict(inputs))
+    assert np.allclose(baseline["C"], unrolled["C"], rtol=1e-5)

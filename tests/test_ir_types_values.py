@@ -1,0 +1,70 @@
+"""Tests for the IR type system and value hierarchy."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    VoidType,
+    element_type,
+)
+from repro.ir.values import Argument, ArgumentDirection, Constant
+
+
+def test_int_type_width_and_str():
+    assert IntType(32).bit_width == 32
+    assert str(IntType(8)) == "i8"
+
+
+def test_int_type_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        IntType(0)
+
+
+def test_float_type_widths():
+    assert FloatType(32).bit_width == 32
+    assert FloatType(64).bit_width == 64
+    with pytest.raises(ValueError):
+        FloatType(16)
+
+
+def test_array_type_shape_and_elements():
+    array = ArrayType(FloatType(32), (4, 8))
+    assert array.num_elements == 32
+    assert array.bit_width == 32 * 32
+    assert "4 x 8" in str(array)
+
+
+def test_array_type_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        ArrayType(FloatType(32), ())
+    with pytest.raises(ValueError):
+        ArrayType(FloatType(32), (0, 4))
+    with pytest.raises(ValueError):
+        ArrayType(ArrayType(FloatType(32), (2,)), (2,))
+
+
+def test_pointer_and_void_types():
+    pointer = PointerType(ArrayType(FloatType(32), (4,)))
+    assert pointer.bit_width == 32  # address bus width
+    assert VoidType().bit_width == 0
+
+
+def test_element_type_unwraps_pointers_and_arrays():
+    pointer = PointerType(ArrayType(FloatType(32), (4,)))
+    assert element_type(pointer) == FloatType(32)
+    assert element_type(IntType(16)) == IntType(16)
+
+
+def test_constant_coerces_to_type():
+    assert Constant(3.7, IntType(32)).value == 3
+    assert Constant(2, FloatType(32)).value == 2.0
+
+
+def test_argument_direction_and_unique_uids():
+    a = Argument("x", FloatType(32), ArgumentDirection.IN)
+    b = Argument("y", FloatType(32), ArgumentDirection.OUT)
+    assert a.direction == ArgumentDirection.IN
+    assert a.uid != b.uid

@@ -1,0 +1,190 @@
+"""Tests for kernel specifications, PolyBench kernels and design spaces."""
+
+import pytest
+
+from repro.hls.pragmas import DesignDirectives
+from repro.kernels.design_space import generate_design_space
+from repro.kernels.polybench import POLYBENCH_KERNELS, polybench_kernel, polybench_names
+from repro.kernels.spec import ArraySpec, Assign, BinOp, Const, KernelSpec, Loop, Ref, add, mul
+from repro.kernels.synthetic import (
+    elementwise_chain,
+    outer_product,
+    random_synthetic_suite,
+    reduction,
+    stencil_1d,
+    synthetic_kernel,
+    synthetic_names,
+)
+
+
+# --------------------------------------------------------------------------- spec
+
+
+def test_ref_and_binop_validation():
+    with pytest.raises(ValueError):
+        Ref("", ("i",))
+    with pytest.raises(ValueError):
+        BinOp("%", Const(1.0), Const(2.0))
+
+
+def test_loop_validation_and_nesting_helpers():
+    with pytest.raises(ValueError):
+        Loop("i", 0)
+    inner = Loop("j", 4, [Assign(Ref("a", ("j",)), Const(0.0))])
+    outer = Loop("i", 4, [inner])
+    assert not outer.innermost
+    assert inner.innermost
+    assert [l.var for l in outer.nested_loops()] == ["i", "j"]
+
+
+def test_kernel_validate_catches_unknown_array():
+    kernel = KernelSpec(
+        name="bad",
+        arrays=[ArraySpec("a", (4,))],
+        body=[Loop("i", 4, [Assign(Ref("b", ("i",)), Const(0.0))])],
+    )
+    with pytest.raises(ValueError):
+        kernel.validate()
+
+
+def test_kernel_validate_catches_rank_mismatch():
+    kernel = KernelSpec(
+        name="bad_rank",
+        arrays=[ArraySpec("a", (4, 4))],
+        body=[Loop("i", 4, [Assign(Ref("a", ("i",)), Const(0.0))])],
+    )
+    with pytest.raises(ValueError):
+        kernel.validate()
+
+
+def test_kernel_validate_catches_unbound_index():
+    kernel = KernelSpec(
+        name="bad_index",
+        arrays=[ArraySpec("a", (4,))],
+        body=[Loop("i", 4, [Assign(Ref("a", ("j",)), Const(0.0))])],
+    )
+    with pytest.raises(ValueError):
+        kernel.validate()
+
+
+def test_expression_helpers():
+    expression = add(mul(Const(2.0), Ref("a", ("i",))), Const(1.0))
+    assert isinstance(expression, BinOp)
+    assert expression.op == "+"
+
+
+def test_array_spec_validation():
+    with pytest.raises(ValueError):
+        ArraySpec("a", (0,))
+    with pytest.raises(ValueError):
+        ArraySpec("a", (4,), direction="sideways")
+    assert ArraySpec("a", (4, 4)).num_elements == 16
+
+
+# --------------------------------------------------------------------------- polybench
+
+
+def test_polybench_names_match_paper_order():
+    assert polybench_names() == [
+        "atax",
+        "bicg",
+        "gemm",
+        "gesummv",
+        "2mm",
+        "3mm",
+        "mvt",
+        "syrk",
+        "syr2k",
+    ]
+    assert set(polybench_names()) == set(POLYBENCH_KERNELS)
+
+
+@pytest.mark.parametrize("name", polybench_names())
+def test_all_polybench_kernels_validate(name):
+    kernel = polybench_kernel(name, 6)
+    kernel.validate()
+    assert kernel.innermost_loops()
+    assert len(set(kernel.loop_names())) == len(kernel.loop_names())
+
+
+def test_polybench_kernel_unknown_name():
+    with pytest.raises(KeyError):
+        polybench_kernel("fft")
+
+
+def test_polybench_kernel_size_parameter():
+    small = polybench_kernel("gemm", 4)
+    large = polybench_kernel("gemm", 8)
+    assert small.array("A").shape == (4, 4)
+    assert large.array("A").shape == (8, 8)
+
+
+# --------------------------------------------------------------------------- synthetic
+
+
+def test_synthetic_kernels_validate():
+    for name in synthetic_names():
+        synthetic_kernel(name, 6).validate()
+
+
+def test_synthetic_chain_depth_controls_operations():
+    shallow = elementwise_chain(6, depth=1)
+    deep = elementwise_chain(6, depth=5)
+    assert len(deep.arrays) == len(shallow.arrays)
+    with pytest.raises(ValueError):
+        elementwise_chain(6, depth=0)
+
+
+def test_synthetic_specific_generators():
+    assert reduction(6).array("acc").shape == (1,)
+    assert stencil_1d(6).array("out").shape == (6,)
+    assert outer_product(6).array("C").shape == (6, 6)
+    with pytest.raises(ValueError):
+        stencil_1d(2)
+
+
+def test_random_synthetic_suite_reproducible():
+    a = random_synthetic_suite(5, seed=3)
+    b = random_synthetic_suite(5, seed=3)
+    assert [k.name for k in a] == [k.name for k in b]
+    assert len(a) == 5
+
+
+# --------------------------------------------------------------------------- design space
+
+
+def test_design_space_contains_baseline_first(gemm_kernel):
+    space = generate_design_space(gemm_kernel, max_points=20, seed=0)
+    assert len(space) <= 20
+    assert space.points[0].is_baseline
+    assert space.baseline.is_baseline
+
+
+def test_design_space_points_are_unique(gemm_kernel):
+    space = generate_design_space(gemm_kernel, max_points=30, seed=1)
+    assert len(set(space.points)) == len(space.points)
+
+
+def test_design_space_is_reproducible(gemm_kernel):
+    first = generate_design_space(gemm_kernel, max_points=15, seed=7)
+    second = generate_design_space(gemm_kernel, max_points=15, seed=7)
+    assert first.points == second.points
+
+
+def test_design_space_unroll_factors_divide_trip_counts(atax_kernel):
+    space = generate_design_space(atax_kernel, max_points=40, seed=0)
+    trips = {loop.var: loop.trip for loop in atax_kernel.all_loops()}
+    for point in space:
+        for loop_name, pragmas in point.loop_pragmas:
+            assert trips[loop_name] % pragmas.unroll_factor == 0
+
+
+def test_design_space_rejects_bad_max_points(gemm_kernel):
+    with pytest.raises(ValueError):
+        generate_design_space(gemm_kernel, max_points=0)
+
+
+def test_design_space_iteration_yields_directives(gemm_kernel):
+    space = generate_design_space(gemm_kernel, max_points=5, seed=0)
+    for point in space:
+        assert isinstance(point, DesignDirectives)

@@ -1,0 +1,108 @@
+"""Tests for layers, parameter traversal, optimisers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import glorot_uniform
+from repro.nn.layers import MLP, Dropout, Linear, Module, Parameter, ReLU, Sequential
+from repro.nn.losses import mae_loss, mape_loss, mse_loss
+from repro.nn.optim import Adam, SGD
+from repro.nn.tensor import Tensor
+
+
+def test_glorot_bounds():
+    rng = np.random.default_rng(0)
+    weights = glorot_uniform(64, 64, rng)
+    limit = np.sqrt(6.0 / 128)
+    assert weights.shape == (64, 64)
+    assert np.all(np.abs(weights) <= limit)
+    with pytest.raises(ValueError):
+        glorot_uniform(0, 4, rng)
+
+
+def test_linear_forward_shape_and_params():
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 3, rng)
+    out = layer(Tensor(np.ones((5, 4))))
+    assert out.shape == (5, 3)
+    assert len(layer.parameters()) == 2
+    assert layer.num_parameters() == 4 * 3 + 3
+
+
+def test_module_parameter_traversal_nested():
+    rng = np.random.default_rng(0)
+    model = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 1, rng))
+    assert len(model.parameters()) == 4
+    model.zero_grad()
+    assert all(p.grad is None for p in model.parameters())
+
+
+def test_mlp_structure_and_validation():
+    rng = np.random.default_rng(0)
+    mlp = MLP([6, 12, 1], rng, dropout=0.1)
+    out = mlp(Tensor(np.ones((2, 6))))
+    assert out.shape == (2, 1)
+    with pytest.raises(ValueError):
+        MLP([4], rng)
+
+
+def test_train_eval_mode_propagates_to_dropout():
+    rng = np.random.default_rng(0)
+    mlp = MLP([4, 8, 1], rng, dropout=0.5)
+    mlp.eval()
+    assert all(not m.training for m in mlp.modules())
+    mlp.train()
+    assert all(m.training for m in mlp.modules())
+
+
+def test_state_dict_round_trip():
+    rng = np.random.default_rng(0)
+    a = MLP([3, 5, 1], rng)
+    b = MLP([3, 5, 1], np.random.default_rng(1))
+    state = a.state_dict()
+    b.load_state_dict(state)
+    x = Tensor(np.ones((2, 3)))
+    assert np.allclose(a(x).data, b(x).data)
+    with pytest.raises(ValueError):
+        b.load_state_dict({"param_0": np.zeros((3, 5))})
+
+
+def test_sgd_and_adam_reduce_simple_loss():
+    rng = np.random.default_rng(0)
+    x = np.linspace(-1, 1, 32).reshape(-1, 1)
+    y = 3.0 * x + 0.5
+
+    for optimizer_class, lr in ((SGD, 0.1), (Adam, 0.05)):
+        layer = Linear(1, 1, np.random.default_rng(2))
+        optimizer = optimizer_class(layer.parameters(), lr=lr)
+        first_loss = None
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = mse_loss(layer(Tensor(x)), y)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.05
+
+
+def test_optimizer_validation():
+    with pytest.raises(ValueError):
+        Adam([], lr=1e-3)
+    with pytest.raises(ValueError):
+        Adam([Parameter(np.zeros(3))], lr=-1.0)
+
+
+def test_losses_values_and_errors():
+    predictions = Tensor(np.array([1.1, 1.8]))
+    targets = np.array([1.0, 2.0])
+    assert mape_loss(predictions, targets).item() == pytest.approx(0.1)
+    assert mae_loss(predictions, targets).item() == pytest.approx(0.15)
+    assert mse_loss(predictions, targets).item() == pytest.approx((0.01 + 0.04) / 2)
+    with pytest.raises(ValueError):
+        mape_loss(predictions, np.array([0.0, 1.0]))
+
+
+def test_dropout_layer_validation():
+    with pytest.raises(ValueError):
+        Dropout(1.0, np.random.default_rng(0))

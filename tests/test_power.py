@@ -1,0 +1,141 @@
+"""Tests for the power substrate: device, placement, ground truth, Vivado, runtime."""
+
+import numpy as np
+import pytest
+
+from repro.activity.simulator import simulate_activity
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.hls.report import run_hls
+from repro.hls.resources import ResourceUsage
+from repro.power.device import ZCU102, DeviceModel
+from repro.power.ground_truth import GroundTruthPowerModel, PowerMeasurement
+from repro.power.placement import PlacementSurrogate
+from repro.power.runtime import RuntimeModel
+from repro.power.vivado import VivadoCalibration, VivadoPowerEstimator
+
+
+def test_device_constants_are_physical():
+    assert ZCU102.voltage > 0
+    assert ZCU102.frequency == 100e6
+    assert ZCU102.vdd_squared_f == pytest.approx(0.85**2 * 100e6)
+    assert 0 <= ZCU102.power_gating_efficiency <= 1
+
+
+def test_placement_capacitance_scales_with_width_and_size():
+    placement = PlacementSurrogate()
+    small = ResourceUsage(500, 800, 4, 2)
+    large = ResourceUsage(20000, 30000, 60, 30)
+    narrow = placement.net_capacitance("d", "n1", bitwidth=8, resources=small)
+    wide = placement.net_capacitance("d", "n1", bitwidth=32, resources=small)
+    far = placement.net_capacitance("d", "n1", bitwidth=32, resources=large)
+    assert wide.capacitance > narrow.capacitance
+    assert far.capacitance > wide.capacitance
+    assert far.wirelength > wide.wirelength
+
+
+def test_placement_jitter_is_deterministic_but_net_specific():
+    placement = PlacementSurrogate(seed=1)
+    resources = ResourceUsage(1000, 1000, 4, 2)
+    a1 = placement.net_capacitance("design", "netA", 32, resources)
+    a2 = placement.net_capacitance("design", "netA", 32, resources)
+    b = placement.net_capacitance("design", "netB", 32, resources)
+    assert a1 == a2
+    assert a1.capacitance != b.capacitance
+
+
+def test_ground_truth_breakdown_and_measurement(gemm_baseline_result, gemm_activity):
+    model = GroundTruthPowerModel(seed=0, noise=False)
+    breakdown = model.breakdown(gemm_baseline_result, gemm_activity)
+    assert breakdown.net_power > 0
+    assert breakdown.static > breakdown.static_base
+    measurement = model.measure(gemm_baseline_result, gemm_activity)
+    assert measurement.total == pytest.approx(measurement.dynamic + measurement.static)
+    assert 0.2 < measurement.total < 3.0
+    assert 0.001 < measurement.dynamic < 1.0
+
+
+def test_measurement_noise_is_reproducible(gemm_baseline_result, gemm_activity):
+    a = GroundTruthPowerModel(seed=5).measure(gemm_baseline_result, gemm_activity)
+    b = GroundTruthPowerModel(seed=5).measure(gemm_baseline_result, gemm_activity)
+    c = GroundTruthPowerModel(seed=6).measure(gemm_baseline_result, gemm_activity)
+    assert a.total == b.total
+    assert a.total != c.total
+
+
+def test_dynamic_power_grows_with_parallelism(gemm_kernel):
+    model = GroundTruthPowerModel(noise=False)
+    baseline = run_hls(gemm_kernel)
+    unrolled = run_hls(
+        gemm_kernel,
+        DesignDirectives.from_dicts(
+            {"k0": LoopPragmas(unroll_factor=3, pipeline=True)},
+            {"A": ArrayPartition(4), "B": ArrayPartition(4)},
+        ),
+    )
+    baseline_power = model.measure(baseline, simulate_activity(baseline.design, seed=1))
+    unrolled_power = model.measure(unrolled, simulate_activity(unrolled.design, seed=1))
+    assert unrolled_power.dynamic > baseline_power.dynamic
+
+
+def test_dynamic_power_depends_on_data_profile(gemm_baseline_result, gemm_kernel):
+    from repro.activity.stimuli import generate_stimuli
+
+    model = GroundTruthPowerModel(noise=False)
+    active = model.measure(
+        gemm_baseline_result,
+        simulate_activity(gemm_baseline_result.design, stimuli=generate_stimuli(gemm_kernel, 0, "uniform")),
+    )
+    quiet = model.measure(
+        gemm_baseline_result,
+        simulate_activity(gemm_baseline_result.design, stimuli=generate_stimuli(gemm_kernel, 0, "sparse")),
+    )
+    assert active.dynamic > quiet.dynamic
+
+
+def test_power_measurement_validation():
+    with pytest.raises(ValueError):
+        PowerMeasurement(total=0.0, dynamic=0.0, static=0.0)
+
+
+def test_vivado_estimator_overestimates_static(gemm_baseline_result, gemm_activity):
+    estimate = VivadoPowerEstimator().estimate(gemm_baseline_result, gemm_activity)
+    measured = GroundTruthPowerModel(noise=False).measure(gemm_baseline_result, gemm_activity)
+    # No power gating: the raw static estimate far exceeds the measurement.
+    assert estimate.static > measured.static * 1.5
+    assert estimate.total > measured.total
+
+
+def test_vivado_calibration_reduces_error():
+    rng = np.random.default_rng(0)
+    measured = rng.uniform(0.5, 1.0, 30)
+    raw = 1.8 * measured + 0.9 + rng.normal(0, 0.01, 30)
+    calibration = VivadoCalibration().fit(raw, measured, raw * 0.3, measured * 0.3)
+    calibrated = calibration.calibrate_total(raw)
+    assert np.mean(np.abs(calibrated - measured) / measured) < 0.05
+    with pytest.raises(RuntimeError):
+        VivadoCalibration().calibrate_total(raw)
+
+
+def test_runtime_model_speedup_in_paper_range(small_dataset):
+    ratios = [s.vivado_flow_seconds / s.powergear_flow_seconds for s in small_dataset]
+    assert min(ratios) > 1.0
+    assert max(ratios) < 30.0
+    assert 1.3 < float(np.mean(ratios)) < 12.0
+
+
+def test_runtime_model_components(gemm_baseline_result):
+    runtimes = RuntimeModel().runtimes(gemm_baseline_result)
+    assert runtimes.vivado_flow_seconds > runtimes.powergear_flow_seconds
+    assert runtimes.hls_seconds > 0
+    assert runtimes.speedup > 1.0
+
+
+def test_custom_device_model_changes_power(gemm_baseline_result, gemm_activity):
+    hot_device = DeviceModel(
+        **{**ZCU102.__dict__, "name": "hot", "base_static_power": ZCU102.base_static_power * 2}
+    )
+    base = GroundTruthPowerModel(noise=False).measure(gemm_baseline_result, gemm_activity)
+    hot = GroundTruthPowerModel(device=hot_device, noise=False).measure(
+        gemm_baseline_result, gemm_activity
+    )
+    assert hot.static > base.static

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.activity.tracer import ValueStreamStats
+from repro.dse.pareto import adrs, pareto_front
+from repro.graph.hetero_graph import HeteroGraph, relation_type_index
+from repro.ir.bitpack import hamming_distance, to_bits
+from repro.ir.types import IntType
+from repro.nn.tensor import Tensor
+from repro.utils.metrics import mape
+
+
+# --------------------------------------------------------------------------- bit packing
+
+
+@given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+def test_hamming_distance_is_a_metric(a, b):
+    ty = IntType(32)
+    bits_a, bits_b = to_bits(a, ty), to_bits(b, ty)
+    assert hamming_distance(bits_a, bits_a) == 0
+    assert hamming_distance(bits_a, bits_b) == hamming_distance(bits_b, bits_a)
+    assert 0 <= hamming_distance(bits_a, bits_b) <= 32
+
+
+@given(st.integers(-(2**15), 2**15 - 1))
+def test_to_bits_width_bound(value):
+    assert 0 <= to_bits(value, IntType(16)) < 2**16
+
+
+# --------------------------------------------------------------------------- activity stats
+
+
+@given(st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=40))
+def test_value_stream_stats_invariants(values):
+    stats = ValueStreamStats(bit_width=16)
+    for value in values:
+        stats.observe(value)
+    assert stats.exec_count == len(values)
+    assert 0 <= stats.change_count <= len(values) - 1
+    assert stats.hamming_sum <= 16 * stats.change_count
+    assert stats.switching_activity(100) >= 0
+    assert stats.activation_rate(100) <= (len(values) - 1) / 100 + 1e-12
+
+
+@given(
+    st.lists(st.integers(0, 255), min_size=1, max_size=20),
+    st.lists(st.integers(0, 255), min_size=1, max_size=20),
+)
+def test_value_stream_merge_is_additive(first, second):
+    a = ValueStreamStats(bit_width=8)
+    b = ValueStreamStats(bit_width=8)
+    for value in first:
+        a.observe(value)
+    for value in second:
+        b.observe(value)
+    merged = a.merged_with(b)
+    assert merged.exec_count == a.exec_count + b.exec_count
+    assert merged.hamming_sum == a.hamming_sum + b.hamming_sum
+    assert merged.change_count == a.change_count + b.change_count
+
+
+# --------------------------------------------------------------------------- pareto
+
+
+@st.composite
+def objective_sets(draw):
+    count = draw(st.integers(2, 30))
+    latencies = draw(
+        st.lists(st.floats(1.0, 1e4, allow_nan=False), min_size=count, max_size=count)
+    )
+    powers = draw(
+        st.lists(st.floats(0.01, 10.0, allow_nan=False), min_size=count, max_size=count)
+    )
+    return np.stack([latencies, powers], axis=1)
+
+
+@given(objective_sets())
+@settings(max_examples=50)
+def test_pareto_front_points_are_mutually_nondominated(points):
+    front = pareto_front(points)
+    assert len(front) >= 1
+    for i in front:
+        for j in front:
+            if i == j:
+                continue
+            dominates = (
+                points[j, 0] <= points[i, 0]
+                and points[j, 1] <= points[i, 1]
+                and (points[j, 0] < points[i, 0] or points[j, 1] < points[i, 1])
+            )
+            assert not dominates
+
+
+@given(objective_sets())
+@settings(max_examples=50)
+def test_adrs_non_negative_and_zero_against_itself(points):
+    front = points[pareto_front(points)]
+    assert adrs(front, front) == 0.0
+    assert adrs(front, points) >= 0.0
+
+
+# --------------------------------------------------------------------------- metrics
+
+
+@given(
+    st.lists(st.floats(0.1, 100.0, allow_nan=False), min_size=1, max_size=30),
+    st.floats(0.5, 2.0, allow_nan=False),
+)
+def test_mape_scale_invariance(targets, scale):
+    targets = np.array(targets)
+    predictions = targets * 1.07
+    assert abs(mape(targets, predictions) - 7.0) < 1e-6
+    assert abs(mape(targets * scale, predictions * scale) - mape(targets, predictions)) < 1e-6
+
+
+# --------------------------------------------------------------------------- autograd
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(1, 5),
+    st.integers(1, 4),
+)
+def test_matmul_gradient_shapes(n, m, k):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(n, m)), requires_grad=True)
+    b = Tensor(rng.normal(size=(m, k)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == a.shape
+    assert b.grad.shape == b.shape
+    # d(sum(AB))/dA = 1 @ B^T
+    assert np.allclose(a.grad, np.ones((n, k)) @ b.data.T)
+
+
+@given(st.integers(2, 20), st.integers(1, 5), st.integers(1, 4))
+def test_segment_sum_conserves_mass(rows, cols, segments):
+    rng = np.random.default_rng(1)
+    x = Tensor(rng.normal(size=(rows, cols)))
+    index = rng.integers(0, segments, size=rows)
+    summed = x.segment_sum(index, segments)
+    assert np.allclose(summed.data.sum(axis=0), x.data.sum(axis=0))
+
+
+# --------------------------------------------------------------------------- hetero graph
+
+
+@st.composite
+def small_graphs(draw):
+    num_nodes = draw(st.integers(2, 12))
+    num_edges = draw(st.integers(1, 30))
+    rng = np.random.default_rng(draw(st.integers(0, 1000)))
+    edge_index = rng.integers(0, num_nodes, size=(2, num_edges))
+    node_is_arithmetic = rng.random(num_nodes) > 0.5
+    edge_types = np.array(
+        [
+            relation_type_index(bool(node_is_arithmetic[s]), bool(node_is_arithmetic[d]))
+            for s, d in zip(edge_index[0], edge_index[1])
+        ]
+    )
+    return HeteroGraph(
+        node_features=rng.random((num_nodes, 5)),
+        edge_index=edge_index,
+        edge_features=rng.random((num_edges, 4)),
+        edge_types=edge_types,
+        metadata=rng.random(3),
+        node_is_arithmetic=node_is_arithmetic,
+    )
+
+
+@given(st.lists(small_graphs(), min_size=1, max_size=5))
+@settings(max_examples=30)
+def test_batching_preserves_counts_and_degree_sums(graphs):
+    batch = HeteroGraph.batch_graphs(graphs)
+    assert batch.num_nodes == sum(g.num_nodes for g in graphs)
+    assert batch.num_edges == sum(g.num_edges for g in graphs)
+    assert batch.in_degrees().sum() == sum(g.in_degrees().sum() for g in graphs)
+    assert batch.metadata.shape[0] == len(graphs)
+
+
+@given(small_graphs())
+@settings(max_examples=30)
+def test_undirected_relation_consistency(graph):
+    symmetric = graph.undirected()
+    assert symmetric.num_edges == 2 * graph.num_edges
+    for position in range(symmetric.num_edges):
+        src, dst = symmetric.edge_index[:, position]
+        expected = relation_type_index(
+            bool(symmetric.node_is_arithmetic[src]), bool(symmetric.node_is_arithmetic[dst])
+        )
+        assert symmetric.edge_types[position] == expected

@@ -1,0 +1,58 @@
+"""Tests for repro.utils.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.utils.metrics import (
+    absolute_percentage_errors,
+    mape,
+    mean_absolute_error,
+    relative_gain,
+    root_mean_squared_error,
+)
+
+
+def test_mape_exact_prediction_is_zero():
+    assert mape([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+
+def test_mape_known_value():
+    # 10 % error on each of two samples.
+    assert mape([1.0, 2.0], [1.1, 1.8]) == pytest.approx(10.0)
+
+
+def test_absolute_percentage_errors_per_sample():
+    errors = absolute_percentage_errors([2.0, 4.0], [2.2, 3.0])
+    assert errors == pytest.approx([10.0, 25.0])
+
+
+def test_mape_rejects_zero_targets():
+    with pytest.raises(ValueError):
+        mape([0.0, 1.0], [1.0, 1.0])
+
+
+def test_mape_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        mape([1.0, 2.0], [1.0])
+
+
+def test_mape_rejects_empty():
+    with pytest.raises(ValueError):
+        mape([], [])
+
+
+def test_mae_and_rmse():
+    y_true = np.array([1.0, 2.0, 3.0])
+    y_pred = np.array([2.0, 2.0, 5.0])
+    assert mean_absolute_error(y_true, y_pred) == pytest.approx(1.0)
+    assert root_mean_squared_error(y_true, y_pred) == pytest.approx(np.sqrt(5.0 / 3.0))
+
+
+def test_relative_gain_matches_paper_usage():
+    # Table III style: ADRS 0.1050 -> 0.0981 is a ~6.6 % gain.
+    assert relative_gain(0.1050, 0.0981) == pytest.approx(6.571, abs=1e-3)
+
+
+def test_relative_gain_rejects_zero_baseline():
+    with pytest.raises(ValueError):
+        relative_gain(0.0, 1.0)

@@ -8,18 +8,24 @@ The example walks through the whole flow of Fig. 1 at a small scale:
 2. train PowerGear (the HEC-GNN estimator) on all kernels except one;
 3. predict total and dynamic power for the held-out kernel's design points and
    compare against the measured labels — no RTL implementation or measurement
-   is needed for the new designs, which is the point of the paper.
+   is needed for the new designs, which is the point of the paper;
+4. save the fitted estimator as a versioned registry artifact, reload it from
+   disk and verify the reloaded model reproduces the predictions exactly —
+   the durable-artifact flow the serving layer (``repro.serve``) builds on.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import tempfile
+
 import numpy as np
 
 from repro import DatasetConfig, DatasetGenerator, PowerGear, PowerGearConfig
 from repro.gnn.config import GNNConfig
 from repro.gnn.trainer import TrainingConfig
+from repro.serve import ModelRegistry
 from repro.utils.metrics import mape
 
 
@@ -37,6 +43,7 @@ def main() -> None:
     print(f"  training on {sorted(train.kernels())}, testing on ['gemm']")
 
     # ----------------------------------------------------------------- train
+    models: dict[str, PowerGear] = {}
     for target in ("dynamic", "total"):
         model = PowerGear(
             PowerGearConfig(
@@ -51,6 +58,7 @@ def main() -> None:
         print(f"\nTraining PowerGear for {target} power "
               f"({model.config.training.epochs} epochs)...")
         model.fit(train.samples)
+        models[target] = model
 
         # ------------------------------------------------------------- infer
         predictions = model.predict(test.samples)
@@ -60,6 +68,24 @@ def main() -> None:
         worst = int(np.argmax(np.abs(predictions - targets) / targets))
         print(f"  example: design '{test[worst].directives}' measured "
               f"{targets[worst]:.3f} W, predicted {predictions[worst]:.3f} W")
+
+    # ------------------------------------------------------- durable artifact
+    # Serving deployments never keep models in process memory only: the model
+    # registry turns a fitted estimator into a versioned on-disk artifact that
+    # loads back bit-exactly (see repro.serve for the full serving stack).
+    with tempfile.TemporaryDirectory(prefix="powergear-registry-") as root:
+        registry = ModelRegistry(root)
+        artifact = registry.save(
+            models["dynamic"], "quickstart-dynamic", metadata={"held_out": "gemm"}
+        )
+        print(f"\nSaved the dynamic-power model to {artifact.path}")
+        print(f"  fingerprint {artifact.fingerprint[:16]}…")
+
+        reloaded = registry.load("quickstart-dynamic")
+        in_memory = models["dynamic"].predict(test.samples)
+        from_disk = reloaded.predict(test.samples)
+        assert np.array_equal(in_memory, from_disk)
+        print("  reloaded from disk: predictions identical to the in-memory model")
 
 
 if __name__ == "__main__":

@@ -13,8 +13,11 @@ This package re-implements the full PowerGear system from DATE 2022:
 * a numpy autograd / neural-network substrate (:mod:`repro.nn`),
 * HEC-GNN and the baseline GNNs (:mod:`repro.gnn`),
 * the HL-Pow baseline (:mod:`repro.baselines`),
-* Pareto-guided design-space exploration (:mod:`repro.dse`), and
-* the end-to-end PowerGear flow (:mod:`repro.flow`).
+* Pareto-guided design-space exploration (:mod:`repro.dse`),
+* the end-to-end PowerGear flow (:mod:`repro.flow`), and
+* the serving subsystem (:mod:`repro.serve`): versioned model registry,
+  batched inference, content-addressed caching and the
+  ``PowerEstimationService`` façade.
 """
 
 from repro.flow.powergear import PowerGear, PowerGearConfig

@@ -78,6 +78,10 @@ class DSEResult:
     exact_pareto_indices: list[int]
     adrs: float
     history: list[dict] = field(default_factory=list)
+    #: Predicted dynamic power of every sampled candidate, by candidate index.
+    #: Exposed so callers (e.g. the serving layer) can reuse or cache the
+    #: predictor outputs the exploration already paid for.
+    predictions: dict[int, float] = field(default_factory=dict)
 
     @property
     def num_sampled(self) -> int:
@@ -144,6 +148,7 @@ class ParetoExplorer:
             exact_pareto_indices=exact,
             adrs=adrs_value,
             history=history,
+            predictions=dict(predictions),
         )
 
     # --------------------------------------------------------------- internals

@@ -52,16 +52,18 @@ def pareto_front(points) -> np.ndarray:
     best_power = np.inf
     for index in order:
         power = matrix[index, 1]
-        if power < best_power - 1e-15:
+        if power < best_power:
             front.append(int(index))
             best_power = power
-        else:
-            # Same latency / power as an existing frontier point is kept only
-            # if it is an exact duplicate of the current best power.
-            if front and np.isclose(power, best_power) and np.isclose(
-                matrix[index, 0], matrix[front[-1], 0]
-            ):
-                front.append(int(index))
+        elif (
+            front
+            and power == best_power
+            and matrix[index, 0] == matrix[front[-1], 0]
+        ):
+            # Exact duplicates of a frontier point are all retained; anything
+            # merely *close* to the frontier is dominated and must be dropped,
+            # otherwise the front is not mutually non-dominated.
+            front.append(int(index))
     return np.array(sorted(front), dtype=int)
 
 

@@ -34,7 +34,11 @@ from repro.hls.pragmas import DesignDirectives
 from repro.hls.report import HLSReport, HLSResult, TARGET_CLOCK_NS, _achieved_clock_ns
 from repro.hls.resources import ResourceEstimator
 from repro.hls.scheduling import Scheduler
-from repro.kernels.design_space import DesignSpace, generate_design_space
+from repro.kernels.design_space import (
+    DesignSpace,
+    baseline_directives,
+    generate_design_space,
+)
 from repro.kernels.polybench import polybench_kernel, polybench_names
 from repro.kernels.spec import KernelSpec
 from repro.power.ground_truth import GroundTruthPowerModel
@@ -84,6 +88,9 @@ class DatasetGenerator:
         )
         self.vivado = VivadoPowerEstimator()
         self.runtime_model = RuntimeModel()
+        #: Per-kernel (stimuli, lowered_cache, profile_cache, baseline_report)
+        #: memoised across :meth:`featurise` calls (the serving path).
+        self._serving_state: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------ public
 
@@ -129,6 +136,47 @@ class DatasetGenerator:
                 baseline_report = sample.extras["report"]
             dataset.add(sample)
         return dataset
+
+    def featurise(
+        self,
+        kernel: KernelSpec | str,
+        directives_list: list[DesignDirectives],
+    ) -> list[GraphSample]:
+        """Featurise specific design points of one kernel (the serving path).
+
+        Runs the same pipeline as :meth:`generate_from_design_space` — HLS,
+        activity tracing, graph construction, labels — for an explicit list of
+        directives.  Deterministic: featurising the same ``(kernel,
+        directives)`` twice produces identical samples, which is what lets the
+        serving cache treat that pair as a content address.
+        """
+        if isinstance(kernel, str):
+            kernel = polybench_kernel(kernel, self.config.kernel_size)
+        state = self._serving_state.get(kernel.name)
+        if state is None:
+            # The stimuli, the baseline report and the lowering / activity
+            # caches are deterministic per (kernel, config); memoise them on
+            # the generator so a stream of single-design featurisation
+            # requests does not re-run the baseline HLS flow every time.
+            stimuli = StimulusGenerator(
+                seed=derive_seed(self.config.stimulus_seed, kernel.name),
+                profile=self.config.stimulus_profile,
+            ).for_kernel(kernel)
+            lowered_cache: dict[tuple, LoweredDesign] = {}
+            profile_cache: dict[tuple, ActivityProfile] = {}
+            baseline_design = self._lowered_design(
+                kernel, baseline_directives(kernel), lowered_cache
+            )
+            baseline_report = self._run_backend(baseline_design).report
+            state = (stimuli, lowered_cache, profile_cache, baseline_report)
+            self._serving_state[kernel.name] = state
+        stimuli, lowered_cache, profile_cache, baseline_report = state
+        return [
+            self._generate_sample(
+                kernel, directives, stimuli, lowered_cache, profile_cache, baseline_report
+            )
+            for directives in directives_list
+        ]
 
     def generate(self, kernel_names: list[str] | None = None) -> GraphDataset:
         """Generate the combined dataset of several (default: all nine) kernels."""

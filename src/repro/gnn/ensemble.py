@@ -17,10 +17,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.gnn.base import PowerGNN
+from repro.gnn.base import GraphBatch, PowerGNN
 from repro.gnn.config import GNNConfig
 from repro.gnn.trainer import Trainer, TrainingConfig
 from repro.graph.dataset import GraphDataset, GraphSample
+from repro.graph.hetero_graph import HeteroGraph
 
 
 @dataclass(frozen=True)
@@ -46,11 +47,17 @@ class EnsembleConfig:
 
 
 @dataclass
-class _EnsembleMember:
+class EnsembleMember:
+    """One trained (fold, seed) member of the ensemble."""
+
     model: PowerGNN
     fold: int
     seed: int
     validation_error: float
+
+
+#: Backwards-compatible alias (the class used to be module-private).
+_EnsembleMember = EnsembleMember
 
 
 class EnsembleRegressor:
@@ -67,7 +74,7 @@ class EnsembleRegressor:
         self.model_config = model_config
         self.training_config = training_config
         self.ensemble_config = ensemble_config or EnsembleConfig()
-        self.members: list[_EnsembleMember] = []
+        self.members: list[EnsembleMember] = []
 
     # ------------------------------------------------------------------ fitting
 
@@ -93,7 +100,7 @@ class EnsembleRegressor:
                 trainer.fit(model, train_samples, validation_samples=valid_samples)
                 validation_error = trainer.evaluate(model, valid_samples)
                 self.members.append(
-                    _EnsembleMember(
+                    EnsembleMember(
                         model=model,
                         fold=fold_index,
                         seed=seed,
@@ -111,6 +118,36 @@ class EnsembleRegressor:
         graphs = [s.graph for s in samples]
         predictions = np.stack([member.model.predict(graphs) for member in self.members])
         return predictions.mean(axis=0)
+
+    def predict_batch(
+        self, samples: list[GraphSample], batch_size: int | None = None
+    ) -> np.ndarray:
+        """Batched ensemble prediction: one vectorised forward pass per member.
+
+        Graphs are packed into a block-diagonal mega-graph which is *prepared*
+        (ablation transforms) and wrapped into a :class:`GraphBatch` once, then
+        shared by every member — all members are built from the same
+        :class:`~repro.gnn.config.GNNConfig` (only the seed differs), so their
+        graph transforms and relation bookkeeping are identical.
+        """
+        if not self.members:
+            raise RuntimeError("the ensemble has not been fitted")
+        if not samples:
+            return np.zeros(0)
+        graphs = [s.graph for s in samples]
+        chunk_size = len(graphs) if batch_size is None else max(1, batch_size)
+        outputs = np.zeros(len(graphs))
+        reference = self.members[0].model
+        for start in range(0, len(graphs), chunk_size):
+            chunk = graphs[start : start + chunk_size]
+            batch = GraphBatch.from_graph(
+                reference.prepare_graph(HeteroGraph.pack(chunk))
+            )
+            member_predictions = np.stack(
+                [member.model.predict_prepared(batch) for member in self.members]
+            )
+            outputs[start : start + len(chunk)] = member_predictions.mean(axis=0)
+        return outputs
 
     def validation_errors(self) -> list[float]:
         return [member.validation_error for member in self.members]

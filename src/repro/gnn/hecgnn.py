@@ -79,14 +79,15 @@ class HECGNNConv(Module):
         aggregated: Tensor | None = None
         relations = num_relations(self.config)
         for relation in range(relations):
-            if relations == 1:
-                mask = np.ones(batch.edge_index.shape[1], dtype=bool)
-            else:
-                mask = batch.edge_types == relation
-            if not mask.any():
+            edge_ids = batch.relation_edge_ids(relation, relations)
+            if edge_ids.size == 0:
                 continue
-            edge_ids = np.nonzero(mask)[0]
-            relation_messages = messages.gather_rows(edge_ids) @ self.relation_weights[relation]
+            if edge_ids.size == batch.num_edges:
+                relation_messages = messages @ self.relation_weights[relation]
+            else:
+                relation_messages = (
+                    messages.gather_rows(edge_ids) @ self.relation_weights[relation]
+                )
             destinations = batch.edge_index[1][edge_ids]
             summed = relation_messages.segment_sum(destinations, batch.num_nodes)
             aggregated = summed if aggregated is None else aggregated + summed

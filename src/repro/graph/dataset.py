@@ -224,6 +224,23 @@ class GraphDataset:
 
     # ------------------------------------------------------------ persistence
 
+    @staticmethod
+    def _json_safe_extras(extras: dict) -> dict:
+        """The JSON-serialisable subset of a sample's ``extras``.
+
+        Heavyweight pipeline objects (HLS reports, designs) are dropped;
+        bookkeeping values such as ``config_vector`` survive the round trip so
+        loaded datasets can still drive the DSE explorer.
+        """
+        safe: dict = {}
+        for key, value in extras.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                continue
+            safe[key] = value
+        return safe
+
     def save_npz(self, path: str | Path) -> None:
         """Serialise the dataset (graphs, labels, bookkeeping) into one ``.npz``."""
         path = Path(path)
@@ -251,6 +268,7 @@ class GraphDataset:
                     "powergear_flow_seconds": sample.powergear_flow_seconds,
                     "is_baseline": sample.is_baseline,
                     "node_names": sample.graph.node_names,
+                    "extras": self._json_safe_extras(sample.extras),
                 }
             )
         payload["sample_meta"] = np.frombuffer(
@@ -288,6 +306,7 @@ class GraphDataset:
                         vivado_flow_seconds=record["vivado_flow_seconds"],
                         powergear_flow_seconds=record["powergear_flow_seconds"],
                         is_baseline=record["is_baseline"],
+                        extras=dict(record.get("extras", {})),
                     )
                 )
         return GraphDataset(samples)

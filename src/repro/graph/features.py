@@ -21,6 +21,13 @@ from repro.graph.power_graph import PowerGraph, PowerGraphNode
 from repro.hls.report import HLSReport
 from repro.ir.instructions import Opcode
 
+#: Version of the featurisation scheme.  Any change to the feature layout
+#: below (one-hot vocabularies, numeric blocks, edge features, metadata) must
+#: bump this constant: it is part of the serving cache's content address and of
+#: registry manifests, so stale cached graphs and incompatible model artifacts
+#: are invalidated rather than silently mixed.
+FEATURE_VERSION: int = 1
+
 #: Operation-type categories used for the one-hot type feature.
 NODE_TYPE_CATEGORIES: tuple[str, ...] = (
     "memory",

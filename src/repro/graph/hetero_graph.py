@@ -156,6 +156,18 @@ class HeteroGraph:
     # --------------------------------------------------------------- batching
 
     @staticmethod
+    def pack(graphs: list["HeteroGraph"]) -> "HeteroGraph":
+        """Disjoint union, skipping the copy for a single-graph list.
+
+        The inference paths pack request chunks through this helper: for one
+        graph the original object is returned unchanged (its ``batch`` vector
+        already describes a one-graph batch).
+        """
+        if len(graphs) == 1:
+            return graphs[0]
+        return HeteroGraph.batch_graphs(graphs)
+
+    @staticmethod
     def batch_graphs(graphs: list["HeteroGraph"]) -> "HeteroGraph":
         """Disjoint union of several graphs into one batched graph."""
         if not graphs:
@@ -195,6 +207,49 @@ class HeteroGraph:
             batch=np.concatenate(batch),
             num_graphs=len(graphs),
         )
+
+    def node_counts(self) -> np.ndarray:
+        """Number of nodes of each member graph of a batch."""
+        counts = np.zeros(self.num_graphs, dtype=np.int64)
+        np.add.at(counts, self.batch, 1)
+        return counts
+
+    def edge_graph_ids(self) -> np.ndarray:
+        """Graph id of every edge (edges never cross member graphs)."""
+        if self.num_edges == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self.batch[self.edge_index[0]]
+
+    def unbatch(self) -> list["HeteroGraph"]:
+        """Inverse of :meth:`batch_graphs`: split a batch into member graphs.
+
+        Nodes of a member graph are contiguous in the batch (that is how
+        :meth:`batch_graphs` lays them out), so splitting is pure slicing.
+        """
+        if self.num_graphs == 1:
+            return [self]
+        node_offsets = np.concatenate([[0], np.cumsum(self.node_counts())])
+        edge_ids = self.edge_graph_ids()
+        metadata = self.metadata.reshape(self.num_graphs, -1)
+        graphs: list[HeteroGraph] = []
+        for graph_id in range(self.num_graphs):
+            lo, hi = int(node_offsets[graph_id]), int(node_offsets[graph_id + 1])
+            mask = edge_ids == graph_id
+            names = self.node_names[lo:hi] if len(self.node_names) == self.num_nodes else []
+            graphs.append(
+                HeteroGraph(
+                    node_features=self.node_features[lo:hi],
+                    edge_index=self.edge_index[:, mask] - lo,
+                    edge_features=self.edge_features[mask]
+                    if self.edge_features.size
+                    else self.edge_features[:0],
+                    edge_types=self.edge_types[mask],
+                    metadata=metadata[graph_id],
+                    node_is_arithmetic=self.node_is_arithmetic[lo:hi],
+                    node_names=list(names),
+                )
+            )
+        return graphs
 
     def edges_of_type(self, relation: int) -> np.ndarray:
         """Boolean mask of edges with the given relation index."""

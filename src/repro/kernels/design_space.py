@@ -49,6 +49,19 @@ def _divisor_factors(trip: int, factors: tuple[int, ...]) -> list[int]:
     return valid or [1]
 
 
+def partitioned_array_names(kernel: KernelSpec) -> list[str]:
+    """Arrays eligible for partitioning directives (the 2-D matrices)."""
+    return [spec.name for spec in kernel.arrays if len(spec.shape) >= 2]
+
+
+def baseline_directives(kernel: KernelSpec) -> DesignDirectives:
+    """The unoptimised baseline design point of ``kernel``'s design space."""
+    return DesignDirectives.from_dicts(
+        {loop.var: LoopPragmas() for loop in kernel.innermost_loops()},
+        {name: ArrayPartition() for name in partitioned_array_names(kernel)},
+    )
+
+
 def generate_design_space(
     kernel: KernelSpec,
     max_points: int = 60,
@@ -76,7 +89,7 @@ def generate_design_space(
 
     # Partition only the arrays that matter for memory bandwidth: the 2-D
     # arrays (matrices), which dominate port pressure in these kernels.
-    partitioned_arrays = [spec.name for spec in kernel.arrays if len(spec.shape) >= 2]
+    partitioned_arrays = partitioned_array_names(kernel)
     array_options: list[list[ArrayPartition]] = [
         [ArrayPartition(factor=f) for f in sorted(set(partition_factors))]
         for _ in partitioned_arrays
@@ -96,10 +109,7 @@ def generate_design_space(
     for options in array_options:
         total_combinations *= len(options)
 
-    baseline = DesignDirectives.from_dicts(
-        {name: LoopPragmas() for name in loop_names},
-        {name: ArrayPartition() for name in partitioned_arrays},
-    )
+    baseline = baseline_directives(kernel)
 
     points: list[DesignDirectives] = [baseline]
     seen = {baseline}

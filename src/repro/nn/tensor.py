@@ -40,6 +40,35 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
+def scatter_add_rows(
+    values: np.ndarray, index: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sum rows of ``values`` into ``num_segments`` buckets given by ``index``.
+
+    Equivalent to ``np.add.at(out, index, values)`` but built on
+    ``np.bincount``, which runs the accumulation in a tight C loop instead of
+    the buffered ``ufunc.at`` path — an order of magnitude faster on the
+    message-aggregation shapes used here.  Both variants add contributions in
+    row order, so the results are bitwise identical.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 1:
+        return np.bincount(index, weights=values, minlength=num_segments)
+    if values.ndim != 2:  # pragma: no cover - the models only use 1-D / 2-D
+        out = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
+        np.add.at(out, index, values)
+        return out
+    columns = values.shape[1]
+    if columns == 0 or values.shape[0] == 0:
+        return np.zeros((num_segments, columns), dtype=np.float64)
+    flat_index = (index[:, None] * columns + np.arange(columns)).ravel()
+    flat = np.bincount(
+        flat_index, weights=values.ravel(), minlength=num_segments * columns
+    )
+    return flat.reshape(num_segments, columns)
+
+
 def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``gradient`` back to ``shape`` after numpy broadcasting."""
     if gradient.shape == shape:
@@ -276,9 +305,7 @@ class Tensor:
         def backward(gradient: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            grad = np.zeros_like(self.data)
-            np.add.at(grad, index, gradient)
-            self._accumulate(grad)
+            self._accumulate(scatter_add_rows(gradient, index, self.data.shape[0]))
 
         return self._make(out_data, (self,), backward)
 
@@ -287,9 +314,7 @@ class Tensor:
         index = np.asarray(index, dtype=np.int64)
         if index.shape[0] != self.shape[0]:
             raise ValueError("segment index length must match the number of rows")
-        out_shape = (num_segments,) + self.data.shape[1:]
-        out_data = np.zeros(out_shape, dtype=np.float64)
-        np.add.at(out_data, index, self.data)
+        out_data = scatter_add_rows(self.data, index, num_segments)
 
         def backward(gradient: np.ndarray) -> None:
             if self.requires_grad:

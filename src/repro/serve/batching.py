@@ -1,0 +1,122 @@
+"""Block-diagonal graph packing with per-graph offset bookkeeping.
+
+Batched inference packs N heterogeneous graphs into one block-diagonal
+mega-graph (a disjoint union) so a whole request batch runs a single
+vectorised forward pass per ensemble member instead of N.  The in-process
+forward path lives in :mod:`repro.gnn` (``HeteroGraph.pack`` +
+``GraphBatch``); this module is the *serving-layer* view of a pack — the
+explicit bookkeeping that request splitting, result re-assembly and the
+planned sharded/async workers (see ROADMAP) need:
+
+* node / edge offsets of every member graph inside the pack,
+* per-relation edge counts per member graph (the heterogeneous structure),
+* splitting packed node- / edge- / graph-level results back per member.
+
+Predictions through the packed path are numerically identical (to
+floating-point round-off) to the per-sample loop: member-graph nodes stay
+contiguous, so every segment sum adds the same values in the same order, and
+all dense layers act row-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.dataset import GraphSample
+from repro.graph.hetero_graph import RELATION_TYPES, HeteroGraph
+
+
+@dataclass
+class PackedBatch:
+    """One block-diagonal mega-graph plus its per-member bookkeeping."""
+
+    graph: HeteroGraph
+    #: ``node_offsets[i] : node_offsets[i + 1]`` are graph ``i``'s node rows.
+    node_offsets: np.ndarray
+    #: ``edge_offsets[i] : edge_offsets[i + 1]`` are graph ``i``'s edge columns.
+    edge_offsets: np.ndarray
+    #: ``relation_edge_counts[i, r]`` is the number of relation-``r`` edges of
+    #: graph ``i`` (rows sum to the graph's edge count).
+    relation_edge_counts: np.ndarray
+
+    @property
+    def num_graphs(self) -> int:
+        return self.graph.num_graphs
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def node_slice(self, graph_id: int) -> slice:
+        return slice(int(self.node_offsets[graph_id]), int(self.node_offsets[graph_id + 1]))
+
+    def edge_slice(self, graph_id: int) -> slice:
+        return slice(int(self.edge_offsets[graph_id]), int(self.edge_offsets[graph_id + 1]))
+
+    def split_node_values(self, values: np.ndarray) -> list[np.ndarray]:
+        """Split a per-node array (first axis = packed nodes) per member graph."""
+        values = np.asarray(values)
+        if values.shape[0] != self.num_nodes:
+            raise ValueError("per-node values disagree with the packed node count")
+        return [values[self.node_slice(i)] for i in range(self.num_graphs)]
+
+    def split_edge_values(self, values: np.ndarray) -> list[np.ndarray]:
+        """Split a per-edge array (first axis = packed edges) per member graph."""
+        values = np.asarray(values)
+        if values.shape[0] != self.num_edges:
+            raise ValueError("per-edge values disagree with the packed edge count")
+        return [values[self.edge_slice(i)] for i in range(self.num_graphs)]
+
+    def split_graph_values(self, values: np.ndarray) -> np.ndarray:
+        """Validate and return a per-graph result vector (e.g. predictions)."""
+        values = np.asarray(values).reshape(-1)
+        if values.shape[0] != self.num_graphs:
+            raise ValueError("per-graph values disagree with the packed graph count")
+        return values
+
+
+def pack_graphs(graphs: list[HeteroGraph]) -> PackedBatch:
+    """Pack ``graphs`` into one block-diagonal mega-graph with bookkeeping."""
+    if not graphs:
+        raise ValueError("cannot pack an empty list of graphs")
+    merged = HeteroGraph.pack(graphs)
+    node_offsets = np.zeros(len(graphs) + 1, dtype=np.int64)
+    edge_offsets = np.zeros(len(graphs) + 1, dtype=np.int64)
+    relation_edge_counts = np.zeros((len(graphs), len(RELATION_TYPES)), dtype=np.int64)
+    for index, graph in enumerate(graphs):
+        node_offsets[index + 1] = node_offsets[index] + graph.num_nodes
+        edge_offsets[index + 1] = edge_offsets[index] + graph.num_edges
+        if graph.num_edges:
+            np.add.at(relation_edge_counts[index], graph.edge_types, 1)
+    return PackedBatch(
+        graph=merged,
+        node_offsets=node_offsets,
+        edge_offsets=edge_offsets,
+        relation_edge_counts=relation_edge_counts,
+    )
+
+
+def pack_samples(samples: list[GraphSample]) -> PackedBatch:
+    """Pack the graphs of ``samples`` (order preserved)."""
+    return pack_graphs([sample.graph for sample in samples])
+
+
+def iter_chunks(count: int, chunk_size: int | None):
+    """Yield ``slice`` objects covering ``range(count)`` in chunks.
+
+    ``chunk_size=None`` means one chunk covering everything; ``count == 0``
+    yields nothing.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    size = max(count, 1) if chunk_size is None else chunk_size
+    for start in range(0, count, size):
+        yield slice(start, min(start + size, count))

@@ -1,0 +1,184 @@
+"""Content-addressed inference cache for the power-estimation service.
+
+Serving a DSE loop hits the same designs over and over: the explorer
+re-visits design points, different requests sweep overlapping pragma
+configurations, and every estimate needs the same two expensive steps —
+featurisation (HLS → activity → graph) and model inference.  Both are pure
+functions of their inputs here (the whole pipeline is deterministic), so they
+are memoised under content addresses:
+
+* **featurisation** is keyed by ``sha256(kernel, directives, feature-version)``
+  — the feature version (:data:`repro.graph.features.FEATURE_VERSION`) is part
+  of the address so graphs featurised under an older scheme can never be
+  served to a model trained on a newer one;
+* **predictions** are keyed by a content hash of the sample's actual graph
+  data (:func:`sample_fingerprint`) *plus the model's weight fingerprint*, so
+  rolling a new registry version in automatically misses the old model's
+  predictions, and a client-supplied sample can never poison the predictions
+  of the service's own featurisation of the same directives.
+
+Both stores are bounded LRU maps with hit / miss / eviction counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.dataset import GraphSample
+from repro.graph.features import FEATURE_VERSION
+
+
+def content_key(kernel: str, directives: str, feature_version: int = FEATURE_VERSION) -> str:
+    """Content address of one design point's featurisation."""
+    digest = hashlib.sha256()
+    for part in (kernel, directives, str(int(feature_version))):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def sample_fingerprint(sample: GraphSample) -> str:
+    """Content hash of a sample's actual graph data.
+
+    Predictions are keyed by this (plus the model fingerprint) rather than by
+    the ``(kernel, directives)`` address: a client-supplied sample whose graph
+    differs from the service's own featurisation of the same directives (other
+    dataset config, stale feature scheme) then gets its own cache entry
+    instead of poisoning the canonical one.
+    """
+    graph = sample.graph
+    digest = hashlib.sha256()
+    digest.update(f"{sample.kernel}\x00{sample.directives}\x00{FEATURE_VERSION}".encode("utf-8"))
+    for block in (
+        graph.node_features,
+        graph.edge_index,
+        graph.edge_features,
+        graph.edge_types,
+        graph.metadata,
+        graph.node_is_arithmetic,
+    ):
+        digest.update(b"\x00")
+        digest.update(np.ascontiguousarray(block).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / eviction counters of one LRU store."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class LRUStore:
+    """A bounded least-recently-used map with stats."""
+
+    max_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        """Return the cached value or ``None``; refreshes recency on hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class InferenceCache:
+    """Featurisation + prediction memoisation shared across requests."""
+
+    def __init__(
+        self, max_samples: int = 4096, max_predictions: int = 65536
+    ) -> None:
+        self.samples = LRUStore(max_entries=max_samples)
+        self.predictions = LRUStore(max_entries=max_predictions)
+
+    # -------------------------------------------------------------------- keys
+
+    @staticmethod
+    def sample_key(kernel: str, directives: str) -> str:
+        return content_key(kernel, directives)
+
+    @staticmethod
+    def prediction_key(sample_key: str, model_fingerprint: str) -> str:
+        return f"{sample_key}:{model_fingerprint}"
+
+    # ----------------------------------------------------------------- samples
+
+    def get_sample(self, kernel: str, directives: str) -> GraphSample | None:
+        return self.samples.get(self.sample_key(kernel, directives))
+
+    def put_sample(self, sample: GraphSample) -> str:
+        key = self.sample_key(sample.kernel, sample.directives)
+        self.samples.put(key, sample)
+        return key
+
+    # -------------------------------------------------------------- predictions
+
+    def get_prediction(self, sample_key: str, model_fingerprint: str) -> float | None:
+        return self.predictions.get(self.prediction_key(sample_key, model_fingerprint))
+
+    def put_prediction(
+        self, sample_key: str, model_fingerprint: str, value: float
+    ) -> None:
+        self.predictions.put(
+            self.prediction_key(sample_key, model_fingerprint), float(value)
+        )
+
+    # -------------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        return {
+            "samples": self.samples.stats.as_dict(),
+            "predictions": self.predictions.stats.as_dict(),
+        }
+
+    def clear(self) -> None:
+        self.samples.clear()
+        self.predictions.clear()

@@ -1,0 +1,294 @@
+"""Versioned on-disk model registry for fitted :class:`PowerGear` estimators.
+
+An *artifact* is one directory::
+
+    <root>/<name>/v<version>/
+        manifest.json   # config, dims, member descriptors, fingerprint
+        weights.npz     # every parameter array + feature-scaler statistics
+
+``save`` serialises a fitted estimator — scaler statistics, every ensemble
+member's weights, and the full configuration — and ``load`` reconstructs it
+*bit-exactly*: the manifest stores the weight fingerprint at save time and the
+loader verifies the reconstructed model reproduces it, so a loaded model's
+predictions are guaranteed equal to the in-memory original's.
+
+The registry is append-only and versioned: saving the same name again creates
+``v2``, ``v3``, … so serving deployments can roll forward and back.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__ as LIBRARY_VERSION
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.ensemble import EnsembleMember, EnsembleRegressor
+from repro.graph.dataset import FeatureScaler
+from repro.graph.features import FEATURE_VERSION
+
+#: Bumped when the artifact layout changes incompatibly.
+REGISTRY_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+WEIGHTS_NAME = "weights.npz"
+
+_SCALER_BLOCKS = (
+    "node_mean",
+    "node_std",
+    "edge_mean",
+    "edge_std",
+    "meta_mean",
+    "meta_std",
+)
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """Handle to one saved model version."""
+
+    name: str
+    version: int
+    path: Path
+    manifest: dict
+
+    @property
+    def fingerprint(self) -> str:
+        return self.manifest["fingerprint"]
+
+
+# --------------------------------------------------------------------- config i/o
+
+#: Aliases kept for the public serve API; the canonical implementation lives
+#: on :class:`PowerGearConfig` so that fingerprints and manifests agree.
+config_to_dict = PowerGearConfig.to_dict
+config_from_dict = PowerGearConfig.from_dict
+
+
+# ------------------------------------------------------------------------ registry
+
+
+class ModelRegistry:
+    """Save / load fitted :class:`PowerGear` estimators as versioned artifacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------- listing
+
+    def list_models(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and self.versions(entry.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Versions with a complete (manifested) artifact, ascending."""
+        return self._scan_versions(name, complete_only=True)
+
+    def _scan_versions(self, name: str, complete_only: bool) -> list[int]:
+        model_dir = self.root / self._check_name(name)
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            if not entry.is_dir() or not entry.name.startswith("v"):
+                continue
+            if complete_only and not (entry / MANIFEST_NAME).is_file():
+                continue
+            try:
+                found.append(int(entry.name[1:]))
+            except ValueError:
+                continue
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"registry has no model named {name!r}")
+        return versions[-1]
+
+    # --------------------------------------------------------------------- save
+
+    def save(
+        self, model: PowerGear, name: str, metadata: dict | None = None
+    ) -> ModelArtifact:
+        """Persist a fitted estimator and return the new artifact handle."""
+        if model.ensemble is None and model.model is None:
+            raise ValueError("cannot save an unfitted PowerGear")
+        if model._dims is None:
+            raise ValueError("fitted model is missing its feature dimensions")
+        name = self._check_name(name)
+        # Count incomplete (manifest-less) version dirs too: a crashed save must
+        # not block the next one from picking a fresh version number.
+        occupied = self._scan_versions(name, complete_only=False)
+        version = occupied[-1] + 1 if occupied else 1
+        artifact_dir = self.root / name / f"v{version}"
+        # Stage into a temp sibling and rename at the end, so a failure mid-save
+        # never leaves a half-written artifact under the final path.
+        staging_dir = self.root / name / f".staging-v{version}"
+        if staging_dir.exists():
+            shutil.rmtree(staging_dir)
+        staging_dir.mkdir(parents=True)
+
+        weights: dict[str, np.ndarray] = {}
+        members_manifest: list[dict] | None = None
+        if model.ensemble is not None:
+            members_manifest = []
+            for index, member in enumerate(model.ensemble.members):
+                members_manifest.append(
+                    {
+                        "fold": member.fold,
+                        "seed": member.seed,
+                        "model_seed": member.model.config.seed,
+                        "validation_error": float(member.validation_error),
+                        "num_parameters": member.model.num_parameters(),
+                    }
+                )
+                for key, value in member.model.state_dict().items():
+                    weights[f"m{index}_{key}"] = value
+        else:
+            for key, value in model.model.state_dict().items():
+                weights[f"m0_{key}"] = value
+        if model.scaler is not None:
+            for block in _SCALER_BLOCKS:
+                value = getattr(model.scaler, block)
+                if value is not None:
+                    weights[f"scaler_{block}"] = np.asarray(value, dtype=np.float64)
+
+        manifest = {
+            "format_version": REGISTRY_FORMAT_VERSION,
+            "library_version": LIBRARY_VERSION,
+            "feature_version": FEATURE_VERSION,
+            "name": name,
+            "version": version,
+            "target": model.config.target,
+            "config": config_to_dict(model.config),
+            "dims": list(model._dims),
+            "members": members_manifest,
+            "fingerprint": model.fingerprint(),
+            "metadata": dict(metadata or {}),
+            "weights_file": WEIGHTS_NAME,
+        }
+        try:
+            np.savez_compressed(staging_dir / WEIGHTS_NAME, **weights)
+            with open(staging_dir / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+            staging_dir.rename(artifact_dir)
+        except BaseException:
+            shutil.rmtree(staging_dir, ignore_errors=True)
+            raise
+        return ModelArtifact(name=name, version=version, path=artifact_dir, manifest=manifest)
+
+    # --------------------------------------------------------------------- load
+
+    def load_artifact(self, name: str, version: int | None = None) -> ModelArtifact:
+        name = self._check_name(name)
+        version = version if version is not None else self.latest_version(name)
+        artifact_dir = self.root / name / f"v{version}"
+        manifest_path = artifact_dir / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise KeyError(f"registry has no artifact {name!r} v{version}")
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        return ModelArtifact(name=name, version=version, path=artifact_dir, manifest=manifest)
+
+    def load(self, name: str, version: int | None = None) -> PowerGear:
+        """Reconstruct a saved estimator bit-exactly."""
+        return load_artifact_dir(self.load_artifact(name, version).path)
+
+    # ---------------------------------------------------------------- internals
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not re.fullmatch(r"[A-Za-z0-9][A-Za-z0-9._-]*", name):
+            raise ValueError(
+                f"invalid model name {name!r} (letters, digits, '.', '_', '-'; "
+                "must start with a letter or digit)"
+            )
+        return name
+
+
+def load_artifact_dir(path: str | Path) -> PowerGear:
+    """Load an artifact directory into a fitted :class:`PowerGear`.
+
+    This is the fresh-process entry point: it needs nothing but the artifact
+    path (the manifest and weights fully describe the estimator).
+    """
+    path = Path(path)
+    with open(path / MANIFEST_NAME, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest["format_version"] > REGISTRY_FORMAT_VERSION:
+        raise ValueError(
+            f"artifact format v{manifest['format_version']} is newer than this "
+            f"library understands (v{REGISTRY_FORMAT_VERSION})"
+        )
+    if manifest["feature_version"] != FEATURE_VERSION:
+        raise ValueError(
+            f"artifact was trained on feature version {manifest['feature_version']} "
+            f"but this library featurises at version {FEATURE_VERSION}"
+        )
+    config = config_from_dict(manifest["config"])
+    model = PowerGear(config)
+    node_dim, edge_dim, meta_dim = manifest["dims"]
+    model._dims = (int(node_dim), int(edge_dim), int(meta_dim))
+
+    with np.load(path / manifest["weights_file"], allow_pickle=False) as data:
+        if config.scale_features:
+            scaler = FeatureScaler()
+            for block in _SCALER_BLOCKS:
+                key = f"scaler_{block}"
+                if key in data:
+                    setattr(scaler, block, np.array(data[key]))
+            model.scaler = scaler
+
+        def member_state(index: int) -> dict[str, np.ndarray]:
+            prefix = f"m{index}_"
+            return {
+                key[len(prefix):]: np.array(data[key])
+                for key in data.files
+                if key.startswith(prefix)
+            }
+
+        if manifest["members"] is not None:
+            regressor = EnsembleRegressor(
+                model_factory=model._model_factory,
+                model_config=config.gnn,
+                training_config=config.training,
+                ensemble_config=config.ensemble,
+            )
+            for index, record in enumerate(manifest["members"]):
+                member_config = replace(config.gnn, seed=record["model_seed"])
+                network = model._model_factory(member_config)
+                network.load_state_dict(member_state(index))
+                regressor.members.append(
+                    EnsembleMember(
+                        model=network,
+                        fold=record["fold"],
+                        seed=record["seed"],
+                        validation_error=record["validation_error"],
+                    )
+                )
+            model.ensemble = regressor
+            model.model = None
+        else:
+            network = model._model_factory(config.gnn)
+            network.load_state_dict(member_state(0))
+            model.model = network
+            model.ensemble = None
+
+    fingerprint = model.fingerprint()
+    if fingerprint != manifest["fingerprint"]:
+        raise ValueError(
+            "artifact integrity check failed: reconstructed weights do not match "
+            "the fingerprint recorded at save time"
+        )
+    return model

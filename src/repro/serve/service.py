@@ -1,0 +1,371 @@
+"""The power-estimation service façade.
+
+:class:`PowerEstimationService` is the request/response layer on top of the
+reproduction: a fitted :class:`~repro.flow.powergear.PowerGear` (either passed
+in or loaded from a :class:`~repro.serve.registry.ModelRegistry` artifact),
+the featurisation pipeline, the content-addressed
+:class:`~repro.serve.cache.InferenceCache` and the batched inference engine,
+behind three endpoints:
+
+* :meth:`~PowerEstimationService.estimate` — one design point;
+* :meth:`~PowerEstimationService.estimate_many` — a request batch: cache
+  lookups first (featurisation by ``(kernel, directives)`` content address,
+  predictions by graph-content x model fingerprint), then one grouped
+  featurisation pass per kernel and one batched ensemble forward pass for
+  every remaining miss;
+* :meth:`~PowerEstimationService.explore` — the paper's DSE case study as a
+  service call: drive :class:`~repro.dse.explorer.ParetoExplorer` over a
+  kernel's design space with the cached, batched predictor as the fast oracle.
+
+Every endpoint records wall-clock latency and throughput in
+:class:`ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.dse.explorer import DesignCandidate, DSEConfig, DSEResult, ParetoExplorer
+from repro.flow.dataset_gen import DatasetGenerator
+from repro.flow.powergear import PowerGear
+from repro.hls.pragmas import DesignDirectives
+from repro.graph.dataset import GraphSample
+from repro.kernels.polybench import polybench_kernel
+from repro.serve.cache import InferenceCache, sample_fingerprint
+from repro.serve.registry import ModelRegistry
+
+
+# ------------------------------------------------------------------ requests
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One design point to estimate.
+
+    Either ``directives`` (the service featurises the design itself) or a
+    pre-featurised ``sample`` must be provided.
+    """
+
+    kernel: str
+    directives: DesignDirectives | None = None
+    sample: GraphSample | None = None
+
+    def __post_init__(self) -> None:
+        if (self.directives is None) == (self.sample is None):
+            raise ValueError("provide exactly one of directives or sample")
+
+    @staticmethod
+    def from_sample(sample: GraphSample) -> "EstimateRequest":
+        return EstimateRequest(kernel=sample.kernel, sample=sample)
+
+    @property
+    def directives_key(self) -> str:
+        if self.sample is not None:
+            return self.sample.directives
+        return self.directives.describe()
+
+
+@dataclass(frozen=True)
+class EstimateResponse:
+    """Predicted power of one design point.
+
+    ``latency_ms`` is the wall-clock latency of the service call that produced
+    this response (shared by every response of one ``estimate_many`` batch).
+    """
+
+    kernel: str
+    directives: str
+    power: float
+    target: str
+    cached_features: bool
+    cached_prediction: bool
+    latency_ms: float
+    model_fingerprint: str
+
+
+@dataclass(frozen=True)
+class FrontierDesign:
+    """One approximate-Pareto design returned by :meth:`explore`."""
+
+    kernel: str
+    directives: str
+    latency_cycles: int
+    predicted_power: float
+    measured_power: float
+
+
+@dataclass
+class ExploreReport:
+    """Outcome of one service-side design-space exploration."""
+
+    kernel: str
+    budget: float
+    result: DSEResult
+    frontier: list[FrontierDesign]
+    num_candidates: int
+    elapsed_seconds: float
+
+    @property
+    def adrs(self) -> float:
+        return self.result.adrs
+
+
+@dataclass
+class ServiceMetrics:
+    """Latency / throughput instrumentation of the service."""
+
+    requests: int = 0
+    designs: int = 0
+    batches: int = 0
+    featurised: int = 0
+    predicted: int = 0
+    featurise_seconds: float = 0.0
+    predict_seconds: float = 0.0
+    total_seconds: float = 0.0
+    explorations: int = 0
+
+    def snapshot(self) -> dict:
+        """Point-in-time metrics dictionary (counts, seconds, throughput)."""
+        return {
+            "requests": self.requests,
+            "designs": self.designs,
+            "batches": self.batches,
+            "featurised": self.featurised,
+            "predicted": self.predicted,
+            "explorations": self.explorations,
+            "featurise_seconds": self.featurise_seconds,
+            "predict_seconds": self.predict_seconds,
+            "total_seconds": self.total_seconds,
+            "designs_per_second": (
+                self.designs / self.total_seconds if self.total_seconds > 0 else 0.0
+            ),
+        }
+
+
+# ------------------------------------------------------------------- service
+
+
+class PowerEstimationService:
+    """Batched, cached power estimation behind a small request/response API."""
+
+    def __init__(
+        self,
+        model: PowerGear | None = None,
+        *,
+        registry: ModelRegistry | str | Path | None = None,
+        model_name: str | None = None,
+        model_version: int | None = None,
+        generator: DatasetGenerator | None = None,
+        cache: InferenceCache | None = None,
+        batch_size: int = 64,
+    ) -> None:
+        if model is None:
+            if registry is None or model_name is None:
+                raise ValueError(
+                    "provide a fitted model, or a registry plus model_name to load one"
+                )
+            if not isinstance(registry, ModelRegistry):
+                registry = ModelRegistry(registry)
+            model = registry.load(model_name, model_version)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.model = model
+        self.generator = generator or DatasetGenerator()
+        self.cache = cache or InferenceCache()
+        self.batch_size = batch_size
+        self.metrics = ServiceMetrics()
+        self.model_fingerprint = model.fingerprint()
+
+    @property
+    def target(self) -> str:
+        return self.model.config.target
+
+    # --------------------------------------------------------------- endpoints
+
+    def estimate(self, request: EstimateRequest) -> EstimateResponse:
+        """Estimate one design point (featurise → predict, both cached)."""
+        return self.estimate_many([request])[0]
+
+    def estimate_many(self, requests: list[EstimateRequest]) -> list[EstimateResponse]:
+        """Estimate a batch of design points with one vectorised forward pass.
+
+        Cached designs are answered from memory; the remaining misses are
+        featurised once per kernel and predicted in one packed batch per
+        ``batch_size`` chunk.
+        """
+        start = time.perf_counter()
+        if not requests:
+            return []
+        samples, feature_hits = self._resolve_samples(requests)
+        predictions, prediction_hits = self._predict_samples(samples)
+
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        self.metrics.requests += 1
+        self.metrics.designs += len(requests)
+        self.metrics.total_seconds += elapsed_ms / 1e3
+        return [
+            EstimateResponse(
+                kernel=sample.kernel,
+                directives=sample.directives,
+                power=float(prediction),
+                target=self.target,
+                cached_features=bool(feature_hit),
+                cached_prediction=bool(prediction_hit),
+                latency_ms=elapsed_ms,
+                model_fingerprint=self.model_fingerprint,
+            )
+            for sample, prediction, feature_hit, prediction_hit in zip(
+                samples, predictions, feature_hits, prediction_hits
+            )
+        ]
+
+    def explore(
+        self,
+        kernel: str,
+        budget: float | None = None,
+        *,
+        dse_config: DSEConfig | None = None,
+        samples: list[GraphSample] | None = None,
+    ) -> ExploreReport:
+        """Pareto-explore a kernel's design space using the cached predictor.
+
+        Equivalent to driving :class:`~repro.dse.explorer.ParetoExplorer` by
+        hand with ``model.predict`` — same sampling trajectory, same ADRS —
+        but every prediction goes through the batched engine and lands in the
+        cache, so re-exploring (or estimating designs the exploration already
+        touched) is free.
+
+        ``samples`` can pass a pre-featurised design space; otherwise the
+        service generates and featurises the kernel's design space itself.
+        Pass either ``budget`` (total sampling budget, default 0.4) or a full
+        ``dse_config`` — not both.
+        """
+        if budget is not None and dse_config is not None:
+            raise ValueError(
+                "pass either budget or dse_config, not both "
+                "(dse_config carries its own total_budget)"
+            )
+        config = dse_config or DSEConfig(total_budget=budget if budget is not None else 0.4)
+        start = time.perf_counter()
+        if samples is None:
+            spec = polybench_kernel(kernel, self.generator.config.kernel_size)
+            design_space = self.generator.design_space_for(spec)
+            requests = [
+                EstimateRequest(kernel=kernel, directives=point)
+                for point in design_space
+            ]
+            samples, _ = self._resolve_samples(requests)
+
+        candidates = [
+            DesignCandidate(
+                index=index,
+                latency=float(sample.latency_cycles),
+                true_power=sample.target(self.target),
+                config_vector=np.asarray(
+                    sample.extras.get("config_vector", [float(index)]), dtype=float
+                ),
+                payload=sample,
+            )
+            for index, sample in enumerate(samples)
+        ]
+
+        def predictor(batch: list[DesignCandidate]) -> np.ndarray:
+            predictions, _ = self._predict_samples([c.payload for c in batch])
+            return predictions
+
+        result = ParetoExplorer(config).explore(candidates, predictor)
+        frontier = [
+            FrontierDesign(
+                kernel=candidates[i].payload.kernel,
+                directives=candidates[i].payload.directives,
+                latency_cycles=int(candidates[i].latency),
+                predicted_power=result.predictions.get(i, float("nan")),
+                measured_power=candidates[i].true_power,
+            )
+            for i in result.approximate_pareto_indices
+        ]
+        elapsed = time.perf_counter() - start
+        self.metrics.explorations += 1
+        self.metrics.total_seconds += elapsed
+        return ExploreReport(
+            kernel=kernel,
+            budget=config.total_budget,
+            result=result,
+            frontier=frontier,
+            num_candidates=len(candidates),
+            elapsed_seconds=elapsed,
+        )
+
+    # --------------------------------------------------------------- internals
+
+    def _resolve_samples(
+        self, requests: list[EstimateRequest]
+    ) -> tuple[list[GraphSample], list[bool]]:
+        """Feature-cache lookups plus grouped featurisation of the misses.
+
+        Client-supplied samples are used as-is but never written into the
+        featurisation cache: its keys address the *service's own* deterministic
+        featurisation of ``(kernel, directives)``, and a foreign graph under
+        that address would poison later directives-based requests.
+        """
+        samples: list[GraphSample | None] = [None] * len(requests)
+        hits: list[bool] = [False] * len(requests)
+        misses_by_kernel: dict[str, list[int]] = {}
+        for index, request in enumerate(requests):
+            if request.sample is not None:
+                samples[index] = request.sample
+                continue
+            cached = self.cache.get_sample(request.kernel, request.directives_key)
+            if cached is not None:
+                samples[index] = cached
+                hits[index] = True
+            else:
+                misses_by_kernel.setdefault(request.kernel, []).append(index)
+
+        for kernel, indices in misses_by_kernel.items():
+            featurise_start = time.perf_counter()
+            featurised = self.generator.featurise(
+                kernel, [requests[i].directives for i in indices]
+            )
+            self.metrics.featurise_seconds += time.perf_counter() - featurise_start
+            self.metrics.featurised += len(indices)
+            for index, sample in zip(indices, featurised):
+                samples[index] = sample
+                self.cache.put_sample(sample)
+        return list(samples), hits
+
+    def _predict_samples(
+        self, samples: list[GraphSample]
+    ) -> tuple[np.ndarray, list[bool]]:
+        """Prediction-cache lookups plus one batched pass over the misses."""
+        predictions = np.zeros(len(samples))
+        hits: list[bool] = [False] * len(samples)
+        miss_indices: list[int] = []
+        keys = [sample_fingerprint(sample) for sample in samples]
+        for index, key in enumerate(keys):
+            cached = self.cache.get_prediction(key, self.model_fingerprint)
+            if cached is not None:
+                predictions[index] = cached
+                hits[index] = True
+            else:
+                miss_indices.append(index)
+
+        if miss_indices:
+            predict_start = time.perf_counter()
+            fresh = self.model.predict_batch(
+                [samples[i] for i in miss_indices], batch_size=self.batch_size
+            )
+            self.metrics.predict_seconds += time.perf_counter() - predict_start
+            self.metrics.predicted += len(miss_indices)
+            # Number of packed forward batches actually run.
+            self.metrics.batches += -(-len(miss_indices) // self.batch_size)
+            for position, index in enumerate(miss_indices):
+                predictions[index] = fresh[position]
+                self.cache.put_prediction(
+                    keys[index], self.model_fingerprint, float(fresh[position])
+                )
+        return predictions, hits

@@ -87,3 +87,30 @@ def test_npz_round_trip(tmp_path, small_dataset):
     assert loaded.dynamic_power == pytest.approx(original.dynamic_power)
     assert np.allclose(loaded.graph.node_features, original.graph.node_features)
     assert np.array_equal(loaded.graph.edge_index, original.graph.edge_index)
+
+
+def test_npz_round_trip_is_exact_and_complete(tmp_path, small_dataset):
+    """Every sample survives bit-exactly, including JSON-safe extras."""
+    path = tmp_path / "dataset.npz"
+    small_dataset.save_npz(path)
+    restored = GraphDataset.load_npz(path)
+    for original, loaded in zip(small_dataset, restored):
+        assert loaded.kernel == original.kernel
+        assert loaded.directives == original.directives
+        assert loaded.total_power == original.total_power
+        assert loaded.dynamic_power == original.dynamic_power
+        assert loaded.static_power == original.static_power
+        assert loaded.latency_cycles == original.latency_cycles
+        assert loaded.is_baseline == original.is_baseline
+        assert np.array_equal(loaded.graph.node_features, original.graph.node_features)
+        assert np.array_equal(loaded.graph.edge_features, original.graph.edge_features)
+        assert np.array_equal(loaded.graph.edge_types, original.graph.edge_types)
+        assert np.array_equal(loaded.graph.metadata, original.graph.metadata)
+        assert np.array_equal(
+            loaded.graph.node_is_arithmetic, original.graph.node_is_arithmetic
+        )
+        assert loaded.graph.node_names == original.graph.node_names
+        # JSON-safe extras (e.g. the DSE config vector) survive the round trip;
+        # heavyweight pipeline objects (the HLS report) are dropped.
+        assert loaded.extras["config_vector"] == original.extras["config_vector"]
+        assert "report" not in loaded.extras

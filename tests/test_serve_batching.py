@@ -1,0 +1,138 @@
+"""Tests for the batched inference engine (serve.batching + gnn changes)."""
+
+import numpy as np
+import pytest
+
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.base import GraphBatch
+from repro.gnn.config import GNNConfig
+from repro.gnn.ensemble import EnsembleConfig
+from repro.gnn.hecgnn import HECGNN
+from repro.gnn.trainer import TrainingConfig
+from repro.graph.hetero_graph import RELATION_TYPES, HeteroGraph
+from repro.serve.batching import iter_chunks, pack_graphs, pack_samples
+
+
+def small_powergear(ensemble: bool = True) -> PowerGear:
+    return PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=16, num_layers=2),
+            training=TrainingConfig(epochs=6, batch_size=16),
+            ensemble=EnsembleConfig(folds=2, seeds=(0,)) if ensemble else None,
+        )
+    )
+
+
+def test_pack_graphs_offsets_and_relations(random_graph_factory):
+    graphs = [random_graph_factory(num_nodes=5 + i, num_edges=8 + i, seed=i) for i in range(4)]
+    packed = pack_graphs(graphs)
+    assert packed.num_graphs == 4
+    assert packed.num_nodes == sum(g.num_nodes for g in graphs)
+    assert packed.num_edges == sum(g.num_edges for g in graphs)
+    for i, graph in enumerate(graphs):
+        assert packed.node_slice(i).stop - packed.node_slice(i).start == graph.num_nodes
+        assert packed.edge_slice(i).stop - packed.edge_slice(i).start == graph.num_edges
+        # Per-relation bookkeeping matches each member graph's edge types.
+        for relation in range(len(RELATION_TYPES)):
+            assert packed.relation_edge_counts[i, relation] == int(
+                (graph.edge_types == relation).sum()
+            )
+    assert packed.relation_edge_counts.sum() == packed.num_edges
+
+
+def test_packed_split_helpers(random_graph_factory):
+    graphs = [random_graph_factory(num_nodes=6, num_edges=10, seed=i) for i in range(3)]
+    packed = pack_graphs(graphs)
+    node_values = np.arange(packed.num_nodes, dtype=float)
+    parts = packed.split_node_values(node_values)
+    assert [len(p) for p in parts] == [g.num_nodes for g in graphs]
+    edge_parts = packed.split_edge_values(np.arange(packed.num_edges))
+    assert [len(p) for p in edge_parts] == [g.num_edges for g in graphs]
+    assert np.array_equal(
+        packed.split_graph_values(np.arange(3)), np.arange(3)
+    )
+    with pytest.raises(ValueError):
+        packed.split_graph_values(np.arange(5))
+    with pytest.raises(ValueError):
+        pack_graphs([])
+
+
+def test_iter_chunks_covers_range():
+    assert [s for s in iter_chunks(7, 3)] == [slice(0, 3), slice(3, 6), slice(6, 7)]
+    assert [s for s in iter_chunks(2, None)] == [slice(0, 2)]
+    assert list(iter_chunks(0, None)) == []
+    assert list(iter_chunks(0, 4)) == []
+    with pytest.raises(ValueError):
+        list(iter_chunks(4, 0))
+
+
+def test_unbatch_inverts_batching(random_graph_factory):
+    graphs = [random_graph_factory(num_nodes=5 + i, num_edges=9, seed=i) for i in range(3)]
+    merged = HeteroGraph.batch_graphs(graphs)
+    restored = merged.unbatch()
+    assert len(restored) == len(graphs)
+    for original, back in zip(graphs, restored):
+        assert np.array_equal(original.node_features, back.node_features)
+        assert np.array_equal(original.edge_index, back.edge_index)
+        assert np.array_equal(original.edge_features, back.edge_features)
+        assert np.array_equal(original.edge_types, back.edge_types)
+        assert np.array_equal(
+            original.metadata.reshape(-1), back.metadata.reshape(-1)
+        )
+
+
+def test_graph_batch_relation_ids_are_memoised(random_graph_factory):
+    graph = random_graph_factory(num_nodes=8, num_edges=20, seed=3)
+    batch = GraphBatch.from_graph(graph)
+    ids_first = batch.relation_edge_ids(1, 4)
+    ids_second = batch.relation_edge_ids(1, 4)
+    assert ids_first is ids_second
+    assert np.array_equal(ids_first, np.nonzero(graph.edge_types == 1)[0])
+    # A single-relation view covers every edge.
+    assert np.array_equal(batch.relation_edge_ids(0, 1), np.arange(graph.num_edges))
+
+
+def test_predict_batch_matches_predict_ensemble(random_sample_factory):
+    samples = random_sample_factory(36, seed=1)
+    model = small_powergear(ensemble=True).fit(samples[:24])
+    test = samples[24:]
+    per_sample = model.predict(test)
+    batched = model.predict_batch(test)
+    chunked = model.predict_batch(test, batch_size=5)
+    assert np.allclose(per_sample, batched, atol=1e-8)
+    assert np.allclose(per_sample, chunked, atol=1e-8)
+    assert model.predict_batch([]).shape == (0,)
+
+
+def test_predict_batch_matches_predict_single_model(random_sample_factory):
+    samples = random_sample_factory(30, seed=2)
+    model = small_powergear(ensemble=False).fit(samples[:22])
+    test = samples[22:]
+    assert np.allclose(model.predict(test), model.predict_batch(test), atol=1e-8)
+
+
+def test_gnn_predict_batch_size_argument(random_graph_factory):
+    graphs = [random_graph_factory(num_nodes=6 + i, num_edges=12, seed=i) for i in range(7)]
+    net = HECGNN(6, 4, 5, GNNConfig(hidden_dim=8, num_layers=2))
+    loop = net.predict(graphs)
+    batched = net.predict(graphs, batch_size=3)
+    assert np.allclose(loop, batched, atol=1e-8)
+    with pytest.raises(ValueError):
+        net.predict(graphs, batch_size=0)
+
+
+def test_predict_batch_handles_ablation_transforms(random_sample_factory):
+    """Batched inference must agree under the undirected / homogeneous ablations."""
+    samples = random_sample_factory(28, seed=4)
+    config = PowerGearConfig(
+        target="dynamic",
+        gnn=GNNConfig(
+            hidden_dim=12, num_layers=2, directed=False, heterogeneous=False
+        ),
+        training=TrainingConfig(epochs=5, batch_size=16),
+        ensemble=None,
+    )
+    model = PowerGear(config).fit(samples[:20])
+    test = samples[20:]
+    assert np.allclose(model.predict(test), model.predict_batch(test), atol=1e-8)

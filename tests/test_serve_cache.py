@@ -1,0 +1,62 @@
+"""Tests for the content-addressed inference cache."""
+
+import pytest
+
+from repro.graph.features import FEATURE_VERSION
+from repro.serve.cache import InferenceCache, LRUStore, content_key, sample_fingerprint
+
+
+def test_content_key_is_stable_and_sensitive():
+    key = content_key("atax", "baseline")
+    assert key == content_key("atax", "baseline")
+    assert key != content_key("atax", "unroll2")
+    assert key != content_key("gemm", "baseline")
+    assert key != content_key("atax", "baseline", feature_version=FEATURE_VERSION + 1)
+    # No separator ambiguity between the kernel and directive fields.
+    assert content_key("ab", "c") != content_key("a", "bc")
+
+
+def test_sample_fingerprint_tracks_graph_content(random_sample_factory):
+    sample = random_sample_factory(1, seed=7)[0]
+    first = sample_fingerprint(sample)
+    assert sample_fingerprint(sample) == first
+    # Same (kernel, directives) but different graph data -> different address,
+    # so a doctored client sample cannot alias the canonical featurisation.
+    sample.graph.node_features = sample.graph.node_features + 1e-9
+    assert sample_fingerprint(sample) != first
+
+
+def test_lru_store_eviction_and_stats():
+    store = LRUStore(max_entries=2)
+    store.put("a", 1)
+    store.put("b", 2)
+    assert store.get("a") == 1  # refreshes "a"
+    store.put("c", 3)  # evicts "b"
+    assert "b" not in store
+    assert store.get("b") is None
+    assert store.get("a") == 1 and store.get("c") == 3
+    assert store.stats.evictions == 1
+    assert store.stats.hits == 3 and store.stats.misses == 1
+    assert 0.0 < store.stats.hit_rate < 1.0
+    with pytest.raises(ValueError):
+        LRUStore(max_entries=0)
+
+
+def test_inference_cache_samples_and_predictions(random_sample_factory):
+    cache = InferenceCache()
+    sample = random_sample_factory(1, seed=3)[0]
+    assert cache.get_sample(sample.kernel, sample.directives) is None
+    key = cache.put_sample(sample)
+    assert cache.get_sample(sample.kernel, sample.directives) is sample
+
+    assert cache.get_prediction(key, "model-a") is None
+    cache.put_prediction(key, "model-a", 1.25)
+    assert cache.get_prediction(key, "model-a") == 1.25
+    # A different model fingerprint misses: predictions are model-addressed.
+    assert cache.get_prediction(key, "model-b") is None
+
+    stats = cache.stats()
+    assert stats["samples"]["hits"] == 1
+    assert stats["predictions"]["misses"] == 2
+    cache.clear()
+    assert cache.get_sample(sample.kernel, sample.directives) is None

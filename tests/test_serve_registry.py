@@ -1,0 +1,149 @@
+"""Tests for the versioned model registry (save → load → predict equality)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.ensemble import EnsembleConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.serve.registry import (
+    MANIFEST_NAME,
+    ModelRegistry,
+    config_from_dict,
+    config_to_dict,
+    load_artifact_dir,
+)
+
+
+def fitted_model(samples, ensemble: bool = True) -> PowerGear:
+    config = PowerGearConfig(
+        target="dynamic",
+        gnn=GNNConfig(hidden_dim=12, num_layers=2),
+        training=TrainingConfig(epochs=6, batch_size=16),
+        ensemble=EnsembleConfig(folds=2, seeds=(0, 1)) if ensemble else None,
+    )
+    return PowerGear(config).fit(samples)
+
+
+def test_config_round_trip():
+    config = PowerGearConfig(
+        target="total",
+        gnn=GNNConfig(hidden_dim=20, num_layers=2, directed=False),
+        training=TrainingConfig(epochs=9, batch_size=8, target="total"),
+        ensemble=EnsembleConfig(folds=3, seeds=(0, 2)),
+    )
+    restored = config_from_dict(json.loads(json.dumps(config_to_dict(config))))
+    assert restored == config
+    single = config.single_model()
+    assert config_from_dict(config_to_dict(single)).ensemble is None
+
+
+def test_registry_save_load_predict_equality(tmp_path, random_sample_factory):
+    samples = random_sample_factory(32, seed=5)
+    model = fitted_model(samples[:24])
+    registry = ModelRegistry(tmp_path / "registry")
+    artifact = registry.save(model, "hecgnn", metadata={"kernels": ["synthetic"]})
+    assert artifact.version == 1
+    assert artifact.manifest["metadata"]["kernels"] == ["synthetic"]
+
+    # Fresh-process semantics: reconstruct from the artifact path alone.
+    loaded = load_artifact_dir(artifact.path)
+    test = samples[24:]
+    assert np.array_equal(model.predict(test), loaded.predict(test))
+    assert np.array_equal(model.predict_batch(test), loaded.predict_batch(test))
+    assert loaded.fingerprint() == model.fingerprint()
+    assert len(loaded.ensemble.members) == len(model.ensemble.members)
+    assert [m.fold for m in loaded.ensemble.members] == [
+        m.fold for m in model.ensemble.members
+    ]
+
+
+def test_registry_single_model_round_trip(tmp_path, random_sample_factory):
+    samples = random_sample_factory(28, seed=6)
+    model = fitted_model(samples[:20], ensemble=False)
+    registry = ModelRegistry(tmp_path)
+    registry.save(model, "single")
+    loaded = registry.load("single")
+    assert loaded.ensemble is None
+    assert np.array_equal(model.predict(samples[20:]), loaded.predict(samples[20:]))
+
+
+def test_registry_versioning(tmp_path, random_sample_factory):
+    samples = random_sample_factory(28, seed=7)
+    model = fitted_model(samples[:20], ensemble=False)
+    registry = ModelRegistry(tmp_path)
+    first = registry.save(model, "pg")
+    second = registry.save(model, "pg")
+    assert (first.version, second.version) == (1, 2)
+    assert registry.versions("pg") == [1, 2]
+    assert registry.latest_version("pg") == 2
+    assert registry.list_models() == ["pg"]
+    assert np.array_equal(
+        registry.load("pg", version=1).predict(samples[20:]),
+        registry.load("pg", version=2).predict(samples[20:]),
+    )
+    with pytest.raises(KeyError):
+        registry.load("pg", version=9)
+    with pytest.raises(KeyError):
+        registry.latest_version("unknown")
+
+
+def test_registry_rejects_invalid_inputs(tmp_path, random_sample_factory):
+    registry = ModelRegistry(tmp_path)
+    with pytest.raises(ValueError):
+        registry.save(PowerGear(), "unfitted")
+    samples = random_sample_factory(28, seed=8)
+    model = fitted_model(samples[:20], ensemble=False)
+    for bad in ("bad/name", "..", ".", ".hidden", "", "a\\b"):
+        with pytest.raises(ValueError):
+            registry.save(model, bad)
+
+
+def test_registry_recovers_from_crashed_save(tmp_path, random_sample_factory):
+    """An orphaned (manifest-less) version dir must not block future saves."""
+    samples = random_sample_factory(28, seed=10)
+    model = fitted_model(samples[:20], ensemble=False)
+    registry = ModelRegistry(tmp_path)
+    # Simulate a save that died before writing the manifest.
+    orphan = tmp_path / "pg" / "v1"
+    orphan.mkdir(parents=True)
+    (orphan / "weights.npz").write_bytes(b"partial")
+
+    artifact = registry.save(model, "pg")
+    assert artifact.version == 2  # the orphaned v1 slot is never reused
+    assert registry.versions("pg") == [2]  # ...and not listed as loadable
+    assert np.array_equal(
+        model.predict(samples[20:]), registry.load("pg").predict(samples[20:])
+    )
+
+
+def test_registry_integrity_check(tmp_path, random_sample_factory):
+    samples = random_sample_factory(28, seed=9)
+    model = fitted_model(samples[:20], ensemble=False)
+    artifact = ModelRegistry(tmp_path).save(model, "pg")
+    manifest_path = artifact.path / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["fingerprint"] = "0" * 64
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ValueError, match="integrity"):
+        load_artifact_dir(artifact.path)
+
+
+def test_registry_integrity_covers_config(tmp_path, random_sample_factory):
+    """Flipping an ablation switch in the manifest must fail the fingerprint.
+
+    Ablation flags (e.g. ``directed``) change predictions without changing any
+    weight shape, so the fingerprint has to cover the configuration too.
+    """
+    samples = random_sample_factory(28, seed=11)
+    model = fitted_model(samples[:20], ensemble=False)
+    artifact = ModelRegistry(tmp_path).save(model, "pg")
+    manifest_path = artifact.path / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["config"]["gnn"]["directed"] = not manifest["config"]["gnn"]["directed"]
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ValueError, match="integrity"):
+        load_artifact_dir(artifact.path)

@@ -125,7 +125,16 @@ class ParetoExplorer:
 
             frontier_local = self._approximate_frontier(candidates, sampled, predictions)
             history.append(
-                {"sampled": len(sampled), "frontier_size": len(frontier_local)}
+                {
+                    "sampled": len(sampled),
+                    "frontier_size": len(frontier_local),
+                    # The candidate batch this iteration pushed through the
+                    # predictor — the unit the serving runtime pools/coalesces;
+                    # recorded so callers can audit batch shapes end to end.
+                    # Plain ints: the first batch comes from rng.choice (int64)
+                    # and the field must stay JSON-serialisable.
+                    "new_batch": [int(i) for i in new_indices],
+                }
             )
             if len(sampled) >= budget_count:
                 break
@@ -184,17 +193,29 @@ class ParetoExplorer:
         approximate-Pareto configurations are prioritised; a fraction of the
         batch is random exploration to avoid collapsing onto a local frontier.
         """
-        unsampled = [i for i in range(len(candidates)) if i not in set(sampled)]
+        sampled_set = set(sampled)
+        unsampled = [i for i in range(len(candidates)) if i not in sampled_set]
         if not unsampled:
             return []
         batch_size = min(self.config.batch_size, remaining, len(unsampled))
 
+        # Vectorised nearest-frontier distances instead of a Python loop over
+        # candidates: this selection step runs once per exploration iteration
+        # over the whole remaining space, and is the explorer-side hot spot
+        # when the serving runtime drives large candidate spaces through
+        # `explore`.  Chunked over the unsampled rows so the broadcast
+        # temporary stays bounded (~a few MB) on very large spaces.
         frontier_configs = np.stack([candidates[i].config_vector for i in frontier])
-        distances = []
-        for index in unsampled:
-            vector = candidates[index].config_vector
-            distance = np.min(np.linalg.norm(frontier_configs - vector, axis=1))
-            distances.append(distance)
+        unsampled_configs = np.stack([candidates[i].config_vector for i in unsampled])
+        per_row = frontier_configs.shape[0] * frontier_configs.shape[1]
+        chunk = max(1, 500_000 // max(1, per_row))
+        distances = np.empty(len(unsampled))
+        for start in range(0, len(unsampled), chunk):
+            block = unsampled_configs[start : start + chunk]
+            deltas = block[:, None, :] - frontier_configs[None, :, :]
+            distances[start : start + chunk] = np.min(
+                np.linalg.norm(deltas, axis=2), axis=1
+            )
         order = np.argsort(distances)
 
         exploit_count = max(1, int(round(batch_size * (1.0 - self.config.exploration_fraction))))

@@ -309,3 +309,47 @@ class DatasetGenerator:
                 "num_instructions": len(design.function.instructions),
             },
         )
+
+
+# ----------------------------------------------------- multi-process serving
+
+#: Per-process generator used by the featurisation worker pool.  Workers keep
+#: one generator alive across tasks so the per-kernel serving state (stimuli,
+#: baseline report, lowering / activity caches) warms up once per process.
+_WORKER_GENERATOR: DatasetGenerator | None = None
+
+
+@dataclass(frozen=True)
+class FeaturisationTask:
+    """One picklable unit of pooled featurisation work.
+
+    Everything in here — the kernel name and the directive tuples — is a plain
+    frozen dataclass of primitives, so tasks cross process boundaries under
+    any multiprocessing start method.
+    """
+
+    kernel: str
+    directives: tuple[DesignDirectives, ...]
+
+
+def featurisation_worker_init(config: DatasetConfig) -> None:
+    """Process-pool initializer: build this worker's generator once."""
+    global _WORKER_GENERATOR
+    _WORKER_GENERATOR = DatasetGenerator(config)
+
+
+def run_featurisation_task(task: FeaturisationTask) -> list[GraphSample]:
+    """Execute one task in a pool worker (or inline, for the serial fallback).
+
+    Featurisation is a pure function of ``(config, kernel, directives)`` —
+    stimuli, measurement noise and placement capacitances are all keyed by
+    content, never drawn from sequential RNG state — so a worker's samples are
+    bitwise-identical to the serial path's regardless of how the design list
+    was sharded across processes.
+    """
+    if _WORKER_GENERATOR is None:
+        raise RuntimeError(
+            "featurisation worker is not initialised "
+            "(pool must be created with featurisation_worker_init)"
+        )
+    return _WORKER_GENERATOR.featurise(task.kernel, list(task.directives))

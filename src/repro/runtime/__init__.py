@@ -1,0 +1,46 @@
+"""Parallel serving runtime: the layer between the service façade and the engine.
+
+Three components turn the synchronous, single-process
+:class:`~repro.serve.service.PowerEstimationService` of PR 1 into a parallel
+runtime, each independently switchable through :class:`RuntimeConfig`:
+
+* :mod:`repro.runtime.pool` — :class:`WorkerPool` shards per-kernel
+  featurisation (the dominant serving cost) across worker processes with a
+  deterministic merge: pooled results are bitwise-identical to the serial
+  path's;
+* :mod:`repro.runtime.microbatch` — :class:`MicroBatcher` coalesces concurrent
+  single-design ``estimate`` calls into packed batches under a size/deadline
+  policy (injectable clock, so the policy is testable without sleeping);
+* :mod:`repro.runtime.cache` — :class:`PersistentCache`, the on-disk
+  content-addressed second tier under the inference cache with cost-aware
+  (featurisation-seconds-saved) eviction, so hit rates survive restarts.
+
+The runtime depends only on the featurisation pipeline and the graph
+containers — never on :mod:`repro.serve` — so the service can layer on top of
+it without an import cycle.
+"""
+
+from repro.runtime.cache import PERSISTENT_FORMAT_VERSION, PersistentCache
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.microbatch import ItemError, MicroBatcher, MicroBatchStats
+from repro.runtime.pool import (
+    PoolStats,
+    WorkerPool,
+    available_cpus,
+    default_start_method,
+    shard_evenly,
+)
+
+__all__ = [
+    "PERSISTENT_FORMAT_VERSION",
+    "PersistentCache",
+    "RuntimeConfig",
+    "ItemError",
+    "MicroBatcher",
+    "MicroBatchStats",
+    "PoolStats",
+    "WorkerPool",
+    "available_cpus",
+    "default_start_method",
+    "shard_evenly",
+]

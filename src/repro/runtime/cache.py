@@ -1,0 +1,309 @@
+"""Persistent, cost-aware second cache tier for the inference cache.
+
+The in-memory :class:`~repro.serve.cache.InferenceCache` dies with the
+process, so every service restart re-pays featurisation for the whole working
+set.  :class:`PersistentCache` is the disk tier underneath it: a
+content-addressed store under one directory, keyed by the *same* addresses the
+memory tier already uses (``content_key`` for featurisations,
+``sample_key:model_fingerprint`` for predictions), so a restarted service
+pointed at the same directory serves its warm set from disk with predictions
+identical to the first run's — ``.npz`` serialisation round-trips the graph
+arrays bit-for-bit.
+
+Layout::
+
+    <dir>/index.json            # entry metadata + costs + logical recency
+    <dir>/samples/<key>.npz     # one featurised GraphSample per entry
+
+Predicted powers are single floats and live in the index itself.
+
+Eviction is **cost-aware, not LRU**: every sample entry records the
+featurisation seconds a future hit saves, and when the store exceeds its byte
+budget the entries with the *least seconds saved* go first (logical recency
+breaks ties).  DSE traffic makes the difference: a frontier neighbourhood of
+expensive-to-featurise designs stays resident even when a sweep of cheap
+one-off designs floods the cache.
+
+Notes:
+
+* only the JSON-safe subset of ``extras`` survives the disk round trip
+  (heavyweight pipeline objects such as HLS reports are dropped, exactly as
+  in :meth:`repro.graph.dataset.GraphDataset.save_npz`); the serving path
+  never reads them;
+* index writes are atomic (temp file + ``os.replace``) and batched: the
+  index is rewritten after every ``sync_every`` index touches and on explicit
+  :meth:`sync`, which persists pending *mutations* (the service syncs after
+  each request batch and on close; pure recency bumps from reads ride the
+  backstop instead), so steady traffic does not pay an O(index) JSON dump per
+  design.  A crash loses at most the last ``sync_every`` entries' metadata;
+  sample files the index does not know about are garbage-collected on the
+  next open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.graph.dataset import GraphDataset, GraphSample
+
+PERSISTENT_FORMAT_VERSION = 1
+
+INDEX_NAME = "index.json"
+SAMPLES_DIR = "samples"
+
+
+class PersistentCache:
+    """On-disk content-addressed sample/prediction store with cost-aware eviction."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        max_bytes: int = 256 * 1024 * 1024,
+        max_predictions: int = 1_000_000,
+        sync_every: int = 64,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if max_predictions < 1:
+            raise ValueError("max_predictions must be >= 1")
+        if sync_every < 1:
+            raise ValueError("sync_every must be >= 1")
+        self.directory = Path(directory)
+        self.max_bytes = max_bytes
+        self.max_predictions = max_predictions
+        self.sync_every = sync_every
+        self._lock = threading.RLock()
+        self._dirty = 0
+        self._touched = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.io_errors = 0
+        self._index = self._load_index()
+
+    # ----------------------------------------------------------------- samples
+
+    def get_sample(self, key: str) -> GraphSample | None:
+        """Load one featurised sample from disk (``None`` on miss)."""
+        with self._lock:
+            entry = self._index["samples"].get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            path = self._sample_path(key)
+            try:
+                sample = GraphDataset.load_npz(path).samples[0]
+            except (OSError, ValueError, KeyError, IndexError, json.JSONDecodeError):
+                # A corrupt or missing file is dropped, never served.
+                del self._index["samples"][key]
+                self._unlink_quietly(path)
+                self._mark_dirty()
+                self.misses += 1
+                return None
+            entry["last_used"] = self._tick()
+            entry["hits"] = entry.get("hits", 0) + 1
+            self._touch()
+            self.hits += 1
+            return sample
+
+    def put_sample(self, key: str, sample: GraphSample, cost_seconds: float = 0.0) -> None:
+        """Write one sample through to disk and evict down to the byte budget.
+
+        Disk failures (full disk, permissions) degrade gracefully: the entry
+        is simply not cached — a cache tier must never turn a successful
+        request into an error.
+        """
+        with self._lock:
+            path = self._sample_path(key)
+            try:
+                samples_dir = self.directory / SAMPLES_DIR
+                samples_dir.mkdir(parents=True, exist_ok=True)
+                staging = path.with_suffix(".tmp.npz")
+                GraphDataset([sample]).save_npz(staging)
+                os.replace(staging, path)
+            except OSError:
+                self.io_errors += 1
+                return
+            self._index["samples"][key] = {
+                "cost_seconds": float(cost_seconds),
+                "size_bytes": path.stat().st_size,
+                "last_used": self._tick(),
+                "hits": 0,
+            }
+            self._evict_to_budget()
+            self._mark_dirty()
+
+    # -------------------------------------------------------------- predictions
+
+    def get_prediction(self, key: str) -> float | None:
+        with self._lock:
+            entry = self._index["predictions"].get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            entry["last_used"] = self._tick()
+            entry["hits"] = entry.get("hits", 0) + 1
+            self._touch()
+            self.hits += 1
+            return float(entry["value"])
+
+    def put_prediction(self, key: str, value: float, cost_seconds: float = 0.0) -> None:
+        with self._lock:
+            self._index["predictions"][key] = {
+                "value": float(value),
+                "cost_seconds": float(cost_seconds),
+                "last_used": self._tick(),
+                "hits": 0,
+            }
+            predictions = self._index["predictions"]
+            overflow = len(predictions) - self.max_predictions
+            if overflow > 0:
+                victims = sorted(predictions, key=lambda k: self._score(predictions[k]))
+                for victim in victims[:overflow]:
+                    del predictions[victim]
+                    self.evictions += 1
+            self._mark_dirty()
+
+    # ------------------------------------------------------------------- stats
+
+    def total_sample_bytes(self) -> int:
+        with self._lock:
+            return sum(e["size_bytes"] for e in self._index["samples"].values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index["samples"]) + len(self._index["predictions"])
+
+    def stats(self) -> dict:
+        with self._lock:
+            requests = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "io_errors": self.io_errors,
+                "hit_rate": self.hits / requests if requests else 0.0,
+                "samples": len(self._index["samples"]),
+                "predictions": len(self._index["predictions"]),
+                "sample_bytes": sum(
+                    e["size_bytes"] for e in self._index["samples"].values()
+                ),
+            }
+
+    def sync(self) -> None:
+        """Persist pending *mutations* (new/removed entries) to the index file.
+
+        Pure recency/hit-counter bumps from reads do not count as pending —
+        they persist via the ``sync_every`` backstop — so a read-heavy request
+        batch does not pay an O(index) JSON dump on its per-batch sync.
+        """
+        with self._lock:
+            if self._dirty:
+                self._save_index()
+
+    # --------------------------------------------------------------- internals
+
+    def _mark_dirty(self) -> None:
+        """Caller holds the lock: an entry was added or removed."""
+        self._dirty += 1
+        self._touch()
+
+    def _touch(self) -> None:
+        """Caller holds the lock: bookkeeping changed (recency, counters)."""
+        self._touched += 1
+        if self._touched >= self.sync_every:
+            self._save_index()
+
+    @staticmethod
+    def _score(entry: dict) -> tuple[float, int]:
+        """Eviction order: least featurisation-seconds saved first, LRU ties."""
+        return (float(entry.get("cost_seconds", 0.0)), int(entry.get("last_used", 0)))
+
+    def _evict_to_budget(self) -> None:
+        samples = self._index["samples"]
+        total = sum(e["size_bytes"] for e in samples.values())
+        if total <= self.max_bytes:
+            return
+        for victim in sorted(samples, key=lambda k: self._score(samples[k])):
+            if total <= self.max_bytes:
+                break
+            total -= samples[victim]["size_bytes"]
+            del samples[victim]
+            self._unlink_quietly(self._sample_path(victim))
+            self.evictions += 1
+
+    def _sample_path(self, key: str) -> Path:
+        return self.directory / SAMPLES_DIR / f"{key}.npz"
+
+    def _tick(self) -> int:
+        self._index["clock"] += 1
+        return self._index["clock"]
+
+    def _load_index(self) -> dict:
+        empty = {
+            "format_version": PERSISTENT_FORMAT_VERSION,
+            "clock": 0,
+            "samples": {},
+            "predictions": {},
+        }
+        path = self.directory / INDEX_NAME
+        if not path.is_file():
+            return empty
+        try:
+            with open(path, encoding="utf-8") as handle:
+                index = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return empty
+        if index.get("format_version") != PERSISTENT_FORMAT_VERSION:
+            return empty
+        for field in ("samples", "predictions"):
+            if not isinstance(index.get(field), dict):
+                return empty
+        index.setdefault("clock", 0)
+        # Entries whose backing file vanished (partial copy, manual cleanup)
+        # must not be advertised.
+        index["samples"] = {
+            key: entry
+            for key, entry in index["samples"].items()
+            if self._sample_path(key).is_file()
+        }
+        # And sample files the index does not know about (writes after the
+        # last sync before a crash, staging leftovers) are garbage, not cache:
+        # without an entry they can never be served, so reclaim the bytes.
+        samples_dir = self.directory / SAMPLES_DIR
+        if samples_dir.is_dir():
+            known = {f"{key}.npz" for key in index["samples"]}
+            for stray in samples_dir.iterdir():
+                if stray.name not in known:
+                    self._unlink_quietly(stray)
+        return index
+
+    def _unlink_quietly(self, path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            self.io_errors += 1
+
+    def _save_index(self) -> None:
+        """Caller holds the lock.  Best-effort: a failed write keeps the
+        pending counters so the next sync retries — cache-tier disk trouble
+        must never fail a lookup (reads trigger backstop saves too)."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / INDEX_NAME
+            staging = path.with_suffix(".tmp")
+            with open(staging, "w", encoding="utf-8") as handle:
+                json.dump(self._index, handle)
+            os.replace(staging, path)
+        except OSError:
+            self.io_errors += 1
+            # Reset the touch counter so a read-heavy stretch does not retry
+            # the failed dump on every single lookup.
+            self._touched = 0
+            return
+        self._dirty = 0
+        self._touched = 0

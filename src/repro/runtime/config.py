@@ -1,0 +1,73 @@
+"""Configuration of the parallel serving runtime.
+
+One frozen dataclass carries every knob of the three runtime components —
+the featurisation :class:`~repro.runtime.pool.WorkerPool`, the
+:class:`~repro.runtime.microbatch.MicroBatcher` request coalescer and the
+:class:`~repro.runtime.cache.PersistentCache` disk tier — so
+:class:`~repro.serve.service.PowerEstimationService` can be handed a single
+``runtime=RuntimeConfig(...)`` argument.  The defaults disable everything:
+a service constructed without a runtime config behaves exactly like the
+serial, in-memory-cached service of PR 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the parallel serving runtime (all off by default)."""
+
+    #: Number of featurisation worker processes; 0 or 1 keeps featurisation
+    #: serial in the service process.
+    num_workers: int = 0
+    #: Multiprocessing start method (``"fork"`` / ``"spawn"`` /
+    #: ``"forkserver"``); ``None`` picks ``fork`` where available (cheap, and
+    #: the workers rebuild their generator anyway) and ``spawn`` elsewhere.
+    start_method: str | None = None
+    #: Below ``num_workers * min_designs_per_worker`` featurisation misses a
+    #: batch stays serial: sharding two designs across four processes costs
+    #: more in IPC than it saves.
+    min_designs_per_worker: int = 2
+
+    #: Maximum coalesced batch: the micro-batcher flushes as soon as this many
+    #: single-design ``estimate`` calls have gathered.
+    coalesce_max_batch: int = 16
+    #: How long (milliseconds) the first request of a batch may wait for
+    #: company before the batch flushes anyway.  0 disables coalescing:
+    #: ``estimate`` calls run directly.
+    coalesce_window_ms: float = 0.0
+
+    #: Directory of the persistent second cache tier; ``None`` disables it.
+    persistent_cache_dir: str | Path | None = None
+    #: Byte budget of the on-disk sample store; the cost-aware eviction policy
+    #: keeps total sample bytes under this.
+    persistent_cache_max_bytes: int = 256 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(f"unknown start method {self.start_method!r}")
+        if self.min_designs_per_worker < 1:
+            raise ValueError("min_designs_per_worker must be >= 1")
+        if self.coalesce_max_batch < 1:
+            raise ValueError("coalesce_max_batch must be >= 1")
+        if self.coalesce_window_ms < 0:
+            raise ValueError("coalesce_window_ms must be >= 0")
+        if self.persistent_cache_max_bytes < 1:
+            raise ValueError("persistent_cache_max_bytes must be >= 1")
+
+    @property
+    def parallel_featurisation(self) -> bool:
+        return self.num_workers > 1
+
+    @property
+    def coalescing_enabled(self) -> bool:
+        return self.coalesce_window_ms > 0
+
+    @property
+    def persistence_enabled(self) -> bool:
+        return self.persistent_cache_dir is not None

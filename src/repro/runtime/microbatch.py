@@ -1,0 +1,227 @@
+"""Request coalescing: packing single-design calls into micro-batches.
+
+The batched inference engine is fastest when it sees many designs at once,
+but interactive clients send one design per call.  :class:`MicroBatcher`
+bridges the two under a classic size/deadline policy: the first request of a
+batch opens a window of ``max_delay`` seconds; requests arriving inside the
+window join the batch; the batch flushes as soon as it reaches ``max_batch``
+items or the window expires, whichever comes first.  One flush call then
+serves every member — for the power service, one packed
+``PowerGear.predict_batch`` forward instead of N single-graph passes.
+
+Concurrency model:
+
+* every member of a batch waits deadline-aware (so the batch expires even if
+  another member was interrupted out of its wait);
+* whoever observes the seal first claims the flush, runs it outside the
+  batcher lock (flushes themselves are serialised by a dedicated lock, so a
+  non-thread-safe flush function is safe), and wakes everyone with their
+  per-slot results;
+* a flush error is shared fate by default — every member re-raises it — but
+  the flush function may return :class:`ItemError` in a slot to fail that
+  member alone.
+
+The clock is injectable so tests can drive the deadline policy
+deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class ItemError:
+    """Per-item failure a flush may return in place of that item's result.
+
+    The member that submitted the item re-raises ``error``; the rest of the
+    batch is unaffected.
+    """
+
+    error: BaseException
+
+
+@dataclass
+class MicroBatchStats:
+    """Counters of one batcher's lifetime."""
+
+    batches: int = 0
+    items: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    forced_flushes: int = 0
+    largest_batch: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "forced_flushes": self.forced_flushes,
+            "largest_batch": self.largest_batch,
+            "mean_batch": self.items / self.batches if self.batches else 0.0,
+        }
+
+
+class _Batch:
+    """One in-flight micro-batch (internal)."""
+
+    __slots__ = ("items", "deadline", "sealed", "reason", "claimed", "done", "results", "error")
+
+    def __init__(self, deadline: float) -> None:
+        self.items: list = []
+        self.deadline = deadline
+        self.sealed = False
+        self.reason: str | None = None
+        self.claimed = False
+        self.done = threading.Event()
+        self.results: list | None = None
+        self.error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent ``submit`` calls into batched flushes."""
+
+    def __init__(
+        self,
+        flush: Callable[[list], list],
+        *,
+        max_batch: int = 16,
+        max_delay: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self._flush = flush
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._flush_lock = threading.Lock()
+        self._open: _Batch | None = None
+        self._inflight: list[_Batch] = []
+        self._closed = False
+        self.stats = MicroBatchStats()
+
+    # ------------------------------------------------------------------ public
+
+    def submit(self, item):
+        """Enqueue one item; blocks until its batch has flushed; returns its result.
+
+        If the flush function raises, every member of the batch re-raises that
+        exception; a flush that returns :class:`ItemError` in a slot fails
+        only that slot's member.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            batch = self._open
+            if batch is None:
+                batch = _Batch(deadline=self._clock() + self.max_delay)
+                self._open = batch
+            slot = len(batch.items)
+            batch.items.append(item)
+            if len(batch.items) >= self.max_batch:
+                self._seal(batch, "size")
+            # Every member waits deadline-aware: the batch expires even when
+            # the member that opened it was interrupted out of its wait.
+            while not batch.sealed:
+                remaining = batch.deadline - self._clock()
+                if remaining <= 0:
+                    self._seal(batch, "deadline")
+                    break
+                self._cond.wait(timeout=remaining)
+            claimed = not batch.claimed
+            batch.claimed = True
+        if claimed:
+            self._run_flush(batch)
+        else:
+            batch.done.wait()
+        if batch.error is not None:
+            raise batch.error
+        result = batch.results[slot]
+        if isinstance(result, ItemError):
+            raise result.error
+        return result
+
+    def flush_pending(self) -> None:
+        """Seal the open batch now (its waiters flush it); no-op when idle."""
+        with self._cond:
+            batch = self._open
+            if batch is not None and not batch.sealed:
+                self._seal(batch, "forced")
+
+    def poke(self) -> None:
+        """Wake waiting threads so they re-read the clock.
+
+        With the default monotonic clock this is never needed (leaders time
+        their own waits); it exists for injected clocks, whose driver must
+        nudge the leader after advancing time past a deadline.
+        """
+        with self._cond:
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Flush whatever is pending and refuse further submissions.
+
+        Blocks until any in-flight batch has finished flushing, so after
+        ``close`` returns no flush can still be running (callers may safely
+        tear down whatever resources the flush function uses).
+        """
+        with self._cond:
+            self._closed = True
+            batch = self._open
+            if batch is not None and not batch.sealed:
+                self._seal(batch, "forced")
+            pending = list(self._inflight)
+        for batch in pending:
+            batch.done.wait()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- internals
+
+    def _seal(self, batch: _Batch, reason: str) -> None:
+        """Caller holds ``self._cond``."""
+        batch.sealed = True
+        batch.reason = reason
+        self._inflight.append(batch)
+        if self._open is batch:
+            self._open = None
+        self.stats.batches += 1
+        self.stats.items += len(batch.items)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch.items))
+        if reason == "size":
+            self.stats.size_flushes += 1
+        elif reason == "deadline":
+            self.stats.deadline_flushes += 1
+        else:
+            self.stats.forced_flushes += 1
+        self._cond.notify_all()
+
+    def _run_flush(self, batch: _Batch) -> None:
+        try:
+            with self._flush_lock:
+                results = list(self._flush(list(batch.items)))
+            if len(results) != len(batch.items):
+                raise RuntimeError(
+                    f"flush returned {len(results)} results for {len(batch.items)} items"
+                )
+            batch.results = results
+        except BaseException as error:
+            batch.error = error
+        finally:
+            batch.done.set()
+            with self._cond:
+                if batch in self._inflight:
+                    self._inflight.remove(batch)

@@ -1,0 +1,175 @@
+"""Multi-process featurisation pool with a deterministic merge.
+
+Per-kernel featurisation — HLS lowering, scheduling/binding, activity
+simulation, graph construction, labelling — dominates the cost of serving an
+uncached design and is embarrassingly parallel: every design point is a pure
+function of ``(dataset config, kernel, directives)``.  :class:`WorkerPool`
+shards a featurisation batch into contiguous, balanced slices
+(:func:`repro.serve.batching.shard_evenly`), runs each slice in a worker
+process, and concatenates the results in shard order, so pooled output is
+**bitwise-identical** to the serial path's — same floats, same graphs, same
+content addresses.
+
+Each worker process owns one :class:`~repro.flow.dataset_gen.DatasetGenerator`
+built from the same :class:`~repro.flow.dataset_gen.DatasetConfig` as the
+service's, created once by the pool initializer and kept alive across tasks,
+so per-kernel serving state (stimuli, baseline report, lowering / activity
+caches) warms up once per process rather than once per request.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.flow.dataset_gen import (
+    DatasetConfig,
+    FeaturisationTask,
+    featurisation_worker_init,
+    run_featurisation_task,
+)
+from repro.graph.dataset import GraphSample
+from repro.hls.pragmas import DesignDirectives
+
+
+def shard_evenly(count: int, shards: int) -> list[slice]:
+    """Split ``range(count)`` into at most ``shards`` contiguous, balanced slices.
+
+    Shard sizes differ by at most one and earlier shards get the remainder, so
+    the decomposition is a pure function of ``(count, shards)``: the worker
+    pool relies on this to merge pooled results back into the exact order the
+    serial path would have produced.  Empty shards are never returned; fewer
+    than ``shards`` slices come back when ``count < shards``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, count)
+    slices: list[slice] = []
+    start = 0
+    for index in range(shards):
+        size = count // shards + (1 if index < count % shards else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it, ``spawn`` otherwise."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware where possible)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class PoolStats:
+    """Bookkeeping of one pool's lifetime."""
+
+    batches: int = 0
+    designs: int = 0
+    shards: int = 0
+
+    def as_dict(self) -> dict:
+        return {"batches": self.batches, "designs": self.designs, "shards": self.shards}
+
+
+@dataclass
+class WorkerPool:
+    """Shards featurisation batches across worker processes."""
+
+    config: DatasetConfig
+    num_workers: int = 2
+    start_method: str | None = None
+    min_designs_per_worker: int = 2
+    stats: PoolStats = field(default_factory=PoolStats)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 2:
+            raise ValueError("a worker pool needs at least 2 workers")
+        if self.min_designs_per_worker < 1:
+            raise ValueError("min_designs_per_worker must be >= 1")
+        self._pool = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ public
+
+    def should_parallelise(self, num_designs: int) -> bool:
+        """Whether a batch is big enough to amortise the IPC of sharding."""
+        return num_designs >= self.num_workers * self.min_designs_per_worker
+
+    def featurise(
+        self, kernel: str, directives_list: list[DesignDirectives]
+    ) -> list[GraphSample]:
+        """Featurise one kernel's design list across the pool, in order.
+
+        The merge is deterministic: shard ``i`` covers a contiguous slice of
+        ``directives_list`` and results are concatenated in shard order, so
+        the returned list is element-for-element the one the serial path
+        produces.
+        """
+        if not directives_list:
+            return []
+        pool = self._ensure_pool()
+        shards = shard_evenly(len(directives_list), self.num_workers)
+        tasks = [
+            FeaturisationTask(kernel=kernel, directives=tuple(directives_list[part]))
+            for part in shards
+        ]
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.designs += len(directives_list)
+            self.stats.shards += len(tasks)
+        merged: list[GraphSample] = []
+        for shard_samples in pool.map(run_featurisation_task, tasks):
+            merged.extend(shard_samples)
+        return merged
+
+    def close(self) -> None:
+        """Drain in-flight work, stop the workers, refuse further batches.
+
+        Idempotent.  Uses graceful shutdown (``close`` + ``join``) rather than
+        ``terminate`` so a concurrent ``featurise`` finishes instead of dying
+        mid-task.
+        """
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- internals
+
+    def _ensure_pool(self):
+        # Locked check-then-act: concurrent cold featurise calls must share
+        # one process pool, not each spawn their own (the loser's worker
+        # processes would never be terminated).
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot featurise through a closed WorkerPool")
+            if self._pool is None:
+                context = multiprocessing.get_context(
+                    self.start_method or default_start_method()
+                )
+                self._pool = context.Pool(
+                    processes=self.num_workers,
+                    initializer=featurisation_worker_init,
+                    initargs=(self.config,),
+                )
+            return self._pool

@@ -13,7 +13,13 @@ This package turns the trained PowerGear estimator into a long-lived service:
   throughput instrumentation.
 """
 
-from repro.serve.batching import PackedBatch, iter_chunks, pack_graphs, pack_samples
+from repro.serve.batching import (
+    PackedBatch,
+    iter_chunks,
+    pack_graphs,
+    pack_samples,
+    shard_evenly,
+)
 from repro.serve.cache import (
     CacheStats,
     InferenceCache,
@@ -43,6 +49,7 @@ __all__ = [
     "pack_graphs",
     "pack_samples",
     "iter_chunks",
+    "shard_evenly",
     "CacheStats",
     "InferenceCache",
     "LRUStore",

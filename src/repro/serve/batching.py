@@ -6,7 +6,7 @@ vectorised forward pass per ensemble member instead of N.  The in-process
 forward path lives in :mod:`repro.gnn` (``HeteroGraph.pack`` +
 ``GraphBatch``); this module is the *serving-layer* view of a pack — the
 explicit bookkeeping that request splitting, result re-assembly and the
-planned sharded/async workers (see ROADMAP) need:
+sharded worker runtime (:mod:`repro.runtime`) need:
 
 * node / edge offsets of every member graph inside the pack,
 * per-relation edge counts per member graph (the heterogeneous structure),
@@ -26,6 +26,18 @@ import numpy as np
 
 from repro.graph.dataset import GraphSample
 from repro.graph.hetero_graph import RELATION_TYPES, HeteroGraph
+
+# Canonically defined in the runtime layer (which must not depend on serve);
+# re-exported here because sharding is part of the serving-layer batching API.
+from repro.runtime.pool import shard_evenly
+
+__all__ = [
+    "PackedBatch",
+    "pack_graphs",
+    "pack_samples",
+    "iter_chunks",
+    "shard_evenly",
+]
 
 
 @dataclass

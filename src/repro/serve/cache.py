@@ -23,6 +23,7 @@ Both stores are bounded LRU maps with hit / miss / eviction counters.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -131,13 +132,32 @@ class LRUStore:
 
 
 class InferenceCache:
-    """Featurisation + prediction memoisation shared across requests."""
+    """Featurisation + prediction memoisation shared across requests.
+
+    ``persistent`` optionally attaches a second, on-disk tier (duck-typed to
+    :class:`repro.runtime.cache.PersistentCache`): lookups fall through memory
+    to disk (disk hits are promoted back into the memory tier), writes go
+    through to both, and the ``cost_seconds`` recorded with each write feeds
+    the disk tier's cost-aware eviction.  Memory-tier eviction never touches
+    the disk tier, which is what lets hit rates survive a service restart.
+
+    Thread-safe: the runtime drives this cache from coalescer flush threads
+    and direct callers concurrently, so memory-tier accesses hold an internal
+    lock (an unlocked ``OrderedDict`` get/evict race raises ``KeyError``).
+    Disk-tier I/O runs *outside* that lock — the persistent tier carries its
+    own — so a slow npz read or write never stalls concurrent memory hits.
+    """
 
     def __init__(
-        self, max_samples: int = 4096, max_predictions: int = 65536
+        self,
+        max_samples: int = 4096,
+        max_predictions: int = 65536,
+        persistent=None,
     ) -> None:
         self.samples = LRUStore(max_entries=max_samples)
         self.predictions = LRUStore(max_entries=max_predictions)
+        self.persistent = persistent
+        self._lock = threading.RLock()
 
     # -------------------------------------------------------------------- keys
 
@@ -152,33 +172,70 @@ class InferenceCache:
     # ----------------------------------------------------------------- samples
 
     def get_sample(self, kernel: str, directives: str) -> GraphSample | None:
-        return self.samples.get(self.sample_key(kernel, directives))
+        key = self.sample_key(kernel, directives)
+        with self._lock:
+            cached = self.samples.get(key)
+        if cached is not None:
+            return cached
+        if self.persistent is not None:
+            from_disk = self.persistent.get_sample(key)
+            if from_disk is not None:
+                with self._lock:
+                    self.samples.put(key, from_disk)
+                return from_disk
+        return None
 
-    def put_sample(self, sample: GraphSample) -> str:
+    def put_sample(self, sample: GraphSample, cost_seconds: float = 0.0) -> str:
         key = self.sample_key(sample.kernel, sample.directives)
-        self.samples.put(key, sample)
+        with self._lock:
+            self.samples.put(key, sample)
+        if self.persistent is not None:
+            self.persistent.put_sample(key, sample, cost_seconds=cost_seconds)
         return key
 
     # -------------------------------------------------------------- predictions
 
     def get_prediction(self, sample_key: str, model_fingerprint: str) -> float | None:
-        return self.predictions.get(self.prediction_key(sample_key, model_fingerprint))
+        key = self.prediction_key(sample_key, model_fingerprint)
+        with self._lock:
+            cached = self.predictions.get(key)
+        if cached is not None:
+            return cached
+        if self.persistent is not None:
+            from_disk = self.persistent.get_prediction(key)
+            if from_disk is not None:
+                with self._lock:
+                    self.predictions.put(key, from_disk)
+                return from_disk
+        return None
 
     def put_prediction(
-        self, sample_key: str, model_fingerprint: str, value: float
+        self,
+        sample_key: str,
+        model_fingerprint: str,
+        value: float,
+        cost_seconds: float = 0.0,
     ) -> None:
-        self.predictions.put(
-            self.prediction_key(sample_key, model_fingerprint), float(value)
-        )
+        key = self.prediction_key(sample_key, model_fingerprint)
+        with self._lock:
+            self.predictions.put(key, float(value))
+        if self.persistent is not None:
+            self.persistent.put_prediction(key, float(value), cost_seconds=cost_seconds)
 
     # -------------------------------------------------------------------- stats
 
     def stats(self) -> dict:
-        return {
-            "samples": self.samples.stats.as_dict(),
-            "predictions": self.predictions.stats.as_dict(),
-        }
+        with self._lock:
+            stats = {
+                "samples": self.samples.stats.as_dict(),
+                "predictions": self.predictions.stats.as_dict(),
+            }
+        if self.persistent is not None:
+            stats["persistent"] = self.persistent.stats()
+        return stats
 
     def clear(self) -> None:
-        self.samples.clear()
-        self.predictions.clear()
+        """Drop the memory tiers (the persistent tier survives, by design)."""
+        with self._lock:
+            self.samples.clear()
+            self.predictions.clear()

@@ -14,11 +14,24 @@ predictions are guaranteed equal to the in-memory original's.
 
 The registry is append-only and versioned: saving the same name again creates
 ``v2``, ``v3``, … so serving deployments can roll forward and back.
+
+A root-level ``manifest.json`` indexes every ``name -> versions`` so
+``list_models`` / ``versions`` / ``latest_version`` answer from one small file
+instead of walking the artifact tree (which grows linearly with model count).
+Each index entry records the model directory's mtime at record time; on read,
+a ``stat`` of the directory plus one per indexed version validates the entry —
+an out-of-band change at the model-directory level (a save whose index update
+was lost, a removed version, a hand-copied artifact) bumps the mtime, and a
+version whose own manifest vanished fails the per-version check; either way
+the entry is distrusted, rescanned, and healed.  The scan remains the source
+of truth, the index is only a cache.  The name ``manifest.json`` itself is
+reserved (it would collide with the index file).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 import shutil
 from dataclasses import dataclass, replace
@@ -84,15 +97,86 @@ class ModelRegistry:
     def list_models(self) -> list[str]:
         if not self.root.is_dir():
             return []
-        return sorted(
-            entry.name
-            for entry in self.root.iterdir()
-            if entry.is_dir() and self.versions(entry.name)
-        )
+        models = self._read_index()
+        if models is None:
+            models = self.rebuild_index()
+        # The index can lack a saved name (lost update between concurrent
+        # saves, a swallowed index-write failure), so union it with the cheap
+        # top-level directory listing: a saved model can never be hidden.
+        names = set(models)
+        names.update(entry.name for entry in self.root.iterdir() if entry.is_dir())
+        # Validate against the one map already in hand; on the first stale or
+        # unindexed name, rescan the tree once and answer the rest from the
+        # fresh map (not one rebuild per name).
+        rebuilt = False
+        listed = []
+        for name in sorted(names):
+            entry = models.get(name)
+            if entry is not None and (rebuilt or self._entry_valid(name, entry)):
+                listed.append(name)
+                continue
+            if not rebuilt:
+                models = self.rebuild_index()
+                rebuilt = True
+                if models.get(name) is not None:
+                    listed.append(name)
+        return listed
 
     def versions(self, name: str) -> list[int]:
-        """Versions with a complete (manifested) artifact, ascending."""
-        return self._scan_versions(name, complete_only=True)
+        """Versions with a complete (manifested) artifact, ascending.
+
+        Answered from the root manifest index when its entry for ``name`` is
+        validated by the model directory's mtime (one ``stat``); otherwise the
+        filesystem scan runs and the index is healed.
+        """
+        return self._versions_of(self._check_name(name), self._read_index())
+
+    def _entry_valid(self, name: str, entry: dict) -> bool:
+        """Cheap distrust check of one index entry: the model dir's mtime
+        still matches, and every indexed version still has its manifest
+        (changes *inside* a version dir do not bump the model dir's mtime,
+        so one stat per indexed version keeps a never-loadable version from
+        being advertised)."""
+        return entry["mtime_ns"] == self._model_mtime_ns(name) and all(
+            (self.root / name / f"v{v}" / MANIFEST_NAME).is_file()
+            for v in entry["versions"]
+        )
+
+    def _versions_of(self, name: str, models: dict | None) -> list[int]:
+        """:meth:`versions` against an already-read index map."""
+        entry = None if models is None else models.get(name)
+        if entry is not None and self._entry_valid(name, entry):
+            return entry["versions"]
+        try:
+            scanned = self._scan_versions(name, complete_only=True)
+        except ValueError:
+            return []  # not a model name (stray directory, staging leftovers)
+        indexed = entry["versions"] if entry is not None else []
+        if (scanned != indexed or entry is not None) and (
+            models is not None or scanned
+        ):
+            self.rebuild_index()
+        return scanned
+
+    def rebuild_index(self) -> dict:
+        """Rescan the artifact tree and (best-effort) rewrite the root index."""
+        models: dict[str, dict] = {}
+        if self.root.is_dir():
+            for entry in self.root.iterdir():
+                if not entry.is_dir():
+                    continue
+                # Stat before scanning: an artifact landing in between bumps
+                # the mtime past the recorded one, so it can only force an
+                # extra rescan later, never be hidden.
+                mtime_ns = entry.stat().st_mtime_ns
+                try:
+                    found = self._scan_versions(entry.name, complete_only=True)
+                except ValueError:
+                    continue  # not an artifact directory (e.g. staging leftovers)
+                if found:
+                    models[entry.name] = {"versions": found, "mtime_ns": mtime_ns}
+        self._write_index(models)
+        return models
 
     def _scan_versions(self, name: str, complete_only: bool) -> list[int]:
         model_dir = self.root / self._check_name(name)
@@ -186,6 +270,7 @@ class ModelRegistry:
         except BaseException:
             shutil.rmtree(staging_dir, ignore_errors=True)
             raise
+        self._record_version(name)
         return ModelArtifact(name=name, version=version, path=artifact_dir, manifest=manifest)
 
     # --------------------------------------------------------------------- load
@@ -207,12 +292,87 @@ class ModelRegistry:
 
     # ---------------------------------------------------------------- internals
 
+    def _index_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _model_mtime_ns(self, name: str) -> int | None:
+        try:
+            return (self.root / name).stat().st_mtime_ns
+        except OSError:
+            return None
+
+    def _read_index(self) -> dict | None:
+        """``name -> {"versions", "mtime_ns"}`` map, or ``None`` if unusable."""
+        try:
+            with open(self._index_path(), encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("format_version") != REGISTRY_FORMAT_VERSION:
+            return None
+        models = payload.get("models")
+        if not isinstance(models, dict):
+            return None
+        normalised: dict[str, dict] = {}
+        for name, entry in models.items():
+            if not isinstance(entry, dict) or not isinstance(entry.get("mtime_ns"), int):
+                return None
+            try:
+                versions = sorted(int(v) for v in entry["versions"])
+            except (KeyError, TypeError, ValueError):
+                return None
+            normalised[name] = {"versions": versions, "mtime_ns": entry["mtime_ns"]}
+        return normalised
+
+    def _write_index(self, models: dict) -> None:
+        """Atomically rewrite the root index; best-effort (read-only roots pass)."""
+        payload = {
+            "format_version": REGISTRY_FORMAT_VERSION,
+            "models": {
+                name: {
+                    "versions": sorted(entry["versions"]),
+                    "mtime_ns": entry["mtime_ns"],
+                }
+                for name, entry in sorted(models.items())
+            },
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            staging = self._index_path().with_suffix(".json.tmp")
+            with open(staging, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(staging, self._index_path())
+        except OSError:
+            pass
+
+    def _record_version(self, name: str) -> None:
+        """Fold one freshly saved artifact into the index (rebuild if absent).
+
+        Stats the model directory *before* scanning it, so a concurrent save
+        landing in between makes the recorded mtime stale — future reads then
+        rescan instead of trusting an incomplete entry.
+        """
+        models = self._read_index()
+        if models is None:
+            self.rebuild_index()
+            return
+        mtime_ns = self._model_mtime_ns(name)
+        versions = self._scan_versions(name, complete_only=True)
+        if mtime_ns is None or not versions:
+            return
+        models[name] = {"versions": versions, "mtime_ns": mtime_ns}
+        self._write_index(models)
+
     @staticmethod
     def _check_name(name: str) -> str:
         if not re.fullmatch(r"[A-Za-z0-9][A-Za-z0-9._-]*", name):
             raise ValueError(
                 f"invalid model name {name!r} (letters, digits, '.', '_', '-'; "
                 "must start with a letter or digit)"
+            )
+        if name == MANIFEST_NAME:
+            raise ValueError(
+                f"model name {name!r} is reserved for the registry's root index"
             )
         return name
 

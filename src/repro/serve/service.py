@@ -19,10 +19,20 @@ behind three endpoints:
 
 Every endpoint records wall-clock latency and throughput in
 :class:`ServiceMetrics`.
+
+The service optionally runs on the parallel runtime of :mod:`repro.runtime`
+(pass ``runtime=RuntimeConfig(...)``): featurisation of large batches shards
+across a multi-process :class:`~repro.runtime.pool.WorkerPool`, concurrent
+single-design ``estimate`` calls coalesce into packed batches through a
+:class:`~repro.runtime.microbatch.MicroBatcher`, and the inference cache gains
+a persistent on-disk tier (:class:`~repro.runtime.cache.PersistentCache`) with
+cost-aware eviction so warm sets survive restarts.  All three preserve the
+serial path's results exactly.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,9 +42,17 @@ import numpy as np
 from repro.dse.explorer import DesignCandidate, DSEConfig, DSEResult, ParetoExplorer
 from repro.flow.dataset_gen import DatasetGenerator
 from repro.flow.powergear import PowerGear
+from repro.hls.op_library import DEFAULT_LIBRARY
 from repro.hls.pragmas import DesignDirectives
 from repro.graph.dataset import GraphSample
 from repro.kernels.polybench import polybench_kernel
+from repro.runtime import (
+    ItemError,
+    MicroBatcher,
+    PersistentCache,
+    RuntimeConfig,
+    WorkerPool,
+)
 from repro.serve.cache import InferenceCache, sample_fingerprint
 from repro.serve.registry import ModelRegistry
 
@@ -116,34 +134,54 @@ class ExploreReport:
 
 @dataclass
 class ServiceMetrics:
-    """Latency / throughput instrumentation of the service."""
+    """Latency / throughput instrumentation of the service.
+
+    Thread-safe: the micro-batcher records latencies from whichever caller
+    thread claims a flush, so every mutation goes through :meth:`record`,
+    which holds an internal lock.  ``snapshot`` takes the same lock so its
+    view is consistent (no torn reads between related counters).
+    """
 
     requests: int = 0
     designs: int = 0
     batches: int = 0
     featurised: int = 0
+    pooled_featurised: int = 0
     predicted: int = 0
     featurise_seconds: float = 0.0
     predict_seconds: float = 0.0
     total_seconds: float = 0.0
     explorations: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, **deltas: float) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                if name.startswith("_") or not hasattr(self, name):
+                    raise AttributeError(f"ServiceMetrics has no counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
 
     def snapshot(self) -> dict:
         """Point-in-time metrics dictionary (counts, seconds, throughput)."""
-        return {
-            "requests": self.requests,
-            "designs": self.designs,
-            "batches": self.batches,
-            "featurised": self.featurised,
-            "predicted": self.predicted,
-            "explorations": self.explorations,
-            "featurise_seconds": self.featurise_seconds,
-            "predict_seconds": self.predict_seconds,
-            "total_seconds": self.total_seconds,
-            "designs_per_second": (
-                self.designs / self.total_seconds if self.total_seconds > 0 else 0.0
-            ),
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "designs": self.designs,
+                "batches": self.batches,
+                "featurised": self.featurised,
+                "pooled_featurised": self.pooled_featurised,
+                "predicted": self.predicted,
+                "explorations": self.explorations,
+                "featurise_seconds": self.featurise_seconds,
+                "predict_seconds": self.predict_seconds,
+                "total_seconds": self.total_seconds,
+                "designs_per_second": (
+                    self.designs / self.total_seconds if self.total_seconds > 0 else 0.0
+                ),
+            }
 
 
 # ------------------------------------------------------------------- service
@@ -162,6 +200,7 @@ class PowerEstimationService:
         generator: DatasetGenerator | None = None,
         cache: InferenceCache | None = None,
         batch_size: int = 64,
+        runtime: RuntimeConfig | None = None,
     ) -> None:
         if model is None:
             if registry is None or model_name is None:
@@ -175,19 +214,82 @@ class PowerEstimationService:
             raise ValueError("batch_size must be >= 1")
         self.model = model
         self.generator = generator or DatasetGenerator()
-        self.cache = cache or InferenceCache()
+        self.runtime = runtime or RuntimeConfig()
+        cache = cache or InferenceCache()
+        if self.runtime.persistence_enabled and cache.persistent is None:
+            cache.persistent = PersistentCache(
+                self.runtime.persistent_cache_dir,
+                max_bytes=self.runtime.persistent_cache_max_bytes,
+            )
+        self.cache = cache
         self.batch_size = batch_size
         self.metrics = ServiceMetrics()
         self.model_fingerprint = model.fingerprint()
+        self._pool: WorkerPool | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        self._batcher: MicroBatcher | None = None
+        if self.runtime.coalescing_enabled:
+            self._batcher = MicroBatcher(
+                self._coalesced_flush,
+                max_batch=self.runtime.coalesce_max_batch,
+                max_delay=self.runtime.coalesce_window_ms / 1e3,
+            )
 
     @property
     def target(self) -> str:
         return self.model.config.target
 
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Flush pending coalesced work, stop the worker pool, sync the disk tier.
+
+        Idempotent.  The service stays usable afterwards but degrades to the
+        plain serial path: no new worker pool is ever spawned (a closed
+        service must not resurrect worker processes), and coalescing is off.
+        """
+        batcher, self._batcher = self._batcher, None
+        if batcher is not None:
+            batcher.close()
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+        if self.cache.persistent is not None:
+            self.cache.persistent.sync()
+
+    def __enter__(self) -> "PowerEstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def runtime_stats(self) -> dict:
+        """Instrumentation of the runtime components (pool, coalescer, caches)."""
+        return {
+            "pool": self._pool.stats.as_dict() if self._pool is not None else None,
+            "coalescer": (
+                self._batcher.stats.as_dict() if self._batcher is not None else None
+            ),
+            "cache": self.cache.stats(),
+        }
+
     # --------------------------------------------------------------- endpoints
 
     def estimate(self, request: EstimateRequest) -> EstimateResponse:
-        """Estimate one design point (featurise → predict, both cached)."""
+        """Estimate one design point (featurise → predict, both cached).
+
+        With coalescing enabled (``runtime.coalesce_window_ms > 0``) the call
+        parks in the micro-batcher until its batch flushes, so concurrent
+        single-design callers share one packed forward pass; the response is
+        identical to the direct path's (the batched engine matches the serial
+        one to round-off, and cache keys are unchanged).
+        """
+        batcher = self._batcher
+        if batcher is not None:
+            return batcher.submit(request)
         return self.estimate_many([request])[0]
 
     def estimate_many(self, requests: list[EstimateRequest]) -> list[EstimateResponse]:
@@ -202,11 +304,15 @@ class PowerEstimationService:
             return []
         samples, feature_hits = self._resolve_samples(requests)
         predictions, prediction_hits = self._predict_samples(samples)
+        if self.cache.persistent is not None:
+            # One amortised index write per request batch (the disk tier also
+            # self-syncs every `sync_every` mutations within huge batches).
+            self.cache.persistent.sync()
 
         elapsed_ms = (time.perf_counter() - start) * 1e3
-        self.metrics.requests += 1
-        self.metrics.designs += len(requests)
-        self.metrics.total_seconds += elapsed_ms / 1e3
+        self.metrics.record(
+            requests=1, designs=len(requests), total_seconds=elapsed_ms / 1e3
+        )
         return [
             EstimateResponse(
                 kernel=sample.kernel,
@@ -288,9 +394,10 @@ class PowerEstimationService:
             )
             for i in result.approximate_pareto_indices
         ]
+        if self.cache.persistent is not None:
+            self.cache.persistent.sync()
         elapsed = time.perf_counter() - start
-        self.metrics.explorations += 1
-        self.metrics.total_seconds += elapsed
+        self.metrics.record(explorations=1, total_seconds=elapsed)
         return ExploreReport(
             kernel=kernel,
             budget=config.total_budget,
@@ -327,16 +434,86 @@ class PowerEstimationService:
                 misses_by_kernel.setdefault(request.kernel, []).append(index)
 
         for kernel, indices in misses_by_kernel.items():
+            directives_list = [requests[i].directives for i in indices]
             featurise_start = time.perf_counter()
-            featurised = self.generator.featurise(
-                kernel, [requests[i].directives for i in indices]
+            featurised, pooled = self._featurise(kernel, directives_list)
+            elapsed = time.perf_counter() - featurise_start
+            self.metrics.record(
+                featurise_seconds=elapsed,
+                featurised=len(indices),
+                pooled_featurised=len(indices) if pooled else 0,
             )
-            self.metrics.featurise_seconds += time.perf_counter() - featurise_start
-            self.metrics.featurised += len(indices)
+            # What a future cache hit on this design saves: its share of the
+            # batch's featurisation wall-clock.  This is the value the
+            # persistent tier's cost-aware eviction ranks entries by.
+            cost_per_design = elapsed / len(indices)
             for index, sample in zip(indices, featurised):
                 samples[index] = sample
-                self.cache.put_sample(sample)
+                self.cache.put_sample(sample, cost_seconds=cost_per_design)
         return list(samples), hits
+
+    def _coalesced_flush(self, requests: list[EstimateRequest]) -> list:
+        """Serve one coalesced batch; a bad request fails only its own caller.
+
+        The fast path is the ordinary batched ``estimate_many``.  If it raises
+        (e.g. one member names an unknown kernel), the batch degrades to
+        per-request calls so every other caller still gets the response the
+        direct path would have given them, and only the offending caller
+        re-raises.
+        """
+        try:
+            return self.estimate_many(requests)
+        except Exception:
+            results: list = []
+            for request in requests:
+                try:
+                    results.append(self.estimate_many([request])[0])
+                except Exception as error:  # noqa: PERF203 - per-item isolation
+                    results.append(ItemError(error))
+            return results
+
+    def _featurise(
+        self, kernel: str, directives_list: list[DesignDirectives]
+    ) -> tuple[list[GraphSample], bool]:
+        """Featurise through the worker pool when it pays off, serially otherwise.
+
+        Both paths produce bitwise-identical samples (featurisation is pure
+        per design point and the pool's merge is deterministic); the pool is
+        only engaged for batches large enough to amortise process IPC.  A
+        service whose generator carries a custom operator library featurises
+        serially: workers rebuild their generator from the dataset config
+        alone.
+        """
+        pool = self._featurisation_pool(len(directives_list))
+        if pool is not None:
+            try:
+                return pool.featurise(kernel, directives_list), True
+            except (RuntimeError, ValueError):
+                # The pool was closed between handing out the handle and
+                # submitting the batch (service shutdown racing a request);
+                # both paths produce identical samples, so just run serial.
+                pass
+        return self.generator.featurise(kernel, directives_list), False
+
+    def _featurisation_pool(self, num_designs: int) -> WorkerPool | None:
+        if not self.runtime.parallel_featurisation:
+            return None
+        if self.generator.library is not DEFAULT_LIBRARY:
+            return None
+        with self._pool_lock:
+            if self._closed:
+                return None
+            # Locked check-then-act: two concurrent cold calls must not each
+            # build a pool handle (its own lock guards the actual processes).
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    config=self.generator.config,
+                    num_workers=self.runtime.num_workers,
+                    start_method=self.runtime.start_method,
+                    min_designs_per_worker=self.runtime.min_designs_per_worker,
+                )
+            pool = self._pool
+        return pool if pool.should_parallelise(num_designs) else None
 
     def _predict_samples(
         self, samples: list[GraphSample]
@@ -359,13 +536,20 @@ class PowerEstimationService:
             fresh = self.model.predict_batch(
                 [samples[i] for i in miss_indices], batch_size=self.batch_size
             )
-            self.metrics.predict_seconds += time.perf_counter() - predict_start
-            self.metrics.predicted += len(miss_indices)
-            # Number of packed forward batches actually run.
-            self.metrics.batches += -(-len(miss_indices) // self.batch_size)
+            elapsed = time.perf_counter() - predict_start
+            self.metrics.record(
+                predict_seconds=elapsed,
+                predicted=len(miss_indices),
+                # Number of packed forward batches actually run.
+                batches=-(-len(miss_indices) // self.batch_size),
+            )
+            cost_per_design = elapsed / len(miss_indices)
             for position, index in enumerate(miss_indices):
                 predictions[index] = fresh[position]
                 self.cache.put_prediction(
-                    keys[index], self.model_fingerprint, float(fresh[position])
+                    keys[index],
+                    self.model_fingerprint,
+                    float(fresh[position]),
+                    cost_seconds=cost_per_design,
                 )
         return predictions, hits

@@ -1,0 +1,210 @@
+"""Tests for the request-coalescing micro-batcher (size/deadline policy)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import MicroBatcher
+
+
+class RecordingFlush:
+    """Flush function that records every batch it serves."""
+
+    def __init__(self, transform=lambda item: item * 2):
+        self.batches = []
+        self.transform = transform
+        self.lock = threading.Lock()
+
+    def __call__(self, items):
+        with self.lock:
+            self.batches.append(list(items))
+        return [self.transform(item) for item in items]
+
+
+def submit_concurrently(batcher, items):
+    """Submit every item from its own thread; return results in item order."""
+    results = [None] * len(items)
+    errors = []
+
+    def worker(slot, item):
+        try:
+            results[slot] = batcher.submit(item)
+        except BaseException as error:  # noqa: BLE001 - propagated to the test
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot, item))
+        for slot, item in enumerate(items)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    return results, errors
+
+
+def test_validates_configuration():
+    with pytest.raises(ValueError):
+        MicroBatcher(lambda items: items, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(lambda items: items, max_delay=-1.0)
+
+
+def test_size_triggered_flush_is_deterministic_under_fake_clock():
+    """Filling a batch flushes it regardless of the clock (frozen here)."""
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=4, max_delay=1e9, clock=lambda: 100.0)
+    results, errors = submit_concurrently(batcher, list(range(8)))
+    assert not errors
+    assert results == [item * 2 for item in range(8)]
+    assert batcher.stats.batches == 2
+    assert batcher.stats.size_flushes == 2
+    assert batcher.stats.largest_batch == 4
+    assert sorted(item for batch in flush.batches for item in batch) == list(range(8))
+    assert all(len(batch) == 4 for batch in flush.batches)
+
+
+def test_single_item_batch_with_max_batch_one():
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=1, max_delay=1e9, clock=lambda: 0.0)
+    assert batcher.submit(5) == 10
+    assert flush.batches == [[5]]
+    assert batcher.stats.size_flushes == 1
+
+
+def test_deadline_triggered_flush():
+    """A lone request flushes once its window expires (real clock, tiny window)."""
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=64, max_delay=0.01)
+    start = time.perf_counter()
+    assert batcher.submit(3) == 6
+    assert time.perf_counter() - start < 10.0
+    assert batcher.stats.deadline_flushes == 1
+    assert flush.batches == [[3]]
+
+
+def test_deadline_honours_injected_clock():
+    """The deadline policy is driven by the injected clock, deterministically.
+
+    The clock reads 0.0 when the leader opens its batch (deadline = 5.0) and
+    10.0 on every later read, so the very first expiry check observes the
+    deadline passed and seals the batch — single-threaded, no real waiting.
+    """
+    reads = []
+
+    def clock() -> float:
+        reads.append(1)
+        return 0.0 if len(reads) == 1 else 10.0
+
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=64, max_delay=5.0, clock=clock)
+    batcher.poke()  # no waiters: a pure no-op
+    assert batcher.submit(7) == 14
+    assert batcher.stats.deadline_flushes == 1
+    assert batcher.stats.size_flushes == 0
+    assert flush.batches == [[7]]
+
+
+def test_flush_error_propagates_to_every_member():
+    def explode(items):
+        raise RuntimeError("backend down")
+
+    batcher = MicroBatcher(explode, max_batch=2, max_delay=1e9, clock=lambda: 0.0)
+    results, errors = submit_concurrently(batcher, [1, 2])
+    assert results == [None, None]
+    assert len(errors) == 2
+    assert all("backend down" in str(error) for error in errors)
+
+
+def test_flush_length_mismatch_is_an_error():
+    batcher = MicroBatcher(lambda items: [], max_batch=1, max_delay=1e9)
+    with pytest.raises(RuntimeError, match="0 results for 1 items"):
+        batcher.submit(1)
+
+
+def test_closed_batcher_rejects_submissions():
+    batcher = MicroBatcher(lambda items: items, max_batch=2, max_delay=1e9)
+    batcher.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        batcher.submit(1)
+
+
+def test_context_manager_closes():
+    with MicroBatcher(lambda items: items, max_batch=2, max_delay=1e9) as batcher:
+        pass
+    with pytest.raises(RuntimeError):
+        batcher.submit(1)
+
+
+def test_item_error_fails_only_its_own_member():
+    """A flush may fail one slot via ItemError without shared fate."""
+    from repro.runtime import ItemError
+
+    def flush(items):
+        return [
+            ItemError(ValueError(f"bad {item}")) if item % 2 else item * 2
+            for item in items
+        ]
+
+    batcher = MicroBatcher(flush, max_batch=4, max_delay=1e9, clock=lambda: 0.0)
+    results, errors = submit_concurrently(batcher, [0, 1, 2, 3])
+    assert results == [0, None, 4, None]
+    assert sorted(str(error) for error in errors) == ["bad 1", "bad 3"]
+
+
+def test_close_waits_for_inflight_flushes():
+    """After close() returns, no flush is still running."""
+    entered = threading.Event()
+    release = threading.Event()
+    finished = []
+
+    def flush(items):
+        entered.set()
+        release.wait(timeout=30)
+        finished.append(list(items))
+        return list(items)
+
+    batcher = MicroBatcher(flush, max_batch=1, max_delay=1e9)
+    thread = threading.Thread(target=lambda: batcher.submit(1))
+    thread.start()
+    assert entered.wait(timeout=30)  # the flush is now in flight
+
+    closer_done = threading.Event()
+
+    def close():
+        batcher.close()
+        closer_done.set()
+
+    closer = threading.Thread(target=close)
+    closer.start()
+    time.sleep(0.05)
+    assert not closer_done.is_set()  # close() is blocked on the flush
+    release.set()
+    closer.join(timeout=30)
+    thread.join(timeout=30)
+    assert closer_done.is_set()
+    assert finished == [[1]]
+
+
+def test_flushes_are_serialised():
+    """Two batches flushing around the same time never interleave flush calls."""
+    active = []
+    overlaps = []
+    lock = threading.Lock()
+
+    def flush(items):
+        with lock:
+            if active:
+                overlaps.append(list(items))
+            active.append(1)
+        time.sleep(0.005)
+        with lock:
+            active.pop()
+        return list(items)
+
+    batcher = MicroBatcher(flush, max_batch=2, max_delay=1e9, clock=lambda: 0.0)
+    results, errors = submit_concurrently(batcher, list(range(8)))
+    assert not errors
+    assert sorted(results) == list(range(8))
+    assert not overlaps

@@ -1,0 +1,197 @@
+"""Tests for the on-disk cost-aware cache tier."""
+
+import pytest
+
+from repro.graph.dataset import GraphSample
+from repro.runtime import PersistentCache
+from repro.runtime.cache import INDEX_NAME, SAMPLES_DIR
+from repro.serve.cache import InferenceCache, sample_fingerprint
+
+
+@pytest.fixture()
+def samples(random_graph_factory):
+    """Six samples with identical array shapes, so on-disk sizes are ~equal
+    and the byte-budget eviction tests are robust."""
+    return [
+        GraphSample(
+            graph=random_graph_factory(num_nodes=10, num_edges=20, seed=100 + index),
+            kernel="synthetic",
+            directives=f"point{index}",
+            total_power=1.0,
+            dynamic_power=0.4,
+            static_power=0.6,
+            latency_cycles=100 + index,
+        )
+        for index in range(6)
+    ]
+
+
+def keyed(samples):
+    return [(f"key{i:02d}", sample) for i, sample in enumerate(samples)]
+
+
+def test_validates_configuration(tmp_path):
+    with pytest.raises(ValueError):
+        PersistentCache(tmp_path, max_bytes=0)
+    with pytest.raises(ValueError):
+        PersistentCache(tmp_path, max_predictions=0)
+
+
+def test_sample_roundtrip_is_bitwise(tmp_path, samples):
+    cache = PersistentCache(tmp_path / "store")
+    key, sample = keyed(samples)[0]
+    assert cache.get_sample(key) is None
+    cache.put_sample(key, sample, cost_seconds=0.5)
+    loaded = cache.get_sample(key)
+    assert sample_fingerprint(loaded) == sample_fingerprint(sample)
+    assert loaded.dynamic_power == sample.dynamic_power
+    assert loaded.kernel == sample.kernel and loaded.directives == sample.directives
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1 and stats["samples"] == 1
+    assert stats["sample_bytes"] > 0
+
+
+def test_store_survives_reopen(tmp_path, samples):
+    directory = tmp_path / "store"
+    first = PersistentCache(directory)
+    for key, sample in keyed(samples):
+        first.put_sample(key, sample, cost_seconds=1.0)
+    first.put_prediction("pred:fp", 0.125, cost_seconds=0.1)
+    first.sync()
+
+    second = PersistentCache(directory)
+    assert len(second) == len(samples) + 1
+    for key, sample in keyed(samples):
+        assert sample_fingerprint(second.get_sample(key)) == sample_fingerprint(sample)
+    assert second.get_prediction("pred:fp") == 0.125
+
+
+def test_cost_aware_eviction_prefers_cheap_entries(tmp_path, samples):
+    """Entries saving the fewest featurisation seconds are evicted first."""
+    probe = PersistentCache(tmp_path / "probe")
+    probe.put_sample("probe", samples[0], cost_seconds=1.0)
+    per_entry = probe.total_sample_bytes()
+
+    # Room for ~3 entries; costs make entry 1 cheapest, then 3, then 0, 2, 4.
+    cache = PersistentCache(tmp_path / "store", max_bytes=int(per_entry * 3.5))
+    costs = [5.0, 0.1, 9.0, 0.2, 7.0]
+    for (key, sample), cost in zip(keyed(samples), costs):
+        cache.put_sample(key, sample, cost_seconds=cost)
+    assert cache.evictions == 2
+    assert cache.get_sample("key01") is None  # cost 0.1: first out
+    assert cache.get_sample("key03") is None  # cost 0.2: second out
+    for survivor in ("key00", "key02", "key04"):
+        assert cache.get_sample(survivor) is not None
+    # An LRU policy would have kept key03 (recent) over key00 (old): the
+    # cost-aware policy keeps the expensive old entry instead.
+
+
+def test_eviction_breaks_cost_ties_by_recency(tmp_path, samples):
+    probe = PersistentCache(tmp_path / "probe")
+    probe.put_sample("probe", samples[0], cost_seconds=1.0)
+    per_entry = probe.total_sample_bytes()
+
+    cache = PersistentCache(tmp_path / "store", max_bytes=int(per_entry * 2.5))
+    for (key, sample) in keyed(samples)[:3]:
+        cache.put_sample(key, sample, cost_seconds=1.0)
+    # Equal costs: the least recently touched entry (key00) goes first.
+    assert cache.evictions == 1
+    assert cache.get_sample("key00") is None
+    assert cache.get_sample("key01") is not None
+
+
+def test_prediction_store_caps_entries(tmp_path):
+    cache = PersistentCache(tmp_path / "store", max_predictions=3)
+    for index in range(5):
+        cache.put_prediction(f"p{index}", float(index), cost_seconds=float(index))
+    assert cache.evictions == 2
+    assert cache.get_prediction("p0") is None  # lowest cost went first
+    assert cache.get_prediction("p4") == 4.0
+
+
+def test_corrupt_sample_file_is_dropped_not_served(tmp_path, samples):
+    cache = PersistentCache(tmp_path / "store")
+    key, sample = keyed(samples)[0]
+    cache.put_sample(key, sample, cost_seconds=1.0)
+    (tmp_path / "store" / SAMPLES_DIR / f"{key}.npz").write_bytes(b"not an npz")
+    assert cache.get_sample(key) is None
+    assert cache.stats()["samples"] == 0
+    # And the store still works afterwards.
+    cache.put_sample(key, sample, cost_seconds=1.0)
+    assert cache.get_sample(key) is not None
+
+
+def test_corrupt_index_starts_empty(tmp_path, samples):
+    directory = tmp_path / "store"
+    cache = PersistentCache(directory)
+    key, sample = keyed(samples)[0]
+    cache.put_sample(key, sample)
+    (directory / INDEX_NAME).write_text("{broken json", encoding="utf-8")
+    reopened = PersistentCache(directory)
+    assert reopened.get_sample(key) is None
+
+
+def test_index_entries_without_files_are_filtered_on_load(tmp_path, samples):
+    directory = tmp_path / "store"
+    cache = PersistentCache(directory)
+    pairs = keyed(samples)[:2]
+    for key, sample in pairs:
+        cache.put_sample(key, sample)
+    cache.sync()
+    (directory / SAMPLES_DIR / f"{pairs[0][0]}.npz").unlink()
+    reopened = PersistentCache(directory)
+    assert reopened.get_sample(pairs[0][0]) is None
+    assert reopened.get_sample(pairs[1][0]) is not None
+
+
+def test_index_writes_are_batched_with_a_backstop(tmp_path, samples):
+    """The index is rewritten on sync() and every `sync_every` mutations."""
+    directory = tmp_path / "store"
+    cache = PersistentCache(directory, sync_every=3)
+    cache.put_sample("key00", samples[0], cost_seconds=1.0)
+    assert not (directory / INDEX_NAME).exists()  # 1 mutation: batched
+    cache.put_sample("key01", samples[1], cost_seconds=1.0)
+    cache.put_sample("key02", samples[2], cost_seconds=1.0)
+    assert (directory / INDEX_NAME).is_file()  # backstop kicked in
+    cache.put_prediction("p", 1.0)
+    cache.sync()  # explicit sync persists the pending mutation
+    reopened = PersistentCache(directory)
+    assert reopened.get_prediction("p") == 1.0
+    assert len(reopened) == 4
+
+
+def test_unsynced_sample_files_are_garbage_collected_on_open(tmp_path, samples):
+    """Files the index does not know about cannot be served; reclaim them."""
+    directory = tmp_path / "store"
+    cache = PersistentCache(directory)
+    cache.put_sample("key00", samples[0], cost_seconds=1.0)
+    cache.sync()
+    cache.put_sample("key01", samples[1], cost_seconds=1.0)  # never synced
+    # Crash here: key01's npz exists but no index entry records it.
+    reopened = PersistentCache(directory)
+    assert reopened.get_sample("key00") is not None
+    assert reopened.get_sample("key01") is None
+    assert not (directory / SAMPLES_DIR / "key01.npz").exists()
+
+
+def test_inference_cache_promotes_disk_hits_to_memory(tmp_path, samples):
+    persistent = PersistentCache(tmp_path / "store")
+    warm = InferenceCache(persistent=persistent)
+    for sample in samples:
+        warm.put_sample(sample, cost_seconds=0.5)
+    warm.put_prediction("skey", "fp", 0.75, cost_seconds=0.01)
+    persistent.sync()
+
+    # A fresh memory tier over the same disk store: every lookup misses memory
+    # once, falls through to disk, and is promoted.
+    cold = InferenceCache(persistent=PersistentCache(tmp_path / "store"))
+    sample = samples[0]
+    from_disk = cold.get_sample(sample.kernel, sample.directives)
+    assert sample_fingerprint(from_disk) == sample_fingerprint(sample)
+    assert cold.get_prediction("skey", "fp") == 0.75
+    # Promotion: the second lookup is a pure memory hit (disk hit count stays).
+    disk_hits = cold.persistent.hits
+    assert cold.get_sample(sample.kernel, sample.directives) is not None
+    assert cold.get_prediction("skey", "fp") == 0.75
+    assert cold.persistent.hits == disk_hits
+    assert "persistent" in cold.stats()

@@ -11,6 +11,7 @@ from repro.gnn.ensemble import EnsembleConfig
 from repro.gnn.trainer import TrainingConfig
 from repro.serve.registry import (
     MANIFEST_NAME,
+    REGISTRY_FORMAT_VERSION,
     ModelRegistry,
     config_from_dict,
     config_to_dict,
@@ -97,7 +98,7 @@ def test_registry_rejects_invalid_inputs(tmp_path, random_sample_factory):
         registry.save(PowerGear(), "unfitted")
     samples = random_sample_factory(28, seed=8)
     model = fitted_model(samples[:20], ensemble=False)
-    for bad in ("bad/name", "..", ".", ".hidden", "", "a\\b"):
+    for bad in ("bad/name", "..", ".", ".hidden", "", "a\\b", "manifest.json"):
         with pytest.raises(ValueError):
             registry.save(model, bad)
 
@@ -118,6 +119,127 @@ def test_registry_recovers_from_crashed_save(tmp_path, random_sample_factory):
     assert np.array_equal(
         model.predict(samples[20:]), registry.load("pg").predict(samples[20:])
     )
+
+
+def test_registry_index_is_written_and_answers_listing(tmp_path, random_sample_factory):
+    """Saves maintain the root manifest index; listings answer from it."""
+    samples = random_sample_factory(28, seed=12)
+    model = fitted_model(samples[:20], ensemble=False)
+    registry = ModelRegistry(tmp_path)
+    registry.save(model, "pg")
+    registry.save(model, "pg")
+    registry.save(model, "other")
+
+    index_path = tmp_path / MANIFEST_NAME
+    assert index_path.is_file()
+    payload = json.loads(index_path.read_text())
+    assert payload["models"]["pg"]["versions"] == [1, 2]
+    assert payload["models"]["other"]["versions"] == [1]
+
+    # The index, not a scan, answers version queries while the model dir is
+    # unchanged: doctor the recorded versions (keeping the recorded mtime) and
+    # the doctored view is what comes back.
+    payload["models"]["pg"]["versions"] = [1]
+    index_path.write_text(json.dumps(payload))
+    assert registry.versions("pg") == [1]
+
+    # Any out-of-band change bumps the dir mtime: detected, rescanned, healed.
+    import shutil
+
+    shutil.copytree(tmp_path / "pg" / "v2", tmp_path / "pg" / "v7")
+    assert registry.versions("pg") == [1, 2, 7]
+    healed = json.loads(index_path.read_text())
+    assert healed["models"]["pg"]["versions"] == [1, 2, 7]
+
+
+def test_registry_index_rebuilds_on_miss(tmp_path, random_sample_factory):
+    """A deleted or corrupt index falls back to the scan and is rebuilt."""
+    samples = random_sample_factory(28, seed=13)
+    model = fitted_model(samples[:20], ensemble=False)
+    registry = ModelRegistry(tmp_path)
+    registry.save(model, "pg")
+    index_path = tmp_path / MANIFEST_NAME
+
+    index_path.unlink()
+    assert registry.versions("pg") == [1]  # scan fallback
+    assert index_path.is_file()  # ...and the index came back
+
+    index_path.write_text("{not json")
+    assert registry.list_models() == ["pg"]
+    assert json.loads(index_path.read_text())["models"]["pg"]["versions"] == [1]
+
+    # A fresh registry object over the same root sees the same index.
+    assert ModelRegistry(tmp_path).latest_version("pg") == 1
+
+
+def test_registry_index_detects_stale_entries(tmp_path, random_sample_factory):
+    """Indexed versions whose artifacts vanished are re-scanned, not served."""
+    import shutil
+
+    samples = random_sample_factory(28, seed=14)
+    model = fitted_model(samples[:20], ensemble=False)
+    registry = ModelRegistry(tmp_path)
+    registry.save(model, "pg")
+    registry.save(model, "pg")
+    shutil.rmtree(tmp_path / "pg" / "v2")
+
+    assert registry.versions("pg") == [1]
+    healed = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert healed["models"]["pg"]["versions"] == [1]
+    assert registry.latest_version("pg") == 1
+
+
+def test_list_models_survives_an_index_missing_a_model(tmp_path, random_sample_factory):
+    """A lost index update (concurrent saves) must not hide a saved model."""
+    samples = random_sample_factory(28, seed=15)
+    model = fitted_model(samples[:20], ensemble=False)
+    registry = ModelRegistry(tmp_path)
+    registry.save(model, "a")
+    registry.save(model, "b")
+    (tmp_path / MANIFEST_NAME).write_text(
+        json.dumps(
+            {
+                "format_version": REGISTRY_FORMAT_VERSION,
+                "models": {
+                    "b": {
+                        "versions": [1],
+                        "mtime_ns": (tmp_path / "b").stat().st_mtime_ns,
+                    }
+                },
+            }
+        )
+    )
+    assert registry.list_models() == ["a", "b"]
+    # ...and discovering the missing name healed the index.
+    healed = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert healed["models"]["a"]["versions"] == [1]
+    assert healed["models"]["b"]["versions"] == [1]
+
+
+def test_registry_index_detects_lost_version_update(tmp_path, random_sample_factory):
+    """An index recording a version subset must not hide newer versions.
+
+    Simulates the concurrent-save lost update: v2 exists on disk but the last
+    index write only knew about v1.  The model dir's mtime no longer matches
+    the recorded one, so the entry is distrusted and rescanned.
+    """
+    samples = random_sample_factory(28, seed=16)
+    model = fitted_model(samples[:20], ensemble=False)
+    registry = ModelRegistry(tmp_path)
+    registry.save(model, "pg")
+    index_after_v1 = (tmp_path / MANIFEST_NAME).read_text()
+    registry.save(model, "pg")
+    (tmp_path / MANIFEST_NAME).write_text(index_after_v1)  # the lost update
+
+    assert registry.versions("pg") == [1, 2]
+    assert registry.latest_version("pg") == 2
+
+
+def test_registry_index_ignores_unknown_names(tmp_path):
+    registry = ModelRegistry(tmp_path)
+    assert registry.versions("ghost") == []
+    assert not (tmp_path / MANIFEST_NAME).exists()  # no write for a pure miss
+    assert registry.list_models() == []
 
 
 def test_registry_integrity_check(tmp_path, random_sample_factory):

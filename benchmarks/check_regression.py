@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate over the tracked results log.
+
+``latest_results.txt`` is the append-only log every benchmark table lands in;
+this script turns it from a log into a guardrail.  It extracts the throughput
+/ speedup numbers named in ``baseline.json`` from the *latest* occurrence of
+each table and fails (exit 1) when an enforced metric regressed more than the
+tolerance against its committed baseline.
+
+Gating matches the benchmark suite exactly (the shared ``gating`` module):
+wall-clock metrics (marked ``"non_ci": true`` and/or ``"min_cores": N``) are
+reported but skipped on CI runners / low-core machines, where only the
+machine-independent ratio metrics are enforced.  Baselines are refreshed
+deliberately, never silently::
+
+    python benchmarks/check_regression.py                    # gate
+    python benchmarks/check_regression.py --write-baseline   # refresh values
+
+Stdlib-only on purpose: the CI gate job runs it on a bare checkout against a
+downloaded results artifact, with no numpy and no installed package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+from gating import gate_reason, on_ci, usable_cpus, wall_clock_enforced
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_RESULTS = HERE / "latest_results.txt"
+DEFAULT_BASELINE = HERE / "baseline.json"
+
+
+class GateError(Exception):
+    """A structural failure (missing table / row / column), exit code 2."""
+
+
+def parse_tables(text: str) -> list[tuple[str, list[dict[str, str]]]]:
+    """Every table in the log, in file order (so the last match is newest).
+
+    A table is ``=== title ===`` followed by an aligned header row and data
+    rows; cells are separated by two or more spaces.  The log is append-only
+    and titles vary slightly between runs (core counts, gate reasons in the
+    suffix), so occurrences are kept as an ordered list — never collapsed by
+    title — and metric resolution picks the *positionally last* match.
+    """
+    tables: list[tuple[str, list[dict[str, str]]]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = re.match(r"^=== (.*) ===$", lines[index].strip())
+        if not match:
+            index += 1
+            continue
+        title = match.group(1)
+        index += 1
+        if index >= len(lines):
+            break
+        header = re.split(r"\s{2,}", lines[index].strip())
+        index += 1
+        rows: list[dict[str, str]] = []
+        while index < len(lines):
+            line = lines[index].rstrip()
+            if not line.strip() or line.strip().startswith("==="):
+                break
+            cells = re.split(r"\s{2,}", line.strip())
+            if len(cells) == len(header):
+                rows.append(dict(zip(header, cells)))
+            index += 1
+        tables.append((title, rows))
+    return tables
+
+
+def _cell_value(cell: str) -> float:
+    """Numeric cell content; speedups are printed as e.g. ``2.7x``."""
+    return float(cell.rstrip("x"))
+
+
+def resolve_metric(tables: list, spec: dict, name: str) -> float:
+    """Extract one metric's current value from the latest matching table."""
+    title_prefix = spec["table"]
+    matches = [
+        (title, rows) for title, rows in tables if title.startswith(title_prefix)
+    ]
+    if not matches:
+        raise GateError(f"{name}: no table titled {title_prefix!r} in the results log")
+    matched_title, rows = matches[-1]
+    label = rows and next(iter(rows[0]))  # first column holds the row label
+    if "row_prefix" in spec:
+        candidates = [r for r in rows if r[label].startswith(spec["row_prefix"])]
+    else:
+        candidates = [r for r in rows if r[label] == spec["row"]]
+    if not candidates:
+        wanted = spec.get("row", spec.get("row_prefix"))
+        raise GateError(f"{name}: no row {wanted!r} in table {matched_title!r}")
+    column = spec["column"]
+    try:
+        values = [_cell_value(row[column]) for row in candidates]
+    except KeyError:
+        raise GateError(f"{name}: no column {column!r} in table {matched_title!r}") from None
+    except ValueError as error:
+        raise GateError(f"{name}: non-numeric cell under {column!r}: {error}") from None
+    aggregate = spec.get("aggregate", "first")
+    if aggregate == "max":
+        return max(values)
+    if aggregate != "first":
+        raise GateError(f"{name}: unknown aggregate {aggregate!r}")
+    return values[0]
+
+
+def _metric_enforced(spec: dict) -> bool:
+    """Whether this machine's measurement of the metric is trustworthy.
+
+    One policy for both directions: ``check`` only *enforces* metrics that
+    pass it, and ``write_baseline`` only *refreshes* metrics that pass it —
+    a gated run must neither fail the gate nor pollute the baseline.
+    """
+    min_cores = int(spec.get("min_cores", 0))
+    wall_clock = bool(spec.get("non_ci", False)) or min_cores > 0
+    return not wall_clock or wall_clock_enforced(min_cores=min_cores)
+
+
+def check(results_path: Path, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    tables = parse_tables(results_path.read_text())
+    default_tolerance = float(baseline.get("tolerance", 0.25))
+
+    failures = 0
+    print(
+        f"benchmark regression gate: {results_path} vs {baseline_path} "
+        f"(default tolerance {default_tolerance:.0%}, "
+        f"{usable_cpus()} cores, {'CI' if on_ci() else 'local'} run)"
+    )
+    for name, spec in baseline["metrics"].items():
+        current = resolve_metric(tables, spec, name)
+        reference = float(spec["value"])
+        tolerance = float(spec.get("tolerance", default_tolerance))
+        change = (current - reference) / reference if reference else 0.0
+
+        enforced = _metric_enforced(spec)
+        regressed = (
+            change < -tolerance if spec.get("higher_is_better", True) else change > tolerance
+        )
+
+        if not enforced:
+            status = f"SKIPPED ({gate_reason(min_cores=int(spec.get('min_cores', 0)))})"
+        elif regressed:
+            status = f"REGRESSED (beyond {tolerance:.0%})"
+            failures += 1
+        else:
+            status = "ok"
+        print(
+            f"  {name:44s} baseline {reference:10.2f}  "
+            f"current {current:10.2f}  {change:+7.1%}  {status}"
+        )
+    if failures:
+        print(f"FAIL: {failures} metric(s) regressed beyond tolerance")
+        return 1
+    print("PASS: no enforced metric regressed beyond tolerance")
+    return 0
+
+
+def write_baseline(results_path: Path, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    tables = parse_tables(results_path.read_text())
+    written = 0
+    for name, spec in baseline["metrics"].items():
+        if spec.get("pinned"):
+            # Policy values (contractual floors), not measurements — a refresh
+            # must never turn them into whatever this machine happened to do.
+            print(f"  {name}: pinned at {spec['value']}, not refreshed")
+            continue
+        if not _metric_enforced(spec):
+            # This machine's number is exactly what the gate itself would
+            # refuse to judge by; writing it would poison future enforced runs.
+            print(f"  {name}: {gate_reason(min_cores=int(spec.get('min_cores', 0)))}, not refreshed")
+            continue
+        spec["value"] = round(resolve_metric(tables, spec, name), 4)
+        written += 1
+    baseline_path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {written} baseline values to {baseline_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh the committed baseline values from the results log",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.write_baseline:
+            return write_baseline(args.results, args.baseline)
+        return check(args.results, args.baseline)
+    except (GateError, FileNotFoundError) as error:
+        print(f"ERROR: {error}")
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

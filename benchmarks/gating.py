@@ -1,0 +1,46 @@
+"""The single shared CI / core-count gate for wall-clock assertions.
+
+Every wall-clock assertion in the benchmark harness — and every wall-clock
+metric in the regression gate (``check_regression.py``) — decides whether to
+*enforce* through this module, so the policy lives in exactly one place:
+
+* shared CI runners (``CI=true``, as GitHub Actions sets) are too noisy to
+  time, so wall-clock asserts are skipped there and only correctness /
+  determinism contracts are enforced;
+* an assertion about an N-way parallel speedup is meaningless with fewer
+  than N usable cores, so it can additionally demand a core count.
+
+Deliberately stdlib-only: ``check_regression.py`` runs in a CI job that
+downloads a results artifact onto a bare checkout, where the package (and
+numpy) may not be installed.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
+def on_ci() -> bool:
+    return bool(os.environ.get("CI"))
+
+
+def wall_clock_enforced(min_cores: int = 0) -> bool:
+    """True when wall-clock assertions are trustworthy on this machine."""
+    return not on_ci() and usable_cpus() >= min_cores
+
+
+def gate_reason(min_cores: int = 0) -> str:
+    """Human-readable reason string logged next to a skipped assertion."""
+    if on_ci():
+        return "skipped: CI runner"
+    if usable_cpus() < min_cores:
+        return f"skipped: needs >= {min_cores} cores, have {usable_cpus()}"
+    return "enforced"

@@ -1,0 +1,155 @@
+"""Gateway throughput: the async front end under a concurrency sweep.
+
+One workload — ``SWEEP_REQUESTS`` single-design estimates over the atax
+design space — replayed at increasing client concurrency through
+:class:`~repro.runtime.gateway.AsyncPowerGateway`, against the direct
+``estimate_many`` batch as the reference.  At concurrency 1 every request
+pays the full coalescing window alone; as concurrency grows, requests share
+packed forward passes and throughput climbs toward the batched path.
+
+Correctness (gateway responses match the direct service bitwise-to-round-off,
+coalescing observable in the runtime stats) is always enforced; the
+wall-clock scaling assertion goes through the shared ``gating`` helper like
+every other benchmark.  The printed table lands in ``latest_results.txt``,
+where ``check_regression.py`` gates it against ``baseline.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from gating import gate_reason, wall_clock_enforced
+from repro.flow.dataset_gen import DatasetGenerator
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.runtime import RuntimeConfig
+from repro.runtime.gateway import AsyncPowerGateway
+from repro.serve import EstimateRequest, PowerEstimationService
+
+TARGET_KERNEL = "atax"
+SWEEP_REQUESTS = 256
+CONCURRENCY_LEVELS = (1, 8, 32, 128)
+COALESCE_WINDOW_MS = 5.0
+COALESCE_BATCH = 16
+GATEWAY_THREADS = 32
+
+
+@pytest.mark.benchmark
+@pytest.mark.slow
+def test_gateway_concurrency_sweep(benchmark, bench_dataset, bench_scale):
+    train, test = bench_dataset.leave_one_out(TARGET_KERNEL)
+    model = PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=bench_scale.hidden_dim, num_layers=3),
+            training=TrainingConfig(
+                epochs=min(bench_scale.epochs, 40), batch_size=32, learning_rate=2e-3
+            ),
+            ensemble=None,
+        )
+    ).fit(train.samples)
+    unique_requests = [EstimateRequest.from_sample(s) for s in test.samples]
+    requests = [
+        unique_requests[i % len(unique_requests)] for i in range(SWEEP_REQUESTS)
+    ]
+
+    def run():
+        direct_service = PowerEstimationService(model, generator=DatasetGenerator())
+        direct_start = time.perf_counter()
+        direct = direct_service.estimate_many(requests)
+        direct_seconds = time.perf_counter() - direct_start
+
+        levels = {}
+        for level in CONCURRENCY_LEVELS:
+            levels[level] = asyncio.run(_sweep_level(model, requests, level))
+        return {"direct": direct, "direct_seconds": direct_seconds, "levels": levels}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    served = len(requests)
+    enforced = wall_clock_enforced()
+    rows = [
+        [
+            "direct estimate_many",
+            str(served),
+            f"{results['direct_seconds']:.3f}",
+            f"{served / results['direct_seconds']:.0f}",
+            "-",
+        ]
+    ]
+    for level in CONCURRENCY_LEVELS:
+        seconds, _, stats = results["levels"][level]
+        coalescer = stats["coalescer"]
+        rows.append(
+            [
+                f"gateway x{level}",
+                str(served),
+                f"{seconds:.3f}",
+                f"{served / seconds:.0f}",
+                f"{coalescer['mean_batch']:.1f}",
+            ]
+        )
+    print_table(
+        f"Gateway concurrency sweep on the {TARGET_KERNEL} design space "
+        f"({served} single-design requests, window {COALESCE_WINDOW_MS:.0f} ms, "
+        f"max batch {COALESCE_BATCH}, {GATEWAY_THREADS} bridge threads; "
+        f"scaling assert {gate_reason()})",
+        ["Path", "Designs", "Seconds", "Designs/s", "Mean batch"],
+        rows,
+    )
+
+    # Correctness invariants: always enforced.
+    expected = [response.power for response in results["direct"]]
+    for level in CONCURRENCY_LEVELS:
+        _, responses, stats = results["levels"][level]
+        assert np.allclose(
+            [response.power for response in responses], expected, atol=1e-8
+        ), f"gateway responses diverged from the direct path at concurrency {level}"
+        assert stats["gateway"]["completed"] == served
+        assert stats["gateway"]["in_flight"] == 0
+        assert stats["coalescer"]["items"] == served
+    top = CONCURRENCY_LEVELS[-1]
+    assert results["levels"][top][2]["coalescer"]["largest_batch"] > 1, (
+        "high-concurrency sweep never coalesced a batch"
+    )
+
+    if enforced:
+        solo_seconds = results["levels"][1][0]
+        top_seconds = results["levels"][top][0]
+        scaling = solo_seconds / top_seconds
+        assert scaling >= 2.0, (
+            f"concurrency {top} is only {scaling:.2f}x faster than concurrency 1 "
+            f"(coalescing should amortise the {COALESCE_WINDOW_MS} ms window)"
+        )
+
+
+async def _sweep_level(model, requests, concurrency: int):
+    """Replay the workload at one client-concurrency level; fresh caches."""
+    service = PowerEstimationService(
+        model,
+        generator=DatasetGenerator(),
+        runtime=RuntimeConfig(
+            coalesce_window_ms=COALESCE_WINDOW_MS,
+            coalesce_max_batch=COALESCE_BATCH,
+            gateway_threads=GATEWAY_THREADS,
+        ),
+    )
+    gateway = AsyncPowerGateway(service)
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def one(request):
+        async with semaphore:
+            return await gateway.estimate(request)
+
+    start = time.perf_counter()
+    responses = await asyncio.gather(*(one(r) for r in requests))
+    seconds = time.perf_counter() - start
+    stats = gateway.runtime_stats()
+    await gateway.aclose(close_service=True)
+    return seconds, responses, stats

@@ -19,13 +19,14 @@ than workers.  The correctness assertions always run.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 
 import numpy as np
+import pytest
 
 from conftest import print_table
+from gating import gate_reason, wall_clock_enforced
 from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
 from repro.flow.powergear import PowerGear, PowerGearConfig
 from repro.gnn.config import GNNConfig
@@ -40,6 +41,8 @@ POOL_WORKERS = 4
 COALESCE_BATCH = 8
 
 
+@pytest.mark.benchmark
+@pytest.mark.slow
 def test_runtime_throughput(benchmark, bench_scale, tmp_path):
     # The featurisation timing uses a widened design space (>= 96 points) and
     # a larger kernel (>= size 16, ~25 ms/design) so the measured region
@@ -168,11 +171,11 @@ def test_runtime_throughput(benchmark, bench_scale, tmp_path):
     # The >=2x wall-clock assertion needs enough usable cores to actually run
     # the workers on, and shared CI runners are too noisy to time; record in
     # the tracked log whether this run enforced it or was gated.
-    speedup_enforced = not os.environ.get("CI") and available_cpus() >= POOL_WORKERS
+    speedup_enforced = wall_clock_enforced(min_cores=POOL_WORKERS)
     print_table(
         f"Runtime featurisation throughput on the {TARGET_KERNEL} design space "
         f"({available_cpus()} usable cores; >=2x assert "
-        f"{'enforced' if speedup_enforced else 'skipped: needs >=4 non-CI cores'})",
+        f"{gate_reason(min_cores=POOL_WORKERS)})",
         ["Path", "Designs", "Seconds", "Designs/s", "Speedup"],
         [
             [

@@ -14,7 +14,7 @@ import numpy as np
 
 from conftest import evaluation_config, print_table
 from repro.dse.explorer import DesignCandidate, DSEConfig, ParetoExplorer
-from repro.flow.evaluation import MODEL_BUILDERS, LeaveOneOutEvaluator
+from repro.flow.evaluation import MODEL_BUILDERS
 from repro.utils.metrics import relative_gain
 
 BUDGETS = (0.2, 0.3, 0.4)

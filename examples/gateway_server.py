@@ -1,0 +1,134 @@
+"""Gateway demo: the estimation service as an async HTTP micro-service.
+
+The script trains a small PowerGear on two PolyBench kernels, saves it
+through the model registry, then stands the whole serving stack up in one
+process — service → async gateway → stdlib HTTP server — and exercises every
+endpoint through the wire:
+
+1. ``GET /v1/models`` — the registry's manifest index;
+2. ``POST /v1/estimate`` — one design point, sent as JSON directives;
+3. ``POST /v1/estimate_many`` — a design-space sweep in one batch request;
+4. 64 concurrent single-design requests — the asyncio client floods the
+   gateway and the micro-batcher coalesces them into packed forward passes
+   (visible in the printed ``GET /metrics`` snapshot);
+5. a malformed design point — the structured ``400`` error body.
+
+Run with:           python examples/gateway_server.py
+Keep serving with:  python examples/gateway_server.py --serve
+                    (then e.g.  curl -s localhost:8321/healthz
+                     or         curl -s -X POST localhost:8321/v1/estimate \\
+                                  -d '{"kernel": "atax", "directives": \\
+                                       {"loops": {"i0": {"unroll": 2}}}}')
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import tempfile
+
+from repro import DatasetConfig, DatasetGenerator, PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.kernels.polybench import polybench_kernel
+from repro.runtime import RuntimeConfig
+from repro.runtime.gateway import AsyncPowerGateway
+from repro.runtime.http import GatewayHTTPServer, directives_to_json, request_json
+from repro.serve import ModelRegistry, PowerEstimationService
+
+
+def train(config: DatasetConfig) -> PowerGear:
+    print("Training a small PowerGear (atax + mvt, dynamic power)...")
+    dataset = DatasetGenerator(config).generate(["atax", "mvt"])
+    return PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=16, num_layers=2),
+            training=TrainingConfig(epochs=30, batch_size=16),
+            ensemble=None,
+        )
+    ).fit(dataset.samples)
+
+
+async def demo(server: GatewayHTTPServer, config: DatasetConfig) -> None:
+    host, port = server.host, server.port
+
+    async def show(title: str, method: str, path: str, body=None):
+        status, payload = await request_json(host, port, method, path, body)
+        print(f"\n{method} {path}  ->  {status}")
+        print(f"  {json.dumps(payload)[:200]}")
+        return payload
+
+    await show("health", "GET", "/healthz")
+    await show("models", "GET", "/v1/models")
+
+    generator = DatasetGenerator(config)
+    space = list(generator.design_space_for(polybench_kernel("atax", config.kernel_size)))
+    point = {"kernel": "atax", "directives": directives_to_json(space[1])}
+    await show("estimate", "POST", "/v1/estimate", point)
+
+    batch = {
+        "requests": [
+            {"kernel": "atax", "directives": directives_to_json(d)} for d in space
+        ]
+    }
+    payload = await show("estimate_many", "POST", "/v1/estimate_many", batch)
+    print(f"  ({len(payload['responses'])} designs estimated in one batch)")
+
+    print("\nFlooding the gateway with 64 concurrent single-design requests...")
+    requests = [
+        {"kernel": "atax", "directives": directives_to_json(space[i % len(space)])}
+        for i in range(64)
+    ]
+    responses = await asyncio.gather(
+        *(request_json(host, port, "POST", "/v1/estimate", r) for r in requests)
+    )
+    assert all(status == 200 for status, _ in responses)
+    metrics = await show("metrics", "GET", "/metrics")
+    coalescer = metrics["runtime"]["coalescer"]
+    print(
+        f"  coalescer: {coalescer['items']} singles packed into "
+        f"{coalescer['batches']} flushes (largest {coalescer['largest_batch']})"
+    )
+
+    await show("malformed", "POST", "/v1/estimate", {"kernel": "atax", "directives": {"loops": {"i0": {"unroll": -1}}}})
+
+
+async def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--serve", action="store_true", help="keep serving for curl")
+    parser.add_argument("--port", type=int, default=8321)
+    args = parser.parse_args()
+
+    config = DatasetConfig(kernel_size=6, designs_per_kernel=10)
+    model = train(config)
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.save(model, "powergear-dynamic")
+        service = PowerEstimationService(
+            model,
+            generator=DatasetGenerator(config),
+            runtime=RuntimeConfig(coalesce_window_ms=5.0, coalesce_max_batch=16),
+        )
+        gateway = AsyncPowerGateway(service)
+        server = GatewayHTTPServer(
+            gateway, port=args.port if args.serve else 0, registry=registry
+        )
+        host, port = await server.start()
+        print(f"\nServing http://{host}:{port} (estimate / estimate_many / explore / models)")
+
+        if args.serve:
+            print("Press Ctrl-C to stop.")
+            try:
+                await server.serve_forever()
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                pass
+        else:
+            await demo(server, config)
+        await server.aclose(close_gateway=True)
+        print("\nServer drained and closed.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -12,7 +12,6 @@ Run with:  python examples/graph_construction_walkthrough.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.activity.simulator import simulate_activity
 from repro.graph.construction import GraphConstructionConfig, GraphConstructor
@@ -47,7 +46,7 @@ def main() -> None:
     profile = simulate_activity(result.design, seed=7)
     print("\nActivity simulation:")
     print(f"  dynamic IR instructions executed : {profile.dynamic_instructions}")
-    print(f"  average toggle rate              : "
+    print("  average toggle rate              : "
           f"{profile.average_toggle_rate(report.latency_cycles):.3f} bits/cycle/stream")
 
     # ------------------------------------------------- construction, pass by pass
@@ -71,7 +70,7 @@ def main() -> None:
     print("\nEncoded heterogeneous graph:")
     print(f"  node features : {graph.node_features.shape}")
     print(f"  edge features : {graph.edge_features.shape} "
-          f"(SA_src, SA_snk, AR_src, AR_snk)")
+          "(SA_src, SA_snk, AR_src, AR_snk)")
     print(f"  metadata      : {graph.metadata.shape}")
     counts = {RELATION_TYPES[r]: int((graph.edge_types == r).sum()) for r in range(4)}
     print(f"  edge relations: {counts}")
@@ -84,7 +83,7 @@ def main() -> None:
     print(f"  measured ('on board')  : total {measurement.total:.3f} W, "
           f"dynamic {measurement.dynamic:.3f} W, static {measurement.static:.3f} W")
     print(f"  Vivado-style estimate  : total {vivado.total:.3f} W "
-          f"(uncalibrated, no power gating)")
+          "(uncalibrated, no power gating)")
     print("\nThis (graph, metadata) -> measurement pair is exactly one training "
           "sample of the PowerGear dataset.")
 

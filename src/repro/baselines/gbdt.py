@@ -9,7 +9,7 @@ samples per leaf, learning rate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from itertools import product
 
 import numpy as np

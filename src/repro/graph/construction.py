@@ -37,7 +37,6 @@ from repro.hls.report import HLSReport, HLSResult
 from repro.ir.instructions import Instruction, Opcode, TRIVIAL_OPCODES
 from repro.ir.types import ArrayType, PointerType
 from repro.ir.validation import pointer_roots
-from repro.ir.values import Argument
 
 
 @dataclass(frozen=True)

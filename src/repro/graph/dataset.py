@@ -12,7 +12,7 @@ serialisation so generated datasets can be cached between benchmark runs.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np

@@ -26,8 +26,7 @@ from repro.ir.builder import IRBuilder
 from repro.ir.module import Function
 from repro.ir.types import FLOAT32
 from repro.ir.validation import validate_function
-from repro.ir.values import ArgumentDirection, Constant, Value
-from repro.ir.types import IntType
+from repro.ir.values import ArgumentDirection, Value
 from repro.kernels.spec import Assign, BinOp, Const, Expr, KernelSpec, Loop, Ref
 
 

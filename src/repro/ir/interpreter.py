@@ -20,7 +20,7 @@ from repro.ir.instructions import Instruction, Opcode
 from repro.ir.module import Function, Item, LoopRegion
 from repro.ir.types import ArrayType, FloatType, IntType, PointerType
 from repro.ir.validation import pointer_roots
-from repro.ir.values import Argument, Constant, Value
+from repro.ir.values import Constant, Value
 
 
 class ExecutionObserver(Protocol):

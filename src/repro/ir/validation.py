@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.module import Function, Item, LoopRegion
 from repro.ir.types import PointerType, VoidType
-from repro.ir.values import Argument, Constant, InductionVariable, Value
+from repro.ir.values import Constant, Value
 
 
 class IRValidationError(Exception):

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.kernels.spec import ArraySpec, Assign, BinOp, Const, KernelSpec, Loop, Ref, add, mul
+from repro.kernels.spec import ArraySpec, Assign, Const, KernelSpec, Loop, Ref, add, mul
 
 DEFAULT_SIZE = 8
 

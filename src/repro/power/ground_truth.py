@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.activity.simulator import ActivityProfile
 from repro.hls.report import HLSResult
 from repro.ir.instructions import Instruction, Opcode

@@ -15,9 +15,20 @@ runtime, each independently switchable through :class:`RuntimeConfig`:
   content-addressed second tier under the inference cache with cost-aware
   (featurisation-seconds-saved) eviction, so hit rates survive restarts.
 
-The runtime depends only on the featurisation pipeline and the graph
+Two front-end modules layer on top (PR 3):
+
+* :mod:`repro.runtime.gateway` — :class:`AsyncPowerGateway` exposes the
+  service endpoints as coroutines with bounded admission control, bridging
+  thousands of awaitable requests onto the thread-based coalescer;
+* :mod:`repro.runtime.http` — a stdlib-only asyncio HTTP server with JSON
+  endpoints over the gateway (``/v1/estimate``, ``/v1/estimate_many``,
+  ``/v1/explore``, ``/v1/models``, ``/healthz``, ``/metrics``).
+
+The core runtime depends only on the featurisation pipeline and the graph
 containers — never on :mod:`repro.serve` — so the service can layer on top of
-it without an import cycle.
+it without an import cycle.  The two front-end modules sit above the service
+and are deliberately *not* imported here: importing :mod:`repro.runtime` must
+stay cheap and cycle-free for the service itself.
 """
 
 from repro.runtime.cache import PERSISTENT_FORMAT_VERSION, PersistentCache

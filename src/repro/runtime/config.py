@@ -46,6 +46,18 @@ class RuntimeConfig:
     #: keeps total sample bytes under this.
     persistent_cache_max_bytes: int = 256 * 1024 * 1024
 
+    #: Admission-control limit of the async gateway: the maximum number of
+    #: designs that may be in flight (submitted, not yet answered) at once.
+    #: A submission that would exceed it fast-fails with
+    #: :class:`~repro.runtime.gateway.GatewayBackpressureError` instead of
+    #: queueing unboundedly.
+    gateway_max_in_flight: int = 1024
+    #: Size of the gateway's bridge thread pool.  Each thread carries one
+    #: blocking service call at a time, so this bounds how many concurrent
+    #: requests can park in the micro-batcher (and therefore the largest
+    #: coalesced batch the gateway can produce).
+    gateway_threads: int = 32
+
     def __post_init__(self) -> None:
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -59,6 +71,10 @@ class RuntimeConfig:
             raise ValueError("coalesce_window_ms must be >= 0")
         if self.persistent_cache_max_bytes < 1:
             raise ValueError("persistent_cache_max_bytes must be >= 1")
+        if self.gateway_max_in_flight < 1:
+            raise ValueError("gateway_max_in_flight must be >= 1")
+        if self.gateway_threads < 1:
+            raise ValueError("gateway_threads must be >= 1")
 
     @property
     def parallel_featurisation(self) -> bool:

@@ -1,0 +1,551 @@
+"""Stdlib-only HTTP front end over the async gateway.
+
+One asyncio server (``asyncio.start_server`` — no new runtime dependencies)
+exposes the :class:`~repro.runtime.gateway.AsyncPowerGateway` endpoints as
+JSON over HTTP/1.1:
+
+========  ===================  ===================================================
+method    path                 body / response
+========  ===================  ===================================================
+POST      ``/v1/estimate``     one design point → one estimate
+POST      ``/v1/estimate_many``  ``{"requests": [...]}`` → ``{"responses": [...]}``
+POST      ``/v1/explore``      ``{"kernel", "budget"}`` → frontier + ADRS
+GET       ``/v1/models``       the registry's manifest index (names × versions)
+GET       ``/healthz``         liveness (``200 ok`` / ``503 closed``)
+GET       ``/metrics``         service metrics + runtime stats + gateway counters
+========  ===================  ===================================================
+
+A design point on the wire is the JSON shape of
+:class:`~repro.hls.pragmas.DesignDirectives`::
+
+    {"kernel": "atax",
+     "directives": {"loops":  {"i": {"unroll": 2, "pipeline": true}},
+                    "arrays": {"A": {"factor": 2, "kind": "cyclic"}}}}
+
+Every failure is structured JSON (``{"error": {"type", "message"}}``) with
+the matching status code: malformed requests are ``400``, unknown paths
+``404``, wrong methods ``405``, oversized bodies ``413``, gateway
+backpressure ``429``, internal faults ``500``, and a closed gateway ``503``.
+Responses are unconditionally ``Connection: close`` — the server optimises
+for auditability (curl-able, byte-predictable) over connection reuse; clients
+that need sustained throughput should batch via ``/v1/estimate_many``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.runtime.gateway import (
+    AsyncPowerGateway,
+    GatewayBackpressureError,
+    GatewayClosedError,
+)
+
+#: Largest accepted request body; a batch of a few thousand design points is
+#: well under this, anything bigger is a client bug.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: How long a client may take to deliver one complete request.  Bounds the
+#: damage of idle probes / slowloris connections: a handler task and its fd
+#: are released after this instead of being pinned forever.
+REQUEST_READ_TIMEOUT = 30.0
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """A structured error response (status code + machine-readable type)."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+
+
+# ------------------------------------------------------------------ JSON codec
+
+
+def _require(obj: dict, key: str, kind, where: str):
+    if not isinstance(obj, dict):
+        raise HTTPError(400, "bad_request", f"{where} must be a JSON object")
+    if key not in obj:
+        raise HTTPError(400, "bad_request", f"{where} is missing {key!r}")
+    value = obj[key]
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise HTTPError(
+            400, "bad_request", f"{where}[{key!r}] must be {kind.__name__}"
+        )
+    return value
+
+
+def directives_from_json(obj: dict | None) -> DesignDirectives:
+    """Parse the wire shape of a design point; raises 400 on malformed input.
+
+    ``None`` / ``{}`` is the baseline design.  Validation errors from the
+    directive dataclasses themselves (negative unroll factors, unknown
+    partition kinds) surface as ``400`` too: a malformed design point is a
+    client error, never a server fault.
+    """
+    if obj is None:
+        obj = {}
+    if not isinstance(obj, dict):
+        raise HTTPError(400, "bad_request", "directives must be a JSON object")
+    unknown = set(obj) - {"loops", "arrays"}
+    if unknown:
+        raise HTTPError(
+            400, "bad_request", f"unknown directives keys {sorted(unknown)}"
+        )
+    for section in ("loops", "arrays"):
+        if obj.get(section) is not None and not isinstance(obj[section], dict):
+            raise HTTPError(400, "bad_request", f"{section} must be a JSON object")
+    loops: dict[str, LoopPragmas] = {}
+    for name, spec in (obj.get("loops") or {}).items():
+        if not isinstance(spec, dict):
+            raise HTTPError(400, "bad_request", f"loops[{name!r}] must be an object")
+        bad_keys = set(spec) - {"unroll", "pipeline"}
+        if bad_keys:
+            # Strict here too: a typo'd pragma key silently ignored would
+            # return a confident estimate of the wrong (baseline) design.
+            raise HTTPError(
+                400,
+                "bad_request",
+                f"unknown loops[{name!r}] keys {sorted(bad_keys)} "
+                "(expected 'unroll', 'pipeline')",
+            )
+        unroll = spec.get("unroll", 1)
+        pipeline = spec.get("pipeline", False)
+        # Strict types: int(2.5) would silently estimate a *different* design.
+        if isinstance(unroll, bool) or not isinstance(unroll, int):
+            raise HTTPError(
+                400, "bad_request", f"loops[{name!r}]['unroll'] must be an integer"
+            )
+        if not isinstance(pipeline, bool):
+            raise HTTPError(
+                400, "bad_request", f"loops[{name!r}]['pipeline'] must be a boolean"
+            )
+        try:
+            loops[name] = LoopPragmas(unroll_factor=unroll, pipeline=pipeline)
+        except ValueError as error:
+            raise HTTPError(400, "bad_request", f"loops[{name!r}]: {error}") from error
+    arrays: dict[str, ArrayPartition] = {}
+    for name, spec in (obj.get("arrays") or {}).items():
+        if not isinstance(spec, dict):
+            raise HTTPError(400, "bad_request", f"arrays[{name!r}] must be an object")
+        bad_keys = set(spec) - {"factor", "kind"}
+        if bad_keys:
+            raise HTTPError(
+                400,
+                "bad_request",
+                f"unknown arrays[{name!r}] keys {sorted(bad_keys)} "
+                "(expected 'factor', 'kind')",
+            )
+        factor = spec.get("factor", 1)
+        kind = spec.get("kind", "cyclic")
+        if isinstance(factor, bool) or not isinstance(factor, int):
+            raise HTTPError(
+                400, "bad_request", f"arrays[{name!r}]['factor'] must be an integer"
+            )
+        if not isinstance(kind, str):
+            raise HTTPError(
+                400, "bad_request", f"arrays[{name!r}]['kind'] must be a string"
+            )
+        try:
+            arrays[name] = ArrayPartition(factor=factor, kind=kind)
+        except ValueError as error:
+            raise HTTPError(400, "bad_request", f"arrays[{name!r}]: {error}") from error
+    return DesignDirectives.from_dicts(loops, arrays)
+
+
+def directives_to_json(directives: DesignDirectives) -> dict:
+    """Inverse of :func:`directives_from_json` (used by the demo client)."""
+    return {
+        "loops": {
+            name: {"unroll": pragmas.unroll_factor, "pipeline": pragmas.pipeline}
+            for name, pragmas in directives.loop_pragmas
+        },
+        "arrays": {
+            name: {"factor": partition.factor, "kind": partition.kind}
+            for name, partition in directives.array_partitions
+        },
+    }
+
+
+def estimate_request_from_json(obj: dict):
+    """Build an :class:`~repro.serve.service.EstimateRequest` from wire JSON."""
+    from repro.serve.service import EstimateRequest
+
+    kernel = _require(obj, "kernel", str, "request")
+    unknown = set(obj) - {"kernel", "directives"}
+    if unknown:
+        raise HTTPError(400, "bad_request", f"unknown request keys {sorted(unknown)}")
+    return EstimateRequest(
+        kernel=kernel, directives=directives_from_json(obj.get("directives"))
+    )
+
+
+def response_to_json(response) -> dict:
+    return {
+        "kernel": response.kernel,
+        "directives": response.directives,
+        "power": response.power,
+        "target": response.target,
+        "cached_features": response.cached_features,
+        "cached_prediction": response.cached_prediction,
+        "latency_ms": response.latency_ms,
+        "model_fingerprint": response.model_fingerprint,
+    }
+
+
+def explore_report_to_json(report) -> dict:
+    return {
+        "kernel": report.kernel,
+        "budget": report.budget,
+        "adrs": report.adrs,
+        "num_candidates": report.num_candidates,
+        "num_sampled": report.result.num_sampled,
+        "elapsed_seconds": report.elapsed_seconds,
+        "frontier": [
+            {
+                "kernel": design.kernel,
+                "directives": design.directives,
+                "latency_cycles": design.latency_cycles,
+                # An exact-frontier design the explorer never sampled has no
+                # prediction (NaN); null is its strict-JSON spelling.
+                "predicted_power": (
+                    None
+                    if math.isnan(design.predicted_power)
+                    else design.predicted_power
+                ),
+                "measured_power": design.measured_power,
+            }
+            for design in report.frontier
+        ],
+    }
+
+
+# -------------------------------------------------------------------- server
+
+
+class GatewayHTTPServer:
+    """The asyncio HTTP server; one instance serves one gateway.
+
+    ``registry`` is optional — without one, ``/v1/models`` answers with an
+    empty index instead of failing (a service constructed straight from a
+    fitted model has no registry to list).
+    """
+
+    def __init__(
+        self,
+        gateway: AsyncPowerGateway,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry=None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        read_timeout: float = REQUEST_READ_TIMEOUT,
+    ) -> None:
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.registry = registry
+        self.max_body_bytes = max_body_bytes
+        self.read_timeout = read_timeout
+        self._server: asyncio.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (the norm in tests and demos);
+        the bound port is also written back to ``self.port``.
+        """
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def aclose(self, *, close_gateway: bool = False) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        # wait_closed does not cover connection handlers on 3.10/3.11; drain
+        # them explicitly so every accepted request still gets its response.
+        while self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        if close_gateway:
+            await self.gateway.aclose(close_service=True)
+
+    async def __aenter__(self) -> "GatewayHTTPServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # --------------------------------------------------------------- handling
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=self.read_timeout
+                )
+                status, payload = await self._route(method, path, body)
+            except asyncio.TimeoutError:
+                status = 408
+                payload = {
+                    "error": {
+                        "type": "timeout",
+                        "message": f"request not received within {self.read_timeout:.0f}s",
+                    }
+                }
+            except HTTPError as error:
+                status = error.status
+                payload = {
+                    "error": {"type": error.error_type, "message": error.message}
+                }
+            except Exception as error:  # noqa: BLE001 - boundary: every fault
+                # becomes a structured 500 instead of a dropped connection.
+                status = 500
+                payload = {
+                    "error": {"type": "internal", "message": f"{type(error).__name__}: {error}"}
+                }
+            await self._write_response(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # Client went away mid-exchange; nothing to answer.
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            return await self._read_request_inner(reader)
+        except ValueError as error:
+            # StreamReader raises ValueError past its 64 KiB line limit: an
+            # oversized request line / header is the client's fault, not ours.
+            raise HTTPError(400, "bad_request", f"unreadable request: {error}") from error
+
+    async def _read_request_inner(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise HTTPError(400, "bad_request", f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(100):
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise HTTPError(400, "bad_request", "too many request headers")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise HTTPError(400, "bad_request", "malformed Content-Length") from None
+        if length < 0:
+            raise HTTPError(400, "bad_request", "malformed Content-Length")
+        if length > self.max_body_bytes:
+            raise HTTPError(
+                413,
+                "payload_too_large",
+                f"body of {length} bytes exceeds the {self.max_body_bytes}-byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, path.split("?", 1)[0], body
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        try:
+            # allow_nan=False: strict JSON on the wire (NaN/Infinity leaks
+            # become a structured 500 here instead of an unparsable body).
+            body = json.dumps(payload, allow_nan=False).encode()
+        except (TypeError, ValueError):
+            status = 500
+            body = json.dumps(
+                {"error": {"type": "internal", "message": "unserialisable response payload"}}
+            ).encode()
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ---------------------------------------------------------------- routing
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        routes = {
+            "/v1/estimate": ("POST", self._estimate),
+            "/v1/estimate_many": ("POST", self._estimate_many),
+            "/v1/explore": ("POST", self._explore),
+            "/v1/models": ("GET", self._models),
+            "/healthz": ("GET", self._healthz),
+            "/metrics": ("GET", self._metrics),
+        }
+        if path not in routes:
+            raise HTTPError(404, "not_found", f"no route for {path}")
+        expected_method, handler = routes[path]
+        if method != expected_method:
+            raise HTTPError(
+                405, "method_not_allowed", f"{path} expects {expected_method}, got {method}"
+            )
+        if expected_method == "POST":
+            try:
+                parsed = json.loads(body.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise HTTPError(400, "bad_request", f"invalid JSON body: {error}") from error
+            if not isinstance(parsed, dict):
+                raise HTTPError(400, "bad_request", "body must be a JSON object")
+            return await handler(parsed)
+        return await handler()
+
+    async def _call_gateway(self, coroutine):
+        """Map the gateway's typed failures onto status codes."""
+        try:
+            return await coroutine
+        except GatewayBackpressureError as error:
+            raise HTTPError(429, "backpressure", str(error)) from error
+        except GatewayClosedError as error:
+            raise HTTPError(503, "closed", str(error)) from error
+        except (KeyError, ValueError) as error:
+            # Unknown kernels (KeyError from the kernel catalogue) and
+            # malformed design points the featuriser rejects are client
+            # errors, not server faults.
+            message = str(error).strip("'\"") or type(error).__name__
+            raise HTTPError(400, "invalid_request", message) from error
+
+    async def _estimate(self, body: dict) -> tuple[int, dict]:
+        request = estimate_request_from_json(body)
+        response = await self._call_gateway(self.gateway.estimate(request))
+        return 200, response_to_json(response)
+
+    async def _estimate_many(self, body: dict) -> tuple[int, dict]:
+        raw = _require(body, "requests", list, "body")
+        requests = [estimate_request_from_json(item) for item in raw]
+        responses = await self._call_gateway(self.gateway.estimate_many(requests))
+        return 200, {"responses": [response_to_json(r) for r in responses]}
+
+    async def _explore(self, body: dict) -> tuple[int, dict]:
+        kernel = _require(body, "kernel", str, "body")
+        unknown = set(body) - {"kernel", "budget"}
+        if unknown:
+            raise HTTPError(400, "bad_request", f"unknown explore keys {sorted(unknown)}")
+        budget = body.get("budget")
+        if budget is not None and (
+            isinstance(budget, bool) or not isinstance(budget, (int, float))
+        ):
+            raise HTTPError(400, "bad_request", "budget must be a number")
+        report = await self._call_gateway(
+            self.gateway.explore(kernel, float(budget) if budget is not None else None)
+        )
+        return 200, explore_report_to_json(report)
+
+    async def _models(self) -> tuple[int, dict]:
+        if self.registry is None:
+            return 200, {"models": []}
+        loop = asyncio.get_running_loop()
+
+        def list_index() -> list[dict]:
+            return [
+                {
+                    "name": name,
+                    "versions": self.registry.versions(name),
+                    "latest": self.registry.latest_version(name),
+                }
+                for name in self.registry.list_models()
+            ]
+
+        # Registry listing touches the filesystem; keep it off the event loop.
+        return 200, {"models": await loop.run_in_executor(None, list_index)}
+
+    async def _healthz(self) -> tuple[int, dict]:
+        if self.gateway.closed:
+            return 503, {"status": "closed"}
+        return 200, {"status": "ok"}
+
+    async def _metrics(self) -> tuple[int, dict]:
+        snapshot = self.gateway.service.metrics_snapshot()
+        snapshot["gateway"] = self.gateway.stats.as_dict()
+        return 200, snapshot
+
+
+# ------------------------------------------------------------------- client
+
+
+async def request_json(
+    host: str, port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict]:
+    """Minimal asyncio HTTP client (tests and demos; not a public API).
+
+    Speaks exactly the dialect the server emits — one request per
+    connection — and returns ``(status, parsed_json)``.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        data = await reader.readexactly(length) if length else b""
+        return status, json.loads(data.decode() or "null")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

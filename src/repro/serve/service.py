@@ -228,6 +228,7 @@ class PowerEstimationService:
         self._pool: WorkerPool | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        self._close_hooks: list = []
         self._batcher: MicroBatcher | None = None
         if self.runtime.coalescing_enabled:
             self._batcher = MicroBatcher(
@@ -242,6 +243,36 @@ class PowerEstimationService:
 
     # --------------------------------------------------------------- lifecycle
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has started (the service runs degraded)."""
+        return self._closed
+
+    def add_close_hook(self, hook) -> None:
+        """Register a zero-argument callable to run first when :meth:`close` runs.
+
+        Front ends layered over the service (the async gateway, an HTTP
+        server) register themselves here so a service shutdown propagates
+        outward: the hook runs before any runtime component is torn down,
+        letting the front end stop admitting new requests while the ones
+        already in flight still complete on the degraded serial path.  Hooks
+        run at most once; exceptions are the hook's problem, not the close's
+        (a failing front end must not leak worker processes).
+        """
+        self._close_hooks.append(hook)
+
+    def remove_close_hook(self, hook) -> None:
+        """Deregister a close hook; no-op if absent (or already consumed).
+
+        Front ends that close before the service must deregister, or a
+        long-lived service would keep every dead front end reachable through
+        its hook list.
+        """
+        try:
+            self._close_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def close(self) -> None:
         """Flush pending coalesced work, stop the worker pool, sync the disk tier.
 
@@ -249,6 +280,12 @@ class PowerEstimationService:
         plain serial path: no new worker pool is ever spawned (a closed
         service must not resurrect worker processes), and coalescing is off.
         """
+        hooks, self._close_hooks = self._close_hooks, []
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:
+                pass
         batcher, self._batcher = self._batcher, None
         if batcher is not None:
             batcher.close()
@@ -274,6 +311,23 @@ class PowerEstimationService:
                 self._batcher.stats.as_dict() if self._batcher is not None else None
             ),
             "cache": self.cache.stats(),
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """One consistent, JSON-serialisable view of the whole service.
+
+        Combines the endpoint counters (:class:`ServiceMetrics`), the runtime
+        instrumentation (pool / coalescer / cache tiers) and the model
+        identity; this is what the HTTP ``/metrics`` endpoint exports.
+        """
+        return {
+            "service": self.metrics.snapshot(),
+            "runtime": self.runtime_stats(),
+            "model": {
+                "fingerprint": self.model_fingerprint,
+                "target": self.target,
+            },
+            "closed": self._closed,
         }
 
     # --------------------------------------------------------------- endpoints

@@ -8,7 +8,6 @@ from repro.activity.stimuli import StimulusGenerator, generate_stimuli
 from repro.activity.tracer import ActivityTracer, ValueStreamStats
 from repro.hls.frontend import lower_kernel
 from repro.ir.instructions import Opcode
-from repro.kernels.polybench import polybench_kernel
 
 
 # --------------------------------------------------------------------------- stimuli

@@ -6,7 +6,7 @@ import pytest
 from repro.gnn.base import GraphBatch, segment_mean
 from repro.gnn.baseline_convs import GCNModel, GINEModel, GraphConvModel, GraphSAGEModel
 from repro.gnn.config import GNNConfig
-from repro.gnn.hecgnn import HECGNN, HECGNNConv
+from repro.gnn.hecgnn import HECGNN
 from repro.graph.hetero_graph import HeteroGraph
 from repro.nn.losses import mape_loss
 from repro.nn.tensor import Tensor

@@ -13,7 +13,6 @@ from repro.graph.features import (
 )
 from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
 from repro.hls.report import run_hls
-from repro.kernels.polybench import polybench_kernel
 
 
 def test_buffer_insertion_creates_buffer_nodes(gemm_baseline_result, gemm_activity):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph.dataset import FeatureScaler, GraphDataset, GraphSample
+from repro.graph.dataset import FeatureScaler, GraphDataset
 
 
 def test_graph_sample_target_selection(random_sample_factory):

@@ -1,6 +1,5 @@
 """Tests for the HLS front end (kernel lowering, unrolling)."""
 
-import pytest
 
 from repro.hls.frontend import HLSFrontend, _largest_divisor_at_most, lower_kernel
 from repro.hls.pragmas import DesignDirectives, LoopPragmas
@@ -33,8 +32,8 @@ def test_unrolling_replicates_body_and_shrinks_trip(gemm_kernel):
         gemm_kernel,
         DesignDirectives.from_dicts({"k0": LoopPragmas(unroll_factor=2)}),
     )
-    k_baseline = next(l for l in baseline.function.loops if l.name == "k0")
-    k_unrolled = next(l for l in unrolled.function.loops if l.name == "k0")
+    k_baseline = next(lp for lp in baseline.function.loops if lp.name == "k0")
+    k_unrolled = next(lp for lp in unrolled.function.loops if lp.name == "k0")
     assert k_unrolled.trip_count == k_baseline.trip_count // 2
     assert count_opcode(unrolled.function, Opcode.FMUL) > count_opcode(
         baseline.function, Opcode.FMUL
@@ -50,7 +49,7 @@ def test_full_unroll_removes_loop(atax_kernel):
 def test_nondividing_unroll_factor_is_clamped(gemm_kernel):
     directives = DesignDirectives.from_dicts({"k0": LoopPragmas(unroll_factor=4)})
     design = lower_kernel(gemm_kernel, directives)  # trip 6, factor 4 -> clamp to 3
-    k_loop = next(l for l in design.function.loops if l.name == "k0")
+    k_loop = next(lp for lp in design.function.loops if lp.name == "k0")
     assert k_loop.trip_count == 2  # 6 / 3
 
 
@@ -63,7 +62,7 @@ def test_largest_divisor_helper():
 def test_pipeline_pragma_attached_to_loop(gemm_kernel):
     directives = DesignDirectives.from_dicts({"k0": LoopPragmas(pipeline=True)})
     design = lower_kernel(gemm_kernel, directives)
-    k_loop = next(l for l in design.function.loops if l.name == "k0")
+    k_loop = next(lp for lp in design.function.loops if lp.name == "k0")
     assert k_loop.pragmas.pipeline
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 
 from repro.hls.dfg import extract_dfg
-from repro.hls.report import run_hls
 from repro.ir.instructions import Opcode
 
 

@@ -2,10 +2,9 @@
 
 from repro.hls.binding import Binder
 from repro.hls.frontend import lower_kernel
-from repro.hls.fsmd import build_fsmd
 from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
 from repro.hls.report import run_hls
-from repro.hls.resources import ResourceEstimator, ResourceUsage
+from repro.hls.resources import ResourceUsage
 from repro.hls.scheduling import Scheduler
 
 
@@ -41,8 +40,8 @@ def test_array_partitioning_improves_initiation_interval(gemm_kernel):
     )
     _, without = schedule_for(gemm_kernel, unrolled)
     _, with_partition = schedule_for(gemm_kernel, partitioned)
-    ii_without = min(l.initiation_interval for l in without.pipelined_loops)
-    ii_with = min(l.initiation_interval for l in with_partition.pipelined_loops)
+    ii_without = min(lp.initiation_interval for lp in without.pipelined_loops)
+    ii_with = min(lp.initiation_interval for lp in with_partition.pipelined_loops)
     assert ii_with <= ii_without
     assert with_partition.total_latency <= without.total_latency
 

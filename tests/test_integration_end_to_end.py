@@ -9,7 +9,6 @@ These tests exercise the paper's main claims at reduced scale:
 """
 
 import numpy as np
-import pytest
 
 from repro.dse.explorer import DesignCandidate, DSEConfig, ParetoExplorer
 from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator

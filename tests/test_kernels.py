@@ -34,7 +34,7 @@ def test_loop_validation_and_nesting_helpers():
     outer = Loop("i", 4, [inner])
     assert not outer.innermost
     assert inner.innermost
-    assert [l.var for l in outer.nested_loops()] == ["i", "j"]
+    assert [lp.var for lp in outer.nested_loops()] == ["i", "j"]
 
 
 def test_kernel_validate_catches_unknown_array():

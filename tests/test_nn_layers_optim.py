@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.init import glorot_uniform
-from repro.nn.layers import MLP, Dropout, Linear, Module, Parameter, ReLU, Sequential
+from repro.nn.layers import MLP, Dropout, Linear, Parameter, ReLU, Sequential
 from repro.nn.losses import mae_loss, mape_loss, mse_loss
 from repro.nn.optim import Adam, SGD
 from repro.nn.tensor import Tensor
@@ -68,7 +68,6 @@ def test_state_dict_round_trip():
 
 
 def test_sgd_and_adam_reduce_simple_loss():
-    rng = np.random.default_rng(0)
     x = np.linspace(-1, 1, 32).reshape(-1, 1)
     y = 3.0 * x + 0.5
 

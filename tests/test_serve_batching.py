@@ -10,7 +10,7 @@ from repro.gnn.ensemble import EnsembleConfig
 from repro.gnn.hecgnn import HECGNN
 from repro.gnn.trainer import TrainingConfig
 from repro.graph.hetero_graph import RELATION_TYPES, HeteroGraph
-from repro.serve.batching import iter_chunks, pack_graphs, pack_samples
+from repro.serve.batching import iter_chunks, pack_graphs
 
 
 def small_powergear(ensemble: bool = True) -> PowerGear:

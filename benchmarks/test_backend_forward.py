@@ -1,0 +1,221 @@
+"""Packed mega-graph forward microbenchmark: backends + pooled prediction.
+
+Two measurements on one synthetic ensemble workload:
+
+* **backend comparison** — the same ``predict_batch`` (one packed forward per
+  ensemble member) timed under the ``numpy`` reference backend and the
+  ``optimized`` backend (workspace pooling + fused kernels).  Bitwise
+  equality of the predictions is asserted unconditionally; the throughput
+  floor (optimized >= the committed baseline, i.e. at least numpy-parity) is
+  a wall-clock assertion gated by the shared CI policy.
+* **pooled forward** — serial in-process prediction vs the
+  :class:`~repro.runtime.pool.ForwardPool` sharding the member axis across
+  worker processes on shared-memory weights.  Bitwise equality is asserted
+  unconditionally; the >1x speedup contract for a >=8-member ensemble is
+  enforced only on non-CI machines with >= 4 usable cores (the same gate as
+  the featurisation-pool benchmark).
+
+The tables land in ``latest_results.txt`` and feed the regression gate
+(``baseline.json``: ``backend.packed_forward.*``, ``runtime.forward_pool.*``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from gating import gate_reason, wall_clock_enforced
+from repro.backend import get_backend, use_backend
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.ensemble import EnsembleConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.graph.dataset import GraphSample
+from repro.graph.hetero_graph import HeteroGraph
+from repro.runtime import ForwardPool, available_cpus
+
+FORWARD_WORKERS = 4
+ENSEMBLE_FOLDS = 8
+ENSEMBLE_SEEDS = (0, 1)  # 16 members — comfortably past the >=8 contract
+QUERY_DESIGNS = 64
+REPEATS = 3
+
+
+def _synthetic_samples(count: int, seed: int, min_nodes: int = 50, max_nodes: int = 90):
+    """Random power graphs big enough that the forward dominates overheads."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for index in range(count):
+        power = 0.1 + float(rng.random()) * 0.5
+        num_nodes = int(rng.integers(min_nodes, max_nodes))
+        num_edges = 3 * num_nodes
+        graph = HeteroGraph(
+            node_features=rng.random((num_nodes, 6)),
+            edge_index=np.stack(
+                [
+                    rng.integers(0, num_nodes, num_edges),
+                    rng.integers(0, num_nodes, num_edges),
+                ]
+            ),
+            edge_features=rng.random((num_edges, 4)) * power,
+            edge_types=rng.integers(0, 4, num_edges),
+            metadata=rng.random(5) * power,
+            node_is_arithmetic=rng.random(num_nodes) > 0.5,
+        )
+        samples.append(
+            GraphSample(
+                graph=graph,
+                kernel="synthetic",
+                directives=f"point{index}",
+                total_power=power + 0.6,
+                dynamic_power=power,
+                static_power=0.6,
+                latency_cycles=100 + index,
+            )
+        )
+    return samples
+
+
+def _fit_ensemble(samples, hidden: int) -> PowerGear:
+    # One epoch per member: prediction throughput does not depend on how
+    # converged the weights are, only on the shapes, so training is token.
+    return PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=hidden, num_layers=3),
+            training=TrainingConfig(epochs=1, batch_size=16),
+            ensemble=EnsembleConfig(folds=ENSEMBLE_FOLDS, seeds=ENSEMBLE_SEEDS),
+        )
+    ).fit(samples)
+
+
+@pytest.mark.benchmark
+@pytest.mark.slow
+def test_backend_packed_forward(benchmark, bench_scale):
+    hidden = max(bench_scale.hidden_dim, 64)
+    train = _synthetic_samples(24, seed=1, min_nodes=20, max_nodes=30)
+    queries = _synthetic_samples(QUERY_DESIGNS, seed=2)
+    model = _fit_ensemble(train, hidden)
+    num_members = len(model.ensemble.members)
+
+    def run():
+        timings: dict[str, tuple[np.ndarray, float]] = {}
+        for name in ("numpy", "optimized"):
+            with use_backend(name):
+                model.predict_batch(queries)  # warm (workspaces, BLAS, caches)
+                start = time.perf_counter()
+                for _ in range(REPEATS):
+                    predictions = model.predict_batch(queries)
+                timings[name] = (predictions, time.perf_counter() - start)
+
+        # -- pooled forward: serial vs member-sharded worker processes -------
+        with use_backend("numpy"):
+            serial_start = time.perf_counter()
+            for _ in range(REPEATS):
+                serial_predictions = model.predict_batch(queries)
+            serial_seconds = time.perf_counter() - serial_start
+
+        with ForwardPool(model, num_workers=FORWARD_WORKERS) as pool:
+            pool.predict_batch(queries)  # warm: forks + shared-segment attach
+            pooled_start = time.perf_counter()
+            for _ in range(REPEATS):
+                pooled_predictions = pool.predict_batch(queries)
+            pooled_seconds = time.perf_counter() - pooled_start
+            shared_bytes = pool.stats.shared_bytes
+
+        return {
+            "timings": timings,
+            "serial_predictions": serial_predictions,
+            "serial_seconds": serial_seconds,
+            "pooled_predictions": pooled_predictions,
+            "pooled_seconds": pooled_seconds,
+            "shared_bytes": shared_bytes,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    designs = REPEATS * QUERY_DESIGNS
+    numpy_predictions, numpy_seconds = results["timings"]["numpy"]
+    optimized_predictions, optimized_seconds = results["timings"]["optimized"]
+    backend_speedup = numpy_seconds / optimized_seconds
+    workspace = get_backend("optimized").stats.as_dict()
+
+    backend_enforced = wall_clock_enforced()
+    print_table(
+        f"Packed mega-graph forward backends ({num_members} members, "
+        f"hidden {hidden}, {available_cpus()} usable cores; parity assert "
+        f"{gate_reason()})",
+        ["Backend", "Members", "Designs", "Seconds", "Designs/s", "Speedup"],
+        [
+            [
+                "numpy",
+                str(num_members),
+                str(designs),
+                f"{numpy_seconds:.3f}",
+                f"{designs / numpy_seconds:.1f}",
+                "1.0x",
+            ],
+            [
+                "optimized",
+                str(num_members),
+                str(designs),
+                f"{optimized_seconds:.3f}",
+                f"{designs / optimized_seconds:.1f}",
+                f"{backend_speedup:.2f}x",
+            ],
+        ],
+    )
+
+    serial_seconds = results["serial_seconds"]
+    pooled_seconds = results["pooled_seconds"]
+    pool_speedup = serial_seconds / pooled_seconds
+    pool_enforced = wall_clock_enforced(min_cores=FORWARD_WORKERS)
+    print_table(
+        f"Pooled packed forward ({num_members} members x{FORWARD_WORKERS} workers, "
+        f"{results['shared_bytes'] / 1024:.0f} KiB shared weights; >1x assert "
+        f"{gate_reason(min_cores=FORWARD_WORKERS)})",
+        ["Path", "Designs", "Seconds", "Designs/s", "Speedup"],
+        [
+            [
+                "serial",
+                str(designs),
+                f"{serial_seconds:.3f}",
+                f"{designs / serial_seconds:.1f}",
+                "1.0x",
+            ],
+            [
+                f"pool x{FORWARD_WORKERS}",
+                str(designs),
+                f"{pooled_seconds:.3f}",
+                f"{designs / pooled_seconds:.1f}",
+                f"{pool_speedup:.2f}x",
+            ],
+        ],
+    )
+
+    # Correctness invariants: always enforced, bitwise.
+    assert optimized_predictions.tobytes() == numpy_predictions.tobytes(), (
+        "optimized backend diverged bitwise from the numpy reference"
+    )
+    assert results["pooled_predictions"].tobytes() == results[
+        "serial_predictions"
+    ].tobytes(), "pooled forward diverged bitwise from serial prediction"
+    # The optimized backend's levers actually engaged.
+    assert workspace["forwards"] > 0
+    assert workspace["workspace_hits"] > 0
+    assert workspace["fused_linear"] > 0
+
+    if backend_enforced:
+        assert backend_speedup >= 0.95, (
+            f"optimized backend fell to {backend_speedup:.2f}x of the numpy "
+            "reference on the packed forward"
+        )
+    if pool_enforced:
+        assert pool_speedup > 1.0, (
+            f"pooled forward is only {pool_speedup:.2f}x serial with "
+            f"{FORWARD_WORKERS} workers for {num_members} members on "
+            f"{available_cpus()} cores"
+        )

@@ -1,0 +1,52 @@
+"""Pluggable compute backends for the packed mega-graph forward.
+
+The serving hot path — dense matmuls plus scatter-adds over relation edges —
+is expressed once against the :class:`ArrayBackend` protocol and routed
+through :func:`active_backend`, so the whole nn → gnn → serve stack switches
+kernels in one place:
+
+* ``numpy`` (:class:`NumpyBackend`) — the bitwise reference; exactly the
+  operations the pre-backend code ran;
+* ``optimized`` (:class:`OptimizedBackend`) — workspace-pooled, fusing, with
+  optional numba/torch acceleration and clean fallback; bitwise-identical to
+  the reference on the forward path.
+
+Selection: ``RuntimeConfig.backend`` (the service pins it per request via
+:func:`use_backend`), :func:`set_default_backend`, or the ``REPRO_BACKEND``
+environment variable; unset means ``numpy``.
+"""
+
+from repro.backend.base import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    BackendStats,
+    active_backend,
+    available_backends,
+    default_backend,
+    get_backend,
+    instantiated_backends,
+    register_backend,
+    resolve_backend_name,
+    set_default_backend,
+    use_backend,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.optimized import ACCEL_ENV_VAR, OptimizedBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "ACCEL_ENV_VAR",
+    "ArrayBackend",
+    "BackendStats",
+    "NumpyBackend",
+    "OptimizedBackend",
+    "active_backend",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "instantiated_backends",
+    "register_backend",
+    "resolve_backend_name",
+    "set_default_backend",
+    "use_backend",
+]

@@ -1,0 +1,19 @@
+"""The ``numpy`` reference backend.
+
+This is the bitwise ground truth: it inherits the reference kernels from
+:class:`~repro.backend.base.ArrayBackend` unchanged, so a model served
+through it produces exactly the floats the pre-backend code produced.  Every
+other backend is tested against it for bitwise equality on the forward path.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import ArrayBackend, register_backend
+
+
+@register_backend
+class NumpyBackend(ArrayBackend):
+    """Plain numpy kernels; fresh allocations, no fusion beyond the reference."""
+
+    name = "numpy"
+    accelerator = "none"

@@ -99,6 +99,14 @@ class PowerGearConfig:
 class PowerGear:
     """Scaler + HEC-GNN (ensemble) power estimator."""
 
+    #: Floor applied to every prediction (a power estimate is never <= 0).
+    MIN_PREDICTION = 1e-9
+
+    @classmethod
+    def clamp_predictions(cls, predictions: np.ndarray) -> np.ndarray:
+        """The shared finalisation of every predict path (serial and pooled)."""
+        return np.maximum(predictions, cls.MIN_PREDICTION)
+
     def __init__(self, config: PowerGearConfig | None = None) -> None:
         self.config = config or PowerGearConfig()
         self.scaler: FeatureScaler | None = None
@@ -114,6 +122,16 @@ class PowerGear:
                 raise RuntimeError("scaler has not been fitted")
             return self.scaler.transform(samples)
         return samples
+
+    def prepare_samples(self, samples: list[GraphSample]) -> list[GraphSample]:
+        """Apply the fitted feature scaling exactly as the predict paths do.
+
+        Public so out-of-process forward engines (the pooled forward of
+        :class:`~repro.runtime.pool.ForwardPool`) can reproduce
+        :meth:`predict_batch`'s preprocessing bit for bit before packing and
+        sharding the forward itself.
+        """
+        return self._prepare(samples)
 
     def _model_factory(self, gnn_config: GNNConfig) -> HECGNN:
         assert self._dims is not None
@@ -159,7 +177,7 @@ class PowerGear:
             predictions = self.ensemble.predict(prepared)
         else:
             predictions = self.model.predict([s.graph for s in prepared])
-        return np.maximum(predictions, 1e-9)
+        return self.clamp_predictions(predictions)
 
     def predict_batch(
         self, samples: list[GraphSample], batch_size: int | None = None
@@ -183,7 +201,7 @@ class PowerGear:
                 [s.graph for s in prepared],
                 batch_size=batch_size if batch_size is not None else len(prepared),
             )
-        return np.maximum(predictions, 1e-9)
+        return self.clamp_predictions(predictions)
 
     def fingerprint(self) -> str:
         """Stable hex digest of the full configuration, scaler and weights.

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.gnn.config import GNNConfig
 from repro.graph.hetero_graph import RELATION_TYPES, HeteroGraph
 from repro.nn.layers import Dropout, Linear, MLP, Module, ReLU, Sequential
@@ -42,6 +43,9 @@ class GraphBatch:
     num_nodes: int
     num_graphs: int
     _relation_edge_ids: dict[tuple[int, int], np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _relation_destinations: dict[tuple[int, int], np.ndarray] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -76,6 +80,26 @@ class GraphBatch:
                 ids = np.nonzero(self.edge_types == relation)[0]
             self._relation_edge_ids[key] = ids
         return ids
+
+    def relation_destinations(self, relation: int, num_relations: int) -> np.ndarray:
+        """Destination node ids of one relation's edges, memoised like the ids.
+
+        Every convolution layer of every ensemble member scatter-adds into
+        the same destinations, so beyond saving the re-gather this keeps the
+        index array *identity-stable* for the batch's lifetime — which is
+        what lets identity-keyed backend caches (the optimized backend's
+        scatter flat-index cache) hit across layers and members.
+        """
+        key = (relation, num_relations)
+        destinations = self._relation_destinations.get(key)
+        if destinations is None:
+            edge_ids = self.relation_edge_ids(relation, num_relations)
+            if edge_ids.size == self.num_edges:
+                destinations = np.ascontiguousarray(self.edge_index[1], dtype=np.int64)
+            else:
+                destinations = self.edge_index[1][edge_ids].astype(np.int64, copy=False)
+            self._relation_destinations[key] = destinations
+        return destinations
 
 
 class PowerGNN(Module):
@@ -187,34 +211,59 @@ class PowerGNN(Module):
         faster for small graphs while producing identical predictions.
         """
         self.eval()
+        backend = active_backend()
         outputs = []
         with no_grad():
             if batch_size is None:
                 for graph in graphs:
-                    outputs.append(self.forward(graph).numpy().reshape(-1))
+                    # One workspace arena per forward pass; the arena's
+                    # buffers recycle at scope exit, so the result is copied
+                    # out (np.array) before the scope closes.
+                    with backend.forward_scope():
+                        outputs.append(
+                            np.array(self.forward(graph).numpy()).reshape(-1)
+                        )
             else:
                 if batch_size < 1:
                     raise ValueError("batch_size must be >= 1")
                 for start in range(0, len(graphs), batch_size):
                     packed = HeteroGraph.pack(graphs[start : start + batch_size])
-                    outputs.append(self.forward(packed).numpy().reshape(-1))
+                    with backend.forward_scope():
+                        outputs.append(
+                            np.array(self.forward(packed).numpy()).reshape(-1)
+                        )
         self.train()
         return np.concatenate(outputs) if outputs else np.zeros(0)
 
     def predict_prepared(self, batch: GraphBatch) -> np.ndarray:
-        """Predictions for an already prepared batch (no autograd, eval mode)."""
+        """Predictions for an already prepared batch (no autograd, eval mode).
+
+        Runs inside one backend forward scope: pooling backends serve the
+        whole pass from reused workspaces, so the returned vector is copied
+        out of the arena before the scope recycles it.
+        """
         self.eval()
-        with no_grad():
-            predictions = self.forward_batch(batch).numpy().reshape(-1)
+        with no_grad(), active_backend().forward_scope():
+            predictions = np.array(self.forward_batch(batch).numpy()).reshape(-1)
         self.train()
         return predictions
 
 
 def segment_mean(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
-    """Mean-aggregation helper shared by GraphSAGE."""
+    """Mean-aggregation helper shared by GraphSAGE.
+
+    At inference (no gradient required through ``values``) the whole mean
+    runs as the backend's fused ``segment_mean`` kernel; under autograd it
+    composes the recorded segment-sum with a backend ``bincount`` for the
+    occurrence counts (same integral counts as the historical ``np.add.at``
+    accumulation, computed in one C pass).  Both spellings are the same
+    arithmetic, so the results are bitwise-identical.
+    """
+    backend = active_backend()
+    if not values.requires_grad:
+        return Tensor(backend.segment_mean(values.data, index, num_segments))
     sums = values.segment_sum(index, num_segments)
-    counts = np.zeros(num_segments)
-    np.add.at(counts, index, 1.0)
+    counts = backend.bincount(index, minlength=num_segments).astype(np.float64)
     counts[counts == 0] = 1.0
     return sums * Tensor((1.0 / counts).reshape(-1, 1))
 

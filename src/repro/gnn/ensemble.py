@@ -60,6 +60,19 @@ class EnsembleMember:
 _EnsembleMember = EnsembleMember
 
 
+def stack_member_predictions(models, batch: GraphBatch) -> np.ndarray:
+    """Stacked per-model predictions for one prepared batch, in list order.
+
+    The single shard unit of batched ensemble prediction: the serial
+    :meth:`EnsembleRegressor.predict_members` runs it over all members, and
+    each pooled-forward worker (:func:`repro.runtime.pool.run_forward_task`)
+    runs it over its contiguous member slice — so concatenating shard stacks
+    in member order rebuilds the serial stack bit for bit *by shared code*,
+    not by parallel maintenance.
+    """
+    return np.stack([model.predict_prepared(batch) for model in models])
+
+
 class EnsembleRegressor:
     """K-fold x seeds ensemble over a GNN model family."""
 
@@ -119,6 +132,39 @@ class EnsembleRegressor:
         predictions = np.stack([member.model.predict(graphs) for member in self.members])
         return predictions.mean(axis=0)
 
+    def predict_members(self, batch: GraphBatch) -> np.ndarray:
+        """All members' predictions for one prepared batch, stacked in order.
+
+        Runs :func:`stack_member_predictions` — the same shard unit the
+        pooled forward's workers execute per member slice — over the full
+        ensemble.  Every forward routes through the active compute backend.
+        """
+        if not self.members:
+            raise RuntimeError("the ensemble has not been fitted")
+        return stack_member_predictions(
+            [member.model for member in self.members], batch
+        )
+
+    def iter_prepared_chunks(
+        self, graphs: list[HeteroGraph], batch_size: int | None = None
+    ):
+        """Chunk, pack and ablation-prepare graphs exactly as the batched
+        prediction path does, yielding ``(start, length, prepared_graph)``.
+
+        The single source of truth for chunk boundaries and graph
+        preparation: the serial :meth:`predict_batch` and the pooled forward
+        (:class:`repro.runtime.pool.ForwardPool`) both consume this, which is
+        what keeps their predictions bitwise-identical by construction
+        instead of by parallel maintenance.
+        """
+        if not self.members:
+            raise RuntimeError("the ensemble has not been fitted")
+        chunk_size = len(graphs) if batch_size is None else max(1, batch_size)
+        reference = self.members[0].model
+        for start in range(0, len(graphs), chunk_size):
+            chunk = graphs[start : start + chunk_size]
+            yield start, len(chunk), reference.prepare_graph(HeteroGraph.pack(chunk))
+
     def predict_batch(
         self, samples: list[GraphSample], batch_size: int | None = None
     ) -> np.ndarray:
@@ -135,18 +181,10 @@ class EnsembleRegressor:
         if not samples:
             return np.zeros(0)
         graphs = [s.graph for s in samples]
-        chunk_size = len(graphs) if batch_size is None else max(1, batch_size)
         outputs = np.zeros(len(graphs))
-        reference = self.members[0].model
-        for start in range(0, len(graphs), chunk_size):
-            chunk = graphs[start : start + chunk_size]
-            batch = GraphBatch.from_graph(
-                reference.prepare_graph(HeteroGraph.pack(chunk))
-            )
-            member_predictions = np.stack(
-                [member.model.predict_prepared(batch) for member in self.members]
-            )
-            outputs[start : start + len(chunk)] = member_predictions.mean(axis=0)
+        for start, length, prepared in self.iter_prepared_chunks(graphs, batch_size):
+            batch = GraphBatch.from_graph(prepared)
+            outputs[start : start + length] = self.predict_members(batch).mean(axis=0)
         return outputs
 
     def validation_errors(self) -> list[float]:

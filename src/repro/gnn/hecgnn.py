@@ -66,7 +66,8 @@ class HECGNNConv(Module):
         ]
 
     def forward(self, node_embeddings: Tensor, batch: GraphBatch) -> Tensor:
-        updated = node_embeddings @ self.node_weight + self.bias
+        # Fused affine through the active compute backend (see repro.backend).
+        updated = node_embeddings.linear(self.node_weight, self.bias)
         if batch.edge_index.shape[1] == 0:
             return updated.relu()
 
@@ -88,12 +89,14 @@ class HECGNNConv(Module):
                 relation_messages = (
                     messages.gather_rows(edge_ids) @ self.relation_weights[relation]
                 )
-            destinations = batch.edge_index[1][edge_ids]
+            destinations = batch.relation_destinations(relation, relations)
             summed = relation_messages.segment_sum(destinations, batch.num_nodes)
             aggregated = summed if aggregated is None else aggregated + summed
 
         if aggregated is not None:
-            updated = updated + aggregated
+            # Fused add+ReLU: the update/aggregation sum feeds straight into
+            # the activation, so the backend can run it as one kernel.
+            return updated.add_relu(aggregated)
         return updated.relu()
 
 

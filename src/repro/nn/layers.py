@@ -136,10 +136,9 @@ class Linear(Module):
         self.bias = Parameter(zeros_init(out_features), name=f"{name}.bias") if bias else None
 
     def forward(self, inputs: Tensor) -> Tensor:
-        out = inputs @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # Fused affine: one backend kernel at inference, the recorded
+        # ``@`` + ``+`` composition (same arithmetic) under autograd.
+        return inputs.linear(self.weight, self.bias)
 
 
 class ReLU(Module):

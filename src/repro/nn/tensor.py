@@ -11,11 +11,20 @@ the GNN models are implemented:
 * reductions (sum / mean),
 * row gather (``x[index]``) and segment-sum (scatter-add), the two primitives
   of message passing and graph pooling,
-* concatenation along the feature axis, and
-* dropout.
+* concatenation along the feature axis,
+* dropout, and
+* the fused forward kernels ``linear`` (affine) and ``add_relu``.
 
 A module-level ``no_grad`` context manager disables graph recording during
 inference.
+
+Forward-path data kernels (matmul, add/mul, ReLU and the fused ops, gather,
+scatter-add) route through the active compute backend
+(:func:`repro.backend.active_backend`), so the same model code runs on the
+``numpy`` reference backend or the workspace-pooled ``optimized`` one.  The
+backward closures stay plain numpy: gradients are a training-only path and
+the backends are defined (and tested) to be bitwise-identical on the forward
+kernels, so training results do not depend on the selection either way.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ import contextlib
 from typing import Callable, Iterable
 
 import numpy as np
+
+from repro.backend import active_backend
 
 _GRAD_ENABLED = True
 
@@ -45,28 +56,12 @@ def scatter_add_rows(
 ) -> np.ndarray:
     """Sum rows of ``values`` into ``num_segments`` buckets given by ``index``.
 
-    Equivalent to ``np.add.at(out, index, values)`` but built on
-    ``np.bincount``, which runs the accumulation in a tight C loop instead of
-    the buffered ``ufunc.at`` path — an order of magnitude faster on the
-    message-aggregation shapes used here.  Both variants add contributions in
-    row order, so the results are bitwise identical.
+    Delegates to the active compute backend's ``scatter_add`` kernel; the
+    reference semantics (``np.bincount``-based, bitwise-equal to
+    ``np.add.at`` because both add contributions in row order) are defined in
+    :class:`repro.backend.base.ArrayBackend`.
     """
-    index = np.asarray(index, dtype=np.int64)
-    values = np.asarray(values, dtype=np.float64)
-    if values.ndim == 1:
-        return np.bincount(index, weights=values, minlength=num_segments)
-    if values.ndim != 2:  # pragma: no cover - the models only use 1-D / 2-D
-        out = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
-        np.add.at(out, index, values)
-        return out
-    columns = values.shape[1]
-    if columns == 0 or values.shape[0] == 0:
-        return np.zeros((num_segments, columns), dtype=np.float64)
-    flat_index = (index[:, None] * columns + np.arange(columns)).ravel()
-    flat = np.bincount(
-        flat_index, weights=values.ravel(), minlength=num_segments * columns
-    )
-    return flat.reshape(num_segments, columns)
+    return active_backend().scatter_add(values, index, num_segments)
 
 
 def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -181,7 +176,7 @@ class Tensor:
 
     def __add__(self, other) -> "Tensor":
         other = self._as_tensor(other)
-        out_data = self.data + other.data
+        out_data = active_backend().add(self.data, other.data)
 
         def backward(gradient: np.ndarray) -> None:
             if self.requires_grad:
@@ -204,7 +199,7 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = self._as_tensor(other)
-        out_data = self.data * other.data
+        out_data = active_backend().mul(self.data, other.data)
 
         def backward(gradient: np.ndarray) -> None:
             if self.requires_grad:
@@ -244,7 +239,7 @@ class Tensor:
 
     def __matmul__(self, other) -> "Tensor":
         other = self._as_tensor(other)
-        out_data = self.data @ other.data
+        out_data = active_backend().matmul(self.data, other.data)
 
         def backward(gradient: np.ndarray) -> None:
             if self.requires_grad:
@@ -257,6 +252,8 @@ class Tensor:
     # -------------------------------------------------------------- activations
 
     def relu(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(active_backend().relu(self.data))
         mask = self.data > 0
         out_data = self.data * mask
 
@@ -265,6 +262,46 @@ class Tensor:
                 self._accumulate(gradient * mask)
 
         return self._make(out_data, (self,), backward)
+
+    def add_relu(self, other) -> "Tensor":
+        """Fused ``relu(self + other)`` — one backend kernel at inference.
+
+        Bitwise-identical to the composed ``(self + other).relu()`` on both
+        paths: the forward arithmetic is the same mask multiplication, and
+        the single backward closure propagates exactly the gradients the two
+        composed closures would.
+        """
+        other = self._as_tensor(other)
+        if not _GRAD_ENABLED:
+            return Tensor(active_backend().add_relu(self.data, other.data))
+        out_data = self.data + other.data
+        mask = out_data > 0
+        out_data = out_data * mask
+
+        def backward(gradient: np.ndarray) -> None:
+            masked = gradient * mask
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(masked, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(masked, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def linear(self, weight: "Tensor", bias: "Tensor | None" = None) -> "Tensor":
+        """Fused affine ``self @ weight + bias`` (backend kernel at inference).
+
+        Under autograd this composes the recorded ``@`` and ``+`` ops, so the
+        tape (and therefore training) is unchanged; without gradients it runs
+        the backend's fused kernel, which computes the same expression.
+        """
+        if not _GRAD_ENABLED:
+            return Tensor(
+                active_backend().linear(
+                    self.data, weight.data, None if bias is None else bias.data
+                )
+            )
+        out = self @ weight
+        return out if bias is None else out + bias
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -300,7 +337,7 @@ class Tensor:
     def gather_rows(self, index: np.ndarray) -> "Tensor":
         """Select rows ``self[index]`` (message gathering along edges)."""
         index = np.asarray(index, dtype=np.int64)
-        out_data = self.data[index]
+        out_data = active_backend().gather_rows(self.data, index)
 
         def backward(gradient: np.ndarray) -> None:
             if not self.requires_grad:

@@ -7,7 +7,10 @@ runtime, each independently switchable through :class:`RuntimeConfig`:
 * :mod:`repro.runtime.pool` — :class:`WorkerPool` shards per-kernel
   featurisation (the dominant serving cost) across worker processes with a
   deterministic merge: pooled results are bitwise-identical to the serial
-  path's;
+  path's; :class:`ForwardPool` shards the packed mega-graph forward itself
+  across ensemble members on read-only shared-memory parameter blocks
+  (:mod:`repro.runtime.shm`), with the same contiguous-shard merge
+  guarantee;
 * :mod:`repro.runtime.microbatch` — :class:`MicroBatcher` coalesces concurrent
   single-design ``estimate`` calls into packed batches under a size/deadline
   policy (injectable clock, so the policy is testable without sleeping);
@@ -35,11 +38,18 @@ from repro.runtime.cache import PERSISTENT_FORMAT_VERSION, PersistentCache
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.microbatch import ItemError, MicroBatcher, MicroBatchStats
 from repro.runtime.pool import (
+    ForwardPool,
+    ForwardPoolStats,
     PoolStats,
     WorkerPool,
     available_cpus,
     default_start_method,
     shard_evenly,
+)
+from repro.runtime.shm import (
+    ParameterBlockSpec,
+    SharedParameterBlock,
+    attach_parameter_block,
 )
 
 __all__ = [
@@ -49,8 +59,13 @@ __all__ = [
     "ItemError",
     "MicroBatcher",
     "MicroBatchStats",
+    "ForwardPool",
+    "ForwardPoolStats",
+    "ParameterBlockSpec",
     "PoolStats",
+    "SharedParameterBlock",
     "WorkerPool",
+    "attach_parameter_block",
     "available_cpus",
     "default_start_method",
     "shard_evenly",

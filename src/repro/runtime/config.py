@@ -1,7 +1,9 @@
 """Configuration of the parallel serving runtime.
 
-One frozen dataclass carries every knob of the three runtime components —
-the featurisation :class:`~repro.runtime.pool.WorkerPool`, the
+One frozen dataclass carries every knob of the runtime components —
+the compute backend of the packed forward (:mod:`repro.backend`), the
+featurisation :class:`~repro.runtime.pool.WorkerPool`, the pooled-forward
+:class:`~repro.runtime.pool.ForwardPool`, the
 :class:`~repro.runtime.microbatch.MicroBatcher` request coalescer and the
 :class:`~repro.runtime.cache.PersistentCache` disk tier — so
 :class:`~repro.serve.service.PowerEstimationService` can be handed a single
@@ -20,6 +22,18 @@ from pathlib import Path
 class RuntimeConfig:
     """Knobs of the parallel serving runtime (all off by default)."""
 
+    #: Compute backend of the packed mega-graph forward (``"numpy"`` /
+    #: ``"optimized"``); ``None`` defers to ``$REPRO_BACKEND`` and finally the
+    #: ``numpy`` reference.  In their default (auto) configuration the
+    #: shipped backends are bitwise-identical on the forward path, so the
+    #: selection only changes speed, never predictions — EXCEPT under the
+    #: explicit ``REPRO_BACKEND_ACCEL=torch`` opt-in, which trades that
+    #: guarantee for torch GEMMs (bit-identity then depends on numpy and
+    #: torch linking the same BLAS; see :mod:`repro.backend.optimized`).
+    #: Don't mix that opt-in with a persistent prediction cache written
+    #: under a different backend configuration.
+    backend: str | None = None
+
     #: Number of featurisation worker processes; 0 or 1 keeps featurisation
     #: serial in the service process.
     num_workers: int = 0
@@ -31,6 +45,17 @@ class RuntimeConfig:
     #: batch stays serial: sharding two designs across four processes costs
     #: more in IPC than it saves.
     min_designs_per_worker: int = 2
+
+    #: Number of pooled-forward worker processes; 0 or 1 keeps the packed
+    #: forward in the service process.  Only engages for ensemble models with
+    #: at least ``forward_min_members`` members (weights are published once
+    #: as a read-only shared-memory block; see
+    #: :class:`~repro.runtime.pool.ForwardPool`).
+    forward_workers: int = 0
+    #: Ensembles smaller than this run the forward serially even when
+    #: ``forward_workers`` is set: sharding a handful of members across
+    #: processes costs more in IPC than the forwards themselves.
+    forward_min_members: int = 8
 
     #: Maximum coalesced batch: the micro-batcher flushes as soon as this many
     #: single-design ``estimate`` calls have gathered.
@@ -59,8 +84,16 @@ class RuntimeConfig:
     gateway_threads: int = 32
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            from repro.backend import resolve_backend_name
+
+            resolve_backend_name(self.backend)  # raises on unknown names
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        if self.forward_workers < 0:
+            raise ValueError("forward_workers must be >= 0")
+        if self.forward_min_members < 2:
+            raise ValueError("forward_min_members must be >= 2")
         if self.start_method not in (None, "fork", "spawn", "forkserver"):
             raise ValueError(f"unknown start method {self.start_method!r}")
         if self.min_designs_per_worker < 1:
@@ -79,6 +112,10 @@ class RuntimeConfig:
     @property
     def parallel_featurisation(self) -> bool:
         return self.num_workers > 1
+
+    @property
+    def parallel_forward(self) -> bool:
+        return self.forward_workers > 1
 
     @property
     def coalescing_enabled(self) -> bool:

@@ -12,7 +12,9 @@ POST      ``/v1/estimate_many``  ``{"requests": [...]}`` → ``{"responses": [..
 POST      ``/v1/explore``      ``{"kernel", "budget"}`` → frontier + ADRS
 GET       ``/v1/models``       the registry's manifest index (names × versions)
 GET       ``/healthz``         liveness (``200 ok`` / ``503 closed``)
-GET       ``/metrics``         service metrics + runtime stats + gateway counters
+GET       ``/metrics``         service metrics + runtime stats (incl. the active
+                               compute backend and per-backend forward counters)
+                               + gateway counters
 ========  ===================  ===================================================
 
 A design point on the wire is the JSON shape of

@@ -1,20 +1,35 @@
-"""Multi-process featurisation pool with a deterministic merge.
+"""Multi-process worker pools with deterministic merges.
 
-Per-kernel featurisation — HLS lowering, scheduling/binding, activity
-simulation, graph construction, labelling — dominates the cost of serving an
-uncached design and is embarrassingly parallel: every design point is a pure
-function of ``(dataset config, kernel, directives)``.  :class:`WorkerPool`
-shards a featurisation batch into contiguous, balanced slices
-(:func:`repro.serve.batching.shard_evenly`), runs each slice in a worker
-process, and concatenates the results in shard order, so pooled output is
-**bitwise-identical** to the serial path's — same floats, same graphs, same
-content addresses.
+Two pools live here, both built on the same contiguous-shard decomposition
+(:func:`shard_evenly` — canonical in this module, re-exported through
+``repro.runtime`` and, for the serving layer, ``repro.serve.batching``):
 
-Each worker process owns one :class:`~repro.flow.dataset_gen.DatasetGenerator`
-built from the same :class:`~repro.flow.dataset_gen.DatasetConfig` as the
-service's, created once by the pool initializer and kept alive across tasks,
-so per-kernel serving state (stimuli, baseline report, lowering / activity
-caches) warms up once per process rather than once per request.
+* :class:`WorkerPool` shards **featurisation** — HLS lowering,
+  scheduling/binding, activity simulation, graph construction, labelling;
+  the dominant cost of serving an uncached design, and embarrassingly
+  parallel because every design point is a pure function of ``(dataset
+  config, kernel, directives)``.  Results concatenate in shard order, so
+  pooled output is **bitwise-identical** to the serial path's — same floats,
+  same graphs, same content addresses.
+* :class:`ForwardPool` shards the **packed mega-graph forward itself** across
+  ensemble members: each worker computes a contiguous member slice of the
+  ``(num_members, num_graphs)`` prediction stack on read-only
+  **shared-memory parameter blocks** (:mod:`repro.runtime.shm`), and the
+  parent concatenates shard stacks in member order before averaging — so
+  pooled predictions are bitwise-identical to
+  :meth:`repro.flow.powergear.PowerGear.predict_batch`.
+
+Worker warm-up happens **once per process, never per task**:
+
+* featurisation workers build one
+  :class:`~repro.flow.dataset_gen.DatasetGenerator` from the service's
+  :class:`~repro.flow.dataset_gen.DatasetConfig` in the pool initializer and
+  keep it alive across tasks, so per-kernel serving state (stimuli, baseline
+  report, lowering / activity caches) warms once per process;
+* forward workers attach the shared parameter segment and rebuild every
+  member model around zero-copy read-only views in their initializer, so a
+  task carries only the packed graph and a member slice — **no per-task
+  weight pickling**, one physical copy of the ensemble machine-wide.
 """
 
 from __future__ import annotations
@@ -24,6 +39,8 @@ import os
 import threading
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.flow.dataset_gen import (
     DatasetConfig,
     FeaturisationTask,
@@ -31,7 +48,13 @@ from repro.flow.dataset_gen import (
     run_featurisation_task,
 )
 from repro.graph.dataset import GraphSample
+from repro.graph.hetero_graph import HeteroGraph
 from repro.hls.pragmas import DesignDirectives
+from repro.runtime.shm import (
+    ParameterBlockSpec,
+    SharedParameterBlock,
+    attach_parameter_block,
+)
 
 
 def shard_evenly(count: int, shards: int) -> list[slice]:
@@ -172,4 +195,277 @@ class WorkerPool:
                     initializer=featurisation_worker_init,
                     initargs=(self.config,),
                 )
+            return self._pool
+
+
+# ------------------------------------------------------------ pooled forward
+
+#: Per-process state of one forward worker: the member models (weights are
+#: zero-copy views into the shared segment) and the segment handle keeping
+#: those views alive.  Built once by :func:`forward_worker_init`.
+_FORWARD_MODELS: list | None = None
+_FORWARD_SHM = None
+
+
+@dataclass(frozen=True)
+class ForwardTask:
+    """One shard of pooled prediction: a packed graph × a member slice.
+
+    The graph is already scaled, ablation-transformed and packed by the
+    parent (so every shard of one chunk sees byte-identical inputs); the
+    member slice is contiguous, matching :func:`shard_evenly`.  Deliberately
+    weight-free: parameters live in the shared segment, not in task pickles.
+    """
+
+    chunk_id: int
+    member_start: int
+    member_stop: int
+    graph: HeteroGraph
+
+
+def forward_worker_init(
+    spec: ParameterBlockSpec,
+    model_type: type,
+    member_configs: tuple,
+    dims: tuple[int, int, int],
+    backend: str,
+) -> None:
+    """Process-pool initializer: attach the segment, rebuild the members.
+
+    Each member model is constructed from its config (cheap — the freshly
+    initialised weights are immediately replaced) and its parameters rebound
+    to read-only views of the shared block, positionally: identical
+    construction code yields identical ``parameters()`` traversal order.
+    """
+    global _FORWARD_MODELS, _FORWARD_SHM
+    from repro.backend import set_default_backend
+
+    set_default_backend(backend)
+    shm, views = attach_parameter_block(spec)
+    node_dim, edge_dim, meta_dim = dims
+    models = []
+    for config, member_views in zip(member_configs, views):
+        model = model_type(node_dim, edge_dim, meta_dim, config)
+        parameters = model.parameters()
+        if len(parameters) != len(member_views):
+            raise RuntimeError(
+                "shared parameter block disagrees with the rebuilt model "
+                f"({len(member_views)} blocks vs {len(parameters)} parameters)"
+            )
+        for parameter, view in zip(parameters, member_views):
+            if parameter.data.shape != view.shape:
+                raise RuntimeError("shared parameter shape mismatch")
+            parameter.data = view
+        models.append(model)
+    _FORWARD_MODELS = models
+    _FORWARD_SHM = shm
+
+
+def run_forward_task(task: ForwardTask) -> np.ndarray:
+    """Execute one shard: the member slice's stacked predictions, in order.
+
+    The forward is deterministic numpy (whatever backend the worker pinned,
+    the kernels are bitwise-identical by contract), so the returned
+    ``(shard_members, num_graphs)`` block equals the same rows of the serial
+    member stack bit for bit.
+    """
+    if _FORWARD_MODELS is None:
+        raise RuntimeError(
+            "forward worker is not initialised "
+            "(pool must be created with forward_worker_init)"
+        )
+    from repro.gnn.base import GraphBatch
+    from repro.gnn.ensemble import stack_member_predictions
+
+    # The exact shard unit the serial path runs (EnsembleRegressor
+    # .predict_members); sharing it is what makes the pooled merge
+    # bitwise-identical by construction.
+    return stack_member_predictions(
+        _FORWARD_MODELS[task.member_start : task.member_stop],
+        GraphBatch.from_graph(task.graph),
+    )
+
+
+@dataclass
+class ForwardPoolStats:
+    """Bookkeeping of one forward pool's lifetime."""
+
+    batches: int = 0
+    designs: int = 0
+    shards: int = 0
+    member_forwards: int = 0
+    shared_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "designs": self.designs,
+            "shards": self.shards,
+            "member_forwards": self.member_forwards,
+            "shared_bytes": self.shared_bytes,
+        }
+
+
+class ForwardPool:
+    """Shards a fitted ensemble's packed forward across worker processes.
+
+    Bound to one fitted :class:`~repro.flow.powergear.PowerGear` (the shared
+    segment is a snapshot of its weights at construction).  The parent
+    prepares each chunk exactly as the serial
+    :meth:`~repro.flow.powergear.PowerGear.predict_batch` would — scaler,
+    ablation transforms, block-diagonal pack — then fans the member axis out
+    with :func:`shard_evenly` and concatenates shard stacks in member order,
+    so pooled predictions are bitwise-identical to serial ones.
+
+    IPC cost model: weights never travel (shared segment), but each chunk's
+    packed graph is pickled once per member shard — ``num_workers`` copies
+    per chunk.  That is why the pool only pays off when the member forwards
+    dominate (``forward_min_members``); publishing the packed batch itself
+    through shared memory is the next step if graph payloads ever dominate.
+    """
+
+    def __init__(
+        self,
+        model,
+        num_workers: int = 2,
+        start_method: str | None = None,
+        backend: str = "numpy",
+    ) -> None:
+        if num_workers < 2:
+            raise ValueError("a forward pool needs at least 2 workers")
+        if model.ensemble is None or not model.ensemble.members:
+            raise ValueError("the forward pool requires a fitted ensemble model")
+        self.model = model
+        self.num_workers = num_workers
+        self.start_method = start_method
+        self.backend = backend
+        self.stats = ForwardPoolStats()
+        self._pool = None
+        self._block: SharedParameterBlock | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def num_members(self) -> int:
+        return len(self.model.ensemble.members)
+
+    # ------------------------------------------------------------------ public
+
+    def predict_batch(self, samples: list, batch_size: int | None = None) -> np.ndarray:
+        """Pooled equivalent of ``PowerGear.predict_batch`` (bitwise-identical).
+
+        Preprocessing is shared code, not a re-implementation: the scaler runs
+        through ``PowerGear.prepare_samples``, chunk boundaries and graph
+        preparation come from ``EnsembleRegressor.iter_prepared_chunks`` and
+        the final clamp is ``PowerGear.clamp_predictions`` — only the member
+        axis fan-out/merge is pool-specific.
+        """
+        if not samples:
+            return np.zeros(0)
+        pool = self._ensure_pool()
+        prepared = self.model.prepare_samples(samples)
+        graphs = [sample.graph for sample in prepared]
+        shards = shard_evenly(self.num_members, self.num_workers)
+
+        chunks: list[tuple[int, int]] = []
+        tasks: list[ForwardTask] = []
+        for chunk_id, (start, length, packed) in enumerate(
+            self.model.ensemble.iter_prepared_chunks(graphs, batch_size)
+        ):
+            chunks.append((start, length))
+            tasks.extend(
+                ForwardTask(
+                    chunk_id=chunk_id,
+                    member_start=part.start,
+                    member_stop=part.stop,
+                    graph=packed,
+                )
+                for part in shards
+            )
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.designs += len(graphs)
+            self.stats.shards += len(tasks)
+            self.stats.member_forwards += len(chunks) * self.num_members
+
+        shard_stacks = pool.map(run_forward_task, tasks)
+        outputs = np.zeros(len(graphs))
+        for chunk_id, (start, length) in enumerate(chunks):
+            stack = np.concatenate(
+                shard_stacks[chunk_id * len(shards) : (chunk_id + 1) * len(shards)]
+            )
+            outputs[start : start + length] = stack.mean(axis=0)
+        return type(self.model).clamp_predictions(outputs)
+
+    def close(self) -> None:
+        """Drain in-flight work, stop the workers, release the shared segment."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+            block, self._block = self._block, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+        if block is not None:
+            block.unlink()
+
+    def __enter__(self) -> "ForwardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- internals
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot predict through a closed ForwardPool")
+            if self._pool is None:
+                members = self.model.ensemble.members
+                reference = members[0].model
+                dims = (
+                    reference.node_feature_dim,
+                    reference.edge_feature_dim,
+                    reference.metadata_dim,
+                )
+                configs = tuple(member.model.config for member in members)
+                # Validate the rebuild contract HERE, in the parent: an
+                # exception inside a multiprocessing initializer does not
+                # propagate — the pool respawns crashing workers forever and
+                # the first map() hangs.  Rebuilding one member up front
+                # turns any construction/traversal-order divergence into an
+                # immediate RuntimeError the service's serial fallback
+                # catches.
+                rebuilt = type(reference)(*dims, configs[0])
+                expected = [p.data.shape for p in members[0].model.parameters()]
+                actual = [p.data.shape for p in rebuilt.parameters()]
+                if expected != actual:
+                    raise RuntimeError(
+                        "member models do not rebuild with identical parameter "
+                        f"shapes ({actual} vs {expected}); cannot share weights"
+                    )
+                block = SharedParameterBlock.create(
+                    [
+                        [parameter.data for parameter in member.model.parameters()]
+                        for member in members
+                    ]
+                )
+                context = multiprocessing.get_context(
+                    self.start_method or default_start_method()
+                )
+                try:
+                    self._pool = context.Pool(
+                        processes=self.num_workers,
+                        initializer=forward_worker_init,
+                        initargs=(block.spec, type(reference), configs, dims, self.backend),
+                    )
+                except Exception:
+                    # Pool construction failed (spawn pickling, fd/process
+                    # limits): release the segment instead of leaking an
+                    # ensemble-sized /dev/shm allocation per retried request.
+                    block.unlink()
+                    raise
+                self._block = block
+                self.stats.shared_bytes = block.nbytes
             return self._pool

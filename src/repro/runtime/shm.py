@@ -1,0 +1,147 @@
+"""Read-only shared-memory parameter blocks for pooled prediction.
+
+A fitted ensemble's weights are immutable, so sharding its packed forward
+across worker processes must not re-pickle megabytes of parameters into every
+task.  :class:`SharedParameterBlock` serialises every member's parameter
+tensors once into a single ``multiprocessing.shared_memory`` segment; workers
+attach by name (a short string that travels in the pool initializer) and map
+each parameter back as a **read-only numpy view** — zero copies, zero
+per-task weight pickling, one physical copy of the ensemble no matter how
+many workers run.
+
+Layout: parameters are packed back to back as contiguous float64 in
+``(member, parameter)`` traversal order — the order
+:meth:`repro.nn.layers.Module.parameters` yields, which is deterministic for
+identically constructed models, so the worker's freshly built members accept
+the views positionally.  The picklable :class:`ParameterBlockSpec` carries
+the segment name plus every parameter's shape.
+
+Lifecycle: the creating process owns the segment and must call
+:meth:`SharedParameterBlock.unlink` when its pool closes; workers only ever
+:func:`attach_parameter_block` and drop their maps on exit.  On Python 3.13+
+the attach is untracked (``track=False``); on older versions the attach's
+``resource_tracker`` registration is a harmless duplicate *because the
+attachers are multiprocessing children of the creator* — fork and spawn
+workers both inherit the parent's tracker process, so the duplicate add is a
+set no-op and only the owner's ``unlink`` ever unregisters the name.
+(Attaching from an unrelated process on <= 3.12 would invite the well-known
+tracker-unlinks-on-exit wart; the pools here never do that.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParameterBlockSpec:
+    """Picklable description of one shared parameter segment.
+
+    ``member_shapes[m][p]`` is the shape of member ``m``'s parameter ``p``;
+    offsets are implied by packing order, so the spec stays tiny (it rides in
+    the worker-pool initializer, not in per-task payloads).
+    """
+
+    shm_name: str
+    member_shapes: tuple[tuple[tuple[int, ...], ...], ...]
+
+    @property
+    def num_members(self) -> int:
+        return len(self.member_shapes)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(
+            int(np.prod(shape, dtype=np.int64))
+            for member in self.member_shapes
+            for shape in member
+        )
+
+
+def _views_from_buffer(
+    buffer, spec: ParameterBlockSpec, writeable: bool
+) -> list[list[np.ndarray]]:
+    """Slice the flat segment back into per-member parameter views."""
+    flat = np.frombuffer(buffer, dtype=np.float64, count=spec.total_elements)
+    views: list[list[np.ndarray]] = []
+    offset = 0
+    for member in spec.member_shapes:
+        member_views: list[np.ndarray] = []
+        for shape in member:
+            size = int(np.prod(shape, dtype=np.int64))
+            view = flat[offset : offset + size].reshape(shape)
+            view.flags.writeable = writeable
+            member_views.append(view)
+            offset += size
+        views.append(member_views)
+    return views
+
+
+class SharedParameterBlock:
+    """Owning handle of one shared-memory parameter segment (creator side)."""
+
+    def __init__(self, spec: ParameterBlockSpec, shm: shared_memory.SharedMemory) -> None:
+        self.spec = spec
+        self._shm = shm
+
+    @staticmethod
+    def create(member_parameters: list[list[np.ndarray]]) -> "SharedParameterBlock":
+        """Pack every member's parameters into a fresh shared segment."""
+        if not member_parameters or not any(member_parameters):
+            raise ValueError("cannot share an empty parameter set")
+        shapes = tuple(
+            tuple(tuple(int(d) for d in array.shape) for array in member)
+            for member in member_parameters
+        )
+        total = sum(array.size for member in member_parameters for array in member)
+        shm = shared_memory.SharedMemory(create=True, size=max(total * 8, 1))
+        spec = ParameterBlockSpec(shm_name=shm.name, member_shapes=shapes)
+        views = _views_from_buffer(shm.buf, spec, writeable=True)
+        for member_views, member in zip(views, member_parameters):
+            for view, array in zip(member_views, member):
+                view[...] = np.asarray(array, dtype=np.float64)
+        return SharedParameterBlock(spec, shm)
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.total_elements * 8
+
+    def views(self) -> list[list[np.ndarray]]:
+        """Read-only in-process views (the serial path can share them too)."""
+        return _views_from_buffer(self._shm.buf, self.spec, writeable=False)
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Release the segment (idempotent; owner-side teardown)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def attach_parameter_block(
+    spec: ParameterBlockSpec,
+) -> tuple[shared_memory.SharedMemory, list[list[np.ndarray]]]:
+    """Worker-side attach: map the segment and return read-only views.
+
+    The returned ``SharedMemory`` handle must stay referenced as long as the
+    views are used (the views borrow its buffer).  The attach is untracked
+    where the stdlib allows it (3.13+); on older versions the registration
+    lands in the creator's shared tracker as a duplicate no-op (see the
+    module docstring), so the worker's exit cannot unlink a segment it does
+    not own.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=spec.shm_name, track=False)
+    except TypeError:  # Python < 3.13: no track flag (see module docstring).
+        shm = shared_memory.SharedMemory(name=spec.shm_name)
+    return shm, _views_from_buffer(shm.buf, spec, writeable=False)

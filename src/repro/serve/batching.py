@@ -24,12 +24,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.graph.dataset import GraphSample
 from repro.graph.hetero_graph import RELATION_TYPES, HeteroGraph
 
 # Canonically defined in the runtime layer (which must not depend on serve);
 # re-exported here because sharding is part of the serving-layer batching API.
-from repro.runtime.pool import shard_evenly
+# Import from the runtime *package*, not the pool module: ``repro.runtime``
+# is the stable surface, and the pool module now also hosts the pooled
+# forward machinery this layer must not bind to.
+from repro.runtime import shard_evenly
 
 __all__ = [
     "PackedBatch",
@@ -98,6 +102,7 @@ def pack_graphs(graphs: list[HeteroGraph]) -> PackedBatch:
     if not graphs:
         raise ValueError("cannot pack an empty list of graphs")
     merged = HeteroGraph.pack(graphs)
+    backend = active_backend()
     node_offsets = np.zeros(len(graphs) + 1, dtype=np.int64)
     edge_offsets = np.zeros(len(graphs) + 1, dtype=np.int64)
     relation_edge_counts = np.zeros((len(graphs), len(RELATION_TYPES)), dtype=np.int64)
@@ -105,7 +110,11 @@ def pack_graphs(graphs: list[HeteroGraph]) -> PackedBatch:
         node_offsets[index + 1] = node_offsets[index] + graph.num_nodes
         edge_offsets[index + 1] = edge_offsets[index] + graph.num_edges
         if graph.num_edges:
-            np.add.at(relation_edge_counts[index], graph.edge_types, 1)
+            # Vectorised occurrence counting through the backend (same
+            # integral counts as the historical `np.add.at`, one C pass).
+            relation_edge_counts[index] = backend.bincount(
+                graph.edge_types, minlength=len(RELATION_TYPES)
+            )
     return PackedBatch(
         graph=merged,
         node_offsets=node_offsets,

@@ -22,12 +22,22 @@ Every endpoint records wall-clock latency and throughput in
 
 The service optionally runs on the parallel runtime of :mod:`repro.runtime`
 (pass ``runtime=RuntimeConfig(...)``): featurisation of large batches shards
-across a multi-process :class:`~repro.runtime.pool.WorkerPool`, concurrent
-single-design ``estimate`` calls coalesce into packed batches through a
-:class:`~repro.runtime.microbatch.MicroBatcher`, and the inference cache gains
-a persistent on-disk tier (:class:`~repro.runtime.cache.PersistentCache`) with
-cost-aware eviction so warm sets survive restarts.  All three preserve the
-serial path's results exactly.
+across a multi-process :class:`~repro.runtime.pool.WorkerPool`, the packed
+forward of a large ensemble shards across a
+:class:`~repro.runtime.pool.ForwardPool` on shared-memory parameter blocks,
+concurrent single-design ``estimate`` calls coalesce into packed batches
+through a :class:`~repro.runtime.microbatch.MicroBatcher`, and the inference
+cache gains a persistent on-disk tier
+(:class:`~repro.runtime.cache.PersistentCache`) with cost-aware eviction so
+warm sets survive restarts.  All of them preserve the serial path's results
+exactly.
+
+Every forward-path kernel routes through the compute backend named by
+``RuntimeConfig.backend`` (or ``$REPRO_BACKEND``; see :mod:`repro.backend`):
+the service pins the resolved backend around its prediction calls, reports
+it in :class:`ServiceMetrics`, and exports the per-backend forward counters
+through :meth:`PowerEstimationService.runtime_stats` and the HTTP
+``/metrics`` endpoint.
 """
 
 from __future__ import annotations
@@ -39,6 +49,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.backend import (
+    get_backend,
+    instantiated_backends,
+    resolve_backend_name,
+    use_backend,
+)
 from repro.dse.explorer import DesignCandidate, DSEConfig, DSEResult, ParetoExplorer
 from repro.flow.dataset_gen import DatasetGenerator
 from repro.flow.powergear import PowerGear
@@ -47,6 +63,7 @@ from repro.hls.pragmas import DesignDirectives
 from repro.graph.dataset import GraphSample
 from repro.kernels.polybench import polybench_kernel
 from repro.runtime import (
+    ForwardPool,
     ItemError,
     MicroBatcher,
     PersistentCache,
@@ -148,10 +165,15 @@ class ServiceMetrics:
     featurised: int = 0
     pooled_featurised: int = 0
     predicted: int = 0
+    pooled_predicted: int = 0
+    pooled_errors: int = 0
     featurise_seconds: float = 0.0
     predict_seconds: float = 0.0
     total_seconds: float = 0.0
     explorations: int = 0
+    #: Name of the compute backend the service's forwards route through
+    #: (informational, set once at service construction — not a counter).
+    backend: str = ""
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -174,7 +196,10 @@ class ServiceMetrics:
                 "featurised": self.featurised,
                 "pooled_featurised": self.pooled_featurised,
                 "predicted": self.predicted,
+                "pooled_predicted": self.pooled_predicted,
+                "pooled_errors": self.pooled_errors,
                 "explorations": self.explorations,
+                "backend": self.backend,
                 "featurise_seconds": self.featurise_seconds,
                 "predict_seconds": self.predict_seconds,
                 "total_seconds": self.total_seconds,
@@ -223,9 +248,14 @@ class PowerEstimationService:
             )
         self.cache = cache
         self.batch_size = batch_size
-        self.metrics = ServiceMetrics()
+        # The compute backend every forward of this service routes through
+        # (explicit config > $REPRO_BACKEND > the numpy reference).
+        self.backend = get_backend(resolve_backend_name(self.runtime.backend))
+        self.metrics = ServiceMetrics(backend=self.backend.name)
         self.model_fingerprint = model.fingerprint()
         self._pool: WorkerPool | None = None
+        self._forward_pool: ForwardPool | None = None
+        self._forward_pool_retired = False
         self._pool_lock = threading.Lock()
         self._closed = False
         self._close_hooks: list = []
@@ -292,8 +322,11 @@ class PowerEstimationService:
         with self._pool_lock:
             self._closed = True
             pool, self._pool = self._pool, None
+            forward_pool, self._forward_pool = self._forward_pool, None
         if pool is not None:
             pool.close()
+        if forward_pool is not None:
+            forward_pool.close()
         if self.cache.persistent is not None:
             self.cache.persistent.sync()
 
@@ -304,13 +337,34 @@ class PowerEstimationService:
         self.close()
 
     def runtime_stats(self) -> dict:
-        """Instrumentation of the runtime components (pool, coalescer, caches)."""
+        """Instrumentation of the runtime components (pools, coalescer, caches).
+
+        ``backend`` reports the active compute backend plus the per-backend
+        forward counters (process-wide singletons, so the numbers aggregate
+        across services sharing the process).
+        """
         return {
             "pool": self._pool.stats.as_dict() if self._pool is not None else None,
+            "forward_pool": (
+                self._forward_pool.stats.as_dict()
+                if self._forward_pool is not None
+                else None
+            ),
             "coalescer": (
                 self._batcher.stats.as_dict() if self._batcher is not None else None
             ),
             "cache": self.cache.stats(),
+            "backend": {
+                "active": self.backend.name,
+                "accelerator": self.backend.accelerator,
+                # Only backends this process actually constructed: reading
+                # counters must never trigger another backend's accelerator
+                # probe inside a metrics scrape.
+                "counters": {
+                    name: backend.stats.as_dict()
+                    for name, backend in instantiated_backends().items()
+                },
+            },
         }
 
     def metrics_snapshot(self) -> dict:
@@ -569,6 +623,69 @@ class PowerEstimationService:
             pool = self._pool
         return pool if pool.should_parallelise(num_designs) else None
 
+    def _predict_batch(self, samples: list[GraphSample]) -> np.ndarray:
+        """One batched forward over ``samples`` — pooled when it pays off.
+
+        Large ensembles shard the packed forward across the
+        :class:`~repro.runtime.pool.ForwardPool` (read-only shared-memory
+        weights, deterministic contiguous-member merge); everything else runs
+        in-process.  Both paths produce bitwise-identical predictions, and
+        both route their kernels through the service's pinned backend (the
+        pool pins the same backend in its workers).
+        """
+        pool = self._forward_pool_handle()
+        if pool is not None:
+            try:
+                predictions = pool.predict_batch(samples, batch_size=self.batch_size)
+                self.metrics.record(pooled_predicted=len(samples))
+                return predictions
+            except (RuntimeError, ValueError):
+                # The pool closed between handing out the handle and running
+                # the batch (service shutdown racing a request — a closed
+                # multiprocessing pool raises ValueError from map, a closed
+                # ForwardPool raises RuntimeError), or a worker faulted;
+                # either way the serial path produces identical predictions,
+                # so degrade rather than fail the request — same policy as
+                # the featurisation pool's fallback in _featurise.  The
+                # failure is counted and the pool retired: a persistently
+                # broken pool must not re-pay a doomed shard round-trip on
+                # every subsequent batch, and `pooled_errors` makes the
+                # degradation visible in metrics instead of silent.
+                self.metrics.record(pooled_errors=1)
+                self._retire_forward_pool(pool)
+        with use_backend(self.backend):
+            return self.model.predict_batch(samples, batch_size=self.batch_size)
+
+    def _retire_forward_pool(self, pool: ForwardPool) -> None:
+        """Detach and close a faulted pool; later batches go straight serial."""
+        with self._pool_lock:
+            if self._forward_pool is pool:
+                self._forward_pool = None
+            self._forward_pool_retired = True
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+    def _forward_pool_handle(self) -> ForwardPool | None:
+        if not self.runtime.parallel_forward or self._forward_pool_retired:
+            return None
+        ensemble = self.model.ensemble
+        if ensemble is None or len(ensemble.members) < self.runtime.forward_min_members:
+            return None
+        with self._pool_lock:
+            if self._closed:
+                return None
+            # Locked check-then-act, same contract as the featurisation pool.
+            if self._forward_pool is None:
+                self._forward_pool = ForwardPool(
+                    self.model,
+                    num_workers=self.runtime.forward_workers,
+                    start_method=self.runtime.start_method,
+                    backend=self.backend.name,
+                )
+            return self._forward_pool
+
     def _predict_samples(
         self, samples: list[GraphSample]
     ) -> tuple[np.ndarray, list[bool]]:
@@ -587,9 +704,7 @@ class PowerEstimationService:
 
         if miss_indices:
             predict_start = time.perf_counter()
-            fresh = self.model.predict_batch(
-                [samples[i] for i in miss_indices], batch_size=self.batch_size
-            )
+            fresh = self._predict_batch([samples[i] for i in miss_indices])
             elapsed = time.perf_counter() - predict_start
             self.metrics.record(
                 predict_seconds=elapsed,

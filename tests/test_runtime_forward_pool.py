@@ -1,0 +1,200 @@
+"""Pooled prediction: shared-memory parameter blocks + the ForwardPool.
+
+Determinism contract under test: sharding the packed forward across worker
+processes on read-only shared-memory weights produces **bitwise-identical**
+predictions to the serial ``PowerGear.predict_batch``, because each shard
+runs the same member code on byte-identical inputs and the contiguous-shard
+merge rebuilds the member stack in order.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.backend import use_backend
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.ensemble import EnsembleConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.runtime import ForwardPool, SharedParameterBlock, attach_parameter_block
+from repro.runtime.pool import ForwardTask
+
+from test_serve_service import build_synthetic_samples
+
+
+@pytest.fixture(scope="module")
+def fitted_ensemble():
+    samples = build_synthetic_samples(40, seed=21)
+    model = PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=10, num_layers=2),
+            training=TrainingConfig(epochs=3, batch_size=16),
+            ensemble=EnsembleConfig(folds=3, seeds=(0, 1)),  # 6 members
+        )
+    ).fit(samples[:28])
+    return model, samples
+
+
+# ----------------------------------------------------- shared parameter block
+
+
+def test_shared_parameter_block_roundtrip():
+    rng = np.random.default_rng(0)
+    members = [
+        [rng.standard_normal((3, 4)), rng.standard_normal(4)],
+        [rng.standard_normal((3, 4)), rng.standard_normal(4)],
+    ]
+
+    def check_views(views) -> None:
+        # Scoped helper: the borrowed views must all be dead before the
+        # segment is closed (they export pointers into its mapping).
+        for member_views, member in zip(views, members):
+            for view, array in zip(member_views, member):
+                assert view.tobytes() == np.asarray(array).tobytes()
+                assert not view.flags.writeable
+
+    block = SharedParameterBlock.create(members)
+    try:
+        assert block.nbytes == 2 * (12 + 4) * 8
+        check_views(block.views())
+        # The spec round-trips through pickle (it rides in pool initargs).
+        spec = pickle.loads(pickle.dumps(block.spec))
+        shm, attached = attach_parameter_block(spec)
+        try:
+            check_views(attached)
+        finally:
+            del attached
+            shm.close()
+    finally:
+        block.unlink()
+
+
+def test_shared_parameter_block_rejects_empty():
+    with pytest.raises(ValueError):
+        SharedParameterBlock.create([])
+
+
+# ------------------------------------------------------------- forward pool
+
+
+def test_forward_pool_matches_serial_bitwise(fitted_ensemble):
+    model, samples = fitted_ensemble
+    queries = samples[28:]
+    with use_backend("numpy"):
+        reference = model.predict_batch(queries, batch_size=5)
+    with ForwardPool(model, num_workers=2) as pool:
+        pooled = pool.predict_batch(queries, batch_size=5)
+        # A second batch reuses the warm workers and the same segment.
+        again = pool.predict_batch(queries, batch_size=5)
+    assert pooled.tobytes() == reference.tobytes()
+    assert again.tobytes() == reference.tobytes()
+    assert pool.stats.batches == 2
+    assert pool.stats.designs == 2 * len(queries)
+    assert pool.stats.shared_bytes > 0
+    assert pool.stats.member_forwards == 2 * 3 * pool.num_members  # 3 chunks
+
+
+def test_forward_pool_single_chunk_and_empty(fitted_ensemble):
+    model, samples = fitted_ensemble
+    queries = samples[28:]
+    with ForwardPool(model, num_workers=3) as pool:
+        assert pool.predict_batch([]).shape == (0,)
+        with use_backend("numpy"):
+            reference = model.predict_batch(queries)
+        assert pool.predict_batch(queries).tobytes() == reference.tobytes()
+
+
+def test_forward_tasks_carry_no_weights(fitted_ensemble):
+    """The no-per-task-weight-pickling contract, enforced structurally."""
+    model, samples = fitted_ensemble
+    packed = model.ensemble.members[0].model.prepare_graph(samples[0].graph)
+    task = ForwardTask(chunk_id=0, member_start=0, member_stop=3, graph=packed)
+    payload = pickle.dumps(task)
+    weights = sum(
+        parameter.data.nbytes
+        for member in model.ensemble.members
+        for parameter in member.model.parameters()
+    )
+    # The task pickles the packed graph only; the ensemble's weights are an
+    # order of magnitude bigger and live in the shared segment instead.
+    assert len(payload) < weights / 4
+    restored = pickle.loads(payload)
+    assert restored.member_stop == 3
+    assert restored.graph.num_nodes == packed.num_nodes
+
+
+def test_forward_pool_requires_ensemble():
+    samples = build_synthetic_samples(30, seed=2)
+    single = PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=8, num_layers=1),
+            training=TrainingConfig(epochs=2, batch_size=16),
+            ensemble=None,
+        )
+    ).fit(samples[:24])
+    with pytest.raises(ValueError):
+        ForwardPool(single, num_workers=2)
+    with pytest.raises(ValueError):
+        ForwardPool(single, num_workers=1)
+
+
+def test_forward_pool_close_is_idempotent_and_final(fitted_ensemble):
+    model, samples = fitted_ensemble
+    pool = ForwardPool(model, num_workers=2)
+    assert pool.predict_batch(samples[28:30]).shape == (2,)
+    pool.close()
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.predict_batch(samples[28:30])
+
+
+def test_service_degrades_serially_when_pool_dies_mid_request(fitted_ensemble):
+    """A closed pool (RuntimeError from ForwardPool, ValueError from the raw
+    multiprocessing pool) must degrade the request to the serial path, not
+    fail it — predictions are identical either way."""
+    from repro.runtime import RuntimeConfig
+    from repro.serve import EstimateRequest, PowerEstimationService
+
+    model, samples = fitted_ensemble
+    queries = samples[28:32]
+    requests = [EstimateRequest.from_sample(s) for s in queries]
+    with PowerEstimationService(model, batch_size=4) as serial_service:
+        reference = [r.power for r in serial_service.estimate_many(requests)]
+
+    runtime = RuntimeConfig(forward_workers=2, forward_min_members=2)
+    for error in (RuntimeError("pool closed"), ValueError("Pool not running")):
+        with PowerEstimationService(model, batch_size=4, runtime=runtime) as service:
+            pool = service._forward_pool_handle()
+            assert pool is not None
+
+            def broken_predict(*args, _error=error, **kwargs):
+                raise _error
+
+            pool.predict_batch = broken_predict
+            responses = service.estimate_many(requests)
+            assert [r.power for r in responses] == reference
+            snapshot = service.metrics.snapshot()
+            assert snapshot["pooled_predicted"] == 0
+            # The fault is visible, and the broken pool is retired: later
+            # batches skip the doomed round-trip entirely.
+            assert snapshot["pooled_errors"] == 1
+            assert service._forward_pool_handle() is None
+            service.cache.clear()
+            again = service.estimate_many(requests)
+            assert [r.power for r in again] == reference
+            assert service.metrics.snapshot()["pooled_errors"] == 1
+
+
+def test_forward_pool_spawn_start_method(fitted_ensemble):
+    """The shared segment also reaches spawn workers (no fork inheritance)."""
+    model, samples = fitted_ensemble
+    queries = samples[28:32]
+    with use_backend("numpy"):
+        reference = model.predict_batch(queries)
+    with ForwardPool(model, num_workers=2, start_method="spawn") as pool:
+        assert pool.predict_batch(queries).tobytes() == reference.tobytes()

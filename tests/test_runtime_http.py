@@ -265,6 +265,12 @@ def test_http_healthz_and_metrics(served_model):
     assert metrics["runtime"]["cache"] is not None
     assert metrics["model"]["target"] == "dynamic"
     assert metrics["gateway"]["completed"] >= 1
+    # Compute-backend exposure: the active backend name and the per-backend
+    # forward counters ride the same endpoint.
+    assert metrics["service"]["backend"] in ("numpy", "optimized")
+    backend = metrics["runtime"]["backend"]
+    assert backend["active"] == metrics["service"]["backend"]
+    assert backend["counters"][backend["active"]]["forwards"] >= 1
     assert (closed_status, closed) == (503, {"status": "closed"})
 
 

@@ -18,6 +18,13 @@ runtime, each independently switchable through :class:`RuntimeConfig`:
   content-addressed second tier under the inference cache with cost-aware
   (featurisation-seconds-saved) eviction, so hit rates survive restarts.
 
+:mod:`repro.runtime.supervisor` wraps both pools in a supervised lifecycle
+(:class:`SupervisedPool`): bounded restart-on-crash with exponential backoff
+(worker deaths surface as :class:`WorkerCrashError`), queue-depth-driven
+autoscaling with hysteresis, and per-pool health snapshots the service
+threads through ``runtime_stats()`` and the HTTP ``/metrics`` / ``/healthz``
+endpoints.
+
 Two front-end modules layer on top (PR 3):
 
 * :mod:`repro.runtime.gateway` — :class:`AsyncPowerGateway` exposes the
@@ -41,6 +48,7 @@ from repro.runtime.pool import (
     ForwardPool,
     ForwardPoolStats,
     PoolStats,
+    WorkerCrashError,
     WorkerPool,
     available_cpus,
     default_start_method,
@@ -50,6 +58,11 @@ from repro.runtime.shm import (
     ParameterBlockSpec,
     SharedParameterBlock,
     attach_parameter_block,
+)
+from repro.runtime.supervisor import (
+    PoolClosedError,
+    PoolRetiredError,
+    SupervisedPool,
 )
 
 __all__ = [
@@ -62,8 +75,12 @@ __all__ = [
     "ForwardPool",
     "ForwardPoolStats",
     "ParameterBlockSpec",
+    "PoolClosedError",
+    "PoolRetiredError",
     "PoolStats",
     "SharedParameterBlock",
+    "SupervisedPool",
+    "WorkerCrashError",
     "WorkerPool",
     "attach_parameter_block",
     "available_cpus",

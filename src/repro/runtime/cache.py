@@ -38,13 +38,27 @@ Notes:
   design.  A crash loses at most the last ``sync_every`` entries' metadata;
   sample files the index does not know about are garbage-collected on the
   next open.
+* the directory has exactly one *owner* at a time, claimed by holding a
+  kernel advisory lock (``flock``) on ``owner.lock``.  A second cache
+  opened on the same directory degrades to **read-only** with a warning:
+  it serves hits but never writes samples, never rewrites ``index.json``
+  and never garbage-collects — without this, two services sharing a
+  directory would GC each other's freshly written (not yet synced)
+  samples as strays and last-writer-win each other's index.  ``flock`` is
+  kernel-tracked per open file description, so a crashed owner's lock
+  releases automatically (no stale-lock staleness probing, no takeover
+  races) and two caches in one process still conflict correctly;
+  :meth:`close` releases ownership.  The file's content (the owner's pid)
+  is informational only, for the read-only warning.
 """
 
 from __future__ import annotations
 
+import fcntl
 import json
 import os
 import threading
+import warnings
 from pathlib import Path
 
 from repro.graph.dataset import GraphDataset, GraphSample
@@ -53,6 +67,7 @@ PERSISTENT_FORMAT_VERSION = 1
 
 INDEX_NAME = "index.json"
 SAMPLES_DIR = "samples"
+OWNER_LOCK_NAME = "owner.lock"
 
 
 class PersistentCache:
@@ -83,7 +98,97 @@ class PersistentCache:
         self.misses = 0
         self.evictions = 0
         self.io_errors = 0
+        self.read_only = False
+        self._owns_lock = False
+        self._lock_fd: int | None = None
+        self._acquire_ownership()
         self._index = self._load_index()
+
+    # --------------------------------------------------------------- ownership
+
+    def _acquire_ownership(self) -> None:
+        """Claim the directory's advisory owner lock, or degrade to read-only.
+
+        Ownership gates every destructive operation (sample/index writes,
+        eviction, stray GC): exactly one process may mutate the store, so
+        concurrent openers can still *read* the warm set without clobbering
+        the owner's writes.  The claim is a non-blocking ``flock`` held for
+        the cache's lifetime: kernel-tracked, so a crashed owner's lock
+        releases automatically (no staleness heuristics, no
+        delete-and-reclaim races — at most one open file description holds
+        it) and the never-unlinked lock file cannot be swapped out from
+        under a holder.
+        """
+        lock_path = self.directory / OWNER_LOCK_NAME
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR)
+        except OSError:
+            self.io_errors += 1
+            self._degrade_to_read_only("its directory is not writable")
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            # Locked by a live owner — possibly this very process, through
+            # another cache on the same directory (flock conflicts are per
+            # open file description, so same-process openers conflict too).
+            owner = self._read_lock_pid(lock_path)
+            os.close(fd)
+            self._degrade_to_read_only(
+                f"it is owned by live process {owner}" if owner
+                else "it is owned by another live opener"
+            )
+            return
+        try:
+            # Informational only (read-only warnings name the owner); the
+            # flock itself is the claim.
+            os.ftruncate(fd, 0)
+            os.write(fd, str(os.getpid()).encode("utf-8"))
+        except OSError:
+            self.io_errors += 1
+        self._lock_fd = fd
+        self._owns_lock = True
+
+    @staticmethod
+    def _read_lock_pid(lock_path: Path) -> int:
+        try:
+            return int(lock_path.read_text(encoding="utf-8").strip() or "0")
+        except (OSError, ValueError):
+            return 0
+
+    def _degrade_to_read_only(self, reason: str) -> None:
+        self.read_only = True
+        warnings.warn(
+            f"persistent cache at {self.directory} opened read-only because "
+            f"{reason}: hits are served, but nothing is written, evicted or "
+            "garbage-collected",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def close(self) -> None:
+        """Persist pending mutations, release ownership, become read-only.
+
+        Idempotent.  After close the cache still serves reads (a closed
+        service keeps answering on its degraded path) but never writes —
+        the released directory may already belong to another process.
+        """
+        with self._lock:
+            if self._dirty and not self.read_only:
+                self._save_index()
+            if self._owns_lock:
+                self._owns_lock = False
+                fd, self._lock_fd = self._lock_fd, None
+                if fd is not None:
+                    try:
+                        # Closing the fd releases the flock; the lock file
+                        # itself stays (unlink-and-recreate would reopen the
+                        # two-owner race this lock exists to prevent).
+                        os.close(fd)
+                    except OSError:
+                        self.io_errors += 1
+            self.read_only = True
 
     # ----------------------------------------------------------------- samples
 
@@ -113,20 +218,26 @@ class PersistentCache:
     def put_sample(self, key: str, sample: GraphSample, cost_seconds: float = 0.0) -> None:
         """Write one sample through to disk and evict down to the byte budget.
 
-        Disk failures (full disk, permissions) degrade gracefully: the entry
-        is simply not cached — a cache tier must never turn a successful
-        request into an error.
+        Failures degrade gracefully: the entry is simply not cached — a cache
+        tier must never turn a successful request into an error.  That covers
+        disk trouble (``OSError``: full disk, permissions) *and*
+        serialisation trouble (``ValueError``/``TypeError``: ``extras``
+        payloads the ``.npz`` JSON sidecar cannot encode, e.g. non-string
+        dict keys that slip past the per-value JSON-safety probe).
         """
         with self._lock:
+            if self.read_only:
+                return
             path = self._sample_path(key)
+            staging = path.with_suffix(".tmp.npz")
             try:
                 samples_dir = self.directory / SAMPLES_DIR
                 samples_dir.mkdir(parents=True, exist_ok=True)
-                staging = path.with_suffix(".tmp.npz")
                 GraphDataset([sample]).save_npz(staging)
                 os.replace(staging, path)
-            except OSError:
+            except (OSError, ValueError, TypeError):
                 self.io_errors += 1
+                self._unlink_quietly(staging)
                 return
             self._index["samples"][key] = {
                 "cost_seconds": float(cost_seconds),
@@ -153,6 +264,8 @@ class PersistentCache:
 
     def put_prediction(self, key: str, value: float, cost_seconds: float = 0.0) -> None:
         with self._lock:
+            if self.read_only:
+                return
             self._index["predictions"][key] = {
                 "value": float(value),
                 "cost_seconds": float(cost_seconds),
@@ -189,9 +302,8 @@ class PersistentCache:
                 "hit_rate": self.hits / requests if requests else 0.0,
                 "samples": len(self._index["samples"]),
                 "predictions": len(self._index["predictions"]),
-                "sample_bytes": sum(
-                    e["size_bytes"] for e in self._index["samples"].values()
-                ),
+                "sample_bytes": self.total_sample_bytes(),
+                "read_only": self.read_only,
             }
 
     def sync(self) -> None:
@@ -274,8 +386,10 @@ class PersistentCache:
         # And sample files the index does not know about (writes after the
         # last sync before a crash, staging leftovers) are garbage, not cache:
         # without an entry they can never be served, so reclaim the bytes.
+        # Owner-only: to a read-only opener a stray may simply be the live
+        # owner's freshly written, not-yet-synced sample.
         samples_dir = self.directory / SAMPLES_DIR
-        if samples_dir.is_dir():
+        if not self.read_only and samples_dir.is_dir():
             known = {f"{key}.npz" for key in index["samples"]}
             for stray in samples_dir.iterdir():
                 if stray.name not in known:
@@ -283,6 +397,10 @@ class PersistentCache:
         return index
 
     def _unlink_quietly(self, path: Path) -> None:
+        if self.read_only:
+            # Never delete files we do not own: the live owner may still be
+            # serving (or about to index) them.
+            return
         try:
             path.unlink(missing_ok=True)
         except OSError:
@@ -291,7 +409,12 @@ class PersistentCache:
     def _save_index(self) -> None:
         """Caller holds the lock.  Best-effort: a failed write keeps the
         pending counters so the next sync retries — cache-tier disk trouble
-        must never fail a lookup (reads trigger backstop saves too)."""
+        must never fail a lookup (reads trigger backstop saves too).
+        Owner-only: a read-only opener rewriting ``index.json`` would
+        last-writer-win the owner's entries away."""
+        if self.read_only:
+            self._touched = 0
+            return
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             path = self.directory / INDEX_NAME

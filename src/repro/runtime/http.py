@@ -11,7 +11,9 @@ POST      ``/v1/estimate``     one design point → one estimate
 POST      ``/v1/estimate_many``  ``{"requests": [...]}`` → ``{"responses": [...]}``
 POST      ``/v1/explore``      ``{"kernel", "budget"}`` → frontier + ADRS
 GET       ``/v1/models``       the registry's manifest index (names × versions)
-GET       ``/healthz``         liveness (``200 ok`` / ``503 closed``)
+GET       ``/healthz``         liveness + pool supervision (``200 ok`` /
+                               ``200 degraded`` while a pool is in post-crash
+                               backoff or retired / ``503 closed``)
 GET       ``/metrics``         service metrics + runtime stats (incl. the active
                                compute backend and per-backend forward counters)
                                + gateway counters
@@ -499,9 +501,21 @@ class GatewayHTTPServer:
         return 200, {"models": await loop.run_in_executor(None, list_index)}
 
     async def _healthz(self) -> tuple[int, dict]:
+        """Liveness plus pool-supervision state.
+
+        A pool in post-crash backoff (or retired to the serial path) turns
+        the response *degraded*, not dead: still ``200`` — the service
+        answers every request with identical results, only slower — with the
+        per-pool health snapshots attached so an operator can see the fault,
+        the restart budget and the current/target pool sizes.  Only a closed
+        gateway/service is ``503``.
+        """
         if self.gateway.closed:
             return 503, {"status": "closed"}
-        return 200, {"status": "ok"}
+        service_health = getattr(self.gateway.service, "health", None)
+        if service_health is None:
+            return 200, {"status": "ok"}
+        return 200, service_health()
 
     async def _metrics(self) -> tuple[int, dict]:
         snapshot = self.gateway.service.metrics_snapshot()

@@ -30,6 +30,13 @@ Worker warm-up happens **once per process, never per task**:
   member model around zero-copy read-only views in their initializer, so a
   task carries only the packed graph and a member slice — **no per-task
   weight pickling**, one physical copy of the ensemble machine-wide.
+
+Both pools run their workers on :class:`concurrent.futures.ProcessPoolExecutor`
+rather than ``multiprocessing.Pool``: a worker that dies abruptly (SIGKILLed
+by the OOM killer, segfaulted) surfaces as a typed :class:`WorkerCrashError`
+on the in-flight batch instead of hanging ``map`` forever, which is what lets
+the supervision layer (:mod:`repro.runtime.supervisor`) detect crashes and
+restart the pool within a bounded budget.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,6 +64,18 @@ from repro.runtime.shm import (
     SharedParameterBlock,
     attach_parameter_block,
 )
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker process died abruptly (SIGKILL, segfault) mid-lifetime.
+
+    Raised by the pools when the underlying executor reports
+    :class:`~concurrent.futures.process.BrokenProcessPool`: the batch that was
+    in flight is lost, the executor is permanently broken, and the pool object
+    must be replaced.  This is the one failure the supervision layer treats as
+    restartable — task-level exceptions (bad kernels, malformed directives)
+    propagate unchanged and never consume restart budget.
+    """
 
 
 def shard_evenly(count: int, shards: int) -> list[slice]:
@@ -139,6 +160,10 @@ class WorkerPool:
         ``directives_list`` and results are concatenated in shard order, so
         the returned list is element-for-element the one the serial path
         produces.
+
+        Raises :class:`WorkerCrashError` when a worker process died mid-batch
+        (the executor is then permanently broken and the pool must be
+        replaced — the supervisor's job, not this class's).
         """
         if not directives_list:
             return []
@@ -148,28 +173,36 @@ class WorkerPool:
             FeaturisationTask(kernel=kernel, directives=tuple(directives_list[part]))
             for part in shards
         ]
+        try:
+            shard_results = list(pool.map(run_featurisation_task, tasks))
+        except BrokenProcessPool as fault:
+            raise WorkerCrashError(
+                "a featurisation worker died mid-batch; the pool is broken"
+            ) from fault
+        # Counted on success only: a crashed batch the supervisor retries on
+        # a fresh pool (same injected stats object) must not double-count —
+        # retries are visible in the supervisor's own retried_batches.
         with self._lock:
             self.stats.batches += 1
             self.stats.designs += len(directives_list)
             self.stats.shards += len(tasks)
         merged: list[GraphSample] = []
-        for shard_samples in pool.map(run_featurisation_task, tasks):
+        for shard_samples in shard_results:
             merged.extend(shard_samples)
         return merged
 
     def close(self) -> None:
         """Drain in-flight work, stop the workers, refuse further batches.
 
-        Idempotent.  Uses graceful shutdown (``close`` + ``join``) rather than
-        ``terminate`` so a concurrent ``featurise`` finishes instead of dying
-        mid-task.
+        Idempotent.  Uses graceful shutdown (``shutdown(wait=True)`` without
+        cancelling futures) so a concurrent ``featurise`` finishes instead of
+        dying mid-task.
         """
         with self._lock:
             self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.close()
-            pool.join()
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -190,8 +223,9 @@ class WorkerPool:
                 context = multiprocessing.get_context(
                     self.start_method or default_start_method()
                 )
-                self._pool = context.Pool(
-                    processes=self.num_workers,
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    mp_context=context,
                     initializer=featurisation_worker_init,
                     initargs=(self.config,),
                 )
@@ -330,6 +364,7 @@ class ForwardPool:
         num_workers: int = 2,
         start_method: str | None = None,
         backend: str = "numpy",
+        stats: ForwardPoolStats | None = None,
     ) -> None:
         if num_workers < 2:
             raise ValueError("a forward pool needs at least 2 workers")
@@ -339,7 +374,9 @@ class ForwardPool:
         self.num_workers = num_workers
         self.start_method = start_method
         self.backend = backend
-        self.stats = ForwardPoolStats()
+        # An injected stats object survives pool rebuilds: the supervisor
+        # passes one so lifetime counters aggregate across restarts/resizes.
+        self.stats = stats if stats is not None else ForwardPoolStats()
         self._pool = None
         self._block: SharedParameterBlock | None = None
         self._closed = False
@@ -382,13 +419,19 @@ class ForwardPool:
                 )
                 for part in shards
             )
+        try:
+            shard_stacks = list(pool.map(run_forward_task, tasks))
+        except BrokenProcessPool as fault:
+            raise WorkerCrashError(
+                "a forward worker died mid-batch; the pool is broken"
+            ) from fault
+        # Counted on success only (see WorkerPool.featurise): supervised
+        # retries must not double-count the lifetime throughput counters.
         with self._lock:
             self.stats.batches += 1
             self.stats.designs += len(graphs)
             self.stats.shards += len(tasks)
             self.stats.member_forwards += len(chunks) * self.num_members
-
-        shard_stacks = pool.map(run_forward_task, tasks)
         outputs = np.zeros(len(graphs))
         for chunk_id, (start, length) in enumerate(chunks):
             stack = np.concatenate(
@@ -404,8 +447,7 @@ class ForwardPool:
             pool, self._pool = self._pool, None
             block, self._block = self._block, None
         if pool is not None:
-            pool.close()
-            pool.join()
+            pool.shutdown(wait=True)
         if block is not None:
             block.unlink()
 
@@ -431,12 +473,12 @@ class ForwardPool:
                 )
                 configs = tuple(member.model.config for member in members)
                 # Validate the rebuild contract HERE, in the parent: an
-                # exception inside a multiprocessing initializer does not
-                # propagate — the pool respawns crashing workers forever and
-                # the first map() hangs.  Rebuilding one member up front
-                # turns any construction/traversal-order divergence into an
-                # immediate RuntimeError the service's serial fallback
-                # catches.
+                # exception inside an executor initializer only surfaces
+                # later as an opaque BrokenProcessPool — which the supervisor
+                # would misread as a worker crash and burn restart budget on.
+                # Rebuilding one member up front turns any construction/
+                # traversal-order divergence into an immediate RuntimeError
+                # the service's serial fallback catches.
                 rebuilt = type(reference)(*dims, configs[0])
                 expected = [p.data.shape for p in members[0].model.parameters()]
                 actual = [p.data.shape for p in rebuilt.parameters()]
@@ -455,8 +497,9 @@ class ForwardPool:
                     self.start_method or default_start_method()
                 )
                 try:
-                    self._pool = context.Pool(
-                        processes=self.num_workers,
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.num_workers,
+                        mp_context=context,
                         initializer=forward_worker_init,
                         initargs=(block.spec, type(reference), configs, dims, self.backend),
                     )

@@ -32,6 +32,15 @@ cache gains a persistent on-disk tier
 warm sets survive restarts.  All of them preserve the serial path's results
 exactly.
 
+Both pools run under :class:`~repro.runtime.supervisor.SupervisedPool`: a
+crashed worker restarts within ``RuntimeConfig.pool_max_restarts`` (with
+exponential backoff) instead of retiring the pool on the first strike, the
+featurisation pool autoscales between ``num_workers_min`` and
+``num_workers_max`` with queue depth, and per-pool health snapshots surface
+through :meth:`PowerEstimationService.runtime_stats`,
+:meth:`PowerEstimationService.health` and the HTTP ``/metrics`` /
+``/healthz`` endpoints.
+
 Every forward-path kernel routes through the compute backend named by
 ``RuntimeConfig.backend`` (or ``$REPRO_BACKEND``; see :mod:`repro.backend`):
 the service pins the resolved backend around its prediction calls, reports
@@ -64,10 +73,14 @@ from repro.graph.dataset import GraphSample
 from repro.kernels.polybench import polybench_kernel
 from repro.runtime import (
     ForwardPool,
+    ForwardPoolStats,
     ItemError,
     MicroBatcher,
     PersistentCache,
+    PoolRetiredError,
+    PoolStats,
     RuntimeConfig,
+    SupervisedPool,
     WorkerPool,
 )
 from repro.serve.cache import InferenceCache, sample_fingerprint
@@ -167,6 +180,7 @@ class ServiceMetrics:
     predicted: int = 0
     pooled_predicted: int = 0
     pooled_errors: int = 0
+    pool_restarts: int = 0
     featurise_seconds: float = 0.0
     predict_seconds: float = 0.0
     total_seconds: float = 0.0
@@ -198,6 +212,7 @@ class ServiceMetrics:
                 "predicted": self.predicted,
                 "pooled_predicted": self.pooled_predicted,
                 "pooled_errors": self.pooled_errors,
+                "pool_restarts": self.pool_restarts,
                 "explorations": self.explorations,
                 "backend": self.backend,
                 "featurise_seconds": self.featurise_seconds,
@@ -253,9 +268,20 @@ class PowerEstimationService:
         self.backend = get_backend(resolve_backend_name(self.runtime.backend))
         self.metrics = ServiceMetrics(backend=self.backend.name)
         self.model_fingerprint = model.fingerprint()
-        self._pool: WorkerPool | None = None
-        self._forward_pool: ForwardPool | None = None
-        self._forward_pool_retired = False
+        # Pools live behind supervisors (repro.runtime.supervisor): crashes
+        # restart the pool within RuntimeConfig.pool_max_restarts instead of
+        # retiring it on the first strike, and the featurisation pool
+        # autoscales with queue depth.  The stats objects are service-owned
+        # so lifetime counters survive pool rebuilds.
+        self._feat_supervisor: SupervisedPool | None = None
+        self._forward_supervisor: SupervisedPool | None = None
+        self._pool_stats = PoolStats()
+        self._forward_pool_stats = ForwardPoolStats()
+        # Consecutive non-crash pooled failures per supervisor name: crashes
+        # are the supervisor's restart budget, but a pool that fails
+        # *deterministically* (e.g. construction-time validation) would
+        # otherwise re-pay its doomed setup on every batch forever.
+        self._pool_strikes: dict[str, int] = {}
         self._pool_lock = threading.Lock()
         self._closed = False
         self._close_hooks: list = []
@@ -321,14 +347,21 @@ class PowerEstimationService:
             batcher.close()
         with self._pool_lock:
             self._closed = True
-            pool, self._pool = self._pool, None
-            forward_pool, self._forward_pool = self._forward_pool, None
-        if pool is not None:
-            pool.close()
-        if forward_pool is not None:
-            forward_pool.close()
+            feat, self._feat_supervisor = self._feat_supervisor, None
+            forward, self._forward_supervisor = self._forward_supervisor, None
+        if feat is not None:
+            feat.close()
+        if forward is not None:
+            forward.close()
         if self.cache.persistent is not None:
-            self.cache.persistent.sync()
+            # Persist pending mutations and release the directory's owner
+            # lock (another process may take over); the tier keeps serving
+            # reads on the degraded path but becomes read-only.
+            close = getattr(self.cache.persistent, "close", None)
+            if close is not None:
+                close()
+            else:  # duck-typed tier without a close: at least persist
+                self.cache.persistent.sync()
 
     def __enter__(self) -> "PowerEstimationService":
         return self
@@ -339,15 +372,26 @@ class PowerEstimationService:
     def runtime_stats(self) -> dict:
         """Instrumentation of the runtime components (pools, coalescer, caches).
 
+        Each pool entry merges the pool's lifetime throughput counters
+        (which survive supervised restarts and resizes) with the
+        supervisor's health snapshot under ``"supervisor"`` (state, current
+        size, queue depth, restart budget, last fault).
+
         ``backend`` reports the active compute backend plus the per-backend
         forward counters (process-wide singletons, so the numbers aggregate
         across services sharing the process).
         """
+        feat = self._feat_supervisor
+        forward = self._forward_supervisor
         return {
-            "pool": self._pool.stats.as_dict() if self._pool is not None else None,
+            "pool": (
+                {**self._pool_stats.as_dict(), "supervisor": feat.health()}
+                if feat is not None
+                else None
+            ),
             "forward_pool": (
-                self._forward_pool.stats.as_dict()
-                if self._forward_pool is not None
+                {**self._forward_pool_stats.as_dict(), "supervisor": forward.health()}
+                if forward is not None
                 else None
             ),
             "coalescer": (
@@ -383,6 +427,30 @@ class PowerEstimationService:
             },
             "closed": self._closed,
         }
+
+    def health(self) -> dict:
+        """Liveness/degradation summary (what the HTTP ``/healthz`` serves).
+
+        ``status`` is ``"ok"`` while every supervised pool is healthy,
+        ``"degraded"`` while any pool is in post-crash backoff or retired to
+        the serial path (the service still answers every request — results
+        are identical on the serial path, only slower), and ``"closed"``
+        after :meth:`close`.
+        """
+        pools = {}
+        feat = self._feat_supervisor
+        forward = self._forward_supervisor
+        if feat is not None:
+            pools["featurisation"] = feat.health()
+        if forward is not None:
+            pools["forward"] = forward.health()
+        if self._closed:
+            status = "closed"
+        elif any(entry["state"] != "ok" for entry in pools.values()):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {"status": status, "pools": pools}
 
     # --------------------------------------------------------------- endpoints
 
@@ -583,27 +651,45 @@ class PowerEstimationService:
     def _featurise(
         self, kernel: str, directives_list: list[DesignDirectives]
     ) -> tuple[list[GraphSample], bool]:
-        """Featurise through the worker pool when it pays off, serially otherwise.
+        """Featurise through the supervised worker pool when it pays off.
 
         Both paths produce bitwise-identical samples (featurisation is pure
         per design point and the pool's merge is deterministic); the pool is
         only engaged for batches large enough to amortise process IPC.  A
-        service whose generator carries a custom operator library featurises
-        serially: workers rebuild their generator from the dataset config
-        alone.
+        crashed worker is the supervisor's problem (restart within budget,
+        retry the batch); only a *retired* pool — or a shutdown race — lands
+        here and degrades to the serial path.  A service whose generator
+        carries a custom operator library featurises serially: workers
+        rebuild their generator from the dataset config alone.
         """
-        pool = self._featurisation_pool(len(directives_list))
-        if pool is not None:
+        supervisor = self._featurisation_supervisor(len(directives_list))
+        if supervisor is not None:
             try:
-                return pool.featurise(kernel, directives_list), True
-            except (RuntimeError, ValueError):
-                # The pool was closed between handing out the handle and
-                # submitting the batch (service shutdown racing a request);
-                # both paths produce identical samples, so just run serial.
+                samples = supervisor.run(
+                    lambda pool: pool.featurise(kernel, directives_list),
+                    cost=len(directives_list),
+                )
+                self._note_pool_success(supervisor)
+                return samples, True
+            except PoolRetiredError:
+                # Restart budget exhausted (faults already counted via the
+                # supervisor's callbacks): permanently serial from here on.
                 pass
+            except (RuntimeError, ValueError):
+                # The supervisor/pool was closed between handing out the
+                # handle and submitting the batch (service shutdown racing a
+                # request), or the pool failed without a worker crash; both
+                # paths produce identical samples, so run serial.  The serial
+                # outcome is what tells request faults from pool faults: if
+                # it raises the *same* data error, the pool was fine (no
+                # strike, the caller's problem); if it succeeds, the pool
+                # really failed — count it, and a streak retires the pool.
+                samples = self.generator.featurise(kernel, directives_list)
+                self._note_pool_degradation(supervisor)
+                return samples, False
         return self.generator.featurise(kernel, directives_list), False
 
-    def _featurisation_pool(self, num_designs: int) -> WorkerPool | None:
+    def _featurisation_supervisor(self, num_designs: int) -> SupervisedPool | None:
         if not self.runtime.parallel_featurisation:
             return None
         if self.generator.library is not DEFAULT_LIBRARY:
@@ -612,16 +698,32 @@ class PowerEstimationService:
             if self._closed:
                 return None
             # Locked check-then-act: two concurrent cold calls must not each
-            # build a pool handle (its own lock guards the actual processes).
-            if self._pool is None:
-                self._pool = WorkerPool(
-                    config=self.generator.config,
-                    num_workers=self.runtime.num_workers,
-                    start_method=self.runtime.start_method,
+            # build a supervisor (its own locks guard the actual processes).
+            if self._feat_supervisor is None:
+                low, high, start = self.runtime.featurisation_worker_bounds()
+                self._feat_supervisor = SupervisedPool(
+                    lambda workers: WorkerPool(
+                        config=self.generator.config,
+                        num_workers=workers,
+                        start_method=self.runtime.start_method,
+                        min_designs_per_worker=self.runtime.min_designs_per_worker,
+                        stats=self._pool_stats,
+                    ),
+                    min_workers=low,
+                    max_workers=high,
+                    start_workers=start,
+                    max_restarts=self.runtime.pool_max_restarts,
+                    backoff_base_s=self.runtime.pool_restart_backoff_s,
+                    scale_up_queue_per_worker=self.runtime.autoscale_up_queue_per_worker,
+                    scale_down_queue_per_worker=self.runtime.autoscale_down_queue_per_worker,
+                    scale_down_patience=self.runtime.autoscale_down_patience,
                     min_designs_per_worker=self.runtime.min_designs_per_worker,
+                    name="featurisation",
+                    on_fault=lambda fault: self.metrics.record(pooled_errors=1),
+                    on_restart=lambda: self.metrics.record(pool_restarts=1),
                 )
-            pool = self._pool
-        return pool if pool.should_parallelise(num_designs) else None
+            supervisor = self._feat_supervisor
+        return supervisor if supervisor.should_parallelise(num_designs) else None
 
     def _predict_batch(self, samples: list[GraphSample]) -> np.ndarray:
         """One batched forward over ``samples`` — pooled when it pays off.
@@ -632,43 +734,78 @@ class PowerEstimationService:
         in-process.  Both paths produce bitwise-identical predictions, and
         both route their kernels through the service's pinned backend (the
         pool pins the same backend in its workers).
+
+        A crashed forward worker is restarted by the supervisor within
+        ``RuntimeConfig.pool_max_restarts`` and the batch retried on the
+        fresh pool — faults are counted in ``pooled_errors`` without
+        permanently disabling pooling.  Only a retired pool (budget
+        exhausted) or a shutdown race degrades to the serial path, which
+        produces identical predictions.
         """
-        pool = self._forward_pool_handle()
-        if pool is not None:
+        supervisor = self._forward_supervisor_handle()
+        if supervisor is not None:
             try:
-                predictions = pool.predict_batch(samples, batch_size=self.batch_size)
+                predictions = supervisor.run(
+                    lambda pool: pool.predict_batch(samples, batch_size=self.batch_size),
+                    cost=len(samples),
+                )
                 self.metrics.record(pooled_predicted=len(samples))
+                self._note_pool_success(supervisor)
                 return predictions
+            except PoolRetiredError:
+                # Budget exhausted; faults already counted via the
+                # supervisor's callbacks.  Serial from here on.
+                pass
             except (RuntimeError, ValueError):
-                # The pool closed between handing out the handle and running
-                # the batch (service shutdown racing a request — a closed
-                # multiprocessing pool raises ValueError from map, a closed
-                # ForwardPool raises RuntimeError), or a worker faulted;
-                # either way the serial path produces identical predictions,
-                # so degrade rather than fail the request — same policy as
-                # the featurisation pool's fallback in _featurise.  The
-                # failure is counted and the pool retired: a persistently
-                # broken pool must not re-pay a doomed shard round-trip on
-                # every subsequent batch, and `pooled_errors` makes the
-                # degradation visible in metrics instead of silent.
-                self.metrics.record(pooled_errors=1)
-                self._retire_forward_pool(pool)
+                # Shutdown race (closed supervisor/pool/executor) or a
+                # non-crash pool error: answer on the identical serial path
+                # and make it visible.  A strike is recorded only when the
+                # serial retry succeeds — a batch that fails serially too was
+                # a bad request, not a broken pool.  No crash-restart budget
+                # is consumed, but a *streak* of strikes retires the pool: a
+                # deterministically broken pool must not re-pay its doomed
+                # setup on every subsequent batch.
+                with use_backend(self.backend):
+                    predictions = self.model.predict_batch(
+                        samples, batch_size=self.batch_size
+                    )
+                self._note_pool_degradation(supervisor)
+                return predictions
         with use_backend(self.backend):
             return self.model.predict_batch(samples, batch_size=self.batch_size)
 
-    def _retire_forward_pool(self, pool: ForwardPool) -> None:
-        """Detach and close a faulted pool; later batches go straight serial."""
-        with self._pool_lock:
-            if self._forward_pool is pool:
-                self._forward_pool = None
-            self._forward_pool_retired = True
-        try:
-            pool.close()
-        except Exception:
-            pass
+    def _note_pool_degradation(self, supervisor: SupervisedPool) -> None:
+        """Count one non-crash pooled failure; retire the pool past the budget.
 
-    def _forward_pool_handle(self) -> ForwardPool | None:
-        if not self.runtime.parallel_forward or self._forward_pool_retired:
+        Worker crashes consume the supervisor's restart budget; everything
+        else lands here — but only after the serial retry *succeeded* (the
+        callers guarantee that), which is what separates a broken pool from
+        a broken request: a data error raises identically on both paths and
+        must never cost the pool anything.  A shutdown race is not a pool
+        fault either (the supervisor is already closed), but
+        ``pool_max_restarts`` *consecutive* genuine failures mean the pool
+        is deterministically broken — retire it so later batches skip the
+        doomed round-trip, exactly as a crash-retired pool would.
+        """
+        self.metrics.record(pooled_errors=1)
+        if supervisor.closed:
+            return
+        with self._pool_lock:
+            strikes = self._pool_strikes.get(supervisor.name, 0) + 1
+            self._pool_strikes[supervisor.name] = strikes
+        if strikes > self.runtime.pool_max_restarts:
+            supervisor.retire(
+                f"{strikes} consecutive non-crash pool failures "
+                "(see pooled_errors)"
+            )
+
+    def _note_pool_success(self, supervisor: SupervisedPool) -> None:
+        if self._pool_strikes.get(supervisor.name):
+            with self._pool_lock:
+                self._pool_strikes[supervisor.name] = 0
+
+    def _forward_supervisor_handle(self) -> SupervisedPool | None:
+        if not self.runtime.parallel_forward:
             return None
         ensemble = self.model.ensemble
         if ensemble is None or len(ensemble.members) < self.runtime.forward_min_members:
@@ -677,14 +814,28 @@ class PowerEstimationService:
             if self._closed:
                 return None
             # Locked check-then-act, same contract as the featurisation pool.
-            if self._forward_pool is None:
-                self._forward_pool = ForwardPool(
-                    self.model,
-                    num_workers=self.runtime.forward_workers,
-                    start_method=self.runtime.start_method,
-                    backend=self.backend.name,
+            if self._forward_supervisor is None:
+                workers = self.runtime.forward_workers
+                self._forward_supervisor = SupervisedPool(
+                    lambda num_workers: ForwardPool(
+                        self.model,
+                        num_workers=num_workers,
+                        start_method=self.runtime.start_method,
+                        backend=self.backend.name,
+                        stats=self._forward_pool_stats,
+                    ),
+                    # Fixed size: the member axis is what this pool shards,
+                    # so queue depth says nothing about useful parallelism —
+                    # supervision without autoscaling.
+                    min_workers=workers,
+                    max_workers=workers,
+                    max_restarts=self.runtime.pool_max_restarts,
+                    backoff_base_s=self.runtime.pool_restart_backoff_s,
+                    name="forward",
+                    on_fault=lambda fault: self.metrics.record(pooled_errors=1),
+                    on_restart=lambda: self.metrics.record(pool_restarts=1),
                 )
-            return self._forward_pool
+            return self._forward_supervisor
 
     def _predict_samples(
         self, samples: list[GraphSample]

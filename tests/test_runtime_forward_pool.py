@@ -153,11 +153,13 @@ def test_forward_pool_close_is_idempotent_and_final(fitted_ensemble):
         pool.predict_batch(samples[28:30])
 
 
-def test_service_degrades_serially_when_pool_dies_mid_request(fitted_ensemble):
-    """A closed pool (RuntimeError from ForwardPool, ValueError from the raw
-    multiprocessing pool) must degrade the request to the serial path, not
-    fail it — predictions are identical either way."""
-    from repro.runtime import RuntimeConfig
+def test_service_degrades_serially_on_non_crash_pool_errors(fitted_ensemble):
+    """A closed pool (RuntimeError from ForwardPool, RuntimeError from the
+    shut-down executor) must degrade the request to the serial path, not
+    fail it — predictions are identical either way.  Non-crash errors do
+    NOT retire the pool or consume restart budget: pooling stays available
+    for later batches (only `pooled_errors` counts the degradation)."""
+    from repro.runtime import ForwardPool, RuntimeConfig
     from repro.serve import EstimateRequest, PowerEstimationService
 
     model, samples = fitted_ensemble
@@ -169,25 +171,187 @@ def test_service_degrades_serially_when_pool_dies_mid_request(fitted_ensemble):
     runtime = RuntimeConfig(forward_workers=2, forward_min_members=2)
     for error in (RuntimeError("pool closed"), ValueError("Pool not running")):
         with PowerEstimationService(model, batch_size=4, runtime=runtime) as service:
-            pool = service._forward_pool_handle()
-            assert pool is not None
+            attempts = {"count": 0}
 
-            def broken_predict(*args, _error=error, **kwargs):
+            def broken_predict(self, *args, _error=error, _attempts=attempts, **kwargs):
+                _attempts["count"] += 1
                 raise _error
 
-            pool.predict_batch = broken_predict
-            responses = service.estimate_many(requests)
-            assert [r.power for r in responses] == reference
-            snapshot = service.metrics.snapshot()
-            assert snapshot["pooled_predicted"] == 0
-            # The fault is visible, and the broken pool is retired: later
-            # batches skip the doomed round-trip entirely.
-            assert snapshot["pooled_errors"] == 1
-            assert service._forward_pool_handle() is None
+            with pytest.MonkeyPatch.context() as patcher:
+                patcher.setattr(ForwardPool, "predict_batch", broken_predict)
+                responses = service.estimate_many(requests)
+                assert [r.power for r in responses] == reference
+                snapshot = service.metrics.snapshot()
+                assert snapshot["pooled_predicted"] == 0
+                assert snapshot["pooled_errors"] == 1
+                # No restart budget burnt, nothing retired: the pool is still
+                # offered to the next batch (which degrades again, visibly).
+                supervisor = service._forward_supervisor_handle()
+                assert supervisor is not None and not supervisor.retired
+                assert supervisor.health()["restarts"] == 0
+                service.cache.clear()
+                again = service.estimate_many(requests)
+                assert [r.power for r in again] == reference
+                assert service.metrics.snapshot()["pooled_errors"] == 2
+                assert attempts["count"] == 2  # pooling was re-attempted
+
+            # With the fault gone, pooling works without any pool rebuild.
             service.cache.clear()
-            again = service.estimate_many(requests)
-            assert [r.power for r in again] == reference
-            assert service.metrics.snapshot()["pooled_errors"] == 1
+            recovered = service.estimate_many(requests)
+            assert [r.power for r in recovered] == reference
+            assert service.metrics.snapshot()["pooled_predicted"] == len(requests)
+            assert service.metrics.snapshot()["pool_restarts"] == 0
+
+
+def test_service_retires_pool_after_persistent_non_crash_failures(fitted_ensemble):
+    """A pool that fails deterministically WITHOUT crashing (e.g. its
+    construction-time validation raises on every batch) must not re-pay the
+    doomed setup forever: after `pool_max_restarts` consecutive non-crash
+    failures the service retires it (a pooled success resets the streak)."""
+    from repro.runtime import ForwardPool, RuntimeConfig
+    from repro.serve import EstimateRequest, PowerEstimationService
+
+    model, samples = fitted_ensemble
+    requests = [EstimateRequest.from_sample(s) for s in samples[28:32]]
+    runtime = RuntimeConfig(
+        forward_workers=2, forward_min_members=2, pool_max_restarts=1
+    )
+    attempts = {"count": 0}
+
+    def always_broken(self, *args, **kwargs):
+        attempts["count"] += 1
+        raise RuntimeError("member models do not rebuild with identical shapes")
+
+    with PowerEstimationService(model, batch_size=4, runtime=runtime) as service:
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(ForwardPool, "predict_batch", always_broken)
+            for batch in range(4):
+                service.cache.clear()
+                service.estimate_many(requests)  # always answered, serially
+        # Strikes: 2 failures (budget 1) retired the pool; batches 3 and 4
+        # went straight serial without another doomed pool round-trip.
+        assert attempts["count"] == 2
+        supervisor = service._forward_supervisor_handle()
+        assert supervisor.retired
+        assert "non-crash" in supervisor.health()["last_fault"]
+        assert service.health()["status"] == "degraded"
+        assert service.metrics.snapshot()["pooled_errors"] == 2
+        assert service.metrics.snapshot()["pool_restarts"] == 0
+
+
+def test_request_errors_do_not_strike_the_pool(fitted_ensemble):
+    """A batch that fails identically on the serial retry was a bad request,
+    not a broken pool: the error propagates and no strike is recorded, so a
+    streak of bad requests can never retire a healthy pool."""
+    from repro.flow.powergear import PowerGear
+    from repro.runtime import ForwardPool, RuntimeConfig
+    from repro.serve import EstimateRequest, PowerEstimationService
+
+    model, samples = fitted_ensemble
+    requests = [EstimateRequest.from_sample(s) for s in samples[28:32]]
+    runtime = RuntimeConfig(
+        forward_workers=2, forward_min_members=2, pool_max_restarts=0
+    )
+
+    def data_error(self, *args, **kwargs):
+        raise ValueError("malformed graph payload")
+
+    with PowerEstimationService(model, batch_size=4, runtime=runtime) as service:
+        with pytest.MonkeyPatch.context() as patcher:
+            # The same data makes BOTH paths raise: the request's fault.
+            patcher.setattr(ForwardPool, "predict_batch", data_error)
+            patcher.setattr(PowerGear, "predict_batch", data_error)
+            for _ in range(3):
+                with pytest.raises(ValueError, match="malformed"):
+                    service.estimate_many(requests)
+        supervisor = service._forward_supervisor_handle()
+        assert supervisor is not None and not supervisor.retired
+        assert service._pool_strikes.get("forward", 0) == 0
+        # With the bad data gone, pooling serves immediately.
+        responses = service.estimate_many(requests)
+        assert service.metrics.snapshot()["pooled_predicted"] == len(requests)
+        assert len(responses) == len(requests)
+
+
+def test_service_restarts_crashed_forward_pool_within_budget(fitted_ensemble):
+    """A worker crash (WorkerCrashError) restarts the forward pool and the
+    same batch retries pooled — bitwise-identical, with the fault visible."""
+    from repro.runtime import ForwardPool, RuntimeConfig, WorkerCrashError
+    from repro.serve import EstimateRequest, PowerEstimationService
+
+    model, samples = fitted_ensemble
+    queries = samples[28:32]
+    requests = [EstimateRequest.from_sample(s) for s in queries]
+    with use_backend("numpy"):
+        reference = model.predict_batch(queries, batch_size=4)
+
+    runtime = RuntimeConfig(
+        forward_workers=2, forward_min_members=2, pool_restart_backoff_s=0.01
+    )
+    original = ForwardPool.predict_batch
+    crashes = {"left": 1}
+
+    def flaky_predict(self, *args, **kwargs):
+        if crashes["left"]:
+            crashes["left"] -= 1
+            raise WorkerCrashError("injected forward worker crash")
+        return original(self, *args, **kwargs)
+
+    with PowerEstimationService(model, batch_size=4, runtime=runtime) as service:
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(ForwardPool, "predict_batch", flaky_predict)
+            responses = service.estimate_many(requests)
+        assert [r.power for r in responses] == list(reference)
+        snapshot = service.metrics.snapshot()
+        assert snapshot["pooled_predicted"] == len(requests)  # retried pooled
+        assert snapshot["pooled_errors"] == 1  # the crash, visible
+        assert snapshot["pool_restarts"] == 1
+        stats = service.runtime_stats()["forward_pool"]
+        assert stats["supervisor"]["restarts"] == 1
+        assert stats["supervisor"]["state"] == "ok"
+        assert service.health()["status"] == "ok"
+
+
+def test_service_retires_forward_pool_after_restart_budget(fitted_ensemble):
+    """Crashes past the budget retire the pool: serial forever, degraded health."""
+    from repro.runtime import ForwardPool, RuntimeConfig, WorkerCrashError
+    from repro.serve import EstimateRequest, PowerEstimationService
+
+    model, samples = fitted_ensemble
+    queries = samples[28:32]
+    requests = [EstimateRequest.from_sample(s) for s in queries]
+    with PowerEstimationService(model, batch_size=4) as serial_service:
+        reference = [r.power for r in serial_service.estimate_many(requests)]
+
+    runtime = RuntimeConfig(
+        forward_workers=2,
+        forward_min_members=2,
+        pool_max_restarts=1,
+        pool_restart_backoff_s=0.0,
+    )
+
+    def always_crash(self, *args, **kwargs):
+        raise WorkerCrashError("persistent forward fault")
+
+    with PowerEstimationService(model, batch_size=4, runtime=runtime) as service:
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(ForwardPool, "predict_batch", always_crash)
+            responses = service.estimate_many(requests)
+        # The request is answered on the identical serial path.
+        assert [r.power for r in responses] == reference
+        snapshot = service.metrics.snapshot()
+        assert snapshot["pooled_predicted"] == 0
+        assert snapshot["pooled_errors"] == 2  # one restart + the retiring fault
+        assert snapshot["pool_restarts"] == 1
+        supervisor = service._forward_supervisor_handle()
+        assert supervisor.retired
+        assert service.health()["status"] == "degraded"
+        assert service.health()["pools"]["forward"]["state"] == "retired"
+        # Later batches go straight serial without pool round-trips.
+        service.cache.clear()
+        again = service.estimate_many(requests)
+        assert [r.power for r in again] == reference
+        assert service.metrics.snapshot()["pool_restarts"] == 1
 
 
 def test_forward_pool_spawn_start_method(fitted_ensemble):

@@ -258,7 +258,7 @@ def test_http_healthz_and_metrics(served_model):
     (health_status, health), (metrics_status, metrics), (closed_status, closed) = (
         asyncio.run(run())
     )
-    assert (health_status, health) == (200, {"status": "ok"})
+    assert (health_status, health) == (200, {"status": "ok", "pools": {}})
     assert metrics_status == 200
     assert metrics["service"]["requests"] >= 1
     assert metrics["service"]["designs"] >= 1
@@ -272,6 +272,36 @@ def test_http_healthz_and_metrics(served_model):
     assert backend["active"] == metrics["service"]["backend"]
     assert backend["counters"][backend["active"]]["forwards"] >= 1
     assert (closed_status, closed) == (503, {"status": "closed"})
+
+
+def test_http_healthz_reports_degraded_pools(served_model):
+    """A pool in post-crash backoff (or retired) turns /healthz degraded —
+    still 200, the serial path answers identically — with the supervisor
+    snapshot attached; only a closed service is 503."""
+
+    async def run():
+        async with serve(served_model) as ctx:
+            ctx.service.health = lambda: {
+                "status": "degraded",
+                "pools": {
+                    "featurisation": {
+                        "state": "backoff",
+                        "restarts": 1,
+                        "last_fault": "WorkerCrashError: worker died mid-batch",
+                    }
+                },
+            }
+            degraded = await ctx.call("GET", "/healthz")
+            # Degraded never blocks traffic: requests still succeed.
+            response = await ctx.call("POST", "/v1/estimate", {"kernel": "atax"})
+            return degraded, response
+
+    (status, payload), (estimate_status, _) = asyncio.run(run())
+    assert status == 200
+    assert payload["status"] == "degraded"
+    assert payload["pools"]["featurisation"]["state"] == "backoff"
+    assert payload["pools"]["featurisation"]["restarts"] == 1
+    assert estimate_status == 200
 
 
 # ---------------------------------------------------------------- failure paths

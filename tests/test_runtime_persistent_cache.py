@@ -1,10 +1,12 @@
 """Tests for the on-disk cost-aware cache tier."""
 
+import os
+
 import pytest
 
 from repro.graph.dataset import GraphSample
 from repro.runtime import PersistentCache
-from repro.runtime.cache import INDEX_NAME, SAMPLES_DIR
+from repro.runtime.cache import INDEX_NAME, OWNER_LOCK_NAME, SAMPLES_DIR
 from repro.serve.cache import InferenceCache, sample_fingerprint
 
 
@@ -57,7 +59,7 @@ def test_store_survives_reopen(tmp_path, samples):
     for key, sample in keyed(samples):
         first.put_sample(key, sample, cost_seconds=1.0)
     first.put_prediction("pred:fp", 0.125, cost_seconds=0.1)
-    first.sync()
+    first.close()
 
     second = PersistentCache(directory)
     assert len(second) == len(samples) + 1
@@ -137,7 +139,7 @@ def test_index_entries_without_files_are_filtered_on_load(tmp_path, samples):
     pairs = keyed(samples)[:2]
     for key, sample in pairs:
         cache.put_sample(key, sample)
-    cache.sync()
+    cache.close()
     (directory / SAMPLES_DIR / f"{pairs[0][0]}.npz").unlink()
     reopened = PersistentCache(directory)
     assert reopened.get_sample(pairs[0][0]) is None
@@ -167,11 +169,124 @@ def test_unsynced_sample_files_are_garbage_collected_on_open(tmp_path, samples):
     cache.put_sample("key00", samples[0], cost_seconds=1.0)
     cache.sync()
     cache.put_sample("key01", samples[1], cost_seconds=1.0)  # never synced
-    # Crash here: key01's npz exists but no index entry records it.
+    # Crash here: key01's npz exists but no index entry records it.  A dead
+    # owner's flock releases with its process — simulate by dropping the fd
+    # without the graceful close() (which would sync the index away).
+    os.close(cache._lock_fd)
     reopened = PersistentCache(directory)
+    assert not reopened.read_only  # the crashed owner's lock auto-released
     assert reopened.get_sample("key00") is not None
     assert reopened.get_sample("key01") is None
     assert not (directory / SAMPLES_DIR / "key01.npz").exists()
+
+
+# ------------------------------------------------------ write-error contract
+
+
+def test_put_sample_with_json_unsafe_extras_never_raises(tmp_path, samples):
+    """Regression: the documented contract is that a cache tier must never
+    turn a successful request into an error.  ``extras`` with non-string
+    dict keys pass the per-value JSON-safety probe but make the ``.npz``
+    metadata dump raise TypeError — which used to propagate out of
+    ``put_sample`` and fail the request."""
+    cache = PersistentCache(tmp_path / "store")
+    poisoned = GraphSample(
+        graph=samples[0].graph,
+        kernel="synthetic",
+        directives="poisoned",
+        total_power=1.0,
+        dynamic_power=0.4,
+        static_power=0.6,
+        latency_cycles=100,
+        extras={("tuple", "key"): 1.0},
+    )
+    cache.put_sample("poisoned", poisoned, cost_seconds=1.0)  # must not raise
+    assert cache.io_errors == 1
+    assert cache.get_sample("poisoned") is None  # not cached, but not fatal
+    assert not (tmp_path / "store" / SAMPLES_DIR / "poisoned.tmp.npz").exists()
+    # The store still works for well-behaved samples afterwards.
+    cache.put_sample("fine", samples[1], cost_seconds=1.0)
+    assert cache.get_sample("fine") is not None
+
+
+def test_put_sample_json_unsafe_extras_through_inference_cache(tmp_path, samples):
+    """The service path (InferenceCache write-through) keeps the memory tier
+    even when the disk tier cannot serialise the sample."""
+    persistent = PersistentCache(tmp_path / "store")
+    cache = InferenceCache(persistent=persistent)
+    poisoned = GraphSample(
+        graph=samples[0].graph,
+        kernel="synthetic",
+        directives="poisoned",
+        total_power=1.0,
+        dynamic_power=0.4,
+        static_power=0.6,
+        latency_cycles=100,
+        extras={("tuple", "key"): 1.0},
+    )
+    cache.put_sample(poisoned, cost_seconds=0.5)  # must not raise
+    assert cache.get_sample("synthetic", "poisoned") is not None  # memory hit
+    assert persistent.io_errors == 1
+
+
+# ------------------------------------------------------------- owner locking
+
+
+def test_second_opener_degrades_to_read_only(tmp_path, samples):
+    """Two caches on one directory: the second must not clobber the first."""
+    directory = tmp_path / "store"
+    owner = PersistentCache(directory)
+    owner.put_sample("key00", samples[0], cost_seconds=1.0)
+    owner.sync()
+    owner.put_sample("key01", samples[1], cost_seconds=1.0)  # not yet synced
+
+    with pytest.warns(RuntimeWarning, match="read-only"):
+        reader = PersistentCache(directory)
+    assert reader.read_only
+    assert reader.stats()["read_only"]
+    # Reads are served; the owner's unsynced sample file was NOT GC'd.
+    assert reader.get_sample("key00") is not None
+    assert (directory / SAMPLES_DIR / "key01.npz").is_file()
+    # Writes are silent no-ops: no sample file, no index rewrite.
+    reader.put_sample("key02", samples[2], cost_seconds=1.0)
+    reader.put_prediction("p", 1.0)
+    reader.sync()
+    assert not (directory / SAMPLES_DIR / "key02.npz").exists()
+
+    # The owner's view (including the unsynced entry) survives intact.
+    owner.sync()
+    owner.close()
+    fresh = PersistentCache(directory)
+    assert not fresh.read_only
+    assert fresh.get_sample("key01") is not None
+    assert fresh.get_prediction("p") is None
+
+
+def test_close_releases_ownership(tmp_path, samples):
+    directory = tmp_path / "store"
+    first = PersistentCache(directory)
+    first.put_sample("key00", samples[0], cost_seconds=1.0)
+    first.close()
+    first.close()  # idempotent
+    assert first.read_only  # a closed cache never writes again
+    # The lock file persists (unlink would race fresh claims); the flock is
+    # released, so the next opener becomes the owner.
+    second = PersistentCache(directory)
+    assert not second.read_only
+    assert second.get_sample("key00") is not None
+    assert (directory / OWNER_LOCK_NAME).read_text() == str(os.getpid())
+
+
+def test_crashed_owner_lock_is_taken_over(tmp_path, samples):
+    """flock dies with its holder: a leftover lock file from a crashed owner
+    never blocks the next opener (no staleness heuristics needed)."""
+    directory = tmp_path / "store"
+    directory.mkdir(parents=True)
+    (directory / OWNER_LOCK_NAME).write_text("999999999", encoding="utf-8")
+    cache = PersistentCache(directory)  # no warning expected: nobody holds it
+    assert not cache.read_only
+    cache.put_sample("key00", samples[0], cost_seconds=1.0)
+    assert cache.get_sample("key00") is not None
 
 
 def test_inference_cache_promotes_disk_hits_to_memory(tmp_path, samples):
@@ -180,7 +295,7 @@ def test_inference_cache_promotes_disk_hits_to_memory(tmp_path, samples):
     for sample in samples:
         warm.put_sample(sample, cost_seconds=0.5)
     warm.put_prediction("skey", "fp", 0.75, cost_seconds=0.01)
-    persistent.sync()
+    persistent.close()
 
     # A fresh memory tier over the same disk store: every lookup misses memory
     # once, falls through to disk, and is promoted.

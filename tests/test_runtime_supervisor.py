@@ -1,0 +1,601 @@
+"""Self-healing pools: supervised restart-on-crash, autoscaling, health.
+
+Three layers of coverage:
+
+* **unit** — :class:`SupervisedPool` over fake in-process pools: restart
+  budget and exponential backoff, retirement, generation-deduplicated
+  concurrent crash recovery, queue-depth autoscaling with hysteresis, and
+  the resize-only-between-batches contract;
+* **real processes** — a minimal executor-backed pool whose worker SIGKILLs
+  itself mid-batch via a poisoned task (fork and spawn): the supervisor must
+  restart it within budget and the retried batch must equal the serial
+  result exactly;
+* **service** — a SIGKILLed featurisation/forward worker under
+  ``PowerEstimationService``: the next ``estimate_many`` is answered
+  bitwise-identically to the serial path, with the fault visible in
+  ``runtime_stats()`` / ``health()`` and the pool restarted, plus the
+  queued-burst scale-up / idle scale-down acceptance path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.kernels.polybench import polybench_kernel
+from repro.runtime import (
+    PoolClosedError,
+    PoolRetiredError,
+    RuntimeConfig,
+    SupervisedPool,
+    WorkerCrashError,
+)
+from repro.serve import EstimateRequest, PowerEstimationService
+
+SUPERVISOR_CONFIG = DatasetConfig(kernel_size=6, designs_per_kernel=8)
+
+
+# -------------------------------------------------------------- fake harness
+
+
+class FakePool:
+    """An in-process stand-in exposing only what the supervisor requires."""
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers = num_workers
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class Harness:
+    def __init__(self) -> None:
+        self.created: list[FakePool] = []
+        self.sleeps: list[float] = []
+        self.faults: list[BaseException] = []
+        self.restarts = 0
+
+    def factory(self, num_workers: int) -> FakePool:
+        pool = FakePool(num_workers)
+        self.created.append(pool)
+        return pool
+
+    def supervisor(self, **kwargs) -> SupervisedPool:
+        kwargs.setdefault("min_workers", 2)
+        kwargs.setdefault("max_workers", 2)
+        kwargs.setdefault("on_fault", self.faults.append)
+        kwargs.setdefault("on_restart", self._count_restart)
+        kwargs.setdefault("sleep", self.sleeps.append)
+        return SupervisedPool(self.factory, **kwargs)
+
+    def _count_restart(self) -> None:
+        self.restarts += 1
+
+
+def test_supervisor_validates_configuration():
+    harness = Harness()
+    with pytest.raises(ValueError):
+        harness.supervisor(min_workers=1)
+    with pytest.raises(ValueError):
+        harness.supervisor(min_workers=4, max_workers=2)
+    with pytest.raises(ValueError):
+        harness.supervisor(max_restarts=-1)
+    with pytest.raises(ValueError):
+        harness.supervisor(
+            scale_up_queue_per_worker=1.0, scale_down_queue_per_worker=1.0
+        )
+    with pytest.raises(ValueError):
+        harness.supervisor(scale_down_patience=0)
+
+
+def test_run_passes_through_and_counts_batches():
+    harness = Harness()
+    with harness.supervisor() as supervisor:
+        assert supervisor.run(lambda pool: pool.num_workers, cost=4) == 2
+        assert supervisor.run(lambda pool: "ok") == "ok"
+        health = supervisor.health()
+    assert health["state"] == "ok"
+    assert health["batches"] == 2
+    assert health["restarts"] == 0
+    assert health["queue_depth"] == 0
+    assert len(harness.created) == 1  # one generation, reused
+
+
+def test_restart_on_crash_with_exponential_backoff():
+    harness = Harness()
+    crashes = {"left": 2}
+
+    def flaky(pool):
+        if crashes["left"]:
+            crashes["left"] -= 1
+            raise WorkerCrashError("injected")
+        return pool.num_workers
+
+    with harness.supervisor(max_restarts=3, backoff_base_s=0.1) as supervisor:
+        assert supervisor.run(flaky, cost=4) == 2
+        health = supervisor.health()
+    assert health["state"] == "ok"  # recovered and proved itself
+    assert health["restarts"] == 2
+    assert health["retried_batches"] == 2
+    assert health["last_fault"] == "WorkerCrashError: injected"
+    assert harness.sleeps == [0.1, 0.2]  # exponential
+    assert harness.restarts == 2
+    assert len(harness.faults) == 2
+    assert len(harness.created) == 3  # each restart built a fresh pool
+    assert all(pool.closed for pool in harness.created[:2])
+
+
+def test_backoff_is_capped():
+    harness = Harness()
+    crashes = {"left": 6}
+
+    def flaky(pool):
+        if crashes["left"]:
+            crashes["left"] -= 1
+            raise WorkerCrashError("injected")
+        return "ok"
+
+    with harness.supervisor(
+        max_restarts=10, backoff_base_s=0.1, backoff_max_s=0.25
+    ) as supervisor:
+        assert supervisor.run(flaky) == "ok"
+    assert harness.sleeps == [0.1, 0.2, 0.25, 0.25, 0.25, 0.25]
+
+
+def test_retires_after_budget_and_stays_retired():
+    harness = Harness()
+
+    def always_crash(pool):
+        raise WorkerCrashError("dead on arrival")
+
+    supervisor = harness.supervisor(max_restarts=2, backoff_base_s=0.0)
+    with pytest.raises(PoolRetiredError):
+        supervisor.run(always_crash, cost=4)
+    assert supervisor.retired
+    assert supervisor.health()["state"] == "retired"
+    assert harness.restarts == 2
+    assert len(harness.faults) == 3  # two restarts + the retiring fault
+    created = len(harness.created)
+    # Later batches fast-fail at admission: no doomed round-trips, no new pools.
+    with pytest.raises(PoolRetiredError):
+        supervisor.run(lambda pool: "never runs")
+    assert len(harness.created) == created
+    assert all(pool.closed for pool in harness.created)
+    supervisor.close()
+
+
+def test_task_errors_propagate_without_consuming_budget():
+    harness = Harness()
+    with harness.supervisor() as supervisor:
+        with pytest.raises(ValueError, match="bad kernel"):
+            supervisor.run(lambda pool: (_ for _ in ()).throw(ValueError("bad kernel")))
+        health = supervisor.health()
+    assert health["restarts"] == 0
+    assert health["state"] == "ok"
+    assert not harness.faults
+    assert health["queue_depth"] == 0  # the failed batch released its slot
+
+
+def test_closed_supervisor_refuses_work():
+    harness = Harness()
+    supervisor = harness.supervisor()
+    supervisor.run(lambda pool: "warm")
+    supervisor.close()
+    supervisor.close()  # idempotent
+    assert supervisor.closed
+    assert all(pool.closed for pool in harness.created)
+    with pytest.raises(PoolClosedError):
+        supervisor.run(lambda pool: "refused")
+
+
+def test_concurrent_crashes_consume_one_restart():
+    """Two batches crashing off the same broken pool recover once."""
+    harness = Harness()
+    barrier = threading.Barrier(2)
+    supervisor = harness.supervisor(max_restarts=1, backoff_base_s=0.0)
+
+    def flaky(pool):
+        if pool is harness.created[0]:
+            barrier.wait(timeout=30)  # both batches acquire the doomed pool
+            raise WorkerCrashError("shared crash")
+        return "recovered"
+
+    results = [None, None]
+
+    def call(slot: int) -> None:
+        results[slot] = supervisor.run(flaky, cost=1)
+
+    threads = [threading.Thread(target=call, args=(slot,)) for slot in (0, 1)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert results == ["recovered", "recovered"]
+    health = supervisor.health()
+    assert health["restarts"] == 1  # one budget unit for one crash event
+    assert health["state"] == "ok"
+    assert len(harness.created) == 2
+    supervisor.close()
+
+
+# -------------------------------------------------------------- autoscaling
+
+
+def test_autoscale_grows_under_queued_burst_and_shrinks_when_idle():
+    harness = Harness()
+    supervisor = harness.supervisor(
+        min_workers=2,
+        max_workers=8,
+        scale_up_queue_per_worker=4.0,
+        scale_down_queue_per_worker=1.0,
+        scale_down_patience=2,
+    )
+    # Burst: 40 designs against 2 workers (depth 40 > 2*4) doubles the pool;
+    # the resize lands before the batch's pool call — a shard boundary.
+    assert supervisor.run(lambda pool: pool.num_workers, cost=40) == 4
+    assert supervisor.run(lambda pool: pool.num_workers, cost=40) == 8
+    assert supervisor.health()["scale_ups"] == 2
+    # Mid-band traffic (8 < depth 16 <= 32) is hysteresis: no move either way.
+    assert supervisor.run(lambda pool: pool.num_workers, cost=16) == 8
+    assert supervisor.health()["scale_downs"] == 0
+    # Idle: low-pressure batches shrink one worker per patience streak.
+    sizes = [supervisor.run(lambda pool: pool.num_workers, cost=2) for _ in range(14)]
+    assert supervisor.size == 2
+    assert sizes[-1] == 2
+    assert sizes == sorted(sizes, reverse=True)  # monotone shrink, no flapping
+    health = supervisor.health()
+    assert health["scale_downs"] == 6  # 8 -> 2, one worker at a time
+    assert health["min_workers"] == 2 and health["max_workers"] == 8
+    # Every displaced generation was closed; exactly one pool is live.
+    assert sum(not pool.closed for pool in harness.created) == 1
+    supervisor.close()
+
+
+def test_resize_never_swaps_a_batch_mid_flight():
+    """A resize lands immediately for NEW batches — even under sustained
+    overlapping traffic, no quiet gap required — while a batch already in
+    flight finishes on the pool generation it acquired and drain-closes it."""
+    harness = Harness()
+    supervisor = harness.supervisor(min_workers=2, max_workers=8)
+    release = threading.Event()
+    acquired = threading.Semaphore(0)
+
+    def slow(pool):
+        acquired.release()
+        assert release.wait(timeout=30)
+        return pool
+
+    results: list = [None, None]
+
+    def call(slot: int, cost: int) -> None:
+        results[slot] = supervisor.run(slow, cost=cost)
+
+    holder = threading.Thread(target=call, args=(0, 1))
+    holder.start()
+    assert acquired.acquire(timeout=30)
+    # A burst admission moves the target while the first batch is in flight;
+    # the burst batch itself already runs on the grown generation...
+    burst = threading.Thread(target=call, args=(1, 100))
+    burst.start()
+    assert acquired.acquire(timeout=30)
+    health = supervisor.health()
+    assert health["in_flight_batches"] == 2
+    assert health["size"] > 2
+    release.set()
+    holder.join(timeout=30)
+    burst.join(timeout=30)
+    # ...while the holder kept its original 2-worker pool: no mid-batch swap.
+    assert results[0] is not results[1]
+    assert results[0].num_workers == 2
+    assert results[1].num_workers > 2
+    # The displaced generation was drain-closed by its last batch.
+    assert results[0].closed
+    assert not results[1].closed
+    supervisor.close()
+
+
+def test_should_parallelise_is_pinned_to_the_floor():
+    """The pooling threshold must not grow with the pool: if it did, medium
+    batches would go serial after a scale-up and stop feeding the queue-depth
+    signal — so a grown pool could never shrink back."""
+    harness = Harness()
+    supervisor = harness.supervisor(
+        min_workers=2, max_workers=8, min_designs_per_worker=3
+    )
+    assert not supervisor.should_parallelise(5)
+    assert supervisor.should_parallelise(6)
+    supervisor.run(lambda pool: None, cost=100)  # grows the pool
+    assert supervisor.size > 2
+    assert supervisor.should_parallelise(6)  # still admitted at the floor bar
+    supervisor.close()
+
+
+def test_external_retire_fast_fails_and_reports():
+    harness = Harness()
+    supervisor = harness.supervisor()
+    supervisor.run(lambda pool: "warm")
+    supervisor.retire("deterministic construction failure")
+    assert supervisor.retired
+    assert all(pool.closed for pool in harness.created)
+    health = supervisor.health()
+    assert health["state"] == "retired"
+    assert health["last_fault"] == "deterministic construction failure"
+    with pytest.raises(PoolRetiredError):
+        supervisor.run(lambda pool: "never runs")
+    supervisor.retire("again")  # idempotent
+    supervisor.close()
+
+
+# ------------------------------------------------- real processes, poisoned
+
+
+def _square_or_die(task: tuple[int, str]) -> int:
+    """Worker task: SIGKILL the worker once, marked by a sentinel file.
+
+    The sentinel is created *before* the kill, so the retried batch runs
+    clean — a transient fault, exactly what the restart budget is for.
+    """
+    value, sentinel = task
+    if value == 3 and sentinel and not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+class SquarePool:
+    """Minimal real-process pool speaking the supervisor's protocol."""
+
+    def __init__(self, num_workers: int, start_method: str) -> None:
+        self.num_workers = num_workers
+        self._executor = ProcessPoolExecutor(
+            max_workers=num_workers,
+            mp_context=multiprocessing.get_context(start_method),
+        )
+
+    def map(self, tasks: list[tuple[int, str]]) -> list[int]:
+        try:
+            return list(self._executor.map(_square_or_die, tasks))
+        except BrokenProcessPool as fault:
+            raise WorkerCrashError("worker died mid-batch") from fault
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_sigkilled_worker_mid_batch_is_restarted(start_method, tmp_path):
+    """Acceptance: a SIGKILL mid-batch costs one restart, not the batch."""
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} unavailable on this platform")
+    sentinel = str(tmp_path / f"killed-{start_method}")
+    tasks = [(value, sentinel) for value in range(8)]
+    supervisor = SupervisedPool(
+        lambda workers: SquarePool(workers, start_method),
+        min_workers=2,
+        max_workers=2,
+        max_restarts=2,
+        backoff_base_s=0.01,
+    )
+    try:
+        results = supervisor.run(lambda pool: pool.map(tasks), cost=len(tasks))
+        # Bitwise-identical to the serial path (trivially, but end to end
+        # through a real crash + restart + retry).
+        assert results == [value * value for value in range(8)]
+        assert os.path.exists(sentinel)  # the poison really fired
+        health = supervisor.health()
+        assert health["restarts"] == 1
+        assert health["state"] == "ok"
+        assert "WorkerCrashError" in health["last_fault"]
+        # The restarted pool keeps serving.
+        again = supervisor.run(lambda pool: pool.map(tasks), cost=len(tasks))
+        assert again == results
+        assert supervisor.health()["restarts"] == 1
+    finally:
+        supervisor.close()
+
+
+def test_sigkill_every_batch_exhausts_budget_and_retires(tmp_path):
+    """A persistent fault (poison that re-arms) burns the budget then retires."""
+    tasks = [(value, "") for value in range(8)]
+
+    def poisoned(pool):
+        raise WorkerCrashError("persistent fault")
+
+    supervisor = SupervisedPool(
+        lambda workers: SquarePool(workers, "fork"),
+        min_workers=2,
+        max_workers=2,
+        max_restarts=1,
+        backoff_base_s=0.0,
+    )
+    try:
+        with pytest.raises(PoolRetiredError):
+            supervisor.run(poisoned, cost=len(tasks))
+        assert supervisor.retired
+        # Healthy pools would still work, but the supervisor is done.
+        with pytest.raises(PoolRetiredError):
+            supervisor.run(lambda pool: pool.map(tasks), cost=len(tasks))
+    finally:
+        supervisor.close()
+
+
+# ------------------------------------------------------------ service level
+
+
+@pytest.fixture(scope="module")
+def supervised_model():
+    samples = DatasetGenerator(SUPERVISOR_CONFIG).generate(["atax"]).samples
+    return PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=10, num_layers=2),
+            training=TrainingConfig(epochs=4, batch_size=16),
+            ensemble=None,
+        )
+    ).fit(samples)
+
+
+@pytest.fixture(scope="module")
+def atax_requests():
+    generator = DatasetGenerator(SUPERVISOR_CONFIG)
+    kernel = polybench_kernel("atax", SUPERVISOR_CONFIG.kernel_size)
+    return [
+        EstimateRequest(kernel="atax", directives=directives)
+        for directives in generator.design_space_for(kernel)
+    ]
+
+
+def _current_worker_pids(supervisor: SupervisedPool) -> list[int]:
+    """Reach through supervisor -> WorkerPool -> executor for live worker pids."""
+    pool = supervisor._pools[supervisor._generation]
+    executor = pool._pool
+    return list(executor._processes)
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_service_restarts_sigkilled_featurisation_worker(
+    start_method, supervised_model, atax_requests
+):
+    """Acceptance: a SIGKILLed worker under ``estimate_many`` is a blip in
+    metrics, and the recovered batch is bitwise-identical to serial."""
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} unavailable on this platform")
+    with PowerEstimationService(
+        supervised_model, generator=DatasetGenerator(SUPERVISOR_CONFIG)
+    ) as serial_service:
+        reference = serial_service.estimate_many(atax_requests)
+
+    runtime = RuntimeConfig(
+        num_workers=2,
+        min_designs_per_worker=1,
+        start_method=start_method,
+        pool_restart_backoff_s=0.01,
+    )
+    with PowerEstimationService(
+        supervised_model,
+        generator=DatasetGenerator(SUPERVISOR_CONFIG),
+        runtime=runtime,
+    ) as service:
+        first = service.estimate_many(atax_requests)
+        assert [r.power for r in first] == [r.power for r in reference]
+
+        supervisor = service._feat_supervisor
+        assert supervisor is not None
+        executor = supervisor._pools[supervisor._generation]._pool
+        os.kill(_current_worker_pids(supervisor)[0], signal.SIGKILL)
+        # Wait until the executor's manager thread has observed the death
+        # (deterministic: it watches worker sentinels), so the next batch
+        # reliably sees the broken pool rather than racing the detection.
+        deadline = time.time() + 30
+        while not executor._broken and time.time() < deadline:
+            time.sleep(0.01)
+        assert executor._broken
+
+        # Force the next batch back through featurisation: the memory tier
+        # would otherwise answer from cache and never touch the dead pool.
+        service.cache.clear()
+        second = service.estimate_many(atax_requests)
+        assert [r.power for r in second] == [r.power for r in reference]
+
+        snapshot = service.metrics.snapshot()
+        stats = service.runtime_stats()["pool"]
+        health = service.health()
+        assert snapshot["pool_restarts"] == 1
+        assert snapshot["pooled_errors"] == 1  # the fault, visible
+        assert snapshot["pooled_featurised"] == 2 * len(atax_requests)
+        assert stats["supervisor"]["restarts"] == 1
+        assert stats["supervisor"]["state"] == "ok"  # recovered
+        assert "WorkerCrashError" in stats["supervisor"]["last_fault"]
+        # Lifetime pool counters survive the rebuild and count successful
+        # batches only (the crashed attempt is not throughput; the retry is
+        # visible in the supervisor's retried_batches instead).
+        assert stats["designs"] == 2 * len(atax_requests)
+        assert stats["supervisor"]["retried_batches"] == 1
+        assert health["status"] == "ok"
+        assert health["pools"]["featurisation"]["restarts"] == 1
+
+
+def test_service_autoscale_grows_on_burst_and_shrinks_idle(
+    supervised_model, atax_requests
+):
+    """Acceptance: pool size demonstrably scales up under a queued burst and
+    back down when idle (real worker processes, fork)."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork unavailable on this platform")
+    runtime = RuntimeConfig(
+        num_workers=2,
+        num_workers_max=4,
+        min_designs_per_worker=1,
+        start_method="fork",
+        # Watermarks sized to the workload: the 40-design burst clears the
+        # up-threshold at 2 workers (40 > 16); the 4-design idle batches sit
+        # below the down-threshold at every size (4 <= 2*size for size >= 2).
+        autoscale_up_queue_per_worker=8.0,
+        autoscale_down_queue_per_worker=2.0,
+        autoscale_down_patience=1,
+    )
+    burst = atax_requests * 5  # one queued burst of duplicated design points
+    with PowerEstimationService(
+        supervised_model,
+        generator=DatasetGenerator(SUPERVISOR_CONFIG),
+        runtime=runtime,
+    ) as service:
+        service.estimate_many(burst)  # depth 40 > 2*4: grow
+        supervisor = service._feat_supervisor
+        assert supervisor.size == 4
+        assert supervisor.health()["scale_ups"] == 1
+        # Idle traffic: small batches shrink the pool back to the floor.
+        shrink_sizes = []
+        for _ in range(4):
+            service.cache.clear()
+            service.estimate_many(atax_requests[:4])
+            shrink_sizes.append(supervisor.size)
+        assert supervisor.size == 2
+        assert supervisor.health()["scale_downs"] >= 2
+        assert shrink_sizes == sorted(shrink_sizes, reverse=True)
+
+
+def test_runtime_config_validates_supervision_knobs():
+    with pytest.raises(ValueError):
+        RuntimeConfig(pool_max_restarts=-1)
+    with pytest.raises(ValueError):
+        RuntimeConfig(pool_restart_backoff_s=-0.1)
+    with pytest.raises(ValueError, match="num_workers_min=8"):
+        RuntimeConfig(num_workers_min=8, num_workers_max=4)
+    # A floor without a pool to apply it to is rejected, not silently ignored.
+    with pytest.raises(ValueError, match="num_workers_min requires"):
+        RuntimeConfig(num_workers_min=4)
+    with pytest.raises(ValueError):
+        RuntimeConfig(
+            autoscale_up_queue_per_worker=1.0, autoscale_down_queue_per_worker=2.0
+        )
+    with pytest.raises(ValueError):
+        RuntimeConfig(autoscale_down_patience=0)
+    # num_workers_max alone enables the supervised pool from the floor.
+    config = RuntimeConfig(num_workers_max=4)
+    assert config.parallel_featurisation
+    assert config.featurisation_worker_bounds() == (2, 4, 2)
+    # An unset floor defers to num_workers: autoscaling only grows from the
+    # operator's start size, never shrinks below it.
+    assert RuntimeConfig(
+        num_workers=6, num_workers_max=8
+    ).featurisation_worker_bounds() == (6, 8, 6)
+    # Fixed-size config keeps the old shape: min == max == start.
+    assert RuntimeConfig(num_workers=3).featurisation_worker_bounds() == (3, 3, 3)
+    # A start size above the ceiling is a config conflict, not a clamp — and
+    # the error names the field the operator actually set.
+    with pytest.raises(ValueError, match="num_workers=6"):
+        RuntimeConfig(num_workers=6, num_workers_max=4)

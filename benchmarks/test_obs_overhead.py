@@ -1,0 +1,108 @@
+"""Instrumentation cost, measured: what observability adds to the hot path.
+
+The obs subsystem rides every request — a span per stage, a histogram sample
+per latency, a counter bump per cache lookup — so its dispatch cost must
+stay orders of magnitude under the work it wraps (featurisation is
+milliseconds per design; a span must be microseconds).  Four numbers:
+
+* **span (enabled)**  — open+close one child span on a live trace
+* **span (disabled)** — the same call with tracing off (the no-op path the
+  ``tracing=False`` config buys; must be near-free)
+* **histogram observe** — one labelled latency sample
+* **counter inc**     — one labelled counter bump
+
+The table lands in ``latest_results.txt`` and is gated through
+``baseline.json`` (``obs.overhead.*``) — wall-clock, so skipped on CI
+runners like every other timing metric (shared policy in ``gating.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import print_table
+from gating import gate_reason, wall_clock_enforced
+from repro.obs import Observability
+
+OPS = 20_000
+
+
+@pytest.mark.benchmark
+def test_obs_instrumentation_overhead(benchmark):
+    def run():
+        enabled = Observability(tracing=True, trace_ring=64)
+        disabled = Observability(tracing=False)
+
+        # Spans nested under a root, like real stage spans under a request.
+        start = time.perf_counter()
+        with enabled.tracer.span("request"):
+            for _ in range(OPS):
+                with enabled.tracer.span("stage"):
+                    pass
+        span_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with disabled.tracer.span("request"):
+            for _ in range(OPS):
+                with disabled.tracer.span("stage"):
+                    pass
+        disabled_seconds = time.perf_counter() - start
+
+        stage = enabled.stage_seconds.labels(stage="featurise")
+        start = time.perf_counter()
+        for _ in range(OPS):
+            stage.observe(0.001)
+        observe_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(OPS):
+            enabled.cache_requests.labels(
+                kind="sample", tier="memory", outcome="hit"
+            ).inc()
+        counter_seconds = time.perf_counter() - start
+
+        return {
+            "enabled": enabled,
+            "span_seconds": span_seconds,
+            "disabled_seconds": disabled_seconds,
+            "observe_seconds": observe_seconds,
+            "counter_seconds": counter_seconds,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def row(name: str, seconds: float) -> list[str]:
+        return [name, str(OPS), f"{seconds:.3f}", f"{seconds / OPS * 1e6:.2f}"]
+
+    print_table(
+        f"Observability instrumentation overhead ({gate_reason()})",
+        ["Instrument", "Ops", "Seconds", "us/op"],
+        [
+            row("span_enabled", results["span_seconds"]),
+            row("span_disabled", results["disabled_seconds"]),
+            row("histogram_observe", results["observe_seconds"]),
+            row("counter_inc", results["counter_seconds"]),
+        ],
+    )
+
+    # Correctness invariants: always enforced.  The ring stayed bounded (the
+    # root trace holds OPS+1 spans but the ring holds at most 64 traces), the
+    # disabled tracer recorded nothing, and every sample landed.
+    enabled = results["enabled"]
+    assert enabled.tracer.stats()["ring"] == 1
+    assert enabled.stage_seconds.labels(stage="featurise").snapshot()["count"] == OPS
+    assert (
+        enabled.cache_requests.labels(kind="sample", tier="memory", outcome="hit").value
+        == OPS
+    )
+
+    if wall_clock_enforced():
+        # A span must stay microseconds against millisecond-scale stages; the
+        # disabled path must be cheaper still.  Generous ceilings — only an
+        # accidental O(n) (e.g. scanning the ring per span) should trip them.
+        assert results["span_seconds"] / OPS < 100e-6
+        assert results["disabled_seconds"] / OPS < 20e-6
+        assert results["observe_seconds"] / OPS < 50e-6
+        assert results["counter_seconds"] / OPS < 50e-6

@@ -1,0 +1,186 @@
+"""Observability demo: tracing, metrics, logs and events through the wire.
+
+The script trains a small PowerGear, stands the full serving stack up in one
+process — service → async gateway → stdlib HTTP server, with a two-worker
+featurisation pool and request coalescing on — configures structured JSON
+logging to stderr, then drives mixed load and shows every observability
+surface the runtime grows:
+
+1. a tagged single estimate (``X-Request-ID`` honoured and echoed) and a
+   design-space batch, plus a burst of concurrent singles for the coalescer;
+2. ``GET /v1/traces`` — the request's span tree, printed as an indented
+   waterfall (gateway admission → coalesce → batch flush → featurisation
+   with worker pids → cache lookups → forward);
+3. ``GET /metrics`` twice — the JSON snapshot's real p50/p95/p99 latency
+   quantiles, then the Prometheus text exposition a scraper would ingest
+   (``Accept: text/plain``);
+4. ``GET /v1/events`` + ``/healthz`` — the supervisor event timeline and
+   per-worker heartbeat ages.
+
+Run with:  python examples/observability_demo.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from repro import DatasetConfig, DatasetGenerator, PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.kernels.polybench import polybench_kernel
+from repro.obs import configure_json_logging
+from repro.runtime import RuntimeConfig
+from repro.runtime.gateway import AsyncPowerGateway
+from repro.runtime.http import (
+    GatewayHTTPServer,
+    directives_to_json,
+    request_json,
+    request_raw,
+)
+from repro.serve import PowerEstimationService
+
+DATASET = DatasetConfig(kernel_size=6, designs_per_kernel=10)
+
+
+def train() -> PowerGear:
+    print("Training a small PowerGear (atax, dynamic power)...")
+    dataset = DatasetGenerator(DATASET).generate(["atax"])
+    return PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=16, num_layers=2),
+            training=TrainingConfig(epochs=30, batch_size=16),
+            ensemble=None,
+        )
+    ).fit(dataset.samples)
+
+
+def print_span(span: dict, depth: int = 0) -> None:
+    pad = "  " * depth
+    attrs = ", ".join(f"{k}={v}" for k, v in span["attributes"].items())
+    print(
+        f"    {pad}{span['name']:<{24 - 2 * min(depth, 8)}s}"
+        f" {span['duration_ms']:8.2f} ms  pid={span['pid']}"
+        + (f"  [{attrs}]" if attrs else "")
+    )
+    for child in span["children"]:
+        print_span(child, depth + 1)
+
+
+async def demo(host: str, port: int) -> None:
+    generator = DatasetGenerator(DATASET)
+    space = list(
+        generator.design_space_for(polybench_kernel("atax", DATASET.kernel_size))
+    )
+
+    # -- 1. mixed load ------------------------------------------------------
+    print("\n[1] Driving mixed load...")
+    status, headers, _ = await request_raw(
+        host, port, "POST", "/v1/estimate",
+        {"kernel": "atax", "directives": directives_to_json(space[1])},
+        headers={"X-Request-ID": "demo-tagged-request"},
+    )
+    print(f"    estimate -> {status}, X-Request-ID echoed: {headers['x-request-id']}")
+
+    batch = {
+        "requests": [
+            {"kernel": "atax", "directives": directives_to_json(d)} for d in space
+        ]
+    }
+    status, payload = await request_json(host, port, "POST", "/v1/estimate_many", batch)
+    print(f"    estimate_many -> {status} ({len(payload['responses'])} designs)")
+
+    singles = [
+        request_json(
+            host, port, "POST", "/v1/estimate",
+            {"kernel": "atax", "directives": directives_to_json(d)},
+        )
+        for d in space[:16]
+    ]
+    results = await asyncio.gather(*singles)
+    print(f"    burst of {len(results)} concurrent singles (coalesced) done")
+
+    # -- 2. the trace tree --------------------------------------------------
+    print("\n[2] GET /v1/traces — the tagged request's span waterfall:")
+    _, traces = await request_json(host, port, "GET", "/v1/traces?limit=50")
+    tagged = next(
+        t for t in traces["traces"] if t["request_id"] == "demo-tagged-request"
+    )
+    print(f"    trace {tagged['trace_id']} ({tagged['num_spans']} spans)")
+    print_span(tagged["root"])
+
+    # -- 3. metrics: JSON quantiles, then the Prometheus scrape -------------
+    print("\n[3] GET /metrics — real latency quantiles from the histograms:")
+    _, metrics = await request_json(host, port, "GET", "/metrics")
+    for endpoint, snap in metrics["latency"]["request"].items():
+        print(
+            f"    {endpoint:<16s} count={snap['count']:<4d} "
+            f"p50={snap['p50'] * 1e3:7.2f} ms  p95={snap['p95'] * 1e3:7.2f} ms  "
+            f"p99={snap['p99'] * 1e3:7.2f} ms"
+        )
+    hits = metrics["runtime"]["cache"]["predictions"]
+    print(f"    prediction cache: {hits['hits']} hits / {hits['misses']} misses")
+
+    print("\n    Prometheus exposition (Accept: text/plain), first lines:")
+    _, _, prom = await request_raw(
+        host, port, "GET", "/metrics", headers={"Accept": "text/plain"}
+    )
+    interesting = [
+        line
+        for line in prom.decode().splitlines()
+        if line.startswith(("repro_request_seconds_count", "repro_cache_requests",
+                            "repro_coalesced", "repro_http_requests_total"))
+    ]
+    for line in interesting[:12]:
+        print(f"      {line}")
+
+    # -- 4. events + heartbeats --------------------------------------------
+    print("\n[4] GET /v1/events + /healthz — timeline and worker heartbeats:")
+    _, events = await request_json(host, port, "GET", "/v1/events")
+    if events["events"]:
+        for event in events["events"][-5:]:
+            print(f"    event: {event}")
+    else:
+        print("    (no pool lifecycle events — an untroubled run)")
+    _, health = await request_json(host, port, "GET", "/healthz")
+    beats = health["pools"].get("featurisation", {}).get("heartbeats", {})
+    for pid, entry in beats.items():
+        print(f"    worker {pid}: last heartbeat {entry['age_s'] * 1e3:.0f} ms ago")
+
+
+def main() -> None:
+    print("Structured JSON logs go to stderr (one line per request):")
+    configure_json_logging(stream=sys.stderr)
+
+    model = train()
+    service = PowerEstimationService(
+        model,
+        generator=DatasetGenerator(DATASET),
+        runtime=RuntimeConfig(
+            num_workers=2,
+            min_designs_per_worker=1,
+            coalesce_window_ms=5.0,
+        ),
+    )
+
+    async def run() -> None:
+        gateway = AsyncPowerGateway(service)
+        server = GatewayHTTPServer(gateway)
+        host, port = await server.start()
+        print(f"Serving on http://{host}:{port}")
+        try:
+            await demo(host, port)
+        finally:
+            await server.aclose()
+            await gateway.aclose()
+
+    try:
+        asyncio.run(run())
+    finally:
+        service.close()
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

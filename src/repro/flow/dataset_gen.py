@@ -353,3 +353,29 @@ def run_featurisation_task(task: FeaturisationTask) -> list[GraphSample]:
             "(pool must be created with featurisation_worker_init)"
         )
     return _WORKER_GENERATOR.featurise(task.kernel, list(task.directives))
+
+
+def run_featurisation_task_with_meta(task: FeaturisationTask):
+    """Like :func:`run_featurisation_task`, plus a span payload for tracing.
+
+    Returns ``(samples, payload)`` where ``payload`` is the picklable span
+    dict of :func:`repro.obs.trace.span_payload` — worker pid, wall-clock
+    start, duration — so the parent can graft worker-side timing into the
+    live request trace and refresh the worker's heartbeat.  The samples are
+    the *same objects* the untimed variant returns (the pool's bitwise
+    contract is untouched; the payload is pure side data).
+    """
+    import time as _time
+
+    from repro.obs.trace import span_payload
+
+    wall_start = _time.time()
+    clock_start = _time.perf_counter()
+    samples = run_featurisation_task(task)
+    return samples, span_payload(
+        "featurise.shard",
+        wall_start,
+        _time.perf_counter() - clock_start,
+        kernel=task.kernel,
+        designs=len(task.directives),
+    )

@@ -1,0 +1,173 @@
+"""``repro.obs`` — observability for the serving runtime.
+
+Four primitives, one facade:
+
+* :mod:`repro.obs.trace` — contextvar-based :class:`Tracer`: one request =
+  one tree of timed spans across the event loop, bridge threads, the
+  micro-batcher's flush and pool worker *processes* (worker spans travel
+  back as picklable payloads), with a bounded recent-traces ring served at
+  ``GET /v1/traces``;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters, gauges
+  and fixed-bucket histograms with real p50/p95/p99 estimates, rendered as
+  JSON (the existing ``/metrics``) and as Prometheus text exposition
+  (``Accept: text/plain``);
+* :mod:`repro.obs.logs` — structured JSON log lines over stdlib
+  ``logging``, stamped with trace/request ids;
+* :mod:`repro.obs.events` — the bounded supervisor event timeline
+  (crash/restart/scale/retire/degrade) served at ``GET /v1/events`` and
+  merged into ``service.health()``.
+
+:class:`Observability` bundles one of each plus the pre-registered service
+instruments, so every runtime layer receives a single handle
+(``service.obs``).  The whole subsystem is side-band by construction: it
+never touches request data, and the bitwise-determinism contract holds with
+instrumentation on or off (``tests/test_obs_determinism.py``); its dispatch
+cost is gated by ``benchmarks/test_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventLog, dump_event_logs
+from repro.obs.logs import (
+    CollectingHandler,
+    JsonFormatter,
+    configure_json_logging,
+    get_logger,
+    log_event,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    flatten_numeric,
+    json_safe,
+)
+from repro.obs.trace import Span, Trace, Tracer, current_trace_ids, span_payload
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "CollectingHandler",
+    "EventLog",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Trace",
+    "Tracer",
+    "configure_json_logging",
+    "current_trace_ids",
+    "dump_event_logs",
+    "flatten_numeric",
+    "get_logger",
+    "json_safe",
+    "log_event",
+    "span_payload",
+]
+
+
+class Observability:
+    """One service's observability bundle: tracer + metrics + events + logger.
+
+    Instruments the whole stack agrees on are registered here, once, so
+    every layer (service, gateway, batcher, caches, supervisors) observes
+    into the same families instead of each minting its own names:
+
+    ========================================  =====================================
+    instrument                                what lands in it
+    ========================================  =====================================
+    ``repro_request_seconds{endpoint}``       whole-call latency per endpoint
+    ``repro_stage_seconds{stage}``            featurise / predict / cache_get /
+                                              cache_put / batch_flush /
+                                              pool_dispatch stage latencies
+    ``repro_cache_requests_total{...}``       hit/miss per cache kind and tier
+    ``repro_coalesced_batch_size``            micro-batch sizes at flush
+    ``repro_gateway_designs_total{outcome}``  admitted / rejected_backpressure /
+                                              rejected_closed designs
+    ``repro_pool_events_total{pool,kind}``    supervisor lifecycle event counts
+    ``repro_pool_worker_heartbeat_seconds``   per-worker last-heartbeat age
+    ``repro_http_requests_total{path,status}``  HTTP requests by route and code
+    ========================================  =====================================
+    """
+
+    def __init__(
+        self,
+        *,
+        tracing: bool = True,
+        trace_ring: int = 128,
+        event_ring: int = 512,
+    ) -> None:
+        self.tracer = Tracer(ring_size=trace_ring, enabled=tracing)
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(maxlen=event_ring)
+        self.logger = get_logger("service")
+        self.request_seconds = self.metrics.histogram(
+            "repro_request_seconds",
+            "Whole-call service latency per endpoint",
+            labelnames=("endpoint",),
+        )
+        self.stage_seconds = self.metrics.histogram(
+            "repro_stage_seconds",
+            "Per-stage latency of the request path",
+            labelnames=("stage",),
+        )
+        self.cache_requests = self.metrics.counter(
+            "repro_cache_requests_total",
+            "Cache lookups by kind (sample/prediction), tier and outcome",
+            labelnames=("kind", "tier", "outcome"),
+        )
+        self.coalesced_batch_size = self.metrics.histogram(
+            "repro_coalesced_batch_size",
+            "Micro-batch sizes at flush",
+            buckets=SIZE_BUCKETS,
+        )
+        self.gateway_designs = self.metrics.counter(
+            "repro_gateway_designs_total",
+            "Gateway admission outcomes, in designs",
+            labelnames=("outcome",),
+        )
+        self.pool_events = self.metrics.counter(
+            "repro_pool_events_total",
+            "Supervised-pool lifecycle events",
+            labelnames=("pool", "kind"),
+        )
+        self.worker_heartbeat_age = self.metrics.gauge(
+            "repro_pool_worker_heartbeat_seconds",
+            "Seconds since each pool worker last proved liveness",
+            labelnames=("pool", "pid"),
+        )
+        self.http_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by route and status code",
+            labelnames=("path", "status"),
+        )
+        self.http_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request wall-clock by route",
+            labelnames=("path",),
+        )
+
+    # ------------------------------------------------------------ conveniences
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        self.stage_seconds.labels(stage=stage).observe(seconds)
+
+    def cache_event(self, kind: str, tier: str, outcome: str, seconds: float) -> None:
+        self.cache_requests.labels(kind=kind, tier=tier, outcome=outcome).inc()
+        self.observe_stage(f"cache_{tier}", seconds)
+
+    def pool_event(self, kind: str, pool: str, **fields) -> dict:
+        """Record one pool lifecycle event in the timeline, the counter and
+        the structured log at once (the producers' single entry point)."""
+        event = self.events.record(kind, pool=pool, **fields)
+        self.pool_events.labels(pool=pool, kind=kind).inc()
+        log_event(get_logger("supervisor"), f"pool.{kind}", pool=pool, **fields)
+        return event
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of the registry plus tracer/event bookkeeping."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "traces": self.tracer.stats(),
+            "events": self.events.stats(),
+        }

@@ -1,0 +1,156 @@
+"""Structured JSON logging over the stdlib ``logging`` machinery.
+
+Producers emit *events, not prose*: :func:`log_event` logs one record whose
+payload is a flat dict (``event`` name + fields), and :class:`JsonFormatter`
+renders each record as one JSON object per line, stamped with the calling
+context's trace id (:func:`repro.obs.trace.current_trace_ids`) and request
+id — so a log line, its trace in ``/v1/traces`` and its latency sample in
+``/metrics`` all join on the same ids.
+
+Handler policy follows stdlib convention: the library *always emits* records
+on the ``repro.*`` logger hierarchy but never attaches handlers on import —
+an application (or the demo, or CI) opts in with
+:func:`configure_json_logging`, which is idempotent and honours
+``$REPRO_OBS_LOG_DIR`` (append a JSON-lines file there; the CI workflow sets
+it and uploads the file as a failure artifact).  Without configuration the
+records cost one disabled-logger check and go nowhere.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from pathlib import Path
+
+from repro.obs.trace import current_trace_ids
+
+__all__ = [
+    "JsonFormatter",
+    "configure_json_logging",
+    "get_logger",
+    "log_event",
+]
+
+ROOT_LOGGER = "repro"
+
+#: Marker attribute carrying the structured payload through ``extra=``.
+_FIELDS_ATTR = "obs_fields"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (``get_logger("http")`` → ``repro.http``)."""
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def log_event(
+    logger: logging.Logger, event: str, *, level: int = logging.INFO, **fields
+) -> None:
+    """Emit one structured event record (fields must be JSON-safe).
+
+    Cheap when nobody listens: the enabled-for check short-circuits before
+    any formatting work, so unconfigured services pay nanoseconds per call.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, event, fields, ids."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        ids = current_trace_ids()
+        if ids is not None:
+            payload["trace_id"], payload["span_id"] = ids
+        request_id = getattr(record, "request_id", None)
+        if request_id is not None:
+            payload["request_id"] = request_id
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = record.exc_info[0].__name__
+        try:
+            return json.dumps(payload, default=str, allow_nan=False)
+        except ValueError:
+            # A non-finite float snuck into a field: degrade that line, not
+            # the logging pipeline.
+            return json.dumps(
+                {"ts": payload["ts"], "level": "error", "logger": record.name,
+                 "event": "unserialisable_log_record"}
+            )
+
+
+def configure_json_logging(
+    *,
+    stream=None,
+    directory: str | os.PathLike | None = None,
+    level: int = logging.INFO,
+) -> logging.Logger:
+    """Attach JSON handlers to the ``repro`` logger hierarchy.  Idempotent.
+
+    ``stream`` (e.g. ``sys.stderr``) gets a :class:`logging.StreamHandler`;
+    ``directory`` (defaulting to ``$REPRO_OBS_LOG_DIR`` when set) gets an
+    appending ``repro-obs.jsonl`` file handler.  Calling twice with the same
+    targets adds nothing — safe from fixtures, demos and module mains alike.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    formatter = JsonFormatter()
+    if directory is None:
+        directory = os.environ.get("REPRO_OBS_LOG_DIR") or None
+    targets: list[logging.Handler] = []
+    if stream is not None:
+        if not any(
+            isinstance(h, logging.StreamHandler)
+            and getattr(h, "stream", None) is stream
+            and isinstance(h.formatter, JsonFormatter)
+            for h in logger.handlers
+        ):
+            targets.append(logging.StreamHandler(stream))
+    if directory is not None:
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        file_path = str(path / "repro-obs.jsonl")
+        if not any(
+            isinstance(h, logging.FileHandler)
+            and getattr(h, "baseFilename", None) == os.path.abspath(file_path)
+            for h in logger.handlers
+        ):
+            targets.append(logging.FileHandler(file_path, encoding="utf-8"))
+    for handler in targets:
+        handler.setFormatter(formatter)
+        logger.addHandler(handler)
+    return logger
+
+
+class CollectingHandler(logging.Handler):
+    """Test/demo helper: keeps formatted JSON lines in memory."""
+
+    def __init__(self, level: int = logging.INFO) -> None:
+        super().__init__(level)
+        self.setFormatter(JsonFormatter())
+        self.lines: list[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self.lines.append(self.format(record))
+        except Exception:  # pragma: no cover - stdlib Handler contract
+            self.handleError(record)
+
+    def records(self) -> list[dict]:
+        return [json.loads(line) for line in self.lines]
+
+
+def _utc_stamp() -> str:  # pragma: no cover - debugging helper
+    return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())

@@ -1,0 +1,334 @@
+"""End-to-end request tracing: contextvar spans with a bounded recent ring.
+
+One ``/v1/estimate`` request crosses four execution domains — the asyncio
+event loop (HTTP parse, gateway admission), a gateway bridge thread (the
+blocking service call), the micro-batcher's leader thread (the coalesced
+flush) and worker *processes* (pooled featurisation / forward shards).
+:class:`Tracer` stitches them into one tree of timed spans:
+
+* the **current span** lives in a :mod:`contextvars` context variable, so a
+  child span started anywhere in the same logical flow attaches to the right
+  parent without any plumbing through call signatures;
+* the **thread hop** (event loop → bridge thread) is covered by the gateway
+  copying its context into the executor call
+  (``contextvars.copy_context().run``), which carries the current span over;
+* the **leader/follower handoff** of the micro-batcher is covered on both
+  sides: the flush runs on the claiming member's thread under its own
+  context (so the whole batch's work lands in the claimer's trace), and
+  every other member's wait span records the claimer's trace id as a link;
+* the **process hop** is covered by span *payloads*: pool workers time their
+  shard and return a plain-dict span (name, pid, duration) alongside the
+  results, and the parent grafts it into the live trace with
+  :meth:`Tracer.attach_payloads` — task payloads stay picklable primitives.
+
+Determinism contract: tracing never touches request data — spans are pure
+side records — so predictions are bitwise-identical with tracing on or off
+(enforced by ``tests/test_obs_determinism.py``).  A disabled tracer returns
+one shared no-op span and skips all bookkeeping, keeping the off switch
+close to free.
+
+Completed traces land in a bounded ring (newest first out of
+:meth:`Tracer.recent`); the HTTP layer serves it at ``GET /v1/traces``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = ["Span", "Trace", "Tracer", "current_trace_ids"]
+
+#: The (trace, span) pair of the calling context; shared by every tracer in
+#: the process (a context only ever runs one request at a time, so one slot
+#: is enough even with several services alive).
+_CURRENT: ContextVar[tuple["Trace", "Span"] | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def _new_id() -> str:
+    """A 16-hex-char random id (no global counter: ids must be safe to mint
+    concurrently from many threads and processes)."""
+    return os.urandom(8).hex()
+
+
+def current_trace_ids() -> tuple[str, str] | None:
+    """``(trace_id, span_id)`` of the calling context, or ``None``.
+
+    Module-level (not a tracer method) so the structured-log formatter can
+    stamp trace ids onto records without holding a tracer reference.
+    """
+    current = _CURRENT.get()
+    if current is None:
+        return None
+    trace, span = current
+    return trace.trace_id, span.span_id
+
+
+class Span:
+    """One timed operation inside a trace (mutable while open)."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start_time",
+        "duration_ms",
+        "attributes",
+        "status",
+        "pid",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        span_id: str,
+        parent_id: str | None,
+        start_time: float,
+        pid: int,
+        attributes: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_time = start_time
+        self.duration_ms: float | None = None
+        self.attributes: dict = attributes or {}
+        self.status = "ok"
+        self.pid = pid
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "pid": self.pid,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Trace:
+    """One request's tree of spans.
+
+    Spans may be appended from several threads at once (a coalesced flush
+    runs service stages on the claimer's thread while the gateway span still
+    belongs to the event loop's context), so the span list is lock-guarded.
+    """
+
+    __slots__ = ("trace_id", "request_id", "spans", "_lock")
+
+    def __init__(self, trace_id: str, request_id: str | None = None) -> None:
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def as_dict(self) -> dict:
+        """The trace as a nested tree (children grouped under their parent)."""
+        with self._lock:
+            spans = [span.as_dict() for span in self.spans]
+        children: dict[str | None, list[dict]] = {}
+        for span in spans:
+            children.setdefault(span["parent_id"], []).append(span)
+
+        def attach(span: dict) -> dict:
+            span = dict(span)
+            span["children"] = [attach(c) for c in children.get(span["span_id"], [])]
+            return span
+
+        roots = [attach(span) for span in children.get(None, [])]
+        root = roots[0] if roots else None
+        total_ms = root["duration_ms"] if root else None
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "start_time": root["start_time"] if root else None,
+            "duration_ms": total_ms,
+            "num_spans": len(spans),
+            "root": root,
+            # A span whose parent never closed in this trace (e.g. a worker
+            # payload grafted after its parent was pruned) must stay visible.
+            "orphans": roots[1:] + [
+                attach(s)
+                for parent_id, group in children.items()
+                if parent_id is not None
+                and parent_id not in {span["span_id"] for span in spans}
+                for s in group
+            ],
+        }
+
+
+class Tracer:
+    """Mints spans onto the context and keeps a ring of completed traces."""
+
+    def __init__(self, *, ring_size: int = 128, enabled: bool = True) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        self.enabled = enabled
+        self._ring: deque[Trace] = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self.started = 0
+        self.finished = 0
+
+    # ------------------------------------------------------------------ spans
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a child span of the calling context (a new trace at the root).
+
+        Yields the :class:`Span` so callers can attach attributes discovered
+        mid-stage; on exit the duration is sealed and — for the root span —
+        the completed trace is pushed into the recent ring.  An exception
+        marks the span ``error`` (with the exception type recorded) and
+        propagates unchanged.
+        """
+        if not self.enabled:
+            yield _NOOP_SPAN
+            return
+        parent = _CURRENT.get()
+        if parent is None:
+            trace = Trace(_new_id())
+            parent_id = None
+            with self._lock:
+                self.started += 1
+        else:
+            trace, parent_span = parent
+            parent_id = parent_span.span_id
+        span = Span(
+            name,
+            span_id=_new_id(),
+            parent_id=parent_id,
+            start_time=time.time(),
+            pid=os.getpid(),
+            attributes=attributes,
+        )
+        trace.add(span)
+        token = _CURRENT.set((trace, span))
+        clock_start = time.perf_counter()
+        try:
+            yield span
+        except BaseException as error:
+            span.status = "error"
+            span.attributes.setdefault("error", type(error).__name__)
+            raise
+        finally:
+            span.duration_ms = (time.perf_counter() - clock_start) * 1e3
+            _CURRENT.reset(token)
+            if parent is None:
+                with self._lock:
+                    self._ring.append(trace)
+                    self.finished += 1
+
+    def active(self) -> bool:
+        """Whether the calling context is inside a span of *some* trace."""
+        return self.enabled and _CURRENT.get() is not None
+
+    def current_ids(self) -> tuple[str, str] | None:
+        if not self.enabled:
+            return None
+        return current_trace_ids()
+
+    def set_request_id(self, request_id: str) -> None:
+        """Stamp the calling context's trace with a request id (no-op outside)."""
+        current = _CURRENT.get()
+        if current is not None:
+            current[0].request_id = request_id
+
+    def attach_payloads(self, payloads: list[dict]) -> None:
+        """Graft worker-process span payloads under the calling context's span.
+
+        ``payloads`` are the plain dicts pool workers return alongside their
+        shard results: ``{"name", "pid", "start_time", "duration_ms",
+        "attributes"}``.  Ids are minted here (workers cannot coordinate id
+        uniqueness cheaply) and the parent id is the current span's.
+        """
+        if not self.enabled:
+            return
+        current = _CURRENT.get()
+        if current is None:
+            return
+        trace, parent = current
+        for payload in payloads:
+            span = Span(
+                str(payload.get("name", "worker")),
+                span_id=_new_id(),
+                parent_id=parent.span_id,
+                start_time=float(payload.get("start_time", time.time())),
+                pid=int(payload.get("pid", 0)),
+                attributes=dict(payload.get("attributes", {})),
+            )
+            span.duration_ms = float(payload.get("duration_ms", 0.0))
+            trace.add(span)
+
+    # ------------------------------------------------------------------- ring
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """Completed traces, newest first, as JSON-safe trees."""
+        with self._lock:
+            traces = list(self._ring)
+        traces.reverse()
+        if limit is not None:
+            traces = traces[: max(limit, 0)]
+        return [trace.as_dict() for trace in traces]
+
+    def find(self, trace_id: str) -> dict | None:
+        with self._lock:
+            traces = list(self._ring)
+        for trace in reversed(traces):
+            if trace.trace_id == trace_id:
+                return trace.as_dict()
+        return None
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "started": self.started,
+                "finished": self.finished,
+                "ring": len(self._ring),
+            }
+
+
+def span_payload(
+    name: str, start_wall: float, duration_s: float, **attributes
+) -> dict:
+    """Build the picklable span dict a pool worker ships back to the parent.
+
+    ``start_wall`` is ``time.time()`` at shard start (wall clock: the only
+    clock with a shared epoch across processes); ``duration_s`` should come
+    from ``time.perf_counter()`` deltas.
+    """
+    return {
+        "name": name,
+        "pid": os.getpid(),
+        "start_time": start_wall,
+        "duration_ms": duration_s * 1e3,
+        "attributes": attributes,
+    }

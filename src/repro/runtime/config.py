@@ -99,6 +99,16 @@ class RuntimeConfig:
     #: keeps total sample bytes under this.
     persistent_cache_max_bytes: int = 256 * 1024 * 1024
 
+    #: Whether the service records request traces (:mod:`repro.obs.trace`).
+    #: On by default: the per-span cost is sub-microsecond (gated by
+    #: ``benchmarks/test_obs_overhead.py``) and predictions are bitwise-
+    #: identical either way — tracing is side-band by construction.
+    tracing: bool = True
+    #: Completed traces kept in the in-memory ring ``GET /v1/traces`` serves.
+    trace_ring: int = 128
+    #: Pool lifecycle events kept in the timeline ``GET /v1/events`` serves.
+    event_ring: int = 512
+
     #: Admission-control limit of the async gateway: the maximum number of
     #: designs that may be in flight (submitted, not yet answered) at once.
     #: A submission that would exceed it fast-fails with
@@ -167,6 +177,10 @@ class RuntimeConfig:
             raise ValueError("coalesce_window_ms must be >= 0")
         if self.persistent_cache_max_bytes < 1:
             raise ValueError("persistent_cache_max_bytes must be >= 1")
+        if self.trace_ring < 1:
+            raise ValueError("trace_ring must be >= 1")
+        if self.event_ring < 1:
+            raise ValueError("event_ring must be >= 1")
         if self.gateway_max_in_flight < 1:
             raise ValueError("gateway_max_in_flight must be >= 1")
         if self.gateway_threads < 1:

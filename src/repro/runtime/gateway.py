@@ -30,6 +30,7 @@ the service's degraded serial path, new ones fast-fail with
 from __future__ import annotations
 
 import asyncio
+import contextvars
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
@@ -122,6 +123,9 @@ class AsyncPowerGateway:
         )
         self.threads = thread_count
         self.stats = GatewayStats()
+        # Duck-typed: a full service carries an Observability bundle; bare
+        # stubs (tests, alternative services) simply go uninstrumented.
+        self._obs = getattr(service, "obs", None)
         self._pending: set[asyncio.Future] = set()
         self._closed = False
         # A service closed out from under the gateway closes the gateway too:
@@ -202,24 +206,32 @@ class AsyncPowerGateway:
     def _admit(self, cost: int) -> None:
         if self._closed or self.service.closed:
             self.stats.rejected += cost
+            self._count_designs("rejected_closed", cost)
             raise GatewayClosedError("gateway is closed")
         if cost > self.max_in_flight:
             # Not backpressure: this submission could never be admitted, even
             # on an idle gateway.  A retryable error here would have clients
             # retrying forever; a ValueError tells them to split the batch.
             self.stats.rejected += cost
+            self._count_designs("rejected_oversize", cost)
             raise ValueError(
                 f"batch of {cost} designs exceeds the gateway's capacity "
                 f"(max_in_flight={self.max_in_flight}); split the batch"
             )
         if self.stats.in_flight + cost > self.max_in_flight:
             self.stats.rejected += cost
+            self._count_designs("rejected_backpressure", cost)
             raise GatewayBackpressureError(
                 self.stats.in_flight, self.max_in_flight, cost
             )
         self.stats.submitted += cost
         self.stats.in_flight += cost
         self.stats.peak_in_flight = max(self.stats.peak_in_flight, self.stats.in_flight)
+        self._count_designs("admitted", cost)
+
+    def _count_designs(self, outcome: str, cost: int) -> None:
+        if self._obs is not None:
+            self._obs.gateway_designs.labels(outcome=outcome).inc(cost)
 
     def _release(self, cost: int, future: asyncio.Future) -> None:
         self.stats.in_flight -= cost
@@ -230,10 +242,23 @@ class AsyncPowerGateway:
         self._pending.discard(future)
 
     async def _submit(self, fn, *args, cost: int):
+        tracer = self._obs.tracer if self._obs is not None else None
+        if tracer is None or not tracer.enabled:
+            return await self._submit_inner(fn, args, cost)
+        with tracer.span("gateway", cost=cost) as span:
+            span.set_attribute("in_flight", self.stats.in_flight)
+            return await self._submit_inner(fn, args, cost)
+
+    async def _submit_inner(self, fn, args, cost: int):
         self._admit(cost)
         loop = asyncio.get_running_loop()
+        # Copy the calling context over the thread hop: run_in_executor does
+        # not propagate contextvars, so without this the blocking service
+        # call would start a fresh trace instead of nesting under the
+        # request/gateway spans.
+        ctx = contextvars.copy_context()
         try:
-            future = loop.run_in_executor(self._executor, fn, *args)
+            future = loop.run_in_executor(self._executor, partial(ctx.run, fn, *args))
         except BaseException:
             # The executor refused (shut down between the closed check and
             # here); undo the admission so the slot is not leaked.

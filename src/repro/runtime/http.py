@@ -11,13 +11,27 @@ POST      ``/v1/estimate``     one design point → one estimate
 POST      ``/v1/estimate_many``  ``{"requests": [...]}`` → ``{"responses": [...]}``
 POST      ``/v1/explore``      ``{"kernel", "budget"}`` → frontier + ADRS
 GET       ``/v1/models``       the registry's manifest index (names × versions)
+GET       ``/v1/traces``       recent request traces (``?limit=N`` /
+                               ``?trace_id=...`` for one span tree)
+GET       ``/v1/events``       the supervisor event timeline (``?limit=N`` /
+                               ``?kind=crash``)
 GET       ``/healthz``         liveness + pool supervision (``200 ok`` /
                                ``200 degraded`` while a pool is in post-crash
                                backoff or retired / ``503 closed``)
 GET       ``/metrics``         service metrics + runtime stats (incl. the active
                                compute backend and per-backend forward counters)
-                               + gateway counters
+                               + gateway counters; with ``Accept: text/plain``
+                               the Prometheus text exposition instead of JSON
 ========  ===================  ===================================================
+
+Observability (:mod:`repro.obs`) threads through every request: a
+client-supplied ``X-Request-ID`` is honoured (one is minted otherwise) and
+echoed on the response; POST API calls open a root ``request`` span whose
+tree — gateway admission, coalesce, featurise (worker pids), cache lookups,
+forward — lands in the ring ``GET /v1/traces`` serves; each request emits
+one structured JSON log line and lands in the per-route counter/latency
+histograms.  All of it degrades to no-ops for gateways over bare stub
+services without an ``obs`` bundle.
 
 A design point on the wire is the JSON shape of
 :class:`~repro.hls.pragmas.DesignDirectives`::
@@ -40,8 +54,14 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
+import time
+from dataclasses import dataclass
+from urllib.parse import parse_qs
 
 from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
+from repro.obs.logs import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, flatten_numeric
 from repro.runtime.gateway import (
     AsyncPowerGateway,
     GatewayBackpressureError,
@@ -70,6 +90,27 @@ _STATUS_REASONS = {
 }
 
 
+#: Content type of the Prometheus text exposition format (version 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Routable paths; requests elsewhere share one "other" metrics label so a
+#: path scanner cannot mint unbounded label children.
+_KNOWN_PATHS = frozenset(
+    {
+        "/v1/estimate",
+        "/v1/estimate_many",
+        "/v1/explore",
+        "/v1/models",
+        "/v1/traces",
+        "/v1/events",
+        "/healthz",
+        "/metrics",
+    }
+)
+
+_HTTP_LOGGER = get_logger("http")
+
+
 class HTTPError(Exception):
     """A structured error response (status code + machine-readable type)."""
 
@@ -78,6 +119,28 @@ class HTTPError(Exception):
         self.status = status
         self.error_type = error_type
         self.message = message
+
+
+@dataclass
+class RawResponse:
+    """A non-JSON response body (the Prometheus exposition) with its type."""
+
+    content_type: str
+    body: bytes
+
+
+def _clean_request_id(raw: str | None) -> str:
+    """Echoable request id: client value sanitised, or a freshly minted one.
+
+    Only printable non-whitespace ASCII survives (the id goes back out in a
+    response *header* — CR/LF or control bytes from the client must never be
+    reflected), bounded so a hostile header can't bloat every log line.
+    """
+    if raw:
+        cleaned = "".join(ch for ch in raw if "!" <= ch <= "~")[:128]
+        if cleaned:
+            return cleaned
+    return os.urandom(8).hex()
 
 
 # ------------------------------------------------------------------ JSON codec
@@ -315,12 +378,19 @@ class GatewayHTTPServer:
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
+        started = time.perf_counter()
+        method: str | None = None
+        path: str | None = None
+        request_id: str | None = None
         try:
             try:
-                method, path, body = await asyncio.wait_for(
+                method, path, query, headers, body = await asyncio.wait_for(
                     self._read_request(reader), timeout=self.read_timeout
                 )
-                status, payload = await self._route(method, path, body)
+                request_id = _clean_request_id(headers.get("x-request-id"))
+                status, payload = await self._dispatch(
+                    method, path, query, headers, body, request_id
+                )
             except asyncio.TimeoutError:
                 status = 408
                 payload = {
@@ -340,7 +410,8 @@ class GatewayHTTPServer:
                 payload = {
                     "error": {"type": "internal", "message": f"{type(error).__name__}: {error}"}
                 }
-            await self._write_response(writer, status, payload)
+            await self._write_response(writer, status, payload, request_id=request_id)
+            self._account(method, path, status, started, request_id)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # Client went away mid-exchange; nothing to answer.
         finally:
@@ -351,6 +422,72 @@ class GatewayHTTPServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: dict,
+        headers: dict,
+        body: bytes,
+        request_id: str,
+    ) -> tuple[int, dict | RawResponse]:
+        """Route the request, under a root ``request`` span for API calls.
+
+        Only the POST endpoints open a root span: a scraped ``/metrics`` or
+        ``/healthz`` probe every few seconds would otherwise wash the actual
+        request traces out of the bounded ring.
+        """
+        obs = self._obs()
+        tracer = obs.tracer if obs is not None else None
+        if (
+            tracer is None
+            or not tracer.enabled
+            or method != "POST"
+            or not path.startswith("/v1/")
+        ):
+            return await self._route(method, path, query, headers, body)
+        with tracer.span("request", method=method, path=path) as span:
+            tracer.set_request_id(request_id)
+            status, payload = await self._route(method, path, query, headers, body)
+            span.set_attribute("status", status)
+            return status, payload
+
+    def _obs(self):
+        # Duck-typed, same as the gateway: a bare stub service has no obs
+        # bundle and the HTTP layer simply goes uninstrumented.
+        return getattr(self.gateway.service, "obs", None)
+
+    def _account(
+        self,
+        method: str | None,
+        path: str | None,
+        status: int,
+        started: float,
+        request_id: str | None,
+    ) -> None:
+        """Per-route counter + latency histogram + one structured log line."""
+        obs = self._obs()
+        if obs is None or method is None:
+            return
+        # Unknown paths share one label so a scanner can't mint unbounded
+        # label children in the registry.
+        route = path if path in _KNOWN_PATHS else "other"
+        elapsed = time.perf_counter() - started
+        try:
+            obs.http_requests.labels(path=route, status=str(status)).inc()
+            obs.http_seconds.labels(path=route).observe(elapsed)
+            log_event(
+                _HTTP_LOGGER,
+                "http.request",
+                method=method,
+                path=path,
+                status=status,
+                latency_ms=round(elapsed * 1e3, 3),
+                request_id=request_id,
+            )
+        except Exception:  # noqa: BLE001 - accounting must never fail a request
+            pass
 
     async def _read_request(self, reader: asyncio.StreamReader):
         try:
@@ -388,25 +525,40 @@ class GatewayHTTPServer:
                 f"body of {length} bytes exceeds the {self.max_body_bytes}-byte limit",
             )
         body = await reader.readexactly(length) if length else b""
-        return method, path.split("?", 1)[0], body
+        path, _, query_string = path.partition("?")
+        return method, path, parse_qs(query_string), headers, body
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict | RawResponse,
+        *,
+        request_id: str | None = None,
     ) -> None:
-        try:
-            # allow_nan=False: strict JSON on the wire (NaN/Infinity leaks
-            # become a structured 500 here instead of an unparsable body).
-            body = json.dumps(payload, allow_nan=False).encode()
-        except (TypeError, ValueError):
-            status = 500
-            body = json.dumps(
-                {"error": {"type": "internal", "message": "unserialisable response payload"}}
-            ).encode()
+        if isinstance(payload, RawResponse):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            content_type = "application/json"
+            try:
+                # allow_nan=False: strict JSON on the wire (NaN/Infinity leaks
+                # become a structured 500 here instead of an unparsable body).
+                body = json.dumps(payload, allow_nan=False).encode()
+            except (TypeError, ValueError):
+                status = 500
+                body = json.dumps(
+                    {"error": {"type": "internal", "message": "unserialisable response payload"}}
+                ).encode()
         reason = _STATUS_REASONS.get(status, "Unknown")
+        request_id_header = (
+            f"X-Request-ID: {request_id}\r\n" if request_id is not None else ""
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{request_id_header}"
             "Connection: close\r\n"
             "\r\n"
         )
@@ -415,12 +567,16 @@ class GatewayHTTPServer:
 
     # ---------------------------------------------------------------- routing
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(
+        self, method: str, path: str, query: dict, headers: dict, body: bytes
+    ) -> tuple[int, dict | RawResponse]:
         routes = {
             "/v1/estimate": ("POST", self._estimate),
             "/v1/estimate_many": ("POST", self._estimate_many),
             "/v1/explore": ("POST", self._explore),
             "/v1/models": ("GET", self._models),
+            "/v1/traces": ("GET", self._traces),
+            "/v1/events": ("GET", self._events),
             "/healthz": ("GET", self._healthz),
             "/metrics": ("GET", self._metrics),
         }
@@ -439,7 +595,7 @@ class GatewayHTTPServer:
             if not isinstance(parsed, dict):
                 raise HTTPError(400, "bad_request", "body must be a JSON object")
             return await handler(parsed)
-        return await handler()
+        return await handler(query, headers)
 
     async def _call_gateway(self, coroutine):
         """Map the gateway's typed failures onto status codes."""
@@ -482,7 +638,7 @@ class GatewayHTTPServer:
         )
         return 200, explore_report_to_json(report)
 
-    async def _models(self) -> tuple[int, dict]:
+    async def _models(self, query: dict, headers: dict) -> tuple[int, dict]:
         if self.registry is None:
             return 200, {"models": []}
         loop = asyncio.get_running_loop()
@@ -500,7 +656,7 @@ class GatewayHTTPServer:
         # Registry listing touches the filesystem; keep it off the event loop.
         return 200, {"models": await loop.run_in_executor(None, list_index)}
 
-    async def _healthz(self) -> tuple[int, dict]:
+    async def _healthz(self, query: dict, headers: dict) -> tuple[int, dict]:
         """Liveness plus pool-supervision state.
 
         A pool in post-crash backoff (or retired to the serial path) turns
@@ -517,31 +673,96 @@ class GatewayHTTPServer:
             return 200, {"status": "ok"}
         return 200, service_health()
 
-    async def _metrics(self) -> tuple[int, dict]:
+    @staticmethod
+    def _int_param(query: dict, name: str, default: int) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            value = int(values[0])
+        except ValueError:
+            raise HTTPError(400, "bad_request", f"{name} must be an integer") from None
+        if value < 1:
+            raise HTTPError(400, "bad_request", f"{name} must be >= 1")
+        return value
+
+    async def _traces(self, query: dict, headers: dict) -> tuple[int, dict]:
+        """Recent request traces (newest first), or one trace by id."""
+        obs = self._obs()
+        if obs is None:
+            return 200, {"traces": [], "stats": {}}
+        trace_id = query.get("trace_id")
+        if trace_id:
+            trace = obs.tracer.find(trace_id[0])
+            if trace is None:
+                raise HTTPError(404, "not_found", f"no trace {trace_id[0]!r} in the ring")
+            return 200, {"trace": trace}
+        limit = self._int_param(query, "limit", default=20)
+        return 200, {"traces": obs.tracer.recent(limit), "stats": obs.tracer.stats()}
+
+    async def _events(self, query: dict, headers: dict) -> tuple[int, dict]:
+        """The supervisor event timeline (oldest first)."""
+        obs = self._obs()
+        if obs is None:
+            return 200, {"events": [], "stats": {}}
+        limit = self._int_param(query, "limit", default=100)
+        kind_values = query.get("kind")
+        kind = kind_values[0] if kind_values else None
+        return 200, {
+            "events": obs.events.snapshot(limit=limit, kind=kind),
+            "stats": obs.events.stats(),
+        }
+
+    async def _metrics(self, query: dict, headers: dict) -> tuple[int, dict | RawResponse]:
         snapshot = self.gateway.service.metrics_snapshot()
         snapshot["gateway"] = self.gateway.stats.as_dict()
-        return 200, snapshot
+        if "text/plain" not in headers.get("accept", ""):
+            return 200, snapshot
+        # Prometheus exposition: the obs registry renders its own instruments
+        # (histograms with buckets, labelled counters, gauges); the legacy
+        # JSON stats sections are projected in as extra flat gauges.  The
+        # "latency"/"observability" sections are *views over the registry* —
+        # flattening them too would export every series twice.
+        obs = self._obs()
+        projected: dict = {}
+        for section in ("service", "runtime", "gateway", "closed"):
+            if section in snapshot:
+                flatten_numeric(f"repro_{section}", snapshot[section], projected)
+        registry = obs.metrics if obs is not None else MetricsRegistry()
+        text = registry.render_prometheus(extra_gauges=projected)
+        return 200, RawResponse(PROMETHEUS_CONTENT_TYPE, text.encode())
 
 
 # ------------------------------------------------------------------- client
 
 
-async def request_json(
-    host: str, port: int, method: str, path: str, body: dict | None = None
-) -> tuple[int, dict]:
+async def request_raw(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    headers: dict[str, str] | None = None,
+) -> tuple[int, dict[str, str], bytes]:
     """Minimal asyncio HTTP client (tests and demos; not a public API).
 
     Speaks exactly the dialect the server emits — one request per
-    connection — and returns ``(status, parsed_json)``.
+    connection — and returns ``(status, response_headers, body_bytes)``
+    with header names lowercased.  ``headers`` lets a caller set
+    ``X-Request-ID`` or ``Accept: text/plain`` (the Prometheus scrape).
     """
     reader, writer = await asyncio.open_connection(host, port)
     try:
         payload = json.dumps(body).encode() if body is not None else b""
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {host}:{port}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         )
@@ -549,19 +770,33 @@ async def request_json(
         await writer.drain()
         status_line = (await reader.readline()).decode("latin-1")
         status = int(status_line.split()[1])
+        response_headers: dict[str, str] = {}
         length = 0
         while True:
             line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
             if not line:
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value)
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
         data = await reader.readexactly(length) if length else b""
-        return status, json.loads(data.decode() or "null")
+        return status, response_headers, data
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+
+
+async def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    headers: dict[str, str] | None = None,
+) -> tuple[int, dict]:
+    """:func:`request_raw` with the body parsed as JSON → ``(status, payload)``."""
+    status, _, data = await request_raw(host, port, method, path, body, headers)
+    return status, json.loads(data.decode() or "null")

@@ -70,7 +70,17 @@ class MicroBatchStats:
 class _Batch:
     """One in-flight micro-batch (internal)."""
 
-    __slots__ = ("items", "deadline", "sealed", "reason", "claimed", "done", "results", "error")
+    __slots__ = (
+        "items",
+        "deadline",
+        "sealed",
+        "reason",
+        "claimed",
+        "done",
+        "results",
+        "error",
+        "flush_ids",
+    )
 
     def __init__(self, deadline: float) -> None:
         self.items: list = []
@@ -81,6 +91,9 @@ class _Batch:
         self.done = threading.Event()
         self.results: list | None = None
         self.error: BaseException | None = None
+        # (trace_id, span_id) of the claimer's coalesce span: followers link
+        # their own traces to the one that actually hosts the flush work.
+        self.flush_ids: tuple[str, str] | None = None
 
 
 class MicroBatcher:
@@ -93,6 +106,7 @@ class MicroBatcher:
         max_batch: int = 16,
         max_delay: float = 0.002,
         clock: Callable[[], float] = time.monotonic,
+        tracer=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -101,6 +115,13 @@ class MicroBatcher:
         self._flush = flush
         self.max_batch = max_batch
         self.max_delay = max_delay
+        #: Optional :class:`repro.obs.trace.Tracer`.  Both sides of the
+        #: leader/follower handoff get covered: every member's wait is a
+        #: ``coalesce`` span in *its own* trace, the flush runs under the
+        #: claimer's ``batch.flush`` span (so the batch's service work lands
+        #: in the claimer's tree), and followers record the claimer's trace
+        #: id as a ``flush_trace`` link.
+        self.tracer = tracer
         self._clock = clock
         self._cond = threading.Condition()
         self._flush_lock = threading.Lock()
@@ -118,6 +139,13 @@ class MicroBatcher:
         exception; a flush that returns :class:`ItemError` in a slot fails
         only that slot's member.
         """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._submit(item, None)
+        with tracer.span("coalesce") as span:
+            return self._submit(item, span)
+
+    def _submit(self, item, span):
         with self._cond:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
@@ -140,9 +168,19 @@ class MicroBatcher:
             claimed = not batch.claimed
             batch.claimed = True
         if claimed:
+            if span is not None and self.tracer is not None:
+                ids = self.tracer.current_ids()
+                if ids is not None:
+                    batch.flush_ids = ids
             self._run_flush(batch)
         else:
             batch.done.wait()
+        if span is not None:
+            span.set_attribute("role", "leader" if claimed else "follower")
+            span.set_attribute("batch_size", len(batch.items))
+            span.set_attribute("reason", batch.reason)
+            if not claimed and batch.flush_ids is not None:
+                span.set_attribute("flush_trace", batch.flush_ids[0])
         if batch.error is not None:
             raise batch.error
         result = batch.results[slot]
@@ -210,9 +248,17 @@ class MicroBatcher:
         self._cond.notify_all()
 
     def _run_flush(self, batch: _Batch) -> None:
+        tracer = self.tracer
         try:
             with self._flush_lock:
-                results = list(self._flush(list(batch.items)))
+                items = list(batch.items)
+                if tracer is not None and tracer.enabled:
+                    with tracer.span(
+                        "batch.flush", size=len(items), reason=batch.reason
+                    ):
+                        results = list(self._flush(items))
+                else:
+                    results = list(self._flush(items))
             if len(results) != len(batch.items):
                 raise RuntimeError(
                     f"flush returned {len(results)} results for {len(batch.items)} items"

@@ -44,6 +44,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -55,6 +56,7 @@ from repro.flow.dataset_gen import (
     FeaturisationTask,
     featurisation_worker_init,
     run_featurisation_task,
+    run_featurisation_task_with_meta,
 )
 from repro.graph.dataset import GraphSample
 from repro.graph.hetero_graph import HeteroGraph
@@ -126,6 +128,44 @@ class PoolStats:
         return {"batches": self.batches, "designs": self.designs, "shards": self.shards}
 
 
+class HeartbeatBook:
+    """Thread-safe ``pid -> last-seen wall clock`` map of one pool's workers.
+
+    Heartbeats are *passive* by default — every traced shard result carries
+    its worker's pid, and the pool stamps the book when it unpacks them — with
+    an active :meth:`WorkerPool.probe` for operators who want liveness proof
+    on an idle pool.  The book lives per pool instance (not per supervisor),
+    so a restarted pool starts clean instead of advertising dead pids.
+    """
+
+    __slots__ = ("_lock", "_seen")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seen: dict[int, float] = {}
+
+    def record(self, pids, now: float | None = None) -> None:
+        stamp = time.time() if now is None else now
+        with self._lock:
+            for pid in pids:
+                self._seen[int(pid)] = stamp
+
+    def snapshot(self) -> dict[int, float]:
+        with self._lock:
+            return dict(self._seen)
+
+
+def _heartbeat_probe(_: int) -> int:
+    """No-op pool task whose only output is the executing worker's pid.
+
+    The tiny sleep makes concurrent probe tasks overlap, spreading them
+    across idle workers — a best-effort census, not a guarantee that every
+    worker answered.
+    """
+    time.sleep(0.002)
+    return os.getpid()
+
+
 @dataclass
 class WorkerPool:
     """Shards featurisation batches across worker processes."""
@@ -135,6 +175,10 @@ class WorkerPool:
     start_method: str | None = None
     min_designs_per_worker: int = 2
     stats: PoolStats = field(default_factory=PoolStats)
+    #: Optional :class:`repro.obs.trace.Tracer`; when set, shards run the
+    #: meta-carrying task variant so worker spans (with pids) graft into the
+    #: live trace and the heartbeat book stays current.
+    tracer: object | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 2:
@@ -144,6 +188,7 @@ class WorkerPool:
         self._pool = None
         self._closed = False
         self._lock = threading.Lock()
+        self.heartbeat_book = HeartbeatBook()
 
     # ------------------------------------------------------------------ public
 
@@ -173,12 +218,19 @@ class WorkerPool:
             FeaturisationTask(kernel=kernel, directives=tuple(directives_list[part]))
             for part in shards
         ]
+        traced = self.tracer is not None
+        worker_fn = run_featurisation_task_with_meta if traced else run_featurisation_task
         try:
-            shard_results = list(pool.map(run_featurisation_task, tasks))
+            shard_results = list(pool.map(worker_fn, tasks))
         except BrokenProcessPool as fault:
             raise WorkerCrashError(
                 "a featurisation worker died mid-batch; the pool is broken"
             ) from fault
+        if traced:
+            payloads = [payload for _, payload in shard_results]
+            shard_results = [samples for samples, _ in shard_results]
+            self.heartbeat_book.record(p["pid"] for p in payloads)
+            self.tracer.attach_payloads(payloads)
         # Counted on success only: a crashed batch the supervisor retries on
         # a fresh pool (same injected stats object) must not double-count —
         # retries are visible in the supervisor's own retried_batches.
@@ -190,6 +242,27 @@ class WorkerPool:
         for shard_samples in shard_results:
             merged.extend(shard_samples)
         return merged
+
+    def heartbeats(self) -> dict[int, float]:
+        """``pid -> last-seen wall clock`` of the workers (passive + probed)."""
+        return self.heartbeat_book.snapshot()
+
+    def probe(self) -> dict[int, float]:
+        """Actively ping the pool; stamps and returns the heartbeat book.
+
+        Best-effort census: probe tasks overlap via a short sleep so idle
+        workers each pick one up, but the executor does not guarantee every
+        worker answers.  Raises :class:`WorkerCrashError` on a broken pool.
+        """
+        pool = self._ensure_pool()
+        try:
+            pids = set(pool.map(_heartbeat_probe, range(self.num_workers * 2)))
+        except BrokenProcessPool as fault:
+            raise WorkerCrashError(
+                "a featurisation worker died during a heartbeat probe"
+            ) from fault
+        self.heartbeat_book.record(pids)
+        return self.heartbeat_book.snapshot()
 
     def close(self) -> None:
         """Drain in-flight work, stop the workers, refuse further batches.
@@ -320,6 +393,28 @@ def run_forward_task(task: ForwardTask) -> np.ndarray:
     )
 
 
+def run_forward_task_with_meta(task: ForwardTask):
+    """Like :func:`run_forward_task`, plus a span payload for tracing.
+
+    Returns ``(stack, payload)`` where the payload is the picklable span dict
+    of :func:`repro.obs.trace.span_payload` — the parent grafts it into the
+    live trace (worker pid and all) and stamps the heartbeat book from it.
+    The stack itself is byte-identical to the untraced variant's.
+    """
+    from repro.obs.trace import span_payload
+
+    wall_start = time.time()
+    clock_start = time.perf_counter()
+    stack = run_forward_task(task)
+    return stack, span_payload(
+        "forward.shard",
+        wall_start,
+        time.perf_counter() - clock_start,
+        chunk=task.chunk_id,
+        members=task.member_stop - task.member_start,
+    )
+
+
 @dataclass
 class ForwardPoolStats:
     """Bookkeeping of one forward pool's lifetime."""
@@ -365,6 +460,7 @@ class ForwardPool:
         start_method: str | None = None,
         backend: str = "numpy",
         stats: ForwardPoolStats | None = None,
+        tracer: object | None = None,
     ) -> None:
         if num_workers < 2:
             raise ValueError("a forward pool needs at least 2 workers")
@@ -377,6 +473,8 @@ class ForwardPool:
         # An injected stats object survives pool rebuilds: the supervisor
         # passes one so lifetime counters aggregate across restarts/resizes.
         self.stats = stats if stats is not None else ForwardPoolStats()
+        self.tracer = tracer
+        self.heartbeat_book = HeartbeatBook()
         self._pool = None
         self._block: SharedParameterBlock | None = None
         self._closed = False
@@ -419,12 +517,19 @@ class ForwardPool:
                 )
                 for part in shards
             )
+        traced = self.tracer is not None
+        worker_fn = run_forward_task_with_meta if traced else run_forward_task
         try:
-            shard_stacks = list(pool.map(run_forward_task, tasks))
+            shard_stacks = list(pool.map(worker_fn, tasks))
         except BrokenProcessPool as fault:
             raise WorkerCrashError(
                 "a forward worker died mid-batch; the pool is broken"
             ) from fault
+        if traced:
+            payloads = [payload for _, payload in shard_stacks]
+            shard_stacks = [stack for stack, _ in shard_stacks]
+            self.heartbeat_book.record(p["pid"] for p in payloads)
+            self.tracer.attach_payloads(payloads)
         # Counted on success only (see WorkerPool.featurise): supervised
         # retries must not double-count the lifetime throughput counters.
         with self._lock:
@@ -439,6 +544,22 @@ class ForwardPool:
             )
             outputs[start : start + length] = stack.mean(axis=0)
         return type(self.model).clamp_predictions(outputs)
+
+    def heartbeats(self) -> dict[int, float]:
+        """``pid -> last-seen wall clock`` of the workers (passive + probed)."""
+        return self.heartbeat_book.snapshot()
+
+    def probe(self) -> dict[int, float]:
+        """Actively ping the pool; stamps and returns the heartbeat book."""
+        pool = self._ensure_pool()
+        try:
+            pids = set(pool.map(_heartbeat_probe, range(self.num_workers * 2)))
+        except BrokenProcessPool as fault:
+            raise WorkerCrashError(
+                "a forward worker died during a heartbeat probe"
+            ) from fault
+        self.heartbeat_book.record(pids)
+        return self.heartbeat_book.snapshot()
 
     def close(self) -> None:
         """Drain in-flight work, stop the workers, release the shared segment."""

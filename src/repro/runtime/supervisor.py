@@ -92,6 +92,7 @@ class SupervisedPool:
         name: str = "pool",
         on_fault: Callable[[BaseException], None] | None = None,
         on_restart: Callable[[], None] | None = None,
+        observer: object | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if min_workers < 2:
@@ -127,6 +128,13 @@ class SupervisedPool:
         self.name = name
         self._on_fault = on_fault
         self._on_restart = on_restart
+        # Duck-typed observability sink (repro.obs.Observability): anything
+        # with pool_event(kind, pool=..., **fields).  Every lifecycle
+        # transition reports through it — crash, restart, retire, scale_up,
+        # scale_down — feeding the event timeline, the pool-event counters
+        # and the structured log in one call.  Always best-effort: a broken
+        # observer must never break recovery.
+        self._observer = observer
         self._sleep = sleep
         # _state_lock guards every counter below and is never held across a
         # pool build, a pool close or a backoff sleep; _restart_lock
@@ -218,9 +226,16 @@ class SupervisedPool:
                 self._queue_depth -= cost
 
     def health(self) -> dict:
-        """Point-in-time health snapshot (JSON-safe, lock-consistent)."""
+        """Point-in-time health snapshot (JSON-safe, lock-consistent).
+
+        Includes per-worker heartbeats when the current pool generation keeps
+        a heartbeat book (both process pools do): ``pid -> {last_seen,
+        age_s}``, stamped passively by traced shard results and actively by
+        :meth:`probe`.
+        """
         with self._state_lock:
-            return {
+            pool = self._pools.get(self._generation)
+            snapshot = {
                 "name": self.name,
                 "state": self._state,
                 "size": self._size,
@@ -237,6 +252,31 @@ class SupervisedPool:
                 "batches": self._batches,
                 "retried_batches": self._retried_batches,
             }
+        heartbeats = getattr(pool, "heartbeats", None)
+        if callable(heartbeats):
+            now = time.time()
+            snapshot["heartbeats"] = {
+                str(pid): {"last_seen": seen, "age_s": max(now - seen, 0.0)}
+                for pid, seen in sorted(heartbeats().items())
+            }
+        return snapshot
+
+    def probe(self) -> dict[int, float]:
+        """Actively heartbeat-probe the current pool generation.
+
+        Best-effort by design: returns ``{}`` when there is no live pool,
+        the pool has no probe, or the probe itself faults (a broken pool is
+        the *next batch's* recovery to run, not the prober's).
+        """
+        with self._state_lock:
+            pool = self._pools.get(self._generation)
+        probe = getattr(pool, "probe", None)
+        if not callable(probe):
+            return {}
+        try:
+            return probe()
+        except Exception:
+            return {}
 
     def retire(self, reason: str) -> None:
         """Retire the pool from outside the crash path.  Idempotent.
@@ -258,8 +298,10 @@ class SupervisedPool:
                     stale.append(self._pools.pop(generation))
             # Stragglers still in flight drain-close theirs via _finish.
             self._generation += 1
+            restarts = self._restarts
         for pool in stale:
             self._close_quietly(pool)
+        self._emit("retire", reason=reason, restarts=restarts)
 
     def close(self) -> None:
         """Stop supervising and close every live pool generation.  Idempotent.
@@ -334,6 +376,7 @@ class SupervisedPool:
         admission instead of waiting for a full traffic gap.
         """
         stale = None
+        resize: tuple[str, int, int] | None = None
         with self._state_lock:
             if self._state == "closed":
                 raise PoolClosedError(f"{self.name} supervisor is closed")
@@ -344,8 +387,10 @@ class SupervisedPool:
             if self._target_size != self._size:
                 if self._target_size > self._size:
                     self._scale_ups += 1
+                    resize = ("scale_up", self._size, self._target_size)
                 else:
                     self._scale_downs += 1
+                    resize = ("scale_down", self._size, self._target_size)
                 self._size = self._target_size
                 if not self._in_flight.get(self._generation):
                     stale = self._pools.pop(self._generation, None)
@@ -361,6 +406,9 @@ class SupervisedPool:
             self._in_flight[generation] = self._in_flight.get(generation, 0) + 1
         if stale is not None:
             self._close_quietly(stale)
+        if resize is not None:
+            kind, old_size, new_size = resize
+            self._emit(kind, from_workers=old_size, to_workers=new_size)
         return generation, pool
 
     def _finish(self, generation: int) -> None:
@@ -417,16 +465,19 @@ class SupervisedPool:
                     )
             if stale is not None:
                 self._close_quietly(stale)
+            self._emit("crash", fault=str(fault), generation=generation)
             if self._on_fault is not None:
                 try:
                     self._on_fault(fault)
                 except Exception:
                     pass
             if retire:
+                self._emit("retire", reason=self._last_fault, restarts=self._restarts)
                 raise PoolRetiredError(
                     f"{self.name} pool retired after {self._restarts} restarts "
                     f"(last fault: {self._last_fault})"
                 ) from fault
+            self._emit("restart", restarts=self._restarts, backoff_s=delay)
             if self._on_restart is not None:
                 try:
                     self._on_restart()
@@ -434,6 +485,15 @@ class SupervisedPool:
                     pass
             if delay > 0:
                 self._sleep(delay)
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Report one lifecycle event through the observer, best-effort."""
+        if self._observer is None:
+            return
+        try:
+            self._observer.pool_event(kind, pool=self.name, **fields)
+        except Exception:
+            pass
 
     @staticmethod
     def _close_quietly(pool) -> None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -157,6 +158,12 @@ class InferenceCache:
         self.samples = LRUStore(max_entries=max_samples)
         self.predictions = LRUStore(max_entries=max_predictions)
         self.persistent = persistent
+        #: Duck-typed observability sink (anything with
+        #: ``cache_event(kind, tier, outcome, seconds)``); the owning service
+        #: sets it so every lookup/write lands in the hit/miss counters and
+        #: the per-tier latency histograms.  Purely side-band: cache contents
+        #: and return values are identical with or without an observer.
+        self.observer = None
         self._lock = threading.RLock()
 
     # -------------------------------------------------------------------- keys
@@ -173,12 +180,20 @@ class InferenceCache:
 
     def get_sample(self, kernel: str, directives: str) -> GraphSample | None:
         key = self.sample_key(kernel, directives)
+        start = time.perf_counter()
         with self._lock:
             cached = self.samples.get(key)
+        self._observe(
+            "sample", "memory", "hit" if cached is not None else "miss", start
+        )
         if cached is not None:
             return cached
         if self.persistent is not None:
+            start = time.perf_counter()
             from_disk = self.persistent.get_sample(key)
+            self._observe(
+                "sample", "disk", "hit" if from_disk is not None else "miss", start
+            )
             if from_disk is not None:
                 with self._lock:
                     self.samples.put(key, from_disk)
@@ -187,22 +202,34 @@ class InferenceCache:
 
     def put_sample(self, sample: GraphSample, cost_seconds: float = 0.0) -> str:
         key = self.sample_key(sample.kernel, sample.directives)
+        start = time.perf_counter()
         with self._lock:
             self.samples.put(key, sample)
+        self._observe("sample", "memory", "put", start)
         if self.persistent is not None:
+            start = time.perf_counter()
             self.persistent.put_sample(key, sample, cost_seconds=cost_seconds)
+            self._observe("sample", "disk", "put", start)
         return key
 
     # -------------------------------------------------------------- predictions
 
     def get_prediction(self, sample_key: str, model_fingerprint: str) -> float | None:
         key = self.prediction_key(sample_key, model_fingerprint)
+        start = time.perf_counter()
         with self._lock:
             cached = self.predictions.get(key)
+        self._observe(
+            "prediction", "memory", "hit" if cached is not None else "miss", start
+        )
         if cached is not None:
             return cached
         if self.persistent is not None:
+            start = time.perf_counter()
             from_disk = self.persistent.get_prediction(key)
+            self._observe(
+                "prediction", "disk", "hit" if from_disk is not None else "miss", start
+            )
             if from_disk is not None:
                 with self._lock:
                     self.predictions.put(key, from_disk)
@@ -217,10 +244,19 @@ class InferenceCache:
         cost_seconds: float = 0.0,
     ) -> None:
         key = self.prediction_key(sample_key, model_fingerprint)
+        start = time.perf_counter()
         with self._lock:
             self.predictions.put(key, float(value))
+        self._observe("prediction", "memory", "put", start)
         if self.persistent is not None:
+            start = time.perf_counter()
             self.persistent.put_prediction(key, float(value), cost_seconds=cost_seconds)
+            self._observe("prediction", "disk", "put", start)
+
+    def _observe(self, kind: str, tier: str, outcome: str, start: float) -> None:
+        observer = self.observer
+        if observer is not None:
+            observer.cache_event(kind, tier, outcome, time.perf_counter() - start)
 
     # -------------------------------------------------------------------- stats
 

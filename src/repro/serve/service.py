@@ -51,6 +51,7 @@ through :meth:`PowerEstimationService.runtime_stats` and the HTTP
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -83,6 +84,9 @@ from repro.runtime import (
     SupervisedPool,
     WorkerPool,
 )
+from repro.obs import Observability
+from repro.obs.logs import log_event
+from repro.obs.metrics import json_safe
 from repro.serve.cache import InferenceCache, sample_fingerprint
 from repro.serve.registry import ModelRegistry
 
@@ -221,6 +225,19 @@ class ServiceMetrics:
                 "designs_per_second": (
                     self.designs / self.total_seconds if self.total_seconds > 0 else 0.0
                 ),
+                # Guarded means: a fresh service reports 0.0, never NaN —
+                # /metrics serialises with allow_nan=False and one stray
+                # non-finite float would turn a scrape into a 500.
+                "mean_featurise_ms_per_design": (
+                    self.featurise_seconds * 1e3 / self.featurised
+                    if self.featurised
+                    else 0.0
+                ),
+                "mean_predict_ms_per_design": (
+                    self.predict_seconds * 1e3 / self.predicted
+                    if self.predicted
+                    else 0.0
+                ),
             }
 
 
@@ -255,11 +272,29 @@ class PowerEstimationService:
         self.model = model
         self.generator = generator or DatasetGenerator()
         self.runtime = runtime or RuntimeConfig()
+        # One observability bundle per service (tracer + metrics registry +
+        # event timeline + structured logger); every runtime layer below gets
+        # a handle into it.  Built before the cache/pools so construction-time
+        # conditions (e.g. a read-only disk tier) land in the timeline too.
+        self.obs = Observability(
+            tracing=self.runtime.tracing,
+            trace_ring=self.runtime.trace_ring,
+            event_ring=self.runtime.event_ring,
+        )
         cache = cache or InferenceCache()
         if self.runtime.persistence_enabled and cache.persistent is None:
             cache.persistent = PersistentCache(
                 self.runtime.persistent_cache_dir,
                 max_bytes=self.runtime.persistent_cache_max_bytes,
+            )
+        cache.observer = self.obs
+        if cache.persistent is not None and getattr(
+            cache.persistent, "read_only", False
+        ):
+            self.obs.pool_event(
+                "cache_read_only",
+                pool="persistent_cache",
+                directory=str(self.runtime.persistent_cache_dir),
             )
         self.cache = cache
         self.batch_size = batch_size
@@ -291,6 +326,7 @@ class PowerEstimationService:
                 self._coalesced_flush,
                 max_batch=self.runtime.coalesce_max_batch,
                 max_delay=self.runtime.coalesce_window_ms / 1e3,
+                tracer=self.obs.tracer,
             )
 
     @property
@@ -336,6 +372,7 @@ class PowerEstimationService:
         plain serial path: no new worker pool is ever spawned (a closed
         service must not resurrect worker processes), and coalescing is off.
         """
+        log_event(self.obs.logger, "service.close", already_closed=self._closed)
         hooks, self._close_hooks = self._close_hooks, []
         for hook in hooks:
             try:
@@ -414,19 +451,45 @@ class PowerEstimationService:
     def metrics_snapshot(self) -> dict:
         """One consistent, JSON-serialisable view of the whole service.
 
-        Combines the endpoint counters (:class:`ServiceMetrics`), the runtime
-        instrumentation (pool / coalescer / cache tiers) and the model
-        identity; this is what the HTTP ``/metrics`` endpoint exports.
+        Combines the endpoint counters (:class:`ServiceMetrics`), real
+        latency quantiles from the histogram registry (p50/p95/p99 per
+        endpoint and per stage), the runtime instrumentation (pool /
+        coalescer / cache tiers) and the model identity; this is what the
+        HTTP ``/metrics`` endpoint exports.  Routed through
+        :func:`repro.obs.metrics.json_safe`: strict JSON out, never
+        ``NaN``/``Infinity``.
         """
-        return {
-            "service": self.metrics.snapshot(),
-            "runtime": self.runtime_stats(),
-            "model": {
-                "fingerprint": self.model_fingerprint,
-                "target": self.target,
-            },
-            "closed": self._closed,
-        }
+        self._refresh_heartbeat_gauges()
+        return json_safe(
+            {
+                "service": self.metrics.snapshot(),
+                "latency": {
+                    "request": self.obs.request_seconds.snapshot(),
+                    "stages": self.obs.stage_seconds.snapshot(),
+                },
+                "observability": self.obs.snapshot(),
+                "runtime": self.runtime_stats(),
+                "model": {
+                    "fingerprint": self.model_fingerprint,
+                    "target": self.target,
+                },
+                "closed": self._closed,
+            }
+        )
+
+    def _refresh_heartbeat_gauges(self) -> None:
+        """Project per-worker last-heartbeat ages into the metrics registry."""
+        for name, supervisor in (
+            ("featurisation", self._feat_supervisor),
+            ("forward", self._forward_supervisor),
+        ):
+            if supervisor is None:
+                continue
+            heartbeats = supervisor.health().get("heartbeats") or {}
+            for pid, info in heartbeats.items():
+                self.obs.worker_heartbeat_age.labels(pool=name, pid=str(pid)).set(
+                    info["age_s"]
+                )
 
     def health(self) -> dict:
         """Liveness/degradation summary (what the HTTP ``/healthz`` serves).
@@ -450,7 +513,14 @@ class PowerEstimationService:
             status = "degraded"
         else:
             status = "ok"
-        return {"status": status, "pools": pools}
+        return {
+            "status": status,
+            "pools": pools,
+            # The recent tail of the lifecycle timeline (crash / restart /
+            # scale / retire / degrade), oldest first — the full ring is at
+            # GET /v1/events.
+            "events": self.obs.events.snapshot(limit=50),
+        }
 
     # --------------------------------------------------------------- endpoints
 
@@ -463,10 +533,17 @@ class PowerEstimationService:
         identical to the direct path's (the batched engine matches the serial
         one to round-off, and cache keys are unchanged).
         """
-        batcher = self._batcher
-        if batcher is not None:
-            return batcher.submit(request)
-        return self.estimate_many([request])[0]
+        start = time.perf_counter()
+        with self.obs.tracer.span("estimate", kernel=request.kernel):
+            batcher = self._batcher
+            if batcher is not None:
+                response = batcher.submit(request)
+            else:
+                response = self.estimate_many([request])[0]
+        self.obs.request_seconds.labels(endpoint="estimate").observe(
+            time.perf_counter() - start
+        )
+        return response
 
     def estimate_many(self, requests: list[EstimateRequest]) -> list[EstimateResponse]:
         """Estimate a batch of design points with one vectorised forward pass.
@@ -478,16 +555,31 @@ class PowerEstimationService:
         start = time.perf_counter()
         if not requests:
             return []
-        samples, feature_hits = self._resolve_samples(requests)
-        predictions, prediction_hits = self._predict_samples(samples)
-        if self.cache.persistent is not None:
-            # One amortised index write per request batch (the disk tier also
-            # self-syncs every `sync_every` mutations within huge batches).
-            self.cache.persistent.sync()
+        with self.obs.tracer.span("estimate_many", designs=len(requests)) as span:
+            samples, feature_hits = self._resolve_samples(requests)
+            predictions, prediction_hits = self._predict_samples(samples)
+            if self.cache.persistent is not None:
+                # One amortised index write per request batch (the disk tier
+                # also self-syncs every `sync_every` mutations within huge
+                # batches).
+                self.cache.persistent.sync()
+            span.set_attribute("feature_hits", int(sum(feature_hits)))
+            span.set_attribute("prediction_hits", int(sum(prediction_hits)))
 
-        elapsed_ms = (time.perf_counter() - start) * 1e3
+        elapsed = time.perf_counter() - start
+        elapsed_ms = elapsed * 1e3
         self.metrics.record(
-            requests=1, designs=len(requests), total_seconds=elapsed_ms / 1e3
+            requests=1, designs=len(requests), total_seconds=elapsed
+        )
+        self.obs.request_seconds.labels(endpoint="estimate_many").observe(elapsed)
+        log_event(
+            self.obs.logger,
+            "request",
+            endpoint="estimate_many",
+            designs=len(requests),
+            feature_hits=int(sum(feature_hits)),
+            prediction_hits=int(sum(prediction_hits)),
+            latency_ms=round(elapsed_ms, 3),
         )
         return [
             EstimateResponse(
@@ -526,6 +618,19 @@ class PowerEstimationService:
         Pass either ``budget`` (total sampling budget, default 0.4) or a full
         ``dse_config`` — not both.
         """
+        with self.obs.tracer.span("explore", kernel=kernel):
+            return self._explore_inner(
+                kernel, budget, dse_config=dse_config, samples=samples
+            )
+
+    def _explore_inner(
+        self,
+        kernel: str,
+        budget: float | None = None,
+        *,
+        dse_config: DSEConfig | None = None,
+        samples: list[GraphSample] | None = None,
+    ) -> ExploreReport:
         if budget is not None and dse_config is not None:
             raise ValueError(
                 "pass either budget or dse_config, not both "
@@ -574,6 +679,15 @@ class PowerEstimationService:
             self.cache.persistent.sync()
         elapsed = time.perf_counter() - start
         self.metrics.record(explorations=1, total_seconds=elapsed)
+        self.obs.request_seconds.labels(endpoint="explore").observe(elapsed)
+        log_event(
+            self.obs.logger,
+            "request",
+            endpoint="explore",
+            kernel=kernel,
+            candidates=len(candidates),
+            latency_ms=round(elapsed * 1e3, 3),
+        )
         return ExploreReport(
             kernel=kernel,
             budget=config.total_budget,
@@ -598,22 +712,33 @@ class PowerEstimationService:
         samples: list[GraphSample | None] = [None] * len(requests)
         hits: list[bool] = [False] * len(requests)
         misses_by_kernel: dict[str, list[int]] = {}
-        for index, request in enumerate(requests):
-            if request.sample is not None:
-                samples[index] = request.sample
-                continue
-            cached = self.cache.get_sample(request.kernel, request.directives_key)
-            if cached is not None:
-                samples[index] = cached
-                hits[index] = True
-            else:
-                misses_by_kernel.setdefault(request.kernel, []).append(index)
+        with self.obs.tracer.span("cache.samples", designs=len(requests)) as span:
+            for index, request in enumerate(requests):
+                if request.sample is not None:
+                    samples[index] = request.sample
+                    continue
+                cached = self.cache.get_sample(request.kernel, request.directives_key)
+                if cached is not None:
+                    samples[index] = cached
+                    hits[index] = True
+                else:
+                    misses_by_kernel.setdefault(request.kernel, []).append(index)
+            span.set_attribute("hits", int(sum(hits)))
 
         for kernel, indices in misses_by_kernel.items():
             directives_list = [requests[i].directives for i in indices]
             featurise_start = time.perf_counter()
-            featurised, pooled = self._featurise(kernel, directives_list)
+            with self.obs.tracer.span(
+                "featurise", kernel=kernel, designs=len(indices)
+            ) as span:
+                featurised, pooled = self._featurise(kernel, directives_list)
+                span.set_attribute("pooled", pooled)
+                if not pooled:
+                    # Pooled shards graft their own worker spans (with pids);
+                    # the serial path names its worker — this process — here.
+                    span.set_attribute("worker_pid", os.getpid())
             elapsed = time.perf_counter() - featurise_start
+            self.obs.observe_stage("featurise", elapsed)
             self.metrics.record(
                 featurise_seconds=elapsed,
                 featurised=len(indices),
@@ -637,16 +762,21 @@ class PowerEstimationService:
         direct path would have given them, and only the offending caller
         re-raises.
         """
+        flush_start = time.perf_counter()
+        self.obs.coalesced_batch_size.observe(len(requests))
         try:
-            return self.estimate_many(requests)
-        except Exception:
-            results: list = []
-            for request in requests:
-                try:
-                    results.append(self.estimate_many([request])[0])
-                except Exception as error:  # noqa: PERF203 - per-item isolation
-                    results.append(ItemError(error))
-            return results
+            try:
+                return self.estimate_many(requests)
+            except Exception:
+                results: list = []
+                for request in requests:
+                    try:
+                        results.append(self.estimate_many([request])[0])
+                    except Exception as error:  # noqa: PERF203 - per-item isolation
+                        results.append(ItemError(error))
+                return results
+        finally:
+            self.obs.observe_stage("batch_flush", time.perf_counter() - flush_start)
 
     def _featurise(
         self, kernel: str, directives_list: list[DesignDirectives]
@@ -664,10 +794,14 @@ class PowerEstimationService:
         """
         supervisor = self._featurisation_supervisor(len(directives_list))
         if supervisor is not None:
+            dispatch_start = time.perf_counter()
             try:
                 samples = supervisor.run(
                     lambda pool: pool.featurise(kernel, directives_list),
                     cost=len(directives_list),
+                )
+                self.obs.observe_stage(
+                    "pool_dispatch", time.perf_counter() - dispatch_start
                 )
                 self._note_pool_success(supervisor)
                 return samples, True
@@ -708,6 +842,7 @@ class PowerEstimationService:
                         start_method=self.runtime.start_method,
                         min_designs_per_worker=self.runtime.min_designs_per_worker,
                         stats=self._pool_stats,
+                        tracer=self.obs.tracer,
                     ),
                     min_workers=low,
                     max_workers=high,
@@ -721,6 +856,7 @@ class PowerEstimationService:
                     name="featurisation",
                     on_fault=lambda fault: self.metrics.record(pooled_errors=1),
                     on_restart=lambda: self.metrics.record(pool_restarts=1),
+                    observer=self.obs,
                 )
             supervisor = self._feat_supervisor
         return supervisor if supervisor.should_parallelise(num_designs) else None
@@ -742,12 +878,21 @@ class PowerEstimationService:
         exhausted) or a shutdown race degrades to the serial path, which
         produces identical predictions.
         """
+        with self.obs.tracer.span("forward", designs=len(samples)) as span:
+            return self._predict_batch_inner(samples, span)
+
+    def _predict_batch_inner(self, samples: list[GraphSample], span) -> np.ndarray:
         supervisor = self._forward_supervisor_handle()
         if supervisor is not None:
+            span.set_attribute("pooled", True)
+            dispatch_start = time.perf_counter()
             try:
                 predictions = supervisor.run(
                     lambda pool: pool.predict_batch(samples, batch_size=self.batch_size),
                     cost=len(samples),
+                )
+                self.obs.observe_stage(
+                    "pool_dispatch", time.perf_counter() - dispatch_start
                 )
                 self.metrics.record(pooled_predicted=len(samples))
                 self._note_pool_success(supervisor)
@@ -770,7 +915,10 @@ class PowerEstimationService:
                         samples, batch_size=self.batch_size
                     )
                 self._note_pool_degradation(supervisor)
+                span.set_attribute("pooled", False)
                 return predictions
+        span.set_attribute("pooled", False)
+        span.set_attribute("worker_pid", os.getpid())
         with use_backend(self.backend):
             return self.model.predict_batch(samples, batch_size=self.batch_size)
 
@@ -793,6 +941,7 @@ class PowerEstimationService:
         with self._pool_lock:
             strikes = self._pool_strikes.get(supervisor.name, 0) + 1
             self._pool_strikes[supervisor.name] = strikes
+        self.obs.pool_event("degrade", pool=supervisor.name, strikes=strikes)
         if strikes > self.runtime.pool_max_restarts:
             supervisor.retire(
                 f"{strikes} consecutive non-crash pool failures "
@@ -823,6 +972,7 @@ class PowerEstimationService:
                         start_method=self.runtime.start_method,
                         backend=self.backend.name,
                         stats=self._forward_pool_stats,
+                        tracer=self.obs.tracer,
                     ),
                     # Fixed size: the member axis is what this pool shards,
                     # so queue depth says nothing about useful parallelism —
@@ -834,6 +984,7 @@ class PowerEstimationService:
                     name="forward",
                     on_fault=lambda fault: self.metrics.record(pooled_errors=1),
                     on_restart=lambda: self.metrics.record(pool_restarts=1),
+                    observer=self.obs,
                 )
             return self._forward_supervisor
 
@@ -844,19 +995,22 @@ class PowerEstimationService:
         predictions = np.zeros(len(samples))
         hits: list[bool] = [False] * len(samples)
         miss_indices: list[int] = []
-        keys = [sample_fingerprint(sample) for sample in samples]
-        for index, key in enumerate(keys):
-            cached = self.cache.get_prediction(key, self.model_fingerprint)
-            if cached is not None:
-                predictions[index] = cached
-                hits[index] = True
-            else:
-                miss_indices.append(index)
+        with self.obs.tracer.span("cache.predictions", designs=len(samples)) as span:
+            keys = [sample_fingerprint(sample) for sample in samples]
+            for index, key in enumerate(keys):
+                cached = self.cache.get_prediction(key, self.model_fingerprint)
+                if cached is not None:
+                    predictions[index] = cached
+                    hits[index] = True
+                else:
+                    miss_indices.append(index)
+            span.set_attribute("hits", int(sum(hits)))
 
         if miss_indices:
             predict_start = time.perf_counter()
             fresh = self._predict_batch([samples[i] for i in miss_indices])
             elapsed = time.perf_counter() - predict_start
+            self.obs.observe_stage("predict", elapsed)
             self.metrics.record(
                 predict_seconds=elapsed,
                 predicted=len(miss_indices),

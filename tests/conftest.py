@@ -89,6 +89,50 @@ def random_graph_factory():
     return build
 
 
+def pytest_sessionstart(session):
+    """Capture structured JSON logs for the CI failure artifact.
+
+    When ``$REPRO_OBS_LOG_DIR`` is set, every ``repro.*`` log record the
+    suite provokes (http requests, pool crashes, restarts) is appended to
+    ``repro-obs.jsonl`` in that directory — CI uploads it on failure.
+    """
+    import os
+
+    if not os.environ.get("REPRO_OBS_LOG_DIR"):
+        return
+    try:
+        from repro.obs.logs import configure_json_logging
+
+        configure_json_logging()
+    except Exception:  # pragma: no cover - best-effort debugging aid
+        pass
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump every live supervisor event timeline on a failed run.
+
+    Only when ``$REPRO_OBS_LOG_DIR`` is set (CI sets it and uploads the
+    directory as a failure artifact alongside the structured JSON log): a
+    red run then ships the crash/restart/scale sequences of every service
+    the failing tests touched, not just their assertion messages.
+    """
+    import os
+
+    directory = os.environ.get("REPRO_OBS_LOG_DIR")
+    if not directory or exitstatus == 0:
+        return
+    try:
+        from pathlib import Path
+
+        from repro.obs.events import dump_event_logs
+
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        dump_event_logs(target / "event-timelines.json")
+    except Exception:  # pragma: no cover - best-effort debugging aid
+        pass
+
+
 @pytest.fixture()
 def random_sample_factory(random_graph_factory):
     """Factory for synthetic GraphSamples whose target depends on the features."""

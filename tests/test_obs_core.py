@@ -1,0 +1,281 @@
+"""Unit tests of the observability primitives (:mod:`repro.obs`).
+
+Covers the four building blocks in isolation — tracer, metrics registry,
+structured logs, event timeline — plus the :class:`~repro.obs.Observability`
+facade's conveniences.  Integration through the serving stack lives in
+``test_obs_http.py``; the determinism contract in ``test_obs_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    CollectingHandler,
+    EventLog,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    current_trace_ids,
+    dump_event_logs,
+    flatten_numeric,
+    get_logger,
+    json_safe,
+    log_event,
+    span_payload,
+)
+
+# ---------------------------------------------------------------------- tracer
+
+
+def test_tracer_builds_nested_tree():
+    tracer = Tracer(ring_size=4)
+    with tracer.span("request", path="/v1/estimate") as root:
+        assert tracer.active()
+        with tracer.span("gateway") :
+            with tracer.span("featurise", kernel="atax"):
+                pass
+        root.set_attribute("status", 200)
+    assert not tracer.active()
+    (trace,) = tracer.recent()
+    assert trace["num_spans"] == 3
+    assert trace["root"]["name"] == "request"
+    assert trace["root"]["attributes"] == {"path": "/v1/estimate", "status": 200}
+    (gateway,) = trace["root"]["children"]
+    (featurise,) = gateway["children"]
+    assert featurise["attributes"] == {"kernel": "atax"}
+    assert featurise["duration_ms"] is not None
+    assert trace["orphans"] == []
+
+
+def test_tracer_ring_is_bounded_and_newest_first():
+    tracer = Tracer(ring_size=3)
+    for index in range(5):
+        with tracer.span("r", index=index):
+            pass
+    recent = tracer.recent()
+    assert [t["root"]["attributes"]["index"] for t in recent] == [4, 3, 2]
+    assert tracer.stats() == {"enabled": True, "started": 5, "finished": 5, "ring": 3}
+    assert tracer.recent(limit=1)[0]["root"]["attributes"]["index"] == 4
+
+
+def test_tracer_find_and_request_id():
+    tracer = Tracer()
+    with tracer.span("request"):
+        tracer.set_request_id("req-42")
+        trace_id, _span_id = tracer.current_ids()
+    found = tracer.find(trace_id)
+    assert found is not None and found["request_id"] == "req-42"
+    assert tracer.find("does-not-exist") is None
+
+
+def test_tracer_error_span_status_propagates():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("request"):
+            with tracer.span("stage"):
+                raise ValueError("boom")
+    (trace,) = tracer.recent()
+    assert trace["root"]["status"] == "error"
+    assert trace["root"]["children"][0]["attributes"]["error"] == "ValueError"
+
+
+def test_disabled_tracer_is_inert():
+    tracer = Tracer(enabled=False)
+    with tracer.span("request") as span:
+        span.set_attribute("ignored", True)  # no-op span accepts the call
+        assert not tracer.active()
+        assert tracer.current_ids() is None
+        assert current_trace_ids() is None
+        tracer.attach_payloads([span_payload("w", 0.0, 0.0)])
+    assert tracer.recent() == []
+    assert tracer.stats()["started"] == 0
+
+
+def test_span_payloads_are_picklable_and_graft_with_pid():
+    tracer = Tracer()
+    payload = span_payload("featurise.shard", 123.0, 0.25, kernel="atax", designs=3)
+    payload = pickle.loads(pickle.dumps(payload))  # the process-hop contract
+    with tracer.span("featurise"):
+        tracer.attach_payloads([payload])
+    (trace,) = tracer.recent()
+    (shard,) = trace["root"]["children"]
+    assert shard["name"] == "featurise.shard"
+    assert shard["pid"] == payload["pid"]
+    assert shard["duration_ms"] == pytest.approx(250.0)
+    assert shard["attributes"] == {"kernel": "atax", "designs": 3}
+
+
+def test_spans_cross_threads_via_copied_context():
+    import contextvars
+
+    tracer = Tracer()
+    with tracer.span("request"):
+        ctx = contextvars.copy_context()
+
+        def on_thread():
+            with tracer.span("bridge"):
+                pass
+
+        worker = threading.Thread(target=ctx.run, args=(on_thread,))
+        worker.start()
+        worker.join()
+    (trace,) = tracer.recent()
+    assert [c["name"] for c in trace["root"]["children"]] == ["bridge"]
+
+
+# --------------------------------------------------------------------- metrics
+
+
+def test_histogram_quantiles_are_real():
+    registry = MetricsRegistry()
+    hist = registry.histogram("t_seconds", "test", buckets=(0.1, 0.2, 0.5, 1.0))
+    for value in (0.05, 0.15, 0.15, 0.3, 0.7):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(1.35)
+    assert 0.1 <= snap["p50"] <= 0.2  # interpolated inside the right bucket
+    assert 0.5 <= snap["p95"] <= 1.0
+
+
+def test_empty_histogram_never_emits_nan():
+    registry = MetricsRegistry()
+    hist = registry.histogram("t_seconds", "test")
+    snap = hist.snapshot()
+    assert snap["count"] == 0 and snap["mean"] == 0.0
+    assert snap["p50"] is None and snap["p99"] is None
+    # The whole snapshot must be strict-JSON serialisable as-is.
+    json.dumps(registry.snapshot(), allow_nan=False)
+
+
+def test_labelled_families_and_idempotent_registration():
+    registry = MetricsRegistry()
+    counter = registry.counter("reqs_total", "test", labelnames=("path",))
+    counter.labels(path="/a").inc()
+    counter.labels(path="/a").inc(2)
+    counter.labels(path="/b").inc()
+    again = registry.counter("reqs_total", "test", labelnames=("path",))
+    assert again is counter  # re-registration hands back the same family
+    assert registry.snapshot()["reqs_total"] == {"/a": 3.0, "/b": 1.0}
+    with pytest.raises(ValueError):
+        registry.gauge("reqs_total", "test", labelnames=("path",))  # type clash
+
+
+def test_prometheus_rendering_shape():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", "jobs", labelnames=("kind",)).labels(kind="a").inc()
+    registry.gauge("depth", "queue depth").set(4)
+    registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0)).observe(0.05)
+    text = registry.render_prometheus(extra_gauges={"legacy_stat": 1.5})
+    lines = text.splitlines()
+    assert "# TYPE jobs_total counter" in lines
+    assert 'jobs_total{kind="a"} 1' in lines
+    assert "depth 4" in lines
+    assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in lines
+    assert "lat_seconds_count 1" in lines
+    assert "legacy_stat 1.5" in lines
+    # every non-comment line is "name{labels} value"
+    for line in lines:
+        if line and not line.startswith("#"):
+            assert len(line.rsplit(" ", 1)) == 2
+
+
+def test_json_safe_and_flatten_numeric():
+    dirty = {"ok": 1.0, "bad": float("nan"), "nest": [float("inf"), 2]}
+    assert json_safe(dirty) == {"ok": 1.0, "bad": None, "nest": [None, 2]}
+    flat = flatten_numeric("repro", {"cache": {"hit rate": 0.5, "on": True, "name": "x", "nan": float("nan")}})
+    assert flat == {"repro_cache_hit_rate": 0.5, "repro_cache_on": 1.0}
+
+
+# ------------------------------------------------------------------------ logs
+
+
+def test_log_event_renders_one_json_line_with_trace_ids():
+    logger = get_logger("test_core")
+    handler = CollectingHandler()
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    tracer = Tracer()
+    try:
+        with tracer.span("request"):
+            trace_id, span_id = tracer.current_ids()
+            log_event(logger, "http.request", path="/v1/estimate", status=200)
+    finally:
+        logger.removeHandler(handler)
+    (record,) = handler.records()
+    assert record["event"] == "http.request"
+    assert record["path"] == "/v1/estimate" and record["status"] == 200
+    assert record["trace_id"] == trace_id and record["span_id"] == span_id
+    assert record["logger"] == "repro.test_core"
+
+
+def test_log_event_survives_non_finite_fields():
+    logger = get_logger("test_core_nan")
+    handler = CollectingHandler()
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    try:
+        log_event(logger, "bad", value=float("nan"))
+    finally:
+        logger.removeHandler(handler)
+    (record,) = handler.records()  # degraded line, still valid JSON
+    assert record["event"] == "unserialisable_log_record"
+
+
+# ---------------------------------------------------------------------- events
+
+
+def test_event_log_ring_filter_and_dump(tmp_path):
+    log = EventLog(maxlen=3)
+    for index in range(5):
+        log.record("crash" if index % 2 else "restart", pool="featurisation", index=index)
+    events = log.snapshot()
+    assert [e["index"] for e in events] == [2, 3, 4]  # oldest-first, bounded
+    assert [e["seq"] for e in events] == [3, 4, 5]
+    assert [e["index"] for e in log.snapshot(kind="crash")] == [3]
+    assert len(log.snapshot(limit=1)) == 1
+    assert log.stats() == {"recorded": 5, "ring": 3}
+    path = tmp_path / "events.json"
+    assert dump_event_logs(path) >= 3
+    dumped = json.loads(path.read_text())
+    assert dumped["event_logs"] >= 1
+
+
+# ---------------------------------------------------------------------- facade
+
+
+def test_observability_pool_event_feeds_all_three_sinks():
+    obs = Observability()
+    handler = CollectingHandler()
+    supervisor_logger = get_logger("supervisor")
+    supervisor_logger.addHandler(handler)
+    supervisor_logger.setLevel(logging.INFO)
+    try:
+        obs.pool_event("crash", pool="featurisation", fault="SIGKILL")
+        obs.pool_event("restart", pool="featurisation", restarts=1)
+    finally:
+        supervisor_logger.removeHandler(handler)
+    kinds = [e["kind"] for e in obs.events.snapshot()]
+    assert kinds == ["crash", "restart"]
+    rendered = obs.metrics.render_prometheus()
+    assert 'repro_pool_events_total{pool="featurisation",kind="crash"} 1' in rendered
+    assert [r["event"] for r in handler.records()] == ["pool.crash", "pool.restart"]
+
+
+def test_observability_snapshot_is_strict_json():
+    obs = Observability()
+    obs.observe_stage("featurise", 0.01)
+    obs.cache_event("sample", "memory", "hit", 0.0001)
+    json.dumps(obs.snapshot(), allow_nan=False)
+    assert not any(
+        isinstance(v, float) and not math.isfinite(v)
+        for v in flatten_numeric("x", obs.snapshot()).values()
+    )

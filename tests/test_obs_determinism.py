@@ -1,0 +1,123 @@
+"""The observability determinism contract: tracing never changes predictions.
+
+Instrumentation is side-band by construction — spans, counters and events
+record *about* the request path without touching request data — so a service
+with tracing on must return bitwise-identical predictions to one with
+tracing off, on every path the runtime has: fresh featurisation, warm
+memory-cache hits, and pooled (multi-process) featurisation where worker
+span payloads ride back alongside the shard results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.kernels.polybench import polybench_kernel
+from repro.runtime import RuntimeConfig
+from repro.serve import EstimateRequest, PowerEstimationService
+
+SERVICE_CONFIG = DatasetConfig(kernel_size=6, designs_per_kernel=10)
+
+
+@pytest.fixture(scope="module")
+def served_model(small_dataset):
+    model = PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=12, num_layers=2),
+            training=TrainingConfig(epochs=8, batch_size=16),
+            ensemble=None,
+        )
+    ).fit(small_dataset.samples)
+    return model
+
+
+@pytest.fixture(scope="module")
+def atax_requests():
+    generator = DatasetGenerator(SERVICE_CONFIG)
+    kernel = polybench_kernel("atax", SERVICE_CONFIG.kernel_size)
+    return [
+        EstimateRequest(kernel="atax", directives=directives)
+        for directives in generator.design_space_for(kernel)
+    ]
+
+
+def build_service(model, *, tracing: bool, **runtime_kwargs) -> PowerEstimationService:
+    runtime = RuntimeConfig(tracing=tracing, **runtime_kwargs)
+    return PowerEstimationService(
+        model, generator=DatasetGenerator(SERVICE_CONFIG), runtime=runtime
+    )
+
+
+def powers(responses) -> list[float]:
+    return [response.power for response in responses]
+
+
+def test_tracing_on_off_bitwise_identical_fresh_and_cached(served_model, atax_requests):
+    """Fresh featurisation AND the warm re-serve: same floats either way."""
+    with build_service(served_model, tracing=True) as traced, build_service(
+        served_model, tracing=False
+    ) as untraced:
+        # Fresh path: every design featurises and forwards.
+        fresh_on = powers(traced.estimate_many(atax_requests))
+        fresh_off = powers(untraced.estimate_many(atax_requests))
+        assert fresh_on == fresh_off  # bitwise, not allclose
+
+        # Cached path: the repeat is served out of the prediction cache.
+        warm_on = powers(traced.estimate_many(atax_requests))
+        warm_off = powers(untraced.estimate_many(atax_requests))
+        assert warm_on == fresh_on
+        assert warm_off == fresh_off
+        assert traced.cache.stats()["predictions"]["hits"] >= len(atax_requests)
+
+        # The traced service actually traced; the untraced one recorded nothing.
+        assert traced.obs.tracer.stats()["finished"] >= 2
+        assert untraced.obs.tracer.stats() == {
+            "enabled": False,
+            "started": 0,
+            "finished": 0,
+            "ring": 0,
+        }
+
+
+def test_tracing_on_off_bitwise_identical_pooled(served_model, atax_requests):
+    """The pooled path: worker span payloads ride along, results unchanged."""
+    with build_service(
+        served_model, tracing=True, num_workers=2, min_designs_per_worker=1
+    ) as traced, build_service(
+        served_model, tracing=False, num_workers=2, min_designs_per_worker=1
+    ) as untraced:
+        pooled_on = traced.estimate_many(atax_requests)
+        pooled_off = untraced.estimate_many(atax_requests)
+        assert traced.metrics.snapshot()["pooled_featurised"] == len(atax_requests)
+        assert untraced.metrics.snapshot()["pooled_featurised"] == len(atax_requests)
+        assert powers(pooled_on) == powers(pooled_off)
+
+        # The traced run grafted real worker spans (pids from the pool).
+        (trace,) = traced.obs.tracer.recent(limit=1)
+        shards = [
+            span
+            for span in _walk(trace["root"])
+            if span["name"] == "featurise.shard"
+        ]
+        assert shards, "pooled featurisation left no worker shard spans"
+        import os
+
+        assert all(span["pid"] != os.getpid() for span in shards)
+
+        # Heartbeats flowed regardless of tracing (liveness is not a tracing
+        # feature): both pools saw their workers.
+        for service in (traced, untraced):
+            health = service.health()
+            beats = health["pools"]["featurisation"].get("heartbeats", {})
+            assert len(beats) >= 1
+
+
+def _walk(span: dict):
+    yield span
+    for child in span.get("children", []):
+        yield from _walk(child)

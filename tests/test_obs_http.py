@@ -1,0 +1,338 @@
+"""End-to-end observability through the HTTP front end.
+
+The acceptance surface of the obs subsystem, exercised over real sockets:
+
+* one ``POST /v1/estimate`` leaves one complete span tree — gateway
+  admission, coalesce, batch flush, featurisation (with the worker pid),
+  cache lookups, forward — retrievable from ``GET /v1/traces``;
+* ``X-Request-ID`` is honoured and echoed (and minted when absent), and the
+  id stamps the trace;
+* ``GET /metrics`` stays strict JSON (no NaN/Infinity, even on a fresh
+  service) and serves the Prometheus text exposition under
+  ``Accept: text/plain``;
+* a SIGKILLed pool worker leaves a ``crash`` → ``restart`` sequence in
+  ``GET /v1/events`` and fresh worker heartbeats in ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import time
+
+import pytest
+
+from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.runtime import RuntimeConfig
+from repro.runtime.gateway import AsyncPowerGateway
+from repro.runtime.http import GatewayHTTPServer, request_json, request_raw
+from repro.serve import EstimateRequest, PowerEstimationService
+
+SERVICE_CONFIG = DatasetConfig(kernel_size=6, designs_per_kernel=10)
+
+
+@pytest.fixture(scope="module")
+def served_model(small_dataset):
+    model = PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=12, num_layers=2),
+            training=TrainingConfig(epochs=8, batch_size=16),
+            ensemble=None,
+        )
+    ).fit(small_dataset.samples)
+    return model
+
+
+def serve(model, **runtime_kwargs):
+    """Async context: server over a fresh service; yields (service, call, raw)."""
+
+    class _Context:
+        async def __aenter__(self):
+            self.service = PowerEstimationService(
+                model,
+                generator=DatasetGenerator(SERVICE_CONFIG),
+                runtime=RuntimeConfig(**runtime_kwargs),
+            )
+            self.gateway = AsyncPowerGateway(self.service)
+            self.server = GatewayHTTPServer(self.gateway)
+            host, port = await self.server.start()
+
+            async def call(method, path, body=None, headers=None):
+                return await request_json(host, port, method, path, body, headers)
+
+            async def raw(method, path, body=None, headers=None):
+                return await request_raw(host, port, method, path, body, headers)
+
+            self.call = call
+            self.raw = raw
+            return self
+
+        async def __aexit__(self, *exc_info):
+            await self.server.aclose()
+            await self.gateway.aclose()
+            self.service.close()
+
+    return _Context()
+
+
+def _walk(span: dict):
+    yield span
+    for child in span.get("children", []):
+        yield from _walk(child)
+
+
+# ------------------------------------------------------------------- tracing
+
+
+def test_single_estimate_leaves_one_complete_trace(served_model):
+    """The tentpole acceptance: one request, one span tree, every stage."""
+
+    async def run():
+        async with serve(served_model, coalesce_window_ms=5.0) as ctx:
+            status, headers, _body = await ctx.raw(
+                "POST",
+                "/v1/estimate",
+                {"kernel": "atax"},
+                headers={"X-Request-ID": "req-accept-1"},
+            )
+            assert status == 200
+            assert headers["x-request-id"] == "req-accept-1"
+            return await ctx.call("GET", "/v1/traces")
+
+    status, payload = asyncio.run(run())
+    assert status == 200
+    (trace,) = payload["traces"]
+    assert trace["request_id"] == "req-accept-1"
+    spans = {span["name"]: span for span in _walk(trace["root"])}
+    # Every stage of the path, in one tree.
+    for name in (
+        "request",
+        "gateway",
+        "estimate",
+        "coalesce",
+        "batch.flush",
+        "cache.samples",
+        "featurise",
+        "cache.predictions",
+        "forward",
+    ):
+        assert name in spans, f"missing span {name!r} (got {sorted(spans)})"
+    assert spans["request"]["attributes"]["path"] == "/v1/estimate"
+    assert spans["request"]["attributes"]["status"] == 200
+    assert spans["coalesce"]["attributes"]["role"] == "leader"
+    assert spans["featurise"]["attributes"]["worker_pid"] == spans["featurise"]["pid"]
+    assert all(span["duration_ms"] is not None for span in spans.values())
+    assert payload["stats"]["finished"] == 1
+
+    # find-by-id round trip
+    async def fetch_one():
+        async with serve(served_model) as ctx:
+            await ctx.call("POST", "/v1/estimate", {"kernel": "atax"})
+            _, listing = await ctx.call("GET", "/v1/traces?limit=1")
+            trace_id = listing["traces"][0]["trace_id"]
+            found = await ctx.call("GET", f"/v1/traces?trace_id={trace_id}")
+            missing = await ctx.call("GET", "/v1/traces?trace_id=deadbeefdeadbeef")
+            return trace_id, found, missing
+
+    trace_id, (found_status, found), (missing_status, _missing) = asyncio.run(
+        fetch_one()
+    )
+    assert found_status == 200 and found["trace"]["trace_id"] == trace_id
+    assert missing_status == 404
+
+
+def test_request_id_minted_and_scrapes_stay_out_of_the_ring(served_model):
+    async def run():
+        async with serve(served_model) as ctx:
+            status, headers, _ = await ctx.raw(
+                "POST", "/v1/estimate", {"kernel": "atax"}
+            )
+            minted = headers["x-request-id"]
+            # GET endpoints never open traces: scrape noise must not wash
+            # real requests out of the bounded ring.
+            for _ in range(3):
+                await ctx.call("GET", "/metrics")
+                await ctx.call("GET", "/healthz")
+            _, traces = await ctx.call("GET", "/v1/traces")
+            return minted, traces
+
+    minted, traces = asyncio.run(run())
+    assert re.fullmatch(r"[0-9a-f]{16}", minted)
+    assert len(traces["traces"]) == 1
+    assert traces["traces"][0]["request_id"] == minted
+
+
+def test_pooled_estimate_many_trace_carries_worker_pids(served_model):
+    async def run():
+        async with serve(
+            served_model, num_workers=2, min_designs_per_worker=1
+        ) as ctx:
+            generator = DatasetGenerator(SERVICE_CONFIG)
+            from repro.kernels.polybench import polybench_kernel
+            from repro.runtime.http import directives_to_json
+
+            kernel = polybench_kernel("atax", SERVICE_CONFIG.kernel_size)
+            # Distinct design points so the pool actually shards.
+            requests = [
+                {"kernel": "atax", "directives": directives_to_json(d)}
+                for d in generator.design_space_for(kernel)
+            ]
+            status, _ = await ctx.call(
+                "POST", "/v1/estimate_many", {"requests": requests}
+            )
+            assert status == 200
+            return await ctx.call("GET", "/v1/traces?limit=1")
+
+    _status, payload = asyncio.run(run())
+    (trace,) = payload["traces"]
+    shards = [s for s in _walk(trace["root"]) if s["name"] == "featurise.shard"]
+    assert shards
+    assert all(s["pid"] != os.getpid() for s in shards)
+    assert all(s["attributes"]["designs"] >= 1 for s in shards)
+
+
+# ------------------------------------------------------------------- metrics
+
+
+def test_metrics_json_is_strict_even_on_a_fresh_service(served_model):
+    """Regression: a never-used service must serve NaN-free /metrics."""
+
+    def reject_constant(name):
+        raise AssertionError(f"non-finite constant {name} leaked into /metrics")
+
+    async def run():
+        async with serve(served_model) as ctx:
+            fresh_status, _headers, fresh_body = await ctx.raw("GET", "/metrics")
+            await ctx.call("POST", "/v1/estimate", {"kernel": "atax"})
+            warm_status, _headers, warm_body = await ctx.raw("GET", "/metrics")
+            return fresh_status, fresh_body, warm_status, warm_body
+
+    fresh_status, fresh_body, warm_status, warm_body = asyncio.run(run())
+    assert fresh_status == 200 and warm_status == 200
+    fresh = json.loads(fresh_body.decode(), parse_constant=reject_constant)
+    warm = json.loads(warm_body.decode(), parse_constant=reject_constant)
+    # The guarded means: 0.0 on the fresh service, real on the warm one.
+    assert fresh["service"]["mean_featurise_ms_per_design"] == 0.0
+    assert warm["service"]["mean_featurise_ms_per_design"] > 0.0
+    # Real quantiles ride the JSON endpoint too.
+    latency = warm["latency"]["request"]["estimate"]
+    assert latency["count"] == 1 and latency["p50"] is not None
+    assert warm["observability"]["traces"]["finished"] >= 1
+
+
+def test_prometheus_exposition_under_accept_text_plain(served_model):
+    async def run():
+        async with serve(served_model) as ctx:
+            await ctx.call("POST", "/v1/estimate", {"kernel": "atax"})
+            return await ctx.raw("GET", "/metrics", headers={"Accept": "text/plain"})
+
+    status, headers, body = asyncio.run(run())
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain; version=0.0.4")
+    text = body.decode()
+    lines = text.splitlines()
+    # Format validity: every sample line is "name[{labels}] value" with a
+    # parseable float value; TYPE lines use known metric kinds.
+    sample_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$")
+    for line in lines:
+        if not line or line.startswith("#"):
+            if line.startswith("# TYPE"):
+                assert line.split()[-1] in ("counter", "gauge", "histogram")
+            continue
+        assert sample_re.match(line), f"malformed exposition line: {line!r}"
+        value = line.rsplit(" ", 1)[1]
+        assert value == "+Inf" or value == "NaN" or float(value) is not None
+    assert "NaN" not in text
+    # The core instruments and the projected legacy stats both scrape.
+    assert 'repro_request_seconds_bucket{endpoint="estimate",le="+Inf"} 1' in lines
+    assert "# TYPE repro_http_requests_total counter" in text
+    assert "repro_service_requests 1" in lines
+    assert any(line.startswith("repro_gateway_completed") for line in lines)
+
+
+# -------------------------------------------------------- events + heartbeats
+
+
+def test_sigkilled_worker_leaves_crash_restart_in_events(served_model):
+    """Acceptance: the event timeline shows the crash→restart sequence."""
+    generator = DatasetGenerator(SERVICE_CONFIG)
+    from repro.kernels.polybench import polybench_kernel
+
+    kernel = polybench_kernel("atax", SERVICE_CONFIG.kernel_size)
+    requests = [
+        EstimateRequest(kernel="atax", directives=d)
+        for d in generator.design_space_for(kernel)
+    ]
+
+    async def run():
+        async with serve(
+            served_model,
+            num_workers=2,
+            min_designs_per_worker=1,
+            pool_restart_backoff_s=0.01,
+        ) as ctx:
+            service = ctx.service
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, service.estimate_many, requests)
+
+            supervisor = service._feat_supervisor
+            executor = supervisor._pools[supervisor._generation]._pool
+            os.kill(next(iter(executor._processes)), signal.SIGKILL)
+            deadline = time.time() + 30
+            while not executor._broken and time.time() < deadline:
+                await asyncio.sleep(0.01)
+            assert executor._broken
+
+            service.cache.clear()
+            await loop.run_in_executor(None, service.estimate_many, requests)
+
+            _, events = await ctx.call("GET", "/v1/events")
+            _, crashes = await ctx.call("GET", "/v1/events?kind=crash")
+            _, health = await ctx.call("GET", "/healthz")
+            _, _, prom = await ctx.raw(
+                "GET", "/metrics", headers={"Accept": "text/plain"}
+            )
+            return events, crashes, health, prom.decode()
+
+    events, crashes, health, prom = asyncio.run(run())
+    kinds = [event["kind"] for event in events["events"]]
+    assert "crash" in kinds and "restart" in kinds
+    assert kinds.index("crash") < kinds.index("restart")  # the sequence, ordered
+    (crash,) = crashes["events"]
+    assert crash["pool"] == "featurisation"
+    assert "worker died mid-batch" in crash["fault"]
+    restart = next(e for e in events["events"] if e["kind"] == "restart")
+    assert restart["restarts"] == 1 and restart["backoff_s"] > 0
+    # Sequence numbers page the timeline without trusting wall clocks.
+    seqs = [event["seq"] for event in events["events"]]
+    assert seqs == sorted(seqs)
+
+    # The same timeline rides service.health() — and the restarted pool's
+    # heartbeat book only knows the *new* generation's workers.
+    pool_health = health["pools"]["featurisation"]
+    assert pool_health["restarts"] == 1
+    beats = pool_health["heartbeats"]
+    assert 1 <= len(beats) <= 2
+    assert all(entry["age_s"] >= 0.0 for entry in beats.values())
+
+    # And the counters made it to the scrape.
+    assert 'repro_pool_events_total{pool="featurisation",kind="crash"} 1' in prom
+
+
+def test_events_endpoint_empty_on_untroubled_service(served_model):
+    async def run():
+        async with serve(served_model) as ctx:
+            await ctx.call("POST", "/v1/estimate", {"kernel": "atax"})
+            return await ctx.call("GET", "/v1/events")
+
+    status, payload = asyncio.run(run())
+    assert status == 200
+    assert payload["events"] == []
+    assert payload["stats"] == {"recorded": 0, "ring": 0}

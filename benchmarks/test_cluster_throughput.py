@@ -1,0 +1,187 @@
+"""Cluster router throughput: 2 replicas behind kernel-affinity routing.
+
+One workload — every design point of each benchmark kernel as per-kernel
+``estimate_many`` batches — served two ways:
+
+* **direct**: one in-process :class:`PowerEstimationService` working through
+  the batches sequentially (the single-process ceiling of PRs 1–6);
+* **router x2**: the same batches fired concurrently at a
+  :class:`~repro.cluster.router.ClusterRouter` over two replica processes,
+  so different kernels' featurisation + forward passes genuinely overlap
+  across processes (kernel affinity keeps each kernel on one replica).
+
+Correctness — routed responses bitwise-equal to the direct ones, traffic
+actually spread over both replicas, zero retries/ejections — is always
+enforced.  The speedup assertion needs real cores for the replicas to run
+on, so it goes through the shared ``gating`` helper with a 4-core floor; the
+printed table lands in ``latest_results.txt``, where ``check_regression.py``
+gates ``cluster.router.{designs_per_s,speedup}`` against ``baseline.json``
+under the same policy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from conftest import print_table
+from gating import gate_reason, wall_clock_enforced
+from repro.cluster import ClusterConfig, ClusterRouter, ReplicaManager, ReplicaSpec
+from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.kernels.polybench import polybench_kernel
+from repro.runtime.http import HTTPConnectionPool, directives_to_json
+from repro.serve import ModelRegistry
+
+NUM_REPLICAS = 2
+MIN_CORES = 4  # 2 replicas + router + client need room to overlap
+MODEL_NAME = "cluster-bench"
+
+
+@pytest.mark.benchmark
+@pytest.mark.slow
+def test_cluster_router_throughput(benchmark, bench_dataset, bench_scale, tmp_path):
+    dataset_config = DatasetConfig(
+        kernel_size=bench_scale.kernel_size,
+        designs_per_kernel=bench_scale.designs_per_kernel,
+    )
+    model = PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=bench_scale.hidden_dim, num_layers=3),
+            training=TrainingConfig(
+                epochs=min(bench_scale.epochs, 40), batch_size=32, learning_rate=2e-3
+            ),
+            ensemble=None,
+        )
+    ).fit(bench_dataset.samples)
+    registry_dir = tmp_path / "registry"
+    ModelRegistry(registry_dir).save(model, MODEL_NAME)
+
+    generator = DatasetGenerator(dataset_config)
+    batches = {}
+    for kernel in bench_scale.kernels:
+        space = generator.design_space_for(
+            polybench_kernel(kernel, bench_scale.kernel_size)
+        )
+        batches[kernel] = [
+            {"kernel": kernel, "directives": directives_to_json(directives)}
+            for directives in space.points
+        ]
+    total_designs = sum(len(batch) for batch in batches.values())
+    spec = ReplicaSpec(
+        registry_dir=registry_dir,
+        model_name=MODEL_NAME,
+        dataset_config=dataset_config,
+    )
+
+    def run():
+        # Direct ceiling: a fresh single service, batches back to back.
+        direct_service, _ = spec.build_service()
+        try:
+            from repro.runtime.http import estimate_request_from_json
+
+            direct_start = time.perf_counter()
+            direct = {
+                kernel: direct_service.estimate_many(
+                    [estimate_request_from_json(payload) for payload in batch]
+                )
+                for kernel, batch in batches.items()
+            }
+            direct_seconds = time.perf_counter() - direct_start
+        finally:
+            direct_service.close()
+
+        routed, routed_seconds, cluster = asyncio.run(_routed_run(spec, batches))
+        return {
+            "direct": direct,
+            "direct_seconds": direct_seconds,
+            "routed": routed,
+            "routed_seconds": routed_seconds,
+            "cluster": cluster,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    direct_rate = total_designs / results["direct_seconds"]
+    routed_rate = total_designs / results["routed_seconds"]
+    speedup = results["direct_seconds"] / results["routed_seconds"]
+    enforced = wall_clock_enforced(MIN_CORES)
+    print_table(
+        f"Cluster router throughput ({len(batches)} kernels, {total_designs} "
+        f"designs, {NUM_REPLICAS} replicas; speedup assert "
+        f"{gate_reason(MIN_CORES)})",
+        ["Path", "Designs", "Seconds", "Designs/s", "Speedup"],
+        [
+            [
+                "direct estimate_many",
+                str(total_designs),
+                f"{results['direct_seconds']:.3f}",
+                f"{direct_rate:.0f}",
+                "-",
+            ],
+            [
+                f"router x{NUM_REPLICAS}",
+                str(total_designs),
+                f"{results['routed_seconds']:.3f}",
+                f"{routed_rate:.0f}",
+                f"{speedup:.2f}",
+            ],
+        ],
+    )
+
+    # Correctness invariants: always enforced, machine-independent.
+    for kernel, batch in batches.items():
+        expected = [response.power for response in results["direct"][kernel]]
+        served = [r["power"] for r in results["routed"][kernel]]
+        assert served == expected, f"routed {kernel} diverged from direct (bitwise)"
+    cluster = results["cluster"]
+    replicas = cluster["replicas"]
+    assert len(replicas) == NUM_REPLICAS
+    assert all(r["state"] == "ready" for r in replicas.values())
+    designs_per_replica = [r["designs"] for r in replicas.values()]
+    assert sum(designs_per_replica) == total_designs
+    assert all(count > 0 for count in designs_per_replica), (
+        f"affinity routing starved a replica: {designs_per_replica}"
+    )
+    assert cluster["stats"]["retries"] == 0
+    assert cluster["stats"]["ejections"] == 0
+
+    if enforced:
+        assert speedup >= 1.2, (
+            f"2-replica cluster is only {speedup:.2f}x the direct path "
+            "(per-kernel batches should overlap across replica processes)"
+        )
+
+
+async def _routed_run(spec: ReplicaSpec, batches: dict) -> tuple[dict, float, dict]:
+    """All per-kernel batches concurrently through a fresh 2-replica cluster."""
+    manager = ReplicaManager(spec, num_replicas=NUM_REPLICAS)
+    router = ClusterRouter(manager, config=ClusterConfig(health_interval_s=1.0))
+    host, port = await router.start()
+    pool = HTTPConnectionPool(host, port, max_idle=len(batches))
+    try:
+
+        async def one(kernel, batch):
+            status, payload = await pool.request_json(
+                "POST", "/v1/estimate_many", {"requests": batch}
+            )
+            assert status == 200, payload
+            return kernel, payload["responses"]
+
+        start = time.perf_counter()
+        responses = await asyncio.gather(
+            *(one(kernel, batch) for kernel, batch in batches.items())
+        )
+        seconds = time.perf_counter() - start
+        status, _, data = await pool.request("GET", "/v1/cluster")
+        assert status == 200
+        return dict(responses), seconds, json.loads(data.decode())
+    finally:
+        await pool.aclose()
+        await router.aclose(close_manager=True)

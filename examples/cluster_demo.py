@@ -1,0 +1,190 @@
+"""Cluster demo: multi-replica serving behind the kernel-affinity router.
+
+The script trains a small PowerGear on two PolyBench kernels, saves it
+through the model registry, then stands the cluster tier up in one process:
+a :class:`~repro.cluster.ReplicaManager` spawns two replica processes (each a
+full service + gateway + HTTP server on its own port) and a
+:class:`~repro.cluster.ClusterRouter` fronts them with the same ``/v1/*``
+API, routing each kernel to its consistent-hash owner.  The walkthrough:
+
+1. ``GET /v1/cluster`` — replica states, the hash ring, per-replica counters;
+2. ``POST /v1/estimate`` for both kernels — affinity sends each kernel to a
+   different replica (visible in the per-replica design counters);
+3. ``POST /v1/estimate_many`` — a mixed-kernel batch, split by owner and
+   merged back in request order;
+4. ``kill -9`` on one replica mid-workload — the next request fails over to
+   the surviving replica while the router ejects the corpse, respawns a
+   fresh process, and re-admits it (watch ``/v1/events``);
+5. ``GET /healthz`` — degraded-not-dead while a replica is down.
+
+Run with:           python examples/cluster_demo.py
+Keep serving with:  python examples/cluster_demo.py --serve
+                    (then e.g.  curl -s localhost:8322/v1/cluster
+                     or         curl -s -X POST localhost:8322/v1/estimate \\
+                                  -d '{"kernel": "atax", "directives": \\
+                                       {"loops": {"i0": {"unroll": 2}}}}')
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import tempfile
+from pathlib import Path
+
+from repro import DatasetConfig, DatasetGenerator, PowerGear, PowerGearConfig
+from repro.cluster import ClusterConfig, ClusterRouter, ReplicaManager, ReplicaSpec
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.kernels.polybench import polybench_kernel
+from repro.runtime.http import HTTPConnectionPool, directives_to_json
+from repro.serve import ModelRegistry
+
+MODEL_NAME = "powergear-dynamic"
+
+
+def train_and_save(config: DatasetConfig, registry_dir: Path) -> None:
+    print("Training a small PowerGear (atax + mvt, dynamic power)...")
+    dataset = DatasetGenerator(config).generate(["atax", "mvt"])
+    model = PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=16, num_layers=2),
+            training=TrainingConfig(epochs=30, batch_size=16),
+            ensemble=None,
+        )
+    ).fit(dataset.samples)
+    ModelRegistry(registry_dir).save(model, MODEL_NAME)
+
+
+async def demo(router: ClusterRouter, config: DatasetConfig) -> None:
+    pool = HTTPConnectionPool(router.host, router.port)
+
+    async def show(title: str, method: str, path: str, body=None):
+        status, payload = await pool.request_json(method, path, body)
+        print(f"\n{method} {path}  ->  {status}")
+        print(f"  {json.dumps(payload)[:220]}")
+        return payload
+
+    try:
+        cluster = await show("cluster", "GET", "/v1/cluster")
+        print(f"  ring owners: {cluster['ring']['ownership']}")
+
+        generator = DatasetGenerator(config)
+        spaces = {
+            name: list(
+                generator.design_space_for(polybench_kernel(name, config.kernel_size))
+            )
+            for name in ("atax", "mvt")
+        }
+        for name, space in spaces.items():
+            await show(
+                f"estimate {name}",
+                "POST",
+                "/v1/estimate",
+                {"kernel": name, "directives": directives_to_json(space[1])},
+            )
+
+        batch = {
+            "requests": [
+                {"kernel": name, "directives": directives_to_json(d)}
+                for name, space in spaces.items()
+                for d in space[:4]
+            ]
+        }
+        payload = await show("estimate_many (mixed kernels)", "POST", "/v1/estimate_many", batch)
+        print(f"  ({len(payload['responses'])} designs, split by kernel owner)")
+
+        cluster = await show("cluster", "GET", "/v1/cluster")
+        designs = {rid: r["designs"] for rid, r in cluster["replicas"].items()}
+        print(f"  per-replica designs served: {designs}")
+
+        # ---------------------------------------------------------- failover
+        owner = router.ring.lookup("atax")
+        victim = router.manager.handle(owner)
+        print(f"\nkill -9 replica {owner} (pid {victim.pid}, owner of 'atax')...")
+        os.kill(victim.pid, signal.SIGKILL)
+
+        status, payload = await pool.request_json(
+            "POST",
+            "/v1/estimate",
+            {"kernel": "atax", "directives": directives_to_json(spaces["atax"][1])},
+        )
+        print(f"  next estimate -> {status} (failed over to the backup replica)")
+
+        health = await show("health during the outage", "GET", "/healthz")
+        print(f"  status: {health['status']} (degraded, not dead)")
+
+        print("\nWaiting for eject + respawn...")
+        for _ in range(200):
+            status, events = await pool.request_json("GET", "/v1/events")
+            kinds = [e["kind"] for e in events["events"]]
+            if "replica_respawn" in kinds:
+                break
+            await asyncio.sleep(0.25)
+        lifecycle = [
+            f"{e['kind']}({e.get('replica', '?')})"
+            for e in events["events"]
+            if e["kind"].startswith("replica_")
+        ]
+        print(f"  lifecycle events: {lifecycle}")
+
+        respawned = router.manager.handle(owner)
+        print(
+            f"  replica {owner} is back: pid {respawned.pid}, "
+            f"generation {respawned.generation}"
+        )
+        await show("estimate on the respawned owner", "POST", "/v1/estimate", {
+            "kernel": "atax", "directives": directives_to_json(spaces["atax"][1])
+        })
+        stats = (await pool.request_json("GET", "/v1/cluster"))[1]["stats"]
+        print(f"  router stats: {stats}")
+    finally:
+        await pool.aclose()
+
+
+async def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--serve", action="store_true", help="keep serving for curl")
+    parser.add_argument("--port", type=int, default=8322)
+    parser.add_argument("--replicas", type=int, default=2)
+    args = parser.parse_args()
+
+    config = DatasetConfig(kernel_size=6, designs_per_kernel=10)
+    with tempfile.TemporaryDirectory() as tmp:
+        registry_dir = Path(tmp) / "registry"
+        train_and_save(config, registry_dir)
+
+        spec = ReplicaSpec(
+            registry_dir=registry_dir, model_name=MODEL_NAME, dataset_config=config
+        )
+        manager = ReplicaManager(spec, num_replicas=args.replicas)
+        router = ClusterRouter(
+            manager,
+            config=ClusterConfig(health_interval_s=0.25, fail_threshold=2),
+            port=args.port if args.serve else 0,
+        )
+        host, port = await router.start()
+        ports = [h.port for h in manager.handles()]
+        print(f"\n{args.replicas} replicas up on ports {ports}")
+        print(f"Router serving http://{host}:{port} (same /v1/* API + /v1/cluster)")
+
+        try:
+            if args.serve:
+                print("Press Ctrl-C to stop.")
+                try:
+                    await router.serve_forever()
+                except (KeyboardInterrupt, asyncio.CancelledError):
+                    pass
+            else:
+                await demo(router, config)
+        finally:
+            await router.aclose(close_manager=True)
+        print("\nRouter and replicas drained and closed.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,45 @@
+"""``repro.cluster`` — the multi-replica serving tier.
+
+Scaling beyond one process, PR 7 of the serving stack: N replica processes
+(each the full single-process service + gateway + HTTP server of PRs 1–6,
+loaded bit-exact from one registry) behind a kernel-affinity router speaking
+the same ``/v1/*`` dialect.
+
+* :mod:`repro.cluster.hashring` — deterministic consistent-hash ring
+  (``blake2b``, virtual nodes) giving each kernel a stable owner replica and
+  a stable failover order;
+* :mod:`repro.cluster.replica` — the picklable :class:`ReplicaSpec` recipe
+  and the ``replica_main`` child entrypoint with its readiness handshake and
+  SIGTERM graceful drain;
+* :mod:`repro.cluster.manager` — :class:`ReplicaManager`, the blocking
+  process-lifecycle layer (spawn / respawn / terminate, generation counters);
+* :mod:`repro.cluster.router` — :class:`ClusterRouter`, the asyncio front
+  end: affinity routing, retry-on-next-replica, health-poll → eject →
+  respawn supervision, admission control reusing the gateway's backpressure
+  types, and the ``/v1/cluster`` + ``/v1/events`` control plane.
+
+The determinism contract survives the tier: registry load is bit-exact and
+per-design predictions are batch-composition-invariant, so routed responses
+are bitwise-identical to direct service calls — including across a replica
+being SIGKILLed mid-run and respawned (``tests/test_cluster_router.py``).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.hashring import ConsistentHashRing, stable_hash
+from repro.cluster.manager import ReplicaHandle, ReplicaManager, ReplicaStartupError
+from repro.cluster.replica import ReplicaSpec, replica_main
+from repro.cluster.router import ClusterConfig, ClusterRouter, RouterStats
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "ConsistentHashRing",
+    "ReplicaHandle",
+    "ReplicaManager",
+    "ReplicaSpec",
+    "ReplicaStartupError",
+    "RouterStats",
+    "replica_main",
+    "stable_hash",
+]

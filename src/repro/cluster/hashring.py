@@ -1,0 +1,148 @@
+"""Consistent-hash ring for kernel-affinity routing.
+
+The router maps every request's kernel name onto one replica through this
+ring so all traffic for a kernel lands on the same replica — its
+featurisation caches and warm worker state stay hot — while the key space
+still spreads across the replica set.  Consistent hashing (vs ``hash(key) %
+N``) is what makes membership churn cheap: ejecting or re-adding one replica
+remaps only the keys that replica owned, so a failover never cold-starts the
+*other* replicas' caches.
+
+Hashes come from ``blake2b`` (stable across processes and Python versions —
+builtin ``hash()`` is salted per process, which would give every replica a
+different ring).  Each node is planted at ``virtual_nodes`` points so the
+per-node share of the key space concentrates near ``1/len(nodes)`` instead
+of varying wildly with a handful of placements.
+
+Everything is synchronous and single-threaded by design: the router mutates
+the ring only from its event loop.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["ConsistentHashRing", "stable_hash"]
+
+#: Width of the ring's key space (64-bit hashes).
+_RING_SPAN = 2**64
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit hash of ``key`` that is stable across processes and runs."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring with virtual nodes.
+
+    ``lookup(key)`` returns the owning node; ``preference(key)`` returns
+    *every* node in ring order from the key's position — the router's
+    failover order, so retries walk replicas in a stable, key-dependent
+    sequence instead of hammering one designated backup.
+    """
+
+    def __init__(self, *, virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._points: list[int] = []  # sorted virtual-node positions
+        self._owners: list[str] = []  # owner of self._points[i]
+        self._nodes: set[str] = set()
+
+    # ------------------------------------------------------------- membership
+
+    def add(self, node: str) -> None:
+        """Plant ``node`` at its virtual points.  Idempotent."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for position in self._positions(node):
+            index = bisect.bisect(self._points, position)
+            self._points.insert(index, position)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Remove ``node`` from the ring.  Idempotent."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    # ---------------------------------------------------------------- routing
+
+    def lookup(self, key: str) -> str | None:
+        """The node owning ``key``: the first virtual point at or after its
+        hash, wrapping around.  ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, stable_hash(key)) % len(self._points)
+        return self._owners[index]
+
+    def preference(self, key: str) -> list[str]:
+        """All distinct nodes in ring order starting at ``key``'s owner.
+
+        ``preference(key)[0] == lookup(key)``; the tail is the failover
+        order.  Stable for a fixed membership, and key-dependent — different
+        keys spread their retries across different backups.
+        """
+        count = len(self._nodes)
+        if not count:
+            return []
+        start = bisect.bisect(self._points, stable_hash(key))
+        order: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) == count:
+                    break
+        return order
+
+    # ------------------------------------------------------------ inspection
+
+    def ownership(self) -> dict[str, float]:
+        """Fraction of the key space each node owns (sums to 1.0)."""
+        if not self._points:
+            return {}
+        shares = {node: 0 for node in self._nodes}
+        previous = self._points[-1] - _RING_SPAN
+        for point, owner in zip(self._points, self._owners):
+            shares[owner] += point - previous
+            previous = point
+        return {node: span / _RING_SPAN for node, span in sorted(shares.items())}
+
+    def snapshot(self) -> dict:
+        """JSON-safe view for ``/v1/cluster``."""
+        return {
+            "nodes": self.nodes,
+            "virtual_nodes": self.virtual_nodes,
+            "points": len(self._points),
+            "ownership": self.ownership(),
+        }
+
+    def _positions(self, node: str) -> list[int]:
+        return [
+            stable_hash(f"{node}#{replica_index}")
+            for replica_index in range(self.virtual_nodes)
+        ]

@@ -1,0 +1,263 @@
+"""Spawn and supervise the replica set.
+
+:class:`ReplicaManager` owns the processes: it spawns ``num_replicas``
+children from one :class:`~repro.cluster.replica.ReplicaSpec`, waits out each
+readiness handshake, terminates them gracefully (SIGTERM → drain → SIGKILL
+only as a last resort) and respawns individual replicas on demand.  It is
+deliberately *policy-free*: deciding when a replica is unhealthy — and
+therefore when to call :meth:`respawn` — is the router's job (it watches
+``/healthz``); the manager just executes lifecycle verbs.
+
+All methods are synchronous/blocking (process spawn + model load take real
+time); the router calls them through an executor so its event loop never
+stalls.  Each respawn bumps the replica's ``generation``, mirroring the
+supervised pools' generation counter one level down.
+
+Lifecycle transitions report through an observer with
+``replica_event(kind, replica=..., **fields)`` —
+:class:`repro.obs.ClusterObservability` in production — as
+``replica_spawn`` / ``replica_ready`` / ``replica_exit`` events.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.replica import ReplicaSpec, replica_main
+from repro.runtime.pool import default_start_method
+
+__all__ = ["ReplicaHandle", "ReplicaManager", "ReplicaStartupError"]
+
+#: How long a child may take to build its service and report ready.  Model
+#: load + pool construction is seconds; minutes means a wedged child.
+READY_TIMEOUT_S = 120.0
+
+#: Grace window between SIGTERM and SIGKILL at termination.
+TERMINATE_GRACE_S = 10.0
+
+
+class ReplicaStartupError(RuntimeError):
+    """A replica exited, errored or timed out before reporting ready."""
+
+
+@dataclass
+class ReplicaHandle:
+    """One live replica: its process, bound port and generation."""
+
+    replica_id: str
+    process: multiprocessing.process.BaseProcess
+    host: str
+    port: int
+    generation: int
+    spawned_at: float = field(default_factory=time.time)
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ReplicaManager:
+    """Blocking lifecycle manager for ``num_replicas`` replica processes.
+
+    Thread-safe: the router's health loop may :meth:`respawn` one replica
+    from an executor thread while another thread reads :meth:`handles`.
+    """
+
+    def __init__(
+        self,
+        spec: ReplicaSpec,
+        num_replicas: int = 2,
+        *,
+        start_method: str | None = None,
+        ready_timeout: float = READY_TIMEOUT_S,
+        observer: object | None = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if ready_timeout <= 0:
+            raise ValueError("ready_timeout must be > 0")
+        self.spec = spec
+        self.num_replicas = num_replicas
+        self.start_method = start_method or default_start_method()
+        self.ready_timeout = ready_timeout
+        # Duck-typed observability sink (repro.obs.ClusterObservability):
+        # anything with replica_event(kind, replica=..., **fields).  Always
+        # best-effort — a broken observer must never break supervision.
+        self.observer = observer
+        self._lock = threading.Lock()
+        self._handles: dict[str, ReplicaHandle] = {}
+        self._generations: dict[str, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ public
+
+    def start(self) -> list[ReplicaHandle]:
+        """Spawn the full replica set; blocks until every replica is ready.
+
+        All-or-nothing: a startup failure tears down the replicas already
+        spawned before re-raising, so a half-started cluster never leaks
+        processes.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("replica manager is closed")
+            if self._handles:
+                return list(self._handles.values())
+        spawned: list[ReplicaHandle] = []
+        try:
+            for index in range(self.num_replicas):
+                spawned.append(self._spawn(f"replica-{index}", generation=0))
+        except BaseException:
+            for handle in spawned:
+                self._terminate(handle)
+            raise
+        with self._lock:
+            for handle in spawned:
+                self._handles[handle.replica_id] = handle
+                self._generations[handle.replica_id] = handle.generation
+        return spawned
+
+    def handles(self) -> list[ReplicaHandle]:
+        with self._lock:
+            return list(self._handles.values())
+
+    def handle(self, replica_id: str) -> ReplicaHandle:
+        with self._lock:
+            return self._handles[replica_id]
+
+    def respawn(self, replica_id: str) -> ReplicaHandle:
+        """Replace one replica: terminate what's left of it, spawn and wait
+        for a fresh one on a new ephemeral port, bump its generation."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("replica manager is closed")
+            old = self._handles.get(replica_id)
+            generation = self._generations.get(replica_id, -1) + 1
+        if old is not None:
+            self._terminate(old)
+        handle = self._spawn(replica_id, generation=generation)
+        with self._lock:
+            self._handles[replica_id] = handle
+            self._generations[replica_id] = generation
+        return handle
+
+    def close(self) -> None:
+        """Terminate every replica (SIGTERM, then SIGKILL).  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            self._terminate(handle)
+
+    def __enter__(self) -> "ReplicaManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- internals
+
+    def _spawn(self, replica_id: str, *, generation: int) -> ReplicaHandle:
+        context = multiprocessing.get_context(self.start_method)
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=replica_main,
+            args=(self.spec, replica_id, sender),
+            name=f"repro-{replica_id}",
+        )
+        self._emit(
+            "replica_spawn",
+            replica=replica_id,
+            generation=generation,
+            start_method=self.start_method,
+        )
+        process.start()
+        sender.close()  # the parent's copy; the child holds the live end
+        try:
+            message = self._wait_ready(replica_id, process, receiver)
+        finally:
+            receiver.close()
+        kind, value = message
+        if kind == "error":
+            process.join(TERMINATE_GRACE_S)
+            raise ReplicaStartupError(f"{replica_id} failed to start: {value}")
+        handle = ReplicaHandle(
+            replica_id=replica_id,
+            process=process,
+            host=self.spec.host,
+            port=int(value),
+            generation=generation,
+        )
+        self._emit(
+            "replica_ready",
+            replica=replica_id,
+            port=handle.port,
+            pid=handle.pid,
+            generation=generation,
+        )
+        return handle
+
+    def _wait_ready(self, replica_id: str, process, receiver):
+        deadline = time.monotonic() + self.ready_timeout
+        while True:
+            if receiver.poll(0.1):
+                try:
+                    return receiver.recv()
+                except EOFError:
+                    process.join(TERMINATE_GRACE_S)
+                    raise ReplicaStartupError(
+                        f"{replica_id} exited (code {process.exitcode}) "
+                        "before reporting ready"
+                    ) from None
+            if not process.is_alive():
+                # One last poll: the ready message may have raced the exit.
+                if receiver.poll(0):
+                    continue
+                raise ReplicaStartupError(
+                    f"{replica_id} exited (code {process.exitcode}) "
+                    "before reporting ready"
+                )
+            if time.monotonic() > deadline:
+                self._terminate_process(process)
+                raise ReplicaStartupError(
+                    f"{replica_id} did not report ready within "
+                    f"{self.ready_timeout:.0f}s"
+                )
+
+    def _terminate(self, handle: ReplicaHandle) -> None:
+        exitcode = self._terminate_process(handle.process)
+        self._emit(
+            "replica_exit",
+            replica=handle.replica_id,
+            pid=handle.pid,
+            generation=handle.generation,
+            exitcode=exitcode,
+        )
+
+    @staticmethod
+    def _terminate_process(process) -> int | None:
+        if process.is_alive():
+            process.terminate()  # SIGTERM → graceful drain in replica_main
+            process.join(TERMINATE_GRACE_S)
+            if process.is_alive():
+                process.kill()
+                process.join(TERMINATE_GRACE_S)
+        return process.exitcode
+
+    def _emit(self, kind: str, *, replica: str, **fields) -> None:
+        if self.observer is None:
+            return
+        try:
+            self.observer.replica_event(kind, replica=replica, **fields)
+        except Exception:
+            pass

@@ -1,0 +1,118 @@
+"""One replica process: a full service + gateway + HTTP server on its own port.
+
+A replica is the whole single-process serving stack from PRs 1–6 — model
+loaded from the registry, supervised pools, async gateway, HTTP front end,
+observability — just booted as a child process on an ephemeral port.
+:class:`ReplicaSpec` is the picklable recipe (it must survive the ``spawn``
+start method, so it carries paths and configs, never live objects);
+:func:`replica_main` is the child entrypoint the
+:class:`~repro.cluster.manager.ReplicaManager` targets.
+
+Startup handshake: the child builds its service, binds port 0 and sends
+``("ready", port)`` over the pipe — or ``("error", message)`` if construction
+failed, so the parent can raise a real error instead of timing out.  After
+the handshake the pipe is closed and the only channels left are HTTP (the
+routed traffic, ``/healthz`` probes) and signals: SIGTERM/SIGINT trigger a
+graceful drain — in-flight requests get their responses, the pools and the
+persistent-cache owner lock are released — exactly what the manager sends on
+``close()``/``respawn()``.
+
+Determinism note: registry save/load is bit-exact, so every replica built
+from the same ``(registry, name, version)`` serves bitwise-identical
+predictions — the property the router's equivalence suite pins down.
+
+Replicas may share one ``runtime.persistent_cache_dir``: the cache's owner
+lock (PR 5) lets the first replica write while the others degrade to
+read-only openers of the shared disk tier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.gateway import AsyncPowerGateway
+from repro.runtime.http import GatewayHTTPServer
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["ReplicaSpec", "replica_main"]
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Picklable recipe for one replica process.
+
+    ``registry_dir`` + ``model_name`` (+ optional pinned ``model_version``)
+    name the artifact every replica loads; ``dataset_config`` must match the
+    config the training dataset was generated with (it parameterises the
+    featuriser); ``runtime`` configures the pools/caches of each replica —
+    including ``persistent_cache_dir``, which replicas may share thanks to
+    the cache's one-writer/many-reader owner lock.
+    """
+
+    registry_dir: str | Path
+    model_name: str
+    model_version: int | None = None
+    dataset_config: DatasetConfig | None = None
+    runtime: RuntimeConfig | None = None
+    batch_size: int = 64
+    host: str = "127.0.0.1"
+
+    def build_service(self):
+        """Load the model and build the full service; returns
+        ``(service, registry)``.  Runs inside the replica process (but is
+        equally usable in-process, e.g. by the equivalence tests' direct
+        baseline)."""
+        from repro.serve.service import PowerEstimationService
+
+        registry = ModelRegistry(self.registry_dir)
+        generator = DatasetGenerator(self.dataset_config or DatasetConfig())
+        service = PowerEstimationService(
+            registry=registry,
+            model_name=self.model_name,
+            model_version=self.model_version,
+            generator=generator,
+            batch_size=self.batch_size,
+            runtime=self.runtime or RuntimeConfig(),
+        )
+        return service, registry
+
+
+def replica_main(spec: ReplicaSpec, replica_id: str, conn) -> None:
+    """Child-process entrypoint: build, handshake, serve until signalled.
+
+    Module-level (not a closure) so it survives the ``spawn`` start method.
+    ``conn`` is the write end of the readiness pipe.
+    """
+    try:
+        service, registry = spec.build_service()
+    except BaseException as error:  # noqa: BLE001 - anything fatal must
+        # reach the parent as ("error", ...) instead of a silent exit.
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        finally:
+            conn.close()
+        raise SystemExit(1) from error
+
+    async def serve() -> None:
+        gateway = AsyncPowerGateway(service)
+        server = GatewayHTTPServer(
+            gateway, host=spec.host, port=0, registry=registry
+        )
+        await server.start()
+        conn.send(("ready", server.port))
+        conn.close()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        # Graceful drain: stop accepting, answer what's in flight, then tear
+        # down pools and release the persistent-cache owner lock.
+        await server.aclose(close_gateway=True)
+
+    asyncio.run(serve())

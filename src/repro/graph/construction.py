@@ -76,11 +76,11 @@ class GraphConstructor:
         self, hls_result: HLSResult, profile: ActivityProfile
     ) -> PowerGraph:
         """Run the construction passes and return the mutable power graph."""
-        graph, load_store_buffers = self._initial_graph(hls_result, profile)
+        graph, load_store_buffers, uid_to_node = self._initial_graph(hls_result, profile)
         if self.config.buffer_insertion:
-            self._insert_buffers(graph, hls_result, load_store_buffers)
+            self._insert_buffers(graph, hls_result, load_store_buffers, uid_to_node)
         if self.config.datapath_merging:
-            self._merge_datapaths(graph, hls_result)
+            self._merge_datapaths(graph, hls_result, uid_to_node)
         if self.config.trimming:
             self._trim(graph)
         return graph
@@ -104,13 +104,12 @@ class GraphConstructor:
 
     def _initial_graph(
         self, hls_result: HLSResult, profile: ActivityProfile
-    ) -> tuple[PowerGraph, dict[int, str]]:
+    ) -> tuple[PowerGraph, dict[int, str], dict[int, int]]:
         function = hls_result.design.function
         roots = pointer_roots(function)
         graph = PowerGraph()
         instruction_nodes: dict[int, int] = {}
         load_store_buffers: dict[int, str] = {}
-        latency = max(1, hls_result.report.latency_cycles)
 
         for instr in function.instructions:
             if instr.opcode == Opcode.RET:
@@ -158,9 +157,7 @@ class GraphConstructor:
                         )
                     )
 
-        self._node_uid_map = instruction_nodes
-        self._latency = latency
-        return graph, load_store_buffers
+        return graph, load_store_buffers, instruction_nodes
 
     # ------------------------------------------------------- pass 2: buffers
 
@@ -169,6 +166,7 @@ class GraphConstructor:
         graph: PowerGraph,
         hls_result: HLSResult,
         load_store_buffers: dict[int, str],
+        uid_to_node: dict[int, int],
     ) -> None:
         design = hls_result.design
         function = design.function
@@ -249,7 +247,6 @@ class GraphConstructor:
 
         # Remove address-generation nodes, reconnecting index producers to the
         # buffer they address (the address bus toggling still matters).
-        uid_to_node = self._node_uid_map
         roots = pointer_roots(function)
         for instr in function.instructions:
             if instr.opcode not in (Opcode.GETELEMENTPTR, Opcode.ALLOCA):
@@ -275,9 +272,9 @@ class GraphConstructor:
 
     # ------------------------------------------------------ pass 3: merging
 
-    def _merge_datapaths(self, graph: PowerGraph, hls_result: HLSResult) -> None:
-        uid_to_node = self._node_uid_map
-
+    def _merge_datapaths(
+        self, graph: PowerGraph, hls_result: HLSResult, uid_to_node: dict[int, int]
+    ) -> None:
         # (a) Merge operations bound to the same functional unit.
         for unit in hls_result.binding.units:
             member_nodes = [

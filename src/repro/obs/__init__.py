@@ -47,6 +47,7 @@ from repro.obs.trace import Span, Trace, Tracer, current_trace_ids, span_payload
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "SIZE_BUCKETS",
+    "ClusterObservability",
     "CollectingHandler",
     "EventLog",
     "JsonFormatter",
@@ -169,5 +170,78 @@ class Observability:
         return {
             "metrics": self.metrics.snapshot(),
             "traces": self.tracer.stats(),
+            "events": self.events.stats(),
+        }
+
+
+class ClusterObservability:
+    """The cluster router's observability bundle: metrics + events + logger.
+
+    Deliberately *not* an :class:`Observability`: the router proxies — the
+    request's span tree lives in the replica that served it (``/v1/traces``
+    on the replica's own port), so the router carries no tracer.  What it
+    does own is the replica-lifecycle timeline (spawn / ready / eject /
+    respawn / exit, served at the router's ``/v1/events``) and the routing
+    metric families:
+
+    ==============================================  ===========================
+    instrument                                      what lands in it
+    ==============================================  ===========================
+    ``repro_cluster_requests_total{route,status}``  routed requests by outcome
+    ``repro_cluster_request_seconds{route}``        router wall-clock per route
+    ``repro_cluster_replica_designs_total{replica}``  designs routed per replica
+    ``repro_cluster_retries_total{reason}``         failovers to the next replica
+    ``repro_cluster_replica_events_total{...}``     lifecycle event counts
+    ``repro_cluster_replica_up{replica}``           1 in the ring / 0 ejected
+    ==============================================  ===========================
+    """
+
+    def __init__(self, *, event_ring: int = 512) -> None:
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(maxlen=event_ring)
+        self.logger = get_logger("cluster")
+        self.requests = self.metrics.counter(
+            "repro_cluster_requests_total",
+            "Requests through the cluster router by route and status code",
+            labelnames=("route", "status"),
+        )
+        self.request_seconds = self.metrics.histogram(
+            "repro_cluster_request_seconds",
+            "Router request wall-clock by route",
+            labelnames=("route",),
+        )
+        self.replica_designs = self.metrics.counter(
+            "repro_cluster_replica_designs_total",
+            "Designs routed to each replica",
+            labelnames=("replica",),
+        )
+        self.retries = self.metrics.counter(
+            "repro_cluster_retries_total",
+            "Requests retried on the next replica in ring order",
+            labelnames=("reason",),
+        )
+        self.replica_events = self.metrics.counter(
+            "repro_cluster_replica_events_total",
+            "Replica lifecycle events",
+            labelnames=("replica", "kind"),
+        )
+        self.replica_up = self.metrics.gauge(
+            "repro_cluster_replica_up",
+            "1 while the replica is in the hash ring, 0 while ejected",
+            labelnames=("replica",),
+        )
+
+    def replica_event(self, kind: str, replica: str, **fields) -> dict:
+        """Record one replica lifecycle event in the timeline, the counter
+        and the structured log at once (mirrors ``Observability.pool_event``)."""
+        event = self.events.record(kind, replica=replica, **fields)
+        self.replica_events.labels(replica=replica, kind=kind).inc()
+        log_event(self.logger, f"replica.{kind}", replica=replica, **fields)
+        return event
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of the registry plus event bookkeeping."""
+        return {
+            "metrics": self.metrics.snapshot(),
             "events": self.events.stats(),
         }

@@ -48,10 +48,14 @@ class EventLog:
     def record(self, kind: str, *, pool: str | None = None, **fields) -> dict:
         """Append one event; returns the stamped record.
 
-        ``kind`` is the event vocabulary consumers filter on (``crash``,
-        ``restart``, ``retire``, ``scale_up``, ``scale_down``, ``degrade``,
-        ``heartbeat``, ``cache_read_only`` ...); extra ``fields`` must be
-        JSON-safe (the producer's contract — this ring is served verbatim).
+        ``kind`` is the event vocabulary consumers filter on: supervised
+        pools emit ``crash``, ``restart``, ``budget_refund``, ``retire``,
+        ``scale_up``, ``scale_down``, ``degrade``, ``heartbeat``,
+        ``cache_read_only`` ...; the cluster layer emits the replica
+        lifecycle — ``replica_spawn``, ``replica_ready``, ``replica_exit``,
+        ``replica_eject``, ``replica_respawn``, ``replica_respawn_failed``,
+        ``fingerprint_mismatch``.  Extra ``fields`` must be JSON-safe (the
+        producer's contract — this ring is served verbatim).
         """
         with self._lock:
             self._seq += 1

@@ -65,6 +65,12 @@ class RuntimeConfig:
     #: Base of the exponential backoff between pool restarts, in seconds
     #: (restart ``k`` waits ``base * 2**(k-1)``, capped at 2 s).
     pool_restart_backoff_s: float = 0.05
+    #: Restart-budget decay window, in seconds: every full window of
+    #: fault-free operation refunds one consumed restart, so a long-lived
+    #: pool is only retired by faults clustered in time, never by
+    #: ``pool_max_restarts`` transient faults spread over weeks.  0 (the
+    #: default) disables decay — the budget is then for the process lifetime.
+    pool_restart_budget_decay_s: float = 0.0
     #: Multiprocessing start method (``"fork"`` / ``"spawn"`` /
     #: ``"forkserver"``); ``None`` picks ``fork`` where available (cheap, and
     #: the workers rebuild their generator anyway) and ``spawn`` elsewhere.
@@ -163,6 +169,8 @@ class RuntimeConfig:
             raise ValueError("pool_max_restarts must be >= 0")
         if self.pool_restart_backoff_s < 0:
             raise ValueError("pool_restart_backoff_s must be >= 0")
+        if self.pool_restart_budget_decay_s < 0:
+            raise ValueError("pool_restart_budget_decay_s must be >= 0")
         if self.forward_workers < 0:
             raise ValueError("forward_workers must be >= 0")
         if self.forward_min_members < 2:

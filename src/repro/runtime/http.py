@@ -24,6 +24,11 @@ GET       ``/metrics``         service metrics + runtime stats (incl. the active
                                the Prometheus text exposition instead of JSON
 ========  ===================  ===================================================
 
+The connection/parsing machinery lives in :class:`AsyncJSONHTTPServer` so
+other front ends (the cluster router in :mod:`repro.cluster`) speak the exact
+same dialect — status mapping, structured error bodies, request-id echoing,
+body limits — without re-implementing HTTP.
+
 Observability (:mod:`repro.obs`) threads through every request: a
 client-supplied ``X-Request-ID`` is honoured (one is minted otherwise) and
 echoed on the response; POST API calls open a root ``request`` span whose
@@ -44,9 +49,14 @@ Every failure is structured JSON (``{"error": {"type", "message"}}``) with
 the matching status code: malformed requests are ``400``, unknown paths
 ``404``, wrong methods ``405``, oversized bodies ``413``, gateway
 backpressure ``429``, internal faults ``500``, and a closed gateway ``503``.
-Responses are unconditionally ``Connection: close`` — the server optimises
-for auditability (curl-able, byte-predictable) over connection reuse; clients
-that need sustained throughput should batch via ``/v1/estimate_many``.
+
+Connections default to ``Connection: close`` (curl-able, byte-predictable).
+A client that sends ``Connection: keep-alive`` may reuse its connection for
+up to :data:`KEEP_ALIVE_MAX_REQUESTS` requests with at most
+:data:`KEEP_ALIVE_IDLE_TIMEOUT` seconds of idleness between them; error
+responses always close.  :class:`HTTPConnectionPool` is the matching client
+— the cluster router holds one per replica so proxied requests skip
+per-request TCP setup.
 """
 
 from __future__ import annotations
@@ -56,7 +66,7 @@ import json
 import math
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from urllib.parse import parse_qs
 
 from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
@@ -76,6 +86,17 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: damage of idle probes / slowloris connections: a handler task and its fd
 #: are released after this instead of being pinned forever.
 REQUEST_READ_TIMEOUT = 30.0
+
+#: Keep-alive budget: a connection that opted in (``Connection: keep-alive``)
+#: serves at most this many requests before the server closes it anyway, so
+#: one client cannot pin a handler task forever.
+KEEP_ALIVE_MAX_REQUESTS = 100
+
+#: Idle window between requests on a kept-alive connection.  Expiry closes
+#: the connection silently (no 408): an idle pooled client connection is
+#: normal, not a protocol fault.  Deliberately much shorter than
+#: ``REQUEST_READ_TIMEOUT`` — a parked connection holds a handler task.
+KEEP_ALIVE_IDLE_TIMEOUT = 5.0
 
 _STATUS_REASONS = {
     200: "OK",
@@ -129,6 +150,10 @@ class RawResponse:
     body: bytes
 
 
+class _ConnectionClosed(Exception):
+    """The peer closed the connection between requests (not an error)."""
+
+
 def _clean_request_id(raw: str | None) -> str:
     """Echoable request id: client value sanitised, or a freshly minted one.
 
@@ -141,6 +166,14 @@ def _clean_request_id(raw: str | None) -> str:
         if cleaned:
             return cleaned
     return os.urandom(8).hex()
+
+
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
 
 
 # ------------------------------------------------------------------ JSON codec
@@ -307,32 +340,42 @@ def explore_report_to_json(report) -> dict:
 # -------------------------------------------------------------------- server
 
 
-class GatewayHTTPServer:
-    """The asyncio HTTP server; one instance serves one gateway.
+class AsyncJSONHTTPServer:
+    """Connection/protocol half of the HTTP front ends.
 
-    ``registry`` is optional — without one, ``/v1/models`` answers with an
-    empty index instead of failing (a service constructed straight from a
-    fitted model has no registry to list).
+    Owns everything below routing: the accept loop, request parsing (with
+    line/header/body limits), the opt-in keep-alive loop, structured error
+    bodies, response serialisation and graceful drain-on-close.  Subclasses
+    implement :meth:`_dispatch` (route the request, return
+    ``(status, payload)``) and may override :meth:`_account` for per-request
+    metrics.  :class:`GatewayHTTPServer` serves one gateway;
+    :class:`repro.cluster.router.ClusterRouter` serves a replica set.
     """
 
     def __init__(
         self,
-        gateway: AsyncPowerGateway,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        registry=None,
         max_body_bytes: int = MAX_BODY_BYTES,
         read_timeout: float = REQUEST_READ_TIMEOUT,
+        keep_alive_max_requests: int = KEEP_ALIVE_MAX_REQUESTS,
+        keep_alive_idle_s: float = KEEP_ALIVE_IDLE_TIMEOUT,
     ) -> None:
-        self.gateway = gateway
         self.host = host
         self.port = port
-        self.registry = registry
         self.max_body_bytes = max_body_bytes
         self.read_timeout = read_timeout
+        self.keep_alive_max_requests = keep_alive_max_requests
+        self.keep_alive_idle_s = keep_alive_idle_s
         self._server: asyncio.Server | None = None
         self._handlers: set[asyncio.Task] = set()
+        # Handlers parked between requests (waiting for the next request
+        # line), by task → transport.  aclose() closes these transports so a
+        # kept-alive connection drains immediately instead of waiting out
+        # its idle window.
+        self._idle: dict[asyncio.Task, asyncio.StreamWriter] = {}
+        self._closing = False
 
     # ------------------------------------------------------------- lifecycle
 
@@ -351,19 +394,20 @@ class GatewayHTTPServer:
             await self.start()
         await self._server.serve_forever()
 
-    async def aclose(self, *, close_gateway: bool = False) -> None:
+    async def aclose(self) -> None:
+        self._closing = True
         server, self._server = self._server, None
         if server is not None:
             server.close()
             await server.wait_closed()
+        for idle_writer in list(self._idle.values()):
+            idle_writer.close()
         # wait_closed does not cover connection handlers on 3.10/3.11; drain
         # them explicitly so every accepted request still gets its response.
         while self._handlers:
             await asyncio.gather(*list(self._handlers), return_exceptions=True)
-        if close_gateway:
-            await self.gateway.aclose(close_service=True)
 
-    async def __aenter__(self) -> "GatewayHTTPServer":
+    async def __aenter__(self):
         await self.start()
         return self
 
@@ -378,50 +422,236 @@ class GatewayHTTPServer:
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
-        started = time.perf_counter()
-        method: str | None = None
-        path: str | None = None
-        request_id: str | None = None
         try:
-            try:
-                method, path, query, headers, body = await asyncio.wait_for(
-                    self._read_request(reader), timeout=self.read_timeout
-                )
-                request_id = _clean_request_id(headers.get("x-request-id"))
-                status, payload = await self._dispatch(
-                    method, path, query, headers, body, request_id
-                )
-            except asyncio.TimeoutError:
-                status = 408
-                payload = {
-                    "error": {
-                        "type": "timeout",
-                        "message": f"request not received within {self.read_timeout:.0f}s",
+            served = 0
+            while True:
+                started = time.perf_counter()
+                method: str | None = None
+                path: str | None = None
+                request_id: str | None = None
+                keep_alive = False
+                try:
+                    # The first request races the full read timeout (408 on
+                    # expiry, same as ever); later requests on a kept-alive
+                    # connection race the much shorter idle window and
+                    # expire silently.
+                    timeout = self.read_timeout if served == 0 else self.keep_alive_idle_s
+                    if task is not None:
+                        self._idle[task] = writer
+                    try:
+                        method, path, query, headers, body = await asyncio.wait_for(
+                            self._read_request(reader), timeout=timeout
+                        )
+                    finally:
+                        if task is not None:
+                            self._idle.pop(task, None)
+                    request_id = _clean_request_id(headers.get("x-request-id"))
+                    keep_alive = (
+                        headers.get("connection", "").strip().lower() == "keep-alive"
+                        and served + 1 < self.keep_alive_max_requests
+                        and not self._closing
+                    )
+                    status, payload = await self._dispatch(
+                        method, path, query, headers, body, request_id
+                    )
+                except asyncio.TimeoutError:
+                    if served:
+                        return  # idle keep-alive connection: close quietly
+                    status = 408
+                    payload = {
+                        "error": {
+                            "type": "timeout",
+                            "message": f"request not received within {self.read_timeout:.0f}s",
+                        }
                     }
-                }
-            except HTTPError as error:
-                status = error.status
-                payload = {
-                    "error": {"type": error.error_type, "message": error.message}
-                }
-            except Exception as error:  # noqa: BLE001 - boundary: every fault
-                # becomes a structured 500 instead of a dropped connection.
-                status = 500
-                payload = {
-                    "error": {"type": "internal", "message": f"{type(error).__name__}: {error}"}
-                }
-            await self._write_response(writer, status, payload, request_id=request_id)
-            self._account(method, path, status, started, request_id)
+                except _ConnectionClosed:
+                    return  # clean EOF between requests: nothing to answer
+                except HTTPError as error:
+                    keep_alive = False  # error responses always close
+                    status = error.status
+                    payload = {
+                        "error": {"type": error.error_type, "message": error.message}
+                    }
+                except Exception as error:  # noqa: BLE001 - boundary: every fault
+                    # becomes a structured 500 instead of a dropped connection.
+                    keep_alive = False
+                    status = 500
+                    payload = {
+                        "error": {"type": "internal", "message": f"{type(error).__name__}: {error}"}
+                    }
+                keep_alive = await self._write_response(
+                    writer, status, payload, request_id=request_id, keep_alive=keep_alive
+                )
+                self._account(method, path, status, started, request_id)
+                served += 1
+                if not keep_alive or self._closing:
+                    return
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # Client went away mid-exchange; nothing to answer.
         finally:
             if task is not None:
                 self._handlers.discard(task)
-            writer.close()
+                self._idle.pop(task, None)
+            await _close_writer(writer)
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: dict,
+        headers: dict,
+        body: bytes,
+        request_id: str,
+    ) -> tuple[int, dict | RawResponse]:
+        raise NotImplementedError
+
+    def _account(
+        self,
+        method: str | None,
+        path: str | None,
+        status: int,
+        started: float,
+        request_id: str | None,
+    ) -> None:
+        """Hook: per-request accounting (metrics, logs).  Default: none."""
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            return await self._read_request_inner(reader)
+        except ValueError as error:
+            # StreamReader raises ValueError past its 64 KiB line limit: an
+            # oversized request line / header is the client's fault, not ours.
+            raise HTTPError(400, "bad_request", f"unreadable request: {error}") from error
+
+    async def _read_request_inner(self, reader: asyncio.StreamReader):
+        request_line_bytes = await reader.readline()
+        if not request_line_bytes:
+            # Clean EOF before a request line: the peer closed a kept-alive
+            # connection (or connected and never spoke) — not a protocol error.
+            raise _ConnectionClosed
+        request_line = request_line_bytes.decode("latin-1").rstrip("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise HTTPError(400, "bad_request", f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(100):
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise HTTPError(400, "bad_request", "too many request headers")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise HTTPError(400, "bad_request", "malformed Content-Length") from None
+        if length < 0:
+            raise HTTPError(400, "bad_request", "malformed Content-Length")
+        if length > self.max_body_bytes:
+            raise HTTPError(
+                413,
+                "payload_too_large",
+                f"body of {length} bytes exceeds the {self.max_body_bytes}-byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        path, _, query_string = path.partition("?")
+        return method, path, parse_qs(query_string), headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict | RawResponse,
+        *,
+        request_id: str | None = None,
+        keep_alive: bool = False,
+    ) -> bool:
+        """Serialise and send; returns whether the connection stays open."""
+        if isinstance(payload, RawResponse):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            content_type = "application/json"
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+                # allow_nan=False: strict JSON on the wire (NaN/Infinity leaks
+                # become a structured 500 here instead of an unparsable body).
+                body = json.dumps(payload, allow_nan=False).encode()
+            except (TypeError, ValueError):
+                status = 500
+                keep_alive = False
+                body = json.dumps(
+                    {"error": {"type": "internal", "message": "unserialisable response payload"}}
+                ).encode()
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        request_id_header = (
+            f"X-Request-ID: {request_id}\r\n" if request_id is not None else ""
+        )
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"{request_id_header}"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        return keep_alive
+
+    @staticmethod
+    def _int_param(query: dict, name: str, default: int) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            value = int(values[0])
+        except ValueError:
+            raise HTTPError(400, "bad_request", f"{name} must be an integer") from None
+        if value < 1:
+            raise HTTPError(400, "bad_request", f"{name} must be >= 1")
+        return value
+
+
+class GatewayHTTPServer(AsyncJSONHTTPServer):
+    """The asyncio HTTP server; one instance serves one gateway.
+
+    ``registry`` is optional — without one, ``/v1/models`` answers with an
+    empty index instead of failing (a service constructed straight from a
+    fitted model has no registry to list).
+    """
+
+    def __init__(
+        self,
+        gateway: AsyncPowerGateway,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry=None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        read_timeout: float = REQUEST_READ_TIMEOUT,
+        keep_alive_max_requests: int = KEEP_ALIVE_MAX_REQUESTS,
+        keep_alive_idle_s: float = KEEP_ALIVE_IDLE_TIMEOUT,
+    ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            max_body_bytes=max_body_bytes,
+            read_timeout=read_timeout,
+            keep_alive_max_requests=keep_alive_max_requests,
+            keep_alive_idle_s=keep_alive_idle_s,
+        )
+        self.gateway = gateway
+        self.registry = registry
+
+    async def aclose(self, *, close_gateway: bool = False) -> None:
+        await super().aclose()
+        if close_gateway:
+            await self.gateway.aclose(close_service=True)
+
+    # --------------------------------------------------------------- handling
 
     async def _dispatch(
         self,
@@ -488,82 +718,6 @@ class GatewayHTTPServer:
             )
         except Exception:  # noqa: BLE001 - accounting must never fail a request
             pass
-
-    async def _read_request(self, reader: asyncio.StreamReader):
-        try:
-            return await self._read_request_inner(reader)
-        except ValueError as error:
-            # StreamReader raises ValueError past its 64 KiB line limit: an
-            # oversized request line / header is the client's fault, not ours.
-            raise HTTPError(400, "bad_request", f"unreadable request: {error}") from error
-
-    async def _read_request_inner(self, reader: asyncio.StreamReader):
-        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
-        parts = request_line.split()
-        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
-            raise HTTPError(400, "bad_request", f"malformed request line {request_line!r}")
-        method, path, _version = parts
-        headers: dict[str, str] = {}
-        for _ in range(100):
-            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
-            if not line:
-                break
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            raise HTTPError(400, "bad_request", "too many request headers")
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise HTTPError(400, "bad_request", "malformed Content-Length") from None
-        if length < 0:
-            raise HTTPError(400, "bad_request", "malformed Content-Length")
-        if length > self.max_body_bytes:
-            raise HTTPError(
-                413,
-                "payload_too_large",
-                f"body of {length} bytes exceeds the {self.max_body_bytes}-byte limit",
-            )
-        body = await reader.readexactly(length) if length else b""
-        path, _, query_string = path.partition("?")
-        return method, path, parse_qs(query_string), headers, body
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: dict | RawResponse,
-        *,
-        request_id: str | None = None,
-    ) -> None:
-        if isinstance(payload, RawResponse):
-            body = payload.body
-            content_type = payload.content_type
-        else:
-            content_type = "application/json"
-            try:
-                # allow_nan=False: strict JSON on the wire (NaN/Infinity leaks
-                # become a structured 500 here instead of an unparsable body).
-                body = json.dumps(payload, allow_nan=False).encode()
-            except (TypeError, ValueError):
-                status = 500
-                body = json.dumps(
-                    {"error": {"type": "internal", "message": "unserialisable response payload"}}
-                ).encode()
-        reason = _STATUS_REASONS.get(status, "Unknown")
-        request_id_header = (
-            f"X-Request-ID: {request_id}\r\n" if request_id is not None else ""
-        )
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"{request_id_header}"
-            "Connection: close\r\n"
-            "\r\n"
-        )
-        writer.write(head.encode("latin-1") + body)
-        await writer.drain()
 
     # ---------------------------------------------------------------- routing
 
@@ -673,19 +827,6 @@ class GatewayHTTPServer:
             return 200, {"status": "ok"}
         return 200, service_health()
 
-    @staticmethod
-    def _int_param(query: dict, name: str, default: int) -> int:
-        values = query.get(name)
-        if not values:
-            return default
-        try:
-            value = int(values[0])
-        except ValueError:
-            raise HTTPError(400, "bad_request", f"{name} must be an integer") from None
-        if value < 1:
-            raise HTTPError(400, "bad_request", f"{name} must be >= 1")
-        return value
-
     async def _traces(self, query: dict, headers: dict) -> tuple[int, dict]:
         """Recent request traces (newest first), or one trace by id."""
         obs = self._obs()
@@ -768,25 +909,10 @@ async def request_raw(
         )
         writer.write(head.encode("latin-1") + payload)
         await writer.drain()
-        status_line = (await reader.readline()).decode("latin-1")
-        status = int(status_line.split()[1])
-        response_headers: dict[str, str] = {}
-        length = 0
-        while True:
-            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
-            if not line:
-                break
-            name, _, value = line.partition(":")
-            response_headers[name.strip().lower()] = value.strip()
-        length = int(response_headers.get("content-length", "0"))
-        data = await reader.readexactly(length) if length else b""
+        status, response_headers, data = await _read_client_response(reader)
         return status, response_headers, data
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        await _close_writer(writer)
 
 
 async def request_json(
@@ -800,3 +926,177 @@ async def request_json(
     """:func:`request_raw` with the body parsed as JSON → ``(status, payload)``."""
     status, _, data = await request_raw(host, port, method, path, body, headers)
     return status, json.loads(data.decode() or "null")
+
+
+async def _read_client_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    status_line = (await reader.readline()).decode("latin-1")
+    if not status_line:
+        raise ConnectionError("connection closed before a status line")
+    status = int(status_line.split()[1])
+    response_headers: dict[str, str] = {}
+    while True:
+        line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        if not line:
+            break
+        name, _, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    length = int(response_headers.get("content-length", "0"))
+    data = await reader.readexactly(length) if length else b""
+    return status, response_headers, data
+
+
+@dataclass
+class _PooledConnection:
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    served: int = field(default=0)
+
+
+class HTTPConnectionPool:
+    """Keep-alive HTTP/1.1 client for one ``(host, port)`` target.
+
+    The cluster router holds one pool per replica: sequential requests ride
+    the same TCP connection (``Connection: keep-alive``) instead of paying
+    connection setup per request; concurrent requests each open their own
+    connection and up to ``max_idle`` of them are parked for reuse.
+
+    A parked connection the server has since closed (request cap, idle
+    timeout, restart) must not fail the request, so the exchange is retried
+    on a fresh connection.  A failure on the *fresh* connection raises
+    :class:`ConnectionError` — the caller's signal that the target itself is
+    down (the router's cue to retry on the next replica in ring order).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_idle: int = 8,
+        request_timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_idle = max_idle
+        self.request_timeout = request_timeout
+        self._idle: list[_PooledConnection] = []
+        self._closed = False
+        self.created = 0
+        self.reused = 0
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request/response exchange → ``(status, headers, body_bytes)``.
+
+        ``body`` may be pre-serialised bytes (the router relays client
+        payloads verbatim) or a JSON-able dict.
+        """
+        if self._closed:
+            raise ConnectionError(f"pool for {self.host}:{self.port} is closed")
+        payload = self._encode_body(body)
+        while True:
+            # Parked connections first (LIFO: the most recently used one is
+            # the least likely to have idled out server-side), then fresh.
+            conn = self._idle.pop() if self._idle else None
+            fresh = conn is None
+            if fresh:
+                try:
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(self.host, self.port),
+                        self.request_timeout,
+                    )
+                except (OSError, asyncio.TimeoutError) as error:
+                    raise ConnectionError(
+                        f"cannot connect to {self.host}:{self.port}: "
+                        f"{error or type(error).__name__}"
+                    ) from error
+                conn = _PooledConnection(reader, writer)
+                self.created += 1
+            try:
+                status, response_headers, data = await asyncio.wait_for(
+                    self._exchange(conn, method, path, payload, headers),
+                    self.request_timeout,
+                )
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+                OSError,
+            ) as error:
+                await _close_writer(conn.writer)
+                if fresh:
+                    raise ConnectionError(
+                        f"request to {self.host}:{self.port} failed: "
+                        f"{error or type(error).__name__}"
+                    ) from error
+                continue  # stale parked connection; try again
+            if not fresh:
+                self.reused += 1
+            conn.served += 1
+            if (
+                response_headers.get("connection", "").lower() == "keep-alive"
+                and not self._closed
+                and len(self._idle) < self.max_idle
+            ):
+                self._idle.append(conn)
+            else:
+                await _close_writer(conn.writer)
+            return status, response_headers, data
+
+    async def request_json(
+        self,
+        method: str,
+        path: str,
+        body: dict | bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict]:
+        status, _, data = await self.request(method, path, body, headers)
+        return status, json.loads(data.decode() or "null")
+
+    async def _exchange(
+        self,
+        conn: _PooledConnection,
+        method: str,
+        path: str,
+        payload: bytes,
+        headers: dict[str, str] | None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        )
+        conn.writer.write(head.encode("latin-1") + payload)
+        await conn.writer.drain()
+        return await _read_client_response(conn.reader)
+
+    @staticmethod
+    def _encode_body(body: dict | bytes | None) -> bytes:
+        if body is None:
+            return b""
+        if isinstance(body, (bytes, bytearray)):
+            return bytes(body)
+        return json.dumps(body, allow_nan=False).encode()
+
+    def stats(self) -> dict:
+        return {"created": self.created, "reused": self.reused, "idle": len(self._idle)}
+
+    async def aclose(self) -> None:
+        self._closed = True
+        idle, self._idle = self._idle, []
+        for conn in idle:
+            await _close_writer(conn.writer)

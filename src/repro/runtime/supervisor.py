@@ -13,6 +13,12 @@ replaces that with a supervised lifecycle:
   pool, so a transient fault costs one restart, not the request.  When the
   budget is exhausted the supervisor *retires* (degrade-to-serial, exactly
   the old policy — but only after the budget, never on the first strike).
+* **restart-budget decay** — with ``restart_budget_decay_s > 0``, every full
+  decay window of fault-free operation refunds one consumed restart, so a
+  long-lived pool is only ever retired by faults *clustered in time*, never
+  by the same number of transient faults spread over weeks.  Refunds are
+  claimed lazily on batch success (no timer thread) and are visible in
+  :meth:`health` as ``budget_refunds``.
 * **queue-depth autoscaling** — every batch reports its design count on
   admission; when the designs in flight exceed
   ``scale_up_queue_per_worker × size`` the pool grows (doubling, capped at
@@ -83,6 +89,7 @@ class SupervisedPool:
         max_workers: int,
         start_workers: int | None = None,
         max_restarts: int = 3,
+        restart_budget_decay_s: float = 0.0,
         backoff_base_s: float = 0.05,
         backoff_max_s: float = 2.0,
         scale_up_queue_per_worker: float = 4.0,
@@ -94,6 +101,7 @@ class SupervisedPool:
         on_restart: Callable[[], None] | None = None,
         observer: object | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if min_workers < 2:
             raise ValueError("a supervised pool needs at least 2 workers")
@@ -101,6 +109,8 @@ class SupervisedPool:
             raise ValueError("max_workers must be >= min_workers")
         if max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
+        if restart_budget_decay_s < 0:
+            raise ValueError("restart_budget_decay_s must be >= 0")
         if backoff_base_s < 0 or backoff_max_s < 0:
             raise ValueError("backoff times must be >= 0")
         if scale_up_queue_per_worker <= scale_down_queue_per_worker:
@@ -119,6 +129,7 @@ class SupervisedPool:
         self.min_workers = min_workers
         self.max_workers = max_workers
         self.max_restarts = max_restarts
+        self.restart_budget_decay_s = restart_budget_decay_s
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
         self.scale_up_queue_per_worker = scale_up_queue_per_worker
@@ -136,6 +147,7 @@ class SupervisedPool:
         # observer must never break recovery.
         self._observer = observer
         self._sleep = sleep
+        self._clock = clock
         # _state_lock guards every counter below and is never held across a
         # pool build, a pool close or a backoff sleep; _restart_lock
         # serialises recoveries (and is the only lock held while sleeping).
@@ -150,6 +162,10 @@ class SupervisedPool:
         self._queue_depth = 0
         self._idle_streak = 0
         self._restarts = 0
+        self._budget_refunds = 0
+        # Start of the current fault-free observation window; reset by every
+        # consumed restart and advanced by every refund.
+        self._budget_anchor = clock()
         self._scale_ups = 0
         self._scale_downs = 0
         self._batches = 0
@@ -220,6 +236,10 @@ class SupervisedPool:
                     if self._state == "backoff":
                         # The restarted pool proved itself: healthy again.
                         self._state = "ok"
+                    refunded = self._refund_budget_locked()
+                    remaining = self._restarts
+                if refunded:
+                    self._emit("budget_refund", refunded=refunded, restarts=remaining)
                 return result
         finally:
             with self._state_lock:
@@ -246,6 +266,8 @@ class SupervisedPool:
                 "in_flight_batches": sum(self._in_flight.values()),
                 "restarts": self._restarts,
                 "max_restarts": self.max_restarts,
+                "restart_budget_decay_s": self.restart_budget_decay_s,
+                "budget_refunds": self._budget_refunds,
                 "last_fault": self._last_fault,
                 "scale_ups": self._scale_ups,
                 "scale_downs": self._scale_downs,
@@ -455,6 +477,7 @@ class SupervisedPool:
                     retire = False
                     self._restarts += 1
                     self._retried_batches += 1
+                    self._budget_anchor = self._clock()
                     self._state = "backoff"
                     if not self._in_flight.get(generation):
                         stale = self._pools.pop(generation, None)
@@ -485,6 +508,32 @@ class SupervisedPool:
                     pass
             if delay > 0:
                 self._sleep(delay)
+
+    def _refund_budget_locked(self) -> int:
+        """Refund restart budget earned by sustained fault-free operation.
+
+        Called on every batch success under ``_state_lock``.  Each full
+        ``restart_budget_decay_s`` window elapsed since the last consumed
+        restart (or last refund) returns one restart to the budget — a long
+        fault-free stretch may refund several at once, which is exactly the
+        schedule: N windows of proven health undo N old faults.  No refund
+        while in backoff: the restarted pool must prove itself (flip the
+        state back to ``ok`` above) before its uptime starts counting.
+        """
+        if (
+            self.restart_budget_decay_s <= 0
+            or not self._restarts
+            or self._state != "ok"
+        ):
+            return 0
+        now = self._clock()
+        refunded = 0
+        while self._restarts and now - self._budget_anchor >= self.restart_budget_decay_s:
+            self._restarts -= 1
+            self._budget_refunds += 1
+            self._budget_anchor += self.restart_budget_decay_s
+            refunded += 1
+        return refunded
 
     def _emit(self, kind: str, **fields) -> None:
         """Report one lifecycle event through the observer, best-effort."""

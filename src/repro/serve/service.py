@@ -318,6 +318,12 @@ class PowerEstimationService:
         # otherwise re-pay its doomed setup on every batch forever.
         self._pool_strikes: dict[str, int] = {}
         self._pool_lock = threading.Lock()
+        # In-process forward passes flip the model's train/eval mode and the
+        # process-wide autograd flag, so concurrent batches (the gateway runs
+        # each estimate_many batch in its own bridge thread) must take turns
+        # on the model.  Pooled forwards run in single-threaded workers and
+        # don't need it.
+        self._model_lock = threading.Lock()
         self._closed = False
         self._close_hooks: list = []
         self._batcher: MicroBatcher | None = None
@@ -515,6 +521,10 @@ class PowerEstimationService:
             status = "ok"
         return {
             "status": status,
+            # The cluster router compares fingerprints across replicas to
+            # catch a mixed-version replica set before it serves divergent
+            # predictions.
+            "model_fingerprint": self.model_fingerprint,
             "pools": pools,
             # The recent tail of the lifecycle timeline (crash / restart /
             # scale / retire / degrade), oldest first — the full ring is at
@@ -848,6 +858,7 @@ class PowerEstimationService:
                     max_workers=high,
                     start_workers=start,
                     max_restarts=self.runtime.pool_max_restarts,
+                    restart_budget_decay_s=self.runtime.pool_restart_budget_decay_s,
                     backoff_base_s=self.runtime.pool_restart_backoff_s,
                     scale_up_queue_per_worker=self.runtime.autoscale_up_queue_per_worker,
                     scale_down_queue_per_worker=self.runtime.autoscale_down_queue_per_worker,
@@ -910,7 +921,7 @@ class PowerEstimationService:
                 # is consumed, but a *streak* of strikes retires the pool: a
                 # deterministically broken pool must not re-pay its doomed
                 # setup on every subsequent batch.
-                with use_backend(self.backend):
+                with self._model_lock, use_backend(self.backend):
                     predictions = self.model.predict_batch(
                         samples, batch_size=self.batch_size
                     )
@@ -919,7 +930,7 @@ class PowerEstimationService:
                 return predictions
         span.set_attribute("pooled", False)
         span.set_attribute("worker_pid", os.getpid())
-        with use_backend(self.backend):
+        with self._model_lock, use_backend(self.backend):
             return self.model.predict_batch(samples, batch_size=self.batch_size)
 
     def _note_pool_degradation(self, supervisor: SupervisedPool) -> None:
@@ -980,6 +991,7 @@ class PowerEstimationService:
                     min_workers=workers,
                     max_workers=workers,
                     max_restarts=self.runtime.pool_max_restarts,
+                    restart_budget_decay_s=self.runtime.pool_restart_budget_decay_s,
                     backoff_base_s=self.runtime.pool_restart_backoff_s,
                     name="forward",
                     on_fault=lambda fault: self.metrics.record(pooled_errors=1),

@@ -1,0 +1,166 @@
+"""Consistent-hash ring unit tests.
+
+The ring is the router's routing table, so the properties under test are the
+ones routing correctness rests on: determinism across processes (that's what
+lets a test predict which replica owns a kernel), minimal remapping under
+membership churn (the point of consistent hashing), and the preference order
+being a permutation that starts at the owner (the failover contract).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hashring import ConsistentHashRing, stable_hash
+
+KERNELS = [
+    "atax", "gemm", "bicg", "mvt", "gesummv", "syrk", "syr2k",
+    "k2mm", "k3mm", "doitgen", "jacobi-1d", "seidel-2d",
+]
+
+
+def ring_of(*nodes: str, virtual_nodes: int = 64) -> ConsistentHashRing:
+    ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+# ------------------------------------------------------------------ stability
+
+
+def test_stable_hash_is_process_independent():
+    """Known-answer test: the exact values matter because every router and
+    every test computes the same ring from node names alone (builtin hash()
+    would differ per process and give each replica a different ring)."""
+    assert stable_hash("atax") == int.from_bytes(
+        __import__("hashlib").blake2b(b"atax", digest_size=8).digest(), "big"
+    )
+    assert stable_hash("atax") != stable_hash("gemm")
+
+
+def test_lookup_is_deterministic_across_instances():
+    first = ring_of("replica-0", "replica-1", "replica-2")
+    second = ring_of("replica-2", "replica-0", "replica-1")  # insertion order differs
+    for kernel in KERNELS:
+        assert first.lookup(kernel) == second.lookup(kernel)
+        assert first.preference(kernel) == second.preference(kernel)
+
+
+# ----------------------------------------------------------------- membership
+
+
+def test_empty_ring_owns_nothing():
+    ring = ConsistentHashRing()
+    assert ring.lookup("atax") is None
+    assert ring.preference("atax") == []
+    assert ring.ownership() == {}
+    assert len(ring) == 0
+
+
+def test_add_remove_idempotent():
+    ring = ring_of("a", "b")
+    before = [ring.lookup(k) for k in KERNELS]
+    ring.add("a")  # no-op
+    assert [ring.lookup(k) for k in KERNELS] == before
+    ring.remove("missing")  # no-op
+    assert [ring.lookup(k) for k in KERNELS] == before
+    ring.remove("b")
+    ring.remove("b")  # still a no-op
+    assert ring.nodes == ["a"]
+    assert all(ring.lookup(k) == "a" for k in KERNELS)
+
+
+def test_single_node_owns_everything():
+    ring = ring_of("only")
+    assert all(ring.lookup(k) == "only" for k in KERNELS)
+    assert ring.preference("atax") == ["only"]
+    assert ring.ownership() == {"only": pytest.approx(1.0)}
+
+
+def test_removal_only_remaps_the_removed_nodes_keys():
+    """The consistent-hashing property: ejecting one replica must not move
+    any key owned by a surviving replica (their caches stay hot)."""
+    ring = ring_of("replica-0", "replica-1", "replica-2")
+    keys = [f"kernel-{i}" for i in range(500)]
+    before = {key: ring.lookup(key) for key in keys}
+    ring.remove("replica-1")
+    for key in keys:
+        if before[key] != "replica-1":
+            assert ring.lookup(key) == before[key]
+        else:
+            assert ring.lookup(key) != "replica-1"
+
+
+def test_readding_restores_the_original_assignment():
+    """Eject + respawn under the same replica id lands every key back on its
+    original owner — affinity survives the failure round-trip."""
+    ring = ring_of("replica-0", "replica-1", "replica-2")
+    keys = [f"kernel-{i}" for i in range(500)]
+    before = {key: ring.lookup(key) for key in keys}
+    ring.remove("replica-1")
+    ring.add("replica-1")
+    assert {key: ring.lookup(key) for key in keys} == before
+
+
+# ----------------------------------------------------------------- preference
+
+
+def test_preference_starts_at_owner_and_is_a_permutation():
+    ring = ring_of("replica-0", "replica-1", "replica-2", "replica-3")
+    for kernel in KERNELS:
+        order = ring.preference(kernel)
+        assert order[0] == ring.lookup(kernel)
+        assert sorted(order) == ring.nodes  # every node exactly once
+
+
+def test_preference_spreads_backups_across_nodes():
+    """Different keys must fail over to different backups — a single
+    designated backup would concentrate the whole failover load."""
+    ring = ring_of("replica-0", "replica-1", "replica-2", "replica-3")
+    backups = {ring.preference(f"kernel-{i}")[1] for i in range(200)}
+    assert len(backups) >= 3
+
+
+# ------------------------------------------------------------------ ownership
+
+
+def test_ownership_sums_to_one_and_is_roughly_balanced():
+    ring = ring_of("replica-0", "replica-1", "replica-2", virtual_nodes=128)
+    shares = ring.ownership()
+    assert sum(shares.values()) == pytest.approx(1.0)
+    for node, share in shares.items():
+        assert 0.05 < share < 0.75, (node, share)
+
+
+def test_key_distribution_tracks_ownership():
+    ring = ring_of("replica-0", "replica-1", "replica-2", virtual_nodes=128)
+    counts = {node: 0 for node in ring.nodes}
+    total = 3000
+    for i in range(total):
+        counts[ring.lookup(f"kernel-{i}")] += 1
+    for node, share in ring.ownership().items():
+        assert counts[node] / total == pytest.approx(share, abs=0.08)
+
+
+def test_snapshot_shape():
+    ring = ring_of("a", "b", virtual_nodes=16)
+    snapshot = ring.snapshot()
+    assert snapshot["nodes"] == ["a", "b"]
+    assert snapshot["virtual_nodes"] == 16
+    assert snapshot["points"] == 32
+    assert set(snapshot["ownership"]) == {"a", "b"}
+
+
+# ----------------------------------------------------------------- validation
+
+
+def test_virtual_nodes_validated():
+    with pytest.raises(ValueError, match="virtual_nodes"):
+        ConsistentHashRing(virtual_nodes=0)
+
+
+def test_contains_and_len():
+    ring = ring_of("a", "b")
+    assert "a" in ring and "b" in ring and "c" not in ring
+    assert len(ring) == 2

@@ -102,6 +102,38 @@ def test_trimming_removes_cast_nodes(gemm_baseline_result, gemm_activity):
     assert not any(n.opcode in cast_names for n in trimmed.nodes.values())
 
 
+def test_shared_constructor_is_safe_under_concurrent_builds(
+    gemm_kernel, gemm_baseline_result, gemm_activity
+):
+    """One GraphConstructor serving interleaved builds of different designs
+    must produce the same graphs as sequential builds — the serving tier runs
+    concurrent featurisation batches through a single shared constructor."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    directives = DesignDirectives.from_dicts(
+        {"k0": LoopPragmas(unroll_factor=3, pipeline=True)},
+        {"A": ArrayPartition(2), "B": ArrayPartition(2)},
+    )
+    unrolled_result = run_hls(gemm_kernel, directives)
+    unrolled_activity = simulate_activity(unrolled_result.design, seed=3)
+    jobs = [(gemm_baseline_result, gemm_activity), (unrolled_result, unrolled_activity)]
+
+    constructor = GraphConstructor()
+    expected = [constructor.build(result, profile) for result, profile in jobs]
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        for _ in range(20):
+            futures = [
+                pool.submit(constructor.build, result, profile)
+                for result, profile in jobs * 2
+            ]
+            built = [future.result() for future in futures]
+            for graph, reference in zip(built, expected * 2):
+                assert graph.num_nodes == reference.num_nodes
+                assert np.array_equal(graph.node_features, reference.node_features)
+                assert np.array_equal(graph.edge_index, reference.edge_index)
+                assert np.array_equal(graph.edge_features, reference.edge_features)
+
+
 def test_node_numeric_feature_names_align_with_encoder():
     encoder = FeatureEncoder()
     expected = len(NODE_TYPE_CATEGORIES) + len(OPCODE_VOCABULARY) + len(NODE_NUMERIC_FEATURES)

@@ -1,0 +1,294 @@
+"""HTTP/1.1 keep-alive tests: server-side connection reuse and the client pool.
+
+These drive :class:`~repro.runtime.http.AsyncJSONHTTPServer` directly through
+a trivial echo subclass — keep-alive is a property of the connection loop,
+not of any particular route — plus :class:`HTTPConnectionPool`, the matching
+client the cluster router holds per replica.  Sockets are exercised raw
+(``asyncio.open_connection``) where the assertion is about connection
+lifetime: whether the server answered ``Connection: keep-alive`` or
+``close``, and whether the socket then yields another response or EOF.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.runtime.http import AsyncJSONHTTPServer, HTTPConnectionPool, HTTPError
+
+
+class EchoServer(AsyncJSONHTTPServer):
+    """Minimal dispatcher: /echo answers, /fail raises, anything else 404s."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.dispatched = 0
+
+    async def _dispatch(self, method, path, query, headers, body, request_id):
+        self.dispatched += 1
+        if path == "/echo":
+            return 200, {"n": self.dispatched, "body": body.decode() or None}
+        if path == "/fail":
+            raise HTTPError(400, "bad_request", "told to fail")
+        raise HTTPError(404, "not_found", f"no route for {path}")
+
+
+def request_bytes(path: str, *, keep_alive: bool, body: bytes = b"") -> bytes:
+    connection = "keep-alive" if keep_alive else "close"
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: test\r\n"
+        f"Connection: {connection}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    ).encode() + body
+
+
+async def read_response(reader: asyncio.StreamReader):
+    """One full response off the stream: (status, headers, parsed body)."""
+    status_line = await reader.readline()
+    assert status_line, "server closed the connection instead of answering"
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = (await reader.readline()).decode().strip()
+        if not line:
+            break
+        name, _, value = line.partition(":")
+        headers[name.lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, json.loads(body.decode())
+
+
+# ------------------------------------------------------------------- server
+
+
+def test_default_connection_closes():
+    """No opt-in → Connection: close and EOF, the pre-keep-alive behaviour."""
+
+    async def scenario():
+        async with EchoServer() as server:
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            writer.write(request_bytes("/echo", keep_alive=False))
+            await writer.drain()
+            status, headers, payload = await read_response(reader)
+            eof = await reader.read(1)
+            writer.close()
+            return status, headers, eof
+
+    status, headers, eof = asyncio.run(scenario())
+    assert status == 200
+    assert headers["connection"] == "close"
+    assert eof == b""
+
+
+def test_keep_alive_reuses_one_connection():
+    async def scenario():
+        async with EchoServer() as server:
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            results = []
+            for index in range(5):
+                writer.write(
+                    request_bytes("/echo", keep_alive=True, body=f"r{index}".encode())
+                )
+                await writer.drain()
+                results.append(await read_response(reader))
+            writer.close()
+            return results
+
+    results = asyncio.run(scenario())
+    assert [payload["n"] for _, _, payload in results] == [1, 2, 3, 4, 5]
+    assert [payload["body"] for _, _, payload in results] == [
+        "r0", "r1", "r2", "r3", "r4"
+    ]
+    assert all(headers["connection"] == "keep-alive" for _, headers, _ in results)
+
+
+def test_per_connection_request_cap():
+    """The Nth request on one connection answers Connection: close — one
+    client cannot pin a handler task forever."""
+
+    async def scenario():
+        async with EchoServer(keep_alive_max_requests=3) as server:
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            headers_seen = []
+            for _ in range(3):
+                writer.write(request_bytes("/echo", keep_alive=True))
+                await writer.drain()
+                _, headers, _ = await read_response(reader)
+                headers_seen.append(headers["connection"])
+            eof = await reader.read(1)
+            writer.close()
+            return headers_seen, eof
+
+    headers_seen, eof = asyncio.run(scenario())
+    assert headers_seen == ["keep-alive", "keep-alive", "close"]
+    assert eof == b""
+
+
+def test_idle_timeout_closes_silently():
+    """An idle kept-alive connection expires with EOF, not a 408 — parking a
+    pooled connection is normal client behaviour, not a protocol fault."""
+
+    async def scenario():
+        async with EchoServer(keep_alive_idle_s=0.15) as server:
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            writer.write(request_bytes("/echo", keep_alive=True))
+            await writer.drain()
+            status, headers, _ = await read_response(reader)
+            assert headers["connection"] == "keep-alive"
+            trailing = await asyncio.wait_for(reader.read(64), timeout=5)
+            writer.close()
+            return trailing
+
+    assert asyncio.run(scenario()) == b""  # EOF, no 408 bytes
+
+
+def test_first_request_timeout_still_answers_408():
+    """The idle window only applies *between* requests; a connection that
+    never delivers its first request keeps the 408 contract."""
+
+    async def scenario():
+        async with EchoServer(read_timeout=0.15) as server:
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            status, headers, payload = await read_response(reader)  # sent nothing
+            writer.close()
+            return status, payload
+
+    status, payload = asyncio.run(scenario())
+    assert status == 408
+    assert payload["error"]["type"] == "timeout"
+
+
+def test_error_responses_close_despite_opt_in():
+    async def scenario():
+        async with EchoServer() as server:
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            writer.write(request_bytes("/fail", keep_alive=True))
+            await writer.drain()
+            status, headers, _ = await read_response(reader)
+            eof = await reader.read(1)
+            writer.close()
+            return status, headers, eof
+
+    status, headers, eof = asyncio.run(scenario())
+    assert status == 400
+    assert headers["connection"] == "close"
+    assert eof == b""
+
+
+def test_aclose_does_not_wait_out_idle_connections():
+    """Shutdown with a parked keep-alive connection returns promptly: the
+    idle handler's transport is closed instead of waiting out its window."""
+
+    async def scenario():
+        server = EchoServer(keep_alive_idle_s=30.0)
+        await server.start()
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        writer.write(request_bytes("/echo", keep_alive=True))
+        await writer.drain()
+        await read_response(reader)  # connection now parked idle for 30s
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        await server.aclose()
+        elapsed = loop.time() - started
+        writer.close()
+        return elapsed
+
+    assert asyncio.run(scenario()) < 5.0
+
+
+# ------------------------------------------------------------------- client
+
+
+def test_pool_reuses_connections():
+    async def scenario():
+        async with EchoServer() as server:
+            pool = HTTPConnectionPool(server.host, server.port)
+            try:
+                for _ in range(6):
+                    status, _, data = await pool.request("POST", "/echo", b"")
+                    assert status == 200
+                return pool.stats()
+            finally:
+                await pool.aclose()
+
+    stats = asyncio.run(scenario())
+    assert stats["created"] == 1
+    assert stats["reused"] == 5
+    assert stats["idle"] == 1
+
+
+def test_pool_retries_on_stale_idle_connection():
+    """A parked connection the server already closed (idle expiry) must not
+    fail the request — the pool falls back to a fresh connection."""
+
+    async def scenario():
+        async with EchoServer(keep_alive_idle_s=0.1) as server:
+            pool = HTTPConnectionPool(server.host, server.port)
+            try:
+                await pool.request("POST", "/echo", b"")
+                await asyncio.sleep(0.4)  # server times the idle connection out
+                status, _, _ = await pool.request("POST", "/echo", b"")
+                return status, pool.stats()
+            finally:
+                await pool.aclose()
+
+    status, stats = asyncio.run(scenario())
+    assert status == 200
+    assert stats["created"] == 2  # stale one was discarded, not errored on
+
+
+def test_pool_fresh_connection_failure_raises_connection_error():
+    """Failure on a *fresh* connection is a real peer-down signal — the
+    exception type the router's failover keys on."""
+
+    async def scenario():
+        async with EchoServer() as server:
+            dead_port = server.port
+        # context exit closed the server; the port is now unreachable
+        pool = HTTPConnectionPool("127.0.0.1", dead_port, request_timeout=2.0)
+        try:
+            with pytest.raises(ConnectionError):
+                await pool.request("POST", "/echo", b"")
+        finally:
+            await pool.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_pool_json_helper_and_dict_bodies():
+    async def scenario():
+        async with EchoServer() as server:
+            pool = HTTPConnectionPool(server.host, server.port)
+            try:
+                status, payload = await pool.request_json(
+                    "POST", "/echo", {"kernel": "atax"}
+                )
+                return status, payload
+            finally:
+                await pool.aclose()
+
+    status, payload = asyncio.run(scenario())
+    assert status == 200
+    assert json.loads(payload["body"]) == {"kernel": "atax"}
+
+
+def test_pool_respects_max_idle():
+    """Concurrent requests beyond max_idle park only max_idle connections."""
+
+    async def scenario():
+        async with EchoServer() as server:
+            pool = HTTPConnectionPool(server.host, server.port, max_idle=2)
+            try:
+                await asyncio.gather(
+                    *(pool.request("POST", "/echo", b"") for _ in range(5))
+                )
+                return pool.stats()
+            finally:
+                await pool.aclose()
+
+    stats = asyncio.run(scenario())
+    assert stats["idle"] <= 2

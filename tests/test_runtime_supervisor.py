@@ -176,6 +176,181 @@ def test_retires_after_budget_and_stays_retired():
     supervisor.close()
 
 
+def test_restart_budget_decay_refunds_after_sustained_success():
+    """Each full decay window of post-restart success refunds one restart,
+    so an old crash stops counting against the budget forever."""
+    harness = Harness()
+    now = [0.0]
+    crashes = {"left": 2}
+
+    def flaky(pool):
+        if crashes["left"]:
+            crashes["left"] -= 1
+            raise WorkerCrashError("injected")
+        return "ok"
+
+    class Recorder:
+        events: list = []
+
+        def pool_event(self, kind, **fields):
+            self.events.append((kind, fields))
+
+    with harness.supervisor(
+        max_restarts=3,
+        restart_budget_decay_s=10.0,
+        backoff_base_s=0.0,
+        clock=lambda: now[0],
+        observer=Recorder(),
+    ) as supervisor:
+        assert supervisor.run(flaky) == "ok"  # two crashes consumed
+        assert supervisor.health()["restarts"] == 2
+        assert supervisor.health()["budget_refunds"] == 0
+
+        now[0] = 9.9  # just under one window since the last restart
+        supervisor.run(lambda pool: "ok")
+        assert supervisor.health()["restarts"] == 2
+
+        now[0] = 10.0  # one full window of sustained success
+        supervisor.run(lambda pool: "ok")
+        health = supervisor.health()
+        assert health["restarts"] == 1
+        assert health["budget_refunds"] == 1
+        assert health["restart_budget_decay_s"] == 10.0
+
+        now[0] = 20.0  # a second window
+        supervisor.run(lambda pool: "ok")
+        assert supervisor.health()["restarts"] == 0
+
+        now[0] = 200.0  # the budget floors at zero, refunds stop
+        supervisor.run(lambda pool: "ok")
+        final = supervisor.health()
+    assert final["restarts"] == 0
+    assert final["budget_refunds"] == 2
+    refunds = [fields for kind, fields in Recorder.events if kind == "budget_refund"]
+    assert [r["refunded"] for r in refunds] == [1, 1]
+    assert [r["restarts"] for r in refunds] == [1, 0]
+
+
+def test_restart_budget_decay_refunds_multiple_windows_at_once():
+    """Refunds are computed lazily on success, so a long quiet stretch pays
+    out every elapsed window in one step (capped at what was consumed)."""
+    harness = Harness()
+    now = [0.0]
+    crashes = {"left": 3}
+
+    def flaky(pool):
+        if crashes["left"]:
+            crashes["left"] -= 1
+            raise WorkerCrashError("injected")
+        return "ok"
+
+    with harness.supervisor(
+        max_restarts=3,
+        restart_budget_decay_s=10.0,
+        backoff_base_s=0.0,
+        clock=lambda: now[0],
+    ) as supervisor:
+        supervisor.run(flaky)
+        assert supervisor.health()["restarts"] == 3
+        now[0] = 25.0  # 2.5 windows → exactly two refunds
+        supervisor.run(lambda pool: "ok")
+        assert supervisor.health()["restarts"] == 1
+        assert supervisor.health()["budget_refunds"] == 2
+
+
+def test_restart_budget_decay_extends_the_retirement_horizon():
+    """The point of the satellite: a pool crashing once per (long) while
+    under an active decay schedule never retires, while the same crash rate
+    without decay burns the budget down."""
+    harness = Harness()
+    now = [0.0]
+
+    def crash_once():
+        counter = {"left": 1}
+
+        def task(pool):
+            if counter["left"]:
+                counter["left"] -= 1
+                raise WorkerCrashError("periodic")
+            return "ok"
+
+        return task
+
+    with harness.supervisor(
+        max_restarts=2,
+        restart_budget_decay_s=10.0,
+        backoff_base_s=0.0,
+        clock=lambda: now[0],
+    ) as supervisor:
+        for round_index in range(6):  # 6 crashes against a budget of 2
+            supervisor.run(crash_once())
+            now[0] += 15.0  # sustained success refunds before the next crash
+            supervisor.run(lambda pool: "ok")
+        health = supervisor.health()
+    assert health["state"] == "ok"
+    assert health["restarts"] == 0
+    assert health["budget_refunds"] == 6
+
+
+def test_restart_budget_decay_anchor_resets_on_each_restart():
+    """Time served *before* a crash must not prepay the refund: the decay
+    window restarts from the most recent restart."""
+    harness = Harness()
+    now = [0.0]
+    crashes = {"left": 0}
+
+    def maybe_crash(pool):
+        if crashes["left"]:
+            crashes["left"] -= 1
+            raise WorkerCrashError("injected")
+        return "ok"
+
+    with harness.supervisor(
+        max_restarts=3,
+        restart_budget_decay_s=10.0,
+        backoff_base_s=0.0,
+        clock=lambda: now[0],
+    ) as supervisor:
+        now[0] = 9.0  # nine quiet seconds before the first crash...
+        crashes["left"] = 1
+        supervisor.run(maybe_crash)
+        now[0] = 10.0  # ...must not count: only 1s has passed since restart
+        supervisor.run(lambda pool: "ok")
+        assert supervisor.health()["restarts"] == 1
+        now[0] = 19.0  # 10s since the restart at t=9
+        supervisor.run(lambda pool: "ok")
+        assert supervisor.health()["restarts"] == 0
+
+
+def test_restart_budget_decay_disabled_by_default():
+    harness = Harness()
+    now = [0.0]
+    crashes = {"left": 1}
+
+    def flaky(pool):
+        if crashes["left"]:
+            crashes["left"] -= 1
+            raise WorkerCrashError("injected")
+        return "ok"
+
+    with harness.supervisor(
+        max_restarts=3, backoff_base_s=0.0, clock=lambda: now[0]
+    ) as supervisor:
+        supervisor.run(flaky)
+        now[0] = 1e9  # an eternity of success
+        supervisor.run(lambda pool: "ok")
+        health = supervisor.health()
+    assert health["restarts"] == 1  # nothing refunded
+    assert health["budget_refunds"] == 0
+    assert health["restart_budget_decay_s"] == 0.0
+
+
+def test_restart_budget_decay_validated():
+    harness = Harness()
+    with pytest.raises(ValueError):
+        harness.supervisor(restart_budget_decay_s=-1.0)
+
+
 def test_task_errors_propagate_without_consuming_budget():
     harness = Harness()
     with harness.supervisor() as supervisor:
@@ -573,6 +748,8 @@ def test_runtime_config_validates_supervision_knobs():
         RuntimeConfig(pool_max_restarts=-1)
     with pytest.raises(ValueError):
         RuntimeConfig(pool_restart_backoff_s=-0.1)
+    with pytest.raises(ValueError):
+        RuntimeConfig(pool_restart_budget_decay_s=-1.0)
     with pytest.raises(ValueError, match="num_workers_min=8"):
         RuntimeConfig(num_workers_min=8, num_workers_max=4)
     # A floor without a pool to apply it to is rejected, not silently ignored.

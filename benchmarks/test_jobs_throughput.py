@@ -1,0 +1,151 @@
+"""Jobs-service throughput: time-to-first-update and sustained design rate.
+
+One exploration job for the atax design space, submitted over real HTTP to a
+gateway with the jobs tier mounted, with the per-iteration update stream
+consumed live.  Two numbers land in the results log and are gated by
+``check_regression.py``:
+
+* **TTFU s** — submit → first streamed iteration update.  The latency a DSE
+  driver waits before it can render anything; the point of the async job API
+  over the blocking ``/v1/explore``.
+* **Designs/s** — sampled designs per second across the whole job, i.e. the
+  exploration loop's sustained rate through the batched prediction engine
+  with per-iteration checkpointing and update publishing on.
+
+Correctness is enforced unconditionally: the job's final report must be
+bitwise the direct blocking ``service.explore`` (same frontier, same ADRS
+float) — the jobs tier may cost latency, never answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from conftest import print_table
+from gating import gate_reason, wall_clock_enforced
+from repro.flow.dataset_gen import DatasetConfig, DatasetGenerator
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.jobs import JobManager
+from repro.runtime.gateway import AsyncPowerGateway
+from repro.runtime.http import GatewayHTTPServer, request_json, stream_json_lines
+from repro.serve import PowerEstimationService
+from repro.serve.wire import explore_report_to_json
+
+TARGET_KERNEL = "atax"
+BUDGET = 0.9
+#: Local-only collapse floor for TTFU: far above any healthy run (the first
+#: iteration is two predictions), far below a hung scheduler.
+TTFU_CEILING_S = 10.0
+
+
+def stable(report: dict) -> dict:
+    return {k: v for k, v in report.items() if k != "elapsed_seconds"}
+
+
+@pytest.mark.benchmark
+@pytest.mark.slow
+def test_jobs_explore_throughput(benchmark, bench_dataset, bench_scale):
+    train, _ = bench_dataset.leave_one_out(TARGET_KERNEL)
+    model = PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=bench_scale.hidden_dim, num_layers=3),
+            training=TrainingConfig(
+                epochs=min(bench_scale.epochs, 40), batch_size=32, learning_rate=2e-3
+            ),
+            ensemble=None,
+        )
+    ).fit(train.samples)
+    dataset_config = DatasetConfig(
+        kernel_size=bench_scale.kernel_size,
+        designs_per_kernel=bench_scale.designs_per_kernel,
+    )
+
+    def run():
+        # The uninterrupted blocking reference, same model, same space.
+        direct_service = PowerEstimationService(
+            model, generator=DatasetGenerator(dataset_config)
+        )
+        try:
+            direct = explore_report_to_json(
+                direct_service.explore(TARGET_KERNEL, BUDGET)
+            )
+        finally:
+            direct_service.close()
+
+        async def job_path():
+            service = PowerEstimationService(
+                model, generator=DatasetGenerator(dataset_config)
+            )
+            manager = JobManager(service)
+            gateway = AsyncPowerGateway(service, jobs=manager)
+            server = GatewayHTTPServer(gateway)
+            host, port = await server.start()
+            try:
+                submitted = time.perf_counter()
+                status, snapshot = await request_json(
+                    host, port, "POST", "/v1/jobs/explore",
+                    {"kernel": TARGET_KERNEL, "budget": BUDGET},
+                )
+                assert status == 202, snapshot
+                job_id = snapshot["job_id"]
+                ttfu = None
+                async for update in stream_json_lines(
+                    host, port, f"/v1/jobs/{job_id}/updates?stream=1"
+                ):
+                    if ttfu is None and update["event"] == "iteration":
+                        ttfu = time.perf_counter() - submitted
+                job_seconds = time.perf_counter() - submitted
+                status, final = await request_json(
+                    host, port, "GET", f"/v1/jobs/{job_id}"
+                )
+                assert status == 200 and final["state"] == "succeeded", final
+                return ttfu, job_seconds, final
+            finally:
+                await server.aclose(close_gateway=True)
+
+        ttfu, job_seconds, final = asyncio.run(job_path())
+        return {
+            "direct": direct,
+            "ttfu": ttfu,
+            "job_seconds": job_seconds,
+            "final": final,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sampled = results["final"]["result"]["num_sampled"]
+    rate = sampled / results["job_seconds"]
+    print_table(
+        f"Jobs service throughput on the {TARGET_KERNEL} design space "
+        f"(budget {BUDGET:.0%} of {bench_scale.designs_per_kernel} designs, "
+        f"streamed over HTTP; wall-clock asserts {gate_reason()})",
+        ["Path", "Designs", "TTFU s", "Seconds", "Designs/s"],
+        [
+            [
+                "job explore",
+                str(sampled),
+                f"{results['ttfu']:.3f}",
+                f"{results['job_seconds']:.3f}",
+                f"{rate:.1f}",
+            ]
+        ],
+    )
+
+    # Correctness invariants: always enforced.
+    assert results["ttfu"] is not None, "stream ended without an iteration update"
+    assert stable(results["final"]["result"]) == stable(results["direct"]), (
+        "job-mode exploration diverged from the direct blocking explore"
+    )
+    updates_seen = results["final"]["seq"]
+    assert updates_seen >= 2, f"only {updates_seen} updates for a whole job"
+
+    if wall_clock_enforced():
+        assert results["ttfu"] < TTFU_CEILING_S, (
+            f"first update took {results['ttfu']:.1f}s (ceiling {TTFU_CEILING_S}s)"
+        )

@@ -99,7 +99,15 @@ def replica_main(spec: ReplicaSpec, replica_id: str, conn) -> None:
         raise SystemExit(1) from error
 
     async def serve() -> None:
-        gateway = AsyncPowerGateway(service)
+        # Mount the jobs tier when the runtime resolves a durable directory
+        # (jobs_dir, or a jobs/ subtree of the persistent cache dir): the
+        # manager resumes any interrupted jobs found there at construction,
+        # which is what makes SIGKILL + respawn continue mid-exploration.
+        from repro.jobs import JobManager, jobs_dir_for
+
+        jobs_dir = jobs_dir_for(spec.runtime or RuntimeConfig())
+        jobs = JobManager(service, store=jobs_dir) if jobs_dir else JobManager(service)
+        gateway = AsyncPowerGateway(service, jobs=jobs)
         server = GatewayHTTPServer(
             gateway, host=spec.host, port=0, registry=registry
         )

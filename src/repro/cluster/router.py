@@ -42,34 +42,25 @@ from dataclasses import dataclass, field
 
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.manager import ReplicaHandle, ReplicaManager
+from repro.jobs.job import kernel_of_job_id
 from repro.obs import ClusterObservability
 from repro.obs.logs import log_event
 from repro.obs.metrics import flatten_numeric
 from repro.runtime.gateway import GatewayBackpressureError, GatewayClosedError
 from repro.runtime.http import (
+    MAX_LONG_POLL_SECONDS,
     PROMETHEUS_CONTENT_TYPE,
+    STREAM_POLL_SECONDS,
     AsyncJSONHTTPServer,
     HTTPConnectionPool,
     HTTPError,
     RawResponse,
+    StreamingResponse,
     _require,
 )
+from repro.runtime.routes import ROUTER_ROUTES, RouteTable
 
 __all__ = ["ClusterConfig", "ClusterRouter", "RouterStats"]
-
-#: Router paths for the metrics route label (unknown paths share "other").
-_ROUTER_PATHS = frozenset(
-    {
-        "/v1/estimate",
-        "/v1/estimate_many",
-        "/v1/explore",
-        "/v1/models",
-        "/v1/cluster",
-        "/v1/events",
-        "/healthz",
-        "/metrics",
-    }
-)
 
 
 @dataclass(frozen=True)
@@ -231,6 +222,9 @@ class ClusterRouter(AsyncJSONHTTPServer):
 
     # --------------------------------------------------------------- dispatch
 
+    #: The route table this server dispatches over and serves on /v1/routes.
+    routes_table: RouteTable = ROUTER_ROUTES
+
     async def _dispatch(
         self,
         method: str,
@@ -239,37 +233,29 @@ class ClusterRouter(AsyncJSONHTTPServer):
         headers: dict,
         body: bytes,
         request_id: str,
-    ) -> tuple[int, dict | RawResponse]:
-        routes = {
-            "/v1/estimate": ("POST", self._estimate),
-            "/v1/estimate_many": ("POST", self._estimate_many),
-            "/v1/explore": ("POST", self._explore),
-            "/v1/models": ("GET", self._models),
-            "/v1/cluster": ("GET", self._cluster),
-            "/v1/events": ("GET", self._events),
-            "/healthz": ("GET", self._healthz),
-            "/metrics": ("GET", self._metrics),
-        }
-        if path not in routes:
-            raise HTTPError(404, "not_found", f"no route for {path}")
-        expected_method, handler = routes[path]
-        if method != expected_method:
-            raise HTTPError(
-                405, "method_not_allowed", f"{path} expects {expected_method}, got {method}"
-            )
+    ) -> tuple[int, dict | RawResponse | StreamingResponse]:
+        route, params = self.routes_table.match(method, path)
+        handler = getattr(self, f"_{route.name}")
         try:
-            if expected_method == "POST":
-                return await handler(body, request_id)
-            return await handler(query, headers)
+            if route.method == "POST":
+                payload = await handler(body, request_id, params)
+            else:
+                payload = await handler(query, headers, params)
+        except HTTPError:
+            raise
         except GatewayBackpressureError as error:
             raise HTTPError(429, "backpressure", str(error)) from error
         except GatewayClosedError as error:
             raise HTTPError(503, "closed", str(error)) from error
+        status, response = payload
+        if route.deprecated:
+            response = self._deprecate(response, route.successor)
+        return status, response
 
     def _account(self, method, path, status, started, request_id) -> None:
         if method is None:
             return
-        route = path if path in _ROUTER_PATHS else "other"
+        route = self.routes_table.metrics_label(path)
         elapsed = time.perf_counter() - started
         try:
             self.obs.requests.labels(route=route, status=str(status)).inc()
@@ -334,6 +320,8 @@ class ClusterRouter(AsyncJSONHTTPServer):
         *,
         cost: int,
         request_id: str,
+        method: str = "POST",
+        walk_on_missing_job: bool = False,
     ) -> tuple[int, bytes]:
         """Send one exchange to ``key``'s owner, failing over in ring order.
 
@@ -342,13 +330,23 @@ class ClusterRouter(AsyncJSONHTTPServer):
         relay as-is; only *connection-level* failures trigger failover.
         Raises 503 when every candidate is gone and
         :class:`GatewayBackpressureError` when every candidate is full.
+
+        ``walk_on_missing_job`` extends the walk to ``404 job_not_found``
+        answers: a job submitted before a ring change may live on a replica
+        that is no longer the key's owner, so job reads try the ring's
+        preference order before relaying the 404.
         """
         candidates = self._candidates(key)
         if not candidates:
             raise HTTPError(503, "no_replicas", "no serveable replicas in the ring")
         attempts = candidates[: self.config.retries + 1]
+        if walk_on_missing_job:
+            # A misplaced job can be on *any* replica, not just the owner's
+            # backup set; walk the whole preference order.
+            attempts = candidates
         headers = {"X-Request-ID": request_id}
         last_error: Exception | None = None
+        missing_job: tuple[int, bytes] | None = None
         tried = 0
         for slot in attempts:
             if slot.in_flight + cost > self.config.replica_max_in_flight:
@@ -364,7 +362,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
             slot.in_flight += cost
             try:
                 status, _, data = await slot.pool.request(
-                    "POST", path, payload, headers
+                    method, path, payload, headers
                 )
             except (ConnectionError, asyncio.TimeoutError, OSError) as error:
                 last_error = error
@@ -374,11 +372,17 @@ class ClusterRouter(AsyncJSONHTTPServer):
             finally:
                 slot.in_flight -= cost
             slot.requests += 1
-            slot.designs += cost
             slot.consecutive_failures = 0
+            if walk_on_missing_job and status == 404 and self._is_missing_job(data):
+                missing_job = (status, data)
+                continue
+            slot.designs += cost
             self.stats.designs += cost
             self.obs.replica_designs.labels(replica=slot.handle.replica_id).inc(cost)
             return status, data
+        if missing_job is not None:
+            # Every reachable replica answered job_not_found: relay it.
+            return missing_job
         if last_error is not None:
             raise HTTPError(
                 503,
@@ -392,9 +396,22 @@ class ClusterRouter(AsyncJSONHTTPServer):
             busiest.in_flight, self.config.replica_max_in_flight, cost
         )
 
+    @staticmethod
+    def _is_missing_job(data: bytes) -> bool:
+        try:
+            detail = json.loads(data.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return False
+        return (
+            isinstance(detail, dict)
+            and (detail.get("error") or {}).get("type") == "job_not_found"
+        )
+
     # ---------------------------------------------------------------- handlers
 
-    async def _estimate(self, body: bytes, request_id: str) -> tuple[int, RawResponse]:
+    async def _estimate(
+        self, body: bytes, request_id: str, params: dict
+    ) -> tuple[int, RawResponse]:
         parsed = self._parse_body(body)
         kernel = _require(parsed, "kernel", str, "request")
         self.stats.requests += 1
@@ -408,7 +425,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
         return status, RawResponse("application/json", data)
 
     async def _estimate_many(
-        self, body: bytes, request_id: str
+        self, body: bytes, request_id: str, params: dict
     ) -> tuple[int, dict | RawResponse]:
         parsed = self._parse_body(body)
         raw = _require(parsed, "requests", list, "body")
@@ -458,7 +475,9 @@ class ClusterRouter(AsyncJSONHTTPServer):
                 responses[index] = sub[position]
         return 200, {"responses": responses}
 
-    async def _explore(self, body: bytes, request_id: str) -> tuple[int, RawResponse]:
+    async def _explore(
+        self, body: bytes, request_id: str, params: dict
+    ) -> tuple[int, RawResponse]:
         parsed = self._parse_body(body)
         kernel = _require(parsed, "kernel", str, "body")
         self.stats.requests += 1
@@ -471,7 +490,175 @@ class ClusterRouter(AsyncJSONHTTPServer):
             self._release(1)
         return status, RawResponse("application/json", data)
 
-    async def _models(self, query: dict, headers: dict) -> tuple[int, RawResponse]:
+    # ------------------------------------------------------------------- jobs
+    #
+    # Job routes hash on the kernel — submissions carry it in the body, every
+    # other verb recovers it from the job id itself (ids embed the kernel) —
+    # so a job's whole lifecycle lands on the replica whose warm caches ran
+    # the exploration, with no cluster-wide job table.  Polls/cancels are
+    # cost-0 exchanges: they must keep answering while the design-denominated
+    # admission is saturated.
+
+    async def _submit_explore_job(
+        self, body: bytes, request_id: str, params: dict
+    ) -> tuple[int, RawResponse]:
+        parsed = self._parse_body(body)
+        kernel = _require(parsed, "kernel", str, "body")
+        self.stats.requests += 1
+        status, data = await self._forward(
+            kernel, "/v1/jobs/explore", body, cost=0, request_id=request_id
+        )
+        return status, RawResponse("application/json", data)
+
+    async def _get_job(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, RawResponse]:
+        job_id = params["job_id"]
+        self.stats.requests += 1
+        status, data = await self._forward(
+            kernel_of_job_id(job_id),
+            f"/v1/jobs/{job_id}",
+            b"",
+            cost=0,
+            request_id=headers.get("x-request-id", ""),
+            method="GET",
+            walk_on_missing_job=True,
+        )
+        return status, RawResponse("application/json", data)
+
+    async def _cancel_job(
+        self, body: bytes, request_id: str, params: dict
+    ) -> tuple[int, RawResponse]:
+        job_id = params["job_id"]
+        self.stats.requests += 1
+        status, data = await self._forward(
+            kernel_of_job_id(job_id),
+            f"/v1/jobs/{job_id}/cancel",
+            b"{}",
+            cost=0,
+            request_id=request_id,
+            walk_on_missing_job=True,
+        )
+        return status, RawResponse("application/json", data)
+
+    async def _job_updates(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, dict | RawResponse | StreamingResponse]:
+        job_id = params["job_id"]
+        self.stats.requests += 1
+        since = self._int_param(query, "since", default=0, minimum=0)
+        stream = query.get("stream", ["0"])[0] not in ("", "0", "false")
+        request_id = headers.get("x-request-id", "")
+        if stream:
+            # Prove the job exists (ordinary 404 envelope) before committing
+            # to a 200 chunked head, then re-emit the owner's updates as this
+            # server's own stream, fed by proxied long-polls — the stream
+            # survives replica failover because each leg re-resolves the
+            # owner through the ring.
+            status, data = await self._forward(
+                kernel_of_job_id(job_id),
+                f"/v1/jobs/{job_id}",
+                b"",
+                cost=0,
+                request_id=request_id,
+                method="GET",
+                walk_on_missing_job=True,
+            )
+            if status != 200:
+                return status, RawResponse("application/json", data)
+            return 200, StreamingResponse(
+                "application/x-ndjson",
+                self._stream_job_updates(job_id, since, request_id),
+            )
+        wait_values = query.get("wait")
+        suffix = ""
+        if wait_values:
+            try:
+                wait = min(float(wait_values[0]), MAX_LONG_POLL_SECONDS)
+            except ValueError:
+                raise HTTPError(400, "bad_request", "wait must be a number") from None
+            suffix = f"&wait={wait:g}"
+        status, data = await self._forward(
+            kernel_of_job_id(job_id),
+            f"/v1/jobs/{job_id}/updates?since={since}{suffix}",
+            b"",
+            cost=0,
+            request_id=request_id,
+            method="GET",
+            walk_on_missing_job=True,
+        )
+        return status, RawResponse("application/json", data)
+
+    async def _stream_job_updates(self, job_id: str, since: int, request_id: str):
+        """One JSON line per update, long-polling the owning replica."""
+        key = kernel_of_job_id(job_id)
+        while not self._closing:
+            try:
+                status, data = await self._forward(
+                    key,
+                    f"/v1/jobs/{job_id}/updates?since={since}"
+                    f"&wait={STREAM_POLL_SECONDS:g}",
+                    b"",
+                    cost=0,
+                    request_id=request_id,
+                    method="GET",
+                    walk_on_missing_job=True,
+                )
+            except (HTTPError, GatewayBackpressureError):
+                return  # mid-stream: truncation is the only honest signal
+            if status != 200:
+                return
+            payload = json.loads(data.decode() or "{}")
+            done = False
+            for update in payload.get("updates", ()):
+                yield json.dumps(update, allow_nan=False).encode() + b"\n"
+                done = done or update.get("event") == "done"
+            since = payload.get("next_since", since)
+            if done:
+                return
+            if not payload.get("updates") and payload.get("state") not in (
+                "queued",
+                "running",
+            ):
+                return
+
+    async def _list_jobs(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, dict]:
+        """Fan out to every serveable replica and merge the job tables."""
+        self.stats.requests += 1
+        client_values = query.get("client")
+        suffix = f"?client={client_values[0]}" if client_values else ""
+        slots = [s for s in self._replicas.values() if s.state == "ready"]
+        if not slots:
+            raise HTTPError(503, "no_replicas", "no serveable replicas in the ring")
+        outcomes = await asyncio.gather(
+            *(slot.pool.request("GET", f"/v1/jobs{suffix}") for slot in slots),
+            return_exceptions=True,
+        )
+        jobs: list[dict] = []
+        reachable = 0
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                continue
+            status, _, data = outcome
+            if status != 200:
+                continue
+            reachable += 1
+            jobs.extend(json.loads(data.decode() or "{}").get("jobs", ()))
+        if not reachable:
+            raise HTTPError(503, "no_replicas", "no replica answered /v1/jobs")
+        jobs.sort(key=lambda job: (job.get("created_s", 0), job.get("job_id", "")))
+        return 200, {"jobs": jobs}
+
+    async def _routes(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, dict]:
+        return 200, {"version": "v1", "routes": self.routes_table.describe()}
+
+    async def _models(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, RawResponse]:
         """Proxy to any serveable replica (they share one registry)."""
         for slot in self._replicas.values():
             if slot.state != "ready":
@@ -483,7 +670,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
             return status, RawResponse("application/json", data)
         raise HTTPError(503, "no_replicas", "no serveable replicas in the ring")
 
-    async def _healthz(self, query: dict, headers: dict) -> tuple[int, dict]:
+    async def _healthz(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         """Degraded-not-dead: 200 while *any* replica can serve.
 
         A SIGKILLed replica mid-respawn turns the cluster ``degraded`` —
@@ -516,7 +703,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
             "ring": {"nodes": self._ring.nodes, "size": len(self._ring)},
         }
 
-    async def _cluster(self, query: dict, headers: dict) -> tuple[int, dict]:
+    async def _cluster(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         """The cluster control-plane view: replicas, ring, policy, counters."""
         return 200, {
             "replicas": {
@@ -550,7 +737,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
             "stats": self.stats.as_dict(),
         }
 
-    async def _events(self, query: dict, headers: dict) -> tuple[int, dict]:
+    async def _events(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         """The replica lifecycle timeline (oldest first)."""
         limit = self._int_param(query, "limit", default=100)
         kind_values = query.get("kind")
@@ -561,9 +748,9 @@ class ClusterRouter(AsyncJSONHTTPServer):
         }
 
     async def _metrics(
-        self, query: dict, headers: dict
+        self, query: dict, headers: dict, params: dict
     ) -> tuple[int, dict | RawResponse]:
-        cluster = await self._cluster(query, headers)
+        cluster = await self._cluster(query, headers, params)
         snapshot = {"cluster": cluster[1], "observability": self.obs.snapshot()}
         if "text/plain" not in headers.get("accept", ""):
             return 200, snapshot

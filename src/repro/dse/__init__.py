@@ -8,7 +8,13 @@ from ground-truth measurements of every design point.
 """
 
 from repro.dse.pareto import pareto_front, adrs, ParetoPoint
-from repro.dse.explorer import DSEConfig, DSEResult, ParetoExplorer, DesignCandidate
+from repro.dse.explorer import (
+    DSEConfig,
+    DSEResult,
+    ExplorationState,
+    ParetoExplorer,
+    DesignCandidate,
+)
 
 __all__ = [
     "pareto_front",
@@ -16,6 +22,7 @@ __all__ = [
     "ParetoPoint",
     "DSEConfig",
     "DSEResult",
+    "ExplorationState",
     "ParetoExplorer",
     "DesignCandidate",
 ]

@@ -70,6 +70,69 @@ class DSEConfig:
 
 
 @dataclass
+class ExplorationState:
+    """The complete mid-flight state of one exploration loop.
+
+    Everything :meth:`ParetoExplorer.step` reads or writes lives here — the
+    sampled set, the prediction memo, the history log and the *serialised*
+    generator state — so a loop can be paused after any iteration,
+    round-tripped through JSON (the job checkpoint format) and resumed in a
+    different process with a bitwise-identical trajectory: restoring
+    ``rng_state`` onto a fresh PCG64 generator continues the exact random
+    stream the interrupted run would have drawn.
+    """
+
+    total_points: int
+    budget_count: int
+    sampled: list[int]
+    predictions: dict[int, float]
+    history: list[dict]
+    #: ``numpy.random.Generator.bit_generator.state`` — a JSON-safe dict.
+    rng_state: dict
+    done: bool = False
+    iterations: int = 0
+
+    def to_json(self) -> dict:
+        """JSON-safe snapshot (prediction keys become strings)."""
+        return {
+            "total_points": self.total_points,
+            "budget_count": self.budget_count,
+            "sampled": [int(i) for i in self.sampled],
+            "predictions": {str(k): float(v) for k, v in self.predictions.items()},
+            "history": self.history,
+            "rng_state": self.rng_state,
+            "done": self.done,
+            "iterations": self.iterations,
+        }
+
+    @staticmethod
+    def from_json(obj: dict) -> "ExplorationState":
+        return ExplorationState(
+            total_points=int(obj["total_points"]),
+            budget_count=int(obj["budget_count"]),
+            sampled=[int(i) for i in obj["sampled"]],
+            predictions={int(k): float(v) for k, v in obj["predictions"].items()},
+            history=list(obj["history"]),
+            rng_state=obj["rng_state"],
+            done=bool(obj["done"]),
+            iterations=int(obj["iterations"]),
+        )
+
+    def restore_rng(self) -> np.random.Generator:
+        """A generator continuing this state's random stream exactly."""
+        rng = np.random.default_rng()
+        state = dict(self.rng_state)
+        inner = state.get("state")
+        if isinstance(inner, dict):
+            # JSON round-trips PCG64's 128-bit ints losslessly (Python ints
+            # are arbitrary precision), but keys may arrive as strings from
+            # foreign serialisers; normalise defensively.
+            state["state"] = {k: int(v) for k, v in inner.items()}
+        rng.bit_generator.state = state
+        return rng
+
+
+@dataclass
 class DSEResult:
     """Outcome of one exploration run."""
 
@@ -101,6 +164,20 @@ class ParetoExplorer:
     ) -> DSEResult:
         """Explore ``candidates`` using ``predictor`` for dynamic power estimates."""
         candidates = list(candidates)
+        state = self.start(candidates)
+        while not state.done:
+            self.step(candidates, state, predictor)
+        return self.finalize(candidates, state)
+
+    def start(self, candidates: Sequence[DesignCandidate]) -> ExplorationState:
+        """Draw the initial random sample and return the loop's starting state.
+
+        The state is everything: the blocking :meth:`explore` is literally
+        ``start`` + ``step``-until-done + ``finalize``, so an incremental
+        driver (the async job service) that checkpoints the state between
+        steps reproduces the blocking trajectory bit for bit.
+        """
+        candidates = list(candidates)
         if len(candidates) < 3:
             raise ValueError("design-space exploration needs at least three candidates")
         config = self.config
@@ -109,55 +186,97 @@ class ParetoExplorer:
         initial_count = max(2, int(round(config.initial_budget * total_points)))
         budget_count = max(initial_count, int(round(config.total_budget * total_points)))
         budget_count = min(budget_count, total_points)
-
-        sampled: list[int] = list(
-            rng.choice(total_points, size=min(initial_count, total_points), replace=False)
+        sampled = [
+            int(i)
+            for i in rng.choice(
+                total_points, size=min(initial_count, total_points), replace=False
+            )
+        ]
+        return ExplorationState(
+            total_points=total_points,
+            budget_count=budget_count,
+            sampled=sampled,
+            predictions={},
+            history=[],
+            rng_state=rng.bit_generator.state,
         )
-        predictions: dict[int, float] = {}
-        history: list[dict] = []
 
-        while True:
-            new_indices = [i for i in sampled if i not in predictions]
-            if new_indices:
-                predicted = predictor([candidates[i] for i in new_indices])
-                for position, index in enumerate(new_indices):
-                    predictions[index] = float(predicted[position])
+    def step(
+        self,
+        candidates: Sequence[DesignCandidate],
+        state: ExplorationState,
+        predictor: Predictor,
+    ) -> dict:
+        """Run one loop iteration in place; returns the iteration's update.
 
-            frontier_local = self._approximate_frontier(candidates, sampled, predictions)
-            history.append(
-                {
-                    "sampled": len(sampled),
-                    "frontier_size": len(frontier_local),
-                    # The candidate batch this iteration pushed through the
-                    # predictor — the unit the serving runtime pools/coalesces;
-                    # recorded so callers can audit batch shapes end to end.
-                    # Plain ints: the first batch comes from rng.choice (int64)
-                    # and the field must stay JSON-serialisable.
-                    "new_batch": [int(i) for i in new_indices],
-                }
-            )
-            if len(sampled) >= budget_count:
-                break
+        One iteration = predict the newly sampled batch, recompute the
+        approximate frontier, log the history entry, and (budget permitting)
+        select the next batch.  The returned update is the history entry plus
+        the frontier indices — the unit the job service streams to clients.
+        """
+        if state.done:
+            raise ValueError("exploration is already finished")
+        candidates = list(candidates)
+        sampled = state.sampled
+        predictions = state.predictions
+        new_indices = [i for i in sampled if i not in predictions]
+        if new_indices:
+            predicted = predictor([candidates[i] for i in new_indices])
+            for position, index in enumerate(new_indices):
+                predictions[index] = float(predicted[position])
+
+        frontier_local = self._approximate_frontier(candidates, sampled, predictions)
+        entry = {
+            "sampled": len(sampled),
+            "frontier_size": len(frontier_local),
+            # The candidate batch this iteration pushed through the
+            # predictor — the unit the serving runtime pools/coalesces;
+            # recorded so callers can audit batch shapes end to end.
+            # Plain ints: the first batch comes from rng.choice (int64)
+            # and the field must stay JSON-serialisable.
+            "new_batch": [int(i) for i in new_indices],
+        }
+        state.history.append(entry)
+        if len(sampled) >= state.budget_count:
+            state.done = True
+        else:
+            rng = state.restore_rng()
             batch = self._select_batch(
-                candidates, sampled, frontier_local, rng, budget_count - len(sampled)
+                candidates, sampled, frontier_local, rng, state.budget_count - len(sampled)
             )
+            state.rng_state = rng.bit_generator.state
             if not batch:
-                break
-            sampled.extend(batch)
+                state.done = True
+            else:
+                sampled.extend(int(i) for i in batch)
+        state.iterations += 1
+        return {
+            "iteration": state.iterations,
+            "frontier": [int(i) for i in frontier_local],
+            "done": state.done,
+            **entry,
+        }
 
-        approximate = self._approximate_frontier(candidates, sampled, predictions)
+    def finalize(
+        self, candidates: Sequence[DesignCandidate], state: ExplorationState
+    ) -> DSEResult:
+        """Score a finished (or abandoned) state against the exact frontier."""
+        candidates = list(candidates)
+        approximate = self._approximate_frontier(
+            candidates, state.sampled, state.predictions
+        )
         exact = self._exact_frontier(candidates)
         adrs_value = adrs(
             [(candidates[i].latency, candidates[i].true_power) for i in exact],
             [(candidates[i].latency, candidates[i].true_power) for i in approximate],
         )
         return DSEResult(
-            sampled_indices=sampled,
+            sampled_indices=list(state.sampled),
             approximate_pareto_indices=approximate,
             exact_pareto_indices=exact,
             adrs=adrs_value,
-            history=history,
-            predictions=dict(predictions),
+            history=list(state.history),
+            predictions=dict(state.predictions),
         )
 
     # --------------------------------------------------------------- internals

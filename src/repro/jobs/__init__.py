@@ -1,0 +1,66 @@
+"""``repro.jobs`` — design-space exploration as a first-class async job.
+
+The paper's headline workload (Pareto-guided DSE, hundreds of featurisations
+per call) outgrew the one-blocking-request shape: this package runs each
+exploration as a **job** with a submit/poll/stream/cancel lifecycle over the
+incremental :class:`~repro.dse.explorer.ParetoExplorer` loop.
+
+* :mod:`repro.jobs.job` — the :class:`Job` record: the
+  ``queued → running → succeeded | failed | cancelled`` state machine, the
+  seq-numbered update log, and job ids that embed the kernel so the cluster
+  router can hash a job onto its owning replica from the id alone;
+* :mod:`repro.jobs.store` — :class:`JobStore`, atomic per-job JSON
+  checkpoints (by default under the persistent cache dir) written after
+  every explorer iteration, so a SIGKILLed service resumes mid-job with a
+  bitwise-identical final frontier;
+* :mod:`repro.jobs.manager` — :class:`JobManager`: bounded job table,
+  per-client admission quotas, fair round-robin FIFO scheduling over a
+  runner-thread pool, cooperative cancel, and resume-at-boot.
+
+The HTTP surface (``POST /v1/jobs/explore``, ``GET /v1/jobs/{id}``,
+``GET /v1/jobs/{id}/updates`` with chunked streaming,
+``POST /v1/jobs/{id}/cancel``) lives in :mod:`repro.runtime.http` and is
+proxied kernel-affine by :mod:`repro.cluster.router`.
+"""
+
+from __future__ import annotations
+
+from repro.jobs.job import (
+    ACTIVE_STATES,
+    CANCELLED,
+    FAILED,
+    Job,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    kernel_of_job_id,
+    new_job_id,
+)
+from repro.jobs.manager import (
+    JobManager,
+    JobQuotaError,
+    JobTableFullError,
+    UnknownJobError,
+    jobs_dir_for,
+)
+from repro.jobs.store import JobStore
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "FAILED",
+    "Job",
+    "JobManager",
+    "JobQuotaError",
+    "JobStore",
+    "JobTableFullError",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+    "jobs_dir_for",
+    "kernel_of_job_id",
+    "new_job_id",
+]

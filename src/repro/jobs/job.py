@@ -1,0 +1,166 @@
+"""The job record: one exploration's identity, state machine and update log.
+
+A job moves ``queued → running → succeeded | failed | cancelled``; the
+terminal states are absorbing.  Everything about a job is JSON-shaped by
+construction — the record round-trips through :class:`~repro.jobs.store
+.JobStore` checkpoints, and the snapshot the API serves is a plain dict — so
+a job interrupted by SIGKILL is rebuilt from its last checkpoint with
+nothing lost but the iterations since it.
+
+Job ids embed the kernel (``"<kernel>-<hex>"``): the cluster router derives
+the routing key from the id alone (``rsplit("-", 1)``), so every
+``GET /v1/jobs/{id}`` hashes onto the replica whose warm state owns the job
+without a cluster-wide lookup table.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.dse.explorer import ExplorationState
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "FAILED",
+    "Job",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "TERMINAL_STATES",
+    "new_job_id",
+    "kernel_of_job_id",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+ACTIVE_STATES = frozenset({QUEUED, RUNNING})
+TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED})
+
+
+def new_job_id(kernel: str) -> str:
+    """Mint a job id whose routing key is recoverable from the id itself."""
+    return f"{kernel}-{os.urandom(8).hex()}"
+
+
+def kernel_of_job_id(job_id: str) -> str:
+    """Inverse of :func:`new_job_id` (the hex suffix never contains ``-``)."""
+    kernel, _, _ = job_id.rpartition("-")
+    return kernel or job_id
+
+
+@dataclass
+class Job:
+    """One exploration job: request, state machine, update log, checkpoint."""
+
+    job_id: str
+    kernel: str
+    client: str
+    #: The submission's exploration parameters:
+    #: ``{"budget": float|None, "dse_config": dict|None}``.
+    params: dict
+    state: str = QUEUED
+    created_s: float = field(default_factory=time.time)
+    started_s: float | None = None
+    finished_s: float | None = None
+    error: str | None = None
+    #: The finished report (``explore_report_to_json``) once succeeded.
+    result: dict | None = None
+    #: Seq-numbered update log; ``updates[n]["seq"] == n + 1``.
+    updates: list[dict] = field(default_factory=list)
+    #: The checkpointed mid-flight explorer state (``None`` before the first
+    #: iteration and after the job finishes).
+    explorer_state: ExplorationState | None = None
+    #: How many times this job resumed after an interrupted run.
+    resumes: int = 0
+    #: Runtime-only cooperative-cancel flag (not persisted).
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    @property
+    def seq(self) -> int:
+        return len(self.updates)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def snapshot(self) -> dict:
+        """What ``GET /v1/jobs/{id}`` serves (no update log, no rng state)."""
+        progress = None
+        if self.explorer_state is not None:
+            progress = {
+                "sampled": len(self.explorer_state.sampled),
+                "budget_count": self.explorer_state.budget_count,
+                "iterations": self.explorer_state.iterations,
+            }
+        return {
+            "job_id": self.job_id,
+            "kernel": self.kernel,
+            "client": self.client,
+            "state": self.state,
+            "params": self.params,
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "seq": self.seq,
+            "resumes": self.resumes,
+            "progress": progress,
+            "error": self.error,
+            "result": self.result,
+        }
+
+    def to_store(self) -> dict:
+        """The checkpoint payload (everything :meth:`from_store` rebuilds)."""
+        return {
+            "version": 1,
+            "record": {
+                "job_id": self.job_id,
+                "kernel": self.kernel,
+                "client": self.client,
+                "params": self.params,
+                "state": self.state,
+                "created_s": self.created_s,
+                "started_s": self.started_s,
+                "finished_s": self.finished_s,
+                "error": self.error,
+                "result": self.result,
+                "resumes": self.resumes,
+            },
+            "updates": self.updates,
+            "explorer_state": (
+                self.explorer_state.to_json()
+                if self.explorer_state is not None
+                else None
+            ),
+        }
+
+    @staticmethod
+    def from_store(payload: dict) -> "Job":
+        record = payload["record"]
+        state = payload.get("explorer_state")
+        return Job(
+            job_id=record["job_id"],
+            kernel=record["kernel"],
+            client=record["client"],
+            params=record["params"],
+            state=record["state"],
+            created_s=record["created_s"],
+            started_s=record.get("started_s"),
+            finished_s=record.get("finished_s"),
+            error=record.get("error"),
+            result=record.get("result"),
+            resumes=record.get("resumes", 0),
+            updates=list(payload.get("updates") or []),
+            explorer_state=(
+                ExplorationState.from_json(state) if state is not None else None
+            ),
+        )

@@ -1,0 +1,71 @@
+"""Durable job checkpoints: one JSON file per job, atomically replaced.
+
+The store rides in a ``jobs/`` subdirectory of the persistent cache dir by
+default — deliberately: the cache's GC only scans its ``samples/`` subtree,
+its single-owner ``flock`` already arbitrates writers, and a deployment that
+configured a durable cache dir gets durable jobs with zero extra knobs.
+
+Writes go through the tmp-file + ``os.replace`` dance, so a SIGKILL leaves
+either the previous checkpoint or the new one, never a torn file; each
+checkpoint is the state *after* a completed explorer iteration, which is what
+makes resume bitwise (re-running from the checkpoint replays the exact
+trajectory the uninterrupted run would have taken).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["JobStore"]
+
+
+class JobStore:
+    """Filesystem persistence for :class:`~repro.jobs.job.Job` checkpoints."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, job_id: str) -> Path:
+        # Job ids are minted server-side (kernel + hex), but the id also
+        # arrives via resume-time directory listings; keep the mapping flat
+        # and refuse anything that would escape the directory.
+        if "/" in job_id or job_id in (".", ".."):
+            raise ValueError(f"invalid job id {job_id!r}")
+        return self.directory / f"{job_id}.json"
+
+    def save(self, job_id: str, payload: dict) -> None:
+        """Atomically write one job's checkpoint."""
+        path = self._path(job_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, allow_nan=False), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def load(self, job_id: str) -> dict | None:
+        path = self._path(job_id)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A checkpoint that cannot be read is a checkpoint that cannot
+            # resume; surfacing it as absent (rather than crashing boot) is
+            # the only useful degradation.
+            return None
+
+    def load_all(self) -> dict[str, dict]:
+        """Every readable checkpoint, keyed by job id."""
+        payloads: dict[str, dict] = {}
+        for path in sorted(self.directory.glob("*.json")):
+            payload = self.load(path.stem)
+            if payload is not None and "record" in payload:
+                payloads[path.stem] = payload
+        return payloads
+
+    def delete(self, job_id: str) -> None:
+        try:
+            self._path(job_id).unlink()
+        except FileNotFoundError:
+            pass

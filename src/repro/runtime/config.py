@@ -127,6 +127,25 @@ class RuntimeConfig:
     #: coalesced batch the gateway can produce).
     gateway_threads: int = 32
 
+    #: Durable checkpoint directory of the async job service; ``None`` defers
+    #: to ``<persistent_cache_dir>/jobs`` (when persistence is enabled) and
+    #: finally to memory-only jobs that do not survive a restart.
+    jobs_dir: str | Path | None = None
+    #: Bound of the job table (live + finished records).  Finished jobs are
+    #: evicted oldest-first to admit new ones; a table full of *live* jobs is
+    #: typed backpressure (429 ``job_table_full``).
+    max_jobs: int = 64
+    #: Active (queued + running) jobs one client may hold; the excess
+    #: submission fast-fails with the 429 ``job_quota`` envelope.
+    max_jobs_per_client: int = 4
+    #: Runner threads draining the job queues (each carries one exploration
+    #: at a time, stepping it iteration by iteration).
+    job_runners: int = 2
+    #: Sleep between job iterations, in seconds.  0 (the default) runs flat
+    #: out; a positive value throttles jobs — the knob chaos/latency tests
+    #: use to pin a job mid-flight deterministically.
+    job_step_delay_s: float = 0.0
+
     def __post_init__(self) -> None:
         if self.backend is not None:
             from repro.backend import resolve_backend_name
@@ -193,6 +212,14 @@ class RuntimeConfig:
             raise ValueError("gateway_max_in_flight must be >= 1")
         if self.gateway_threads < 1:
             raise ValueError("gateway_threads must be >= 1")
+        if self.max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+        if self.max_jobs_per_client < 1:
+            raise ValueError("max_jobs_per_client must be >= 1")
+        if self.job_runners < 1:
+            raise ValueError("job_runners must be >= 1")
+        if self.job_step_delay_s < 0:
+            raise ValueError("job_step_delay_s must be >= 0")
 
     @property
     def parallel_featurisation(self) -> bool:

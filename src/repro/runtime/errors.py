@@ -1,0 +1,134 @@
+"""The one error envelope every HTTP front end speaks.
+
+Before this module the gateway server and the cluster router each kept their
+own exception → status mapping and emitted ``{"error": {"type", "message"}}``
+bodies by hand.  Both now build every failure here, so the wire contract is
+defined once:
+
+    {"error": {"type": "<machine-readable>", "message": "<human>",
+               "retryable": true|false}}
+
+``retryable`` is the client's policy bit: ``true`` means the same request may
+succeed later (backpressure, quota, a closed/restarting service, a timeout),
+``false`` means retrying verbatim is pointless (malformed request, unknown
+route, an internal fault that will recur).  Typed clients
+(:class:`repro.client.PowerClient`) surface it on
+:class:`~repro.client.PowerAPIError` so callers build backoff loops without
+string-matching messages.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HTTPError",
+    "RETRYABLE_STATUSES",
+    "error_payload",
+    "http_error_from_exception",
+]
+
+#: Statuses whose failures are transient by default: the request was fine,
+#: the server's current state (load, shutdown, restart) was not.
+RETRYABLE_STATUSES = frozenset({408, 429, 503})
+
+
+class HTTPError(Exception):
+    """A structured error response (status code + machine-readable type).
+
+    ``retryable`` defaults from the status (:data:`RETRYABLE_STATUSES`) and
+    can be pinned explicitly where the default is wrong — e.g. a ``503``
+    answered because a feature is disabled outright is not retryable.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        *,
+        retryable: bool | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+        self.retryable = (
+            retryable if retryable is not None else status in RETRYABLE_STATUSES
+        )
+
+    def payload(self) -> dict:
+        """The wire body of this failure."""
+        return error_payload(
+            self.status, self.error_type, self.message, retryable=self.retryable
+        )
+
+
+def error_payload(
+    status: int, error_type: str, message: str, *, retryable: bool | None = None
+) -> dict:
+    """Build the unified envelope without constructing an exception."""
+    return {
+        "error": {
+            "type": error_type,
+            "message": message,
+            "retryable": (
+                retryable if retryable is not None else status in RETRYABLE_STATUSES
+            ),
+        }
+    }
+
+
+def http_error_from_exception(error: Exception) -> HTTPError:
+    """Map a typed lower-layer failure onto the envelope's status space.
+
+    The shared policy of the gateway HTTP server and the cluster router:
+
+    * gateway backpressure → ``429 backpressure`` (retryable);
+    * job admission limits (quota / full table) → ``429`` with the error's
+      own type (retryable);
+    * a closed gateway/service → ``503 closed`` (retryable: a supervisor or
+      the cluster tier may bring a replacement up);
+    * an unknown job id → ``404 job_not_found``;
+    * ``KeyError``/``ValueError`` from the service (unknown kernels,
+      malformed design points the featuriser rejects) → ``400
+      invalid_request``.
+
+    Anything else passes through untouched for the boundary's generic
+    500 handling.  Already-typed :class:`HTTPError` instances return as-is.
+    """
+    # Imported here: gateway imports config only, but errors must stay
+    # import-light (the router and the client both pull this module in).
+    from repro.runtime.gateway import GatewayBackpressureError, GatewayClosedError
+
+    if isinstance(error, HTTPError):
+        return error
+    if isinstance(error, GatewayBackpressureError):
+        return HTTPError(429, "backpressure", str(error))
+    if isinstance(error, GatewayClosedError):
+        return HTTPError(503, "closed", str(error))
+    job_error = _job_error(error)
+    if job_error is not None:
+        return job_error
+    if isinstance(error, (KeyError, ValueError)):
+        message = str(error).strip("'\"") or type(error).__name__
+        return HTTPError(400, "invalid_request", message)
+    raise error
+
+
+def _job_error(error: Exception) -> HTTPError | None:
+    """Job-subsystem failures, without making errors.py depend on repro.jobs."""
+    try:
+        from repro.jobs.manager import (
+            JobQuotaError,
+            JobTableFullError,
+            UnknownJobError,
+        )
+    except ImportError:  # pragma: no cover - jobs is part of the package
+        return None
+    if isinstance(error, JobQuotaError):
+        return HTTPError(429, "job_quota", str(error))
+    if isinstance(error, JobTableFullError):
+        return HTTPError(429, "job_table_full", str(error))
+    if isinstance(error, UnknownJobError):
+        message = str(error).strip("'\"") or "unknown job"
+        return HTTPError(404, "job_not_found", message)
+    return None

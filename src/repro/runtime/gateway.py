@@ -107,9 +107,13 @@ class AsyncPowerGateway:
         *,
         max_in_flight: int | None = None,
         threads: int | None = None,
+        jobs=None,
     ) -> None:
         runtime: RuntimeConfig = service.runtime
         self.service = service
+        #: The :class:`~repro.jobs.manager.JobManager` serving the jobs API,
+        #: or ``None`` on a gateway without the async job tier.
+        self.jobs = jobs
         self.max_in_flight = (
             max_in_flight if max_in_flight is not None else runtime.gateway_max_in_flight
         )
@@ -167,7 +171,78 @@ class AsyncPowerGateway:
         """Gateway counters plus the underlying service's runtime stats."""
         stats = self.service.runtime_stats()
         stats["gateway"] = self.stats.as_dict()
+        if self.jobs is not None:
+            stats["jobs"] = self.jobs.stats()
         return stats
+
+    # ------------------------------------------------------------------- jobs
+    #
+    # The job verbs hop the same bridge pool but skip admission accounting:
+    # a job *submission* is a table insert (the admission policy lives in the
+    # JobManager's own quota/table bounds), and polls/cancels are reads that
+    # must keep working even when the estimate path is at max_in_flight —
+    # rejecting a status poll under load would hide exactly the state the
+    # caller needs to see.
+
+    def _require_jobs(self):
+        if self.jobs is None:
+            raise KeyError("the jobs API is not enabled on this gateway")
+        return self.jobs
+
+    async def _job_call(self, fn, *args, **kwargs):
+        if self._closed:
+            raise GatewayClosedError("gateway is closed")
+        loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
+        try:
+            return await loop.run_in_executor(
+                self._executor, partial(ctx.run, partial(fn, *args, **kwargs))
+            )
+        except RuntimeError as error:
+            if self._executor is None or "shutdown" in str(error):
+                raise GatewayClosedError("gateway is closed") from None
+            raise
+
+    async def submit_job(
+        self,
+        kernel: str,
+        *,
+        budget: float | None = None,
+        dse_config: dict | None = None,
+        client: str = "default",
+    ) -> dict:
+        """Submit one exploration job; returns its ``queued`` snapshot."""
+        manager = self._require_jobs()
+        return await self._job_call(
+            manager.submit,
+            kernel,
+            budget=budget,
+            dse_config=dse_config,
+            client=client,
+        )
+
+    async def job(self, job_id: str) -> dict:
+        return await self._job_call(self._require_jobs().get, job_id)
+
+    async def list_jobs(self, client: str | None = None) -> list[dict]:
+        return await self._job_call(self._require_jobs().list, client)
+
+    async def job_updates(self, job_id: str, since: int = 0) -> dict:
+        return await self._job_call(self._require_jobs().updates, job_id, since)
+
+    async def wait_updates(
+        self, job_id: str, since: int = 0, timeout: float = 30.0
+    ) -> dict:
+        """Long-poll: blocks (on a bridge thread) until news or timeout."""
+        return await self._job_call(
+            self._require_jobs().wait_updates, job_id, since, timeout
+        )
+
+    async def wait_job(self, job_id: str, timeout: float | None = None) -> dict:
+        return await self._job_call(self._require_jobs().wait, job_id, timeout)
+
+    async def cancel_job(self, job_id: str) -> dict:
+        return await self._job_call(self._require_jobs().cancel, job_id)
 
     async def aclose(self, *, close_service: bool = False) -> None:
         """Stop admitting, drain in-flight calls, shut the bridge pool down.

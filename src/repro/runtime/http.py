@@ -4,30 +4,50 @@ One asyncio server (``asyncio.start_server`` — no new runtime dependencies)
 exposes the :class:`~repro.runtime.gateway.AsyncPowerGateway` endpoints as
 JSON over HTTP/1.1:
 
-========  ===================  ===================================================
-method    path                 body / response
-========  ===================  ===================================================
-POST      ``/v1/estimate``     one design point → one estimate
-POST      ``/v1/estimate_many``  ``{"requests": [...]}`` → ``{"responses": [...]}``
-POST      ``/v1/explore``      ``{"kernel", "budget"}`` → frontier + ADRS
-GET       ``/v1/models``       the registry's manifest index (names × versions)
-GET       ``/v1/traces``       recent request traces (``?limit=N`` /
-                               ``?trace_id=...`` for one span tree)
-GET       ``/v1/events``       the supervisor event timeline (``?limit=N`` /
-                               ``?kind=crash``)
-GET       ``/healthz``         liveness + pool supervision (``200 ok`` /
-                               ``200 degraded`` while a pool is in post-crash
-                               backoff or retired / ``503 closed``)
-GET       ``/metrics``         service metrics + runtime stats (incl. the active
-                               compute backend and per-backend forward counters)
-                               + gateway counters; with ``Accept: text/plain``
-                               the Prometheus text exposition instead of JSON
-========  ===================  ===================================================
+========  =========================  =============================================
+method    path                       body / response
+========  =========================  =============================================
+POST      ``/v1/estimate``           one design point → one estimate
+POST      ``/v1/estimate_many``      ``{"requests": [...]}`` → ``{"responses":
+                                     [...]}``
+POST      ``/v1/explore``            **deprecated** blocking explore (answers
+                                     with a ``Deprecation`` header; internally
+                                     a submit-and-wait over the jobs tier when
+                                     one is mounted)
+POST      ``/v1/jobs/explore``       submit an exploration job → ``202`` with
+                                     the ``queued`` job snapshot
+GET       ``/v1/jobs``               the job table (``?client=`` to filter)
+GET       ``/v1/jobs/{id}``          one job's snapshot (state machine:
+                                     ``queued → running → succeeded | failed |
+                                     cancelled``)
+GET       ``/v1/jobs/{id}/updates``  seq-numbered per-iteration updates;
+                                     ``?since=N`` resumes, ``?wait=S``
+                                     long-polls, ``?stream=1`` streams one
+                                     JSON line per update over chunked
+                                     transfer until the job finishes
+POST      ``/v1/jobs/{id}/cancel``   cancel (queued dies now, running at the
+                                     next iteration boundary)
+GET       ``/v1/routes``             this table, machine-readable
+                                     (:data:`~repro.runtime.routes
+                                     .GATEWAY_ROUTES`)
+GET       ``/v1/models``             the registry's manifest index
+GET       ``/v1/traces``             recent request traces (``?limit=N`` /
+                                     ``?trace_id=...`` for one span tree)
+GET       ``/v1/events``             the supervisor event timeline (``?limit=N``
+                                     / ``?kind=crash``)
+GET       ``/healthz``               liveness + pool supervision (``200 ok`` /
+                                     ``200 degraded`` / ``503 closed``)
+GET       ``/metrics``               service + runtime + gateway + job stats;
+                                     with ``Accept: text/plain`` the Prometheus
+                                     text exposition instead of JSON
+========  =========================  =============================================
 
 The connection/parsing machinery lives in :class:`AsyncJSONHTTPServer` so
 other front ends (the cluster router in :mod:`repro.cluster`) speak the exact
 same dialect — status mapping, structured error bodies, request-id echoing,
-body limits — without re-implementing HTTP.
+body limits, chunked streaming — without re-implementing HTTP.  Routing
+itself is data: both servers dispatch over the shared
+:class:`~repro.runtime.routes.RouteTable` and serve it on ``GET /v1/routes``.
 
 Observability (:mod:`repro.obs`) threads through every request: a
 client-supplied ``X-Request-ID`` is honoured (one is minted otherwise) and
@@ -45,10 +65,11 @@ A design point on the wire is the JSON shape of
      "directives": {"loops":  {"i": {"unroll": 2, "pipeline": true}},
                     "arrays": {"A": {"factor": 2, "kind": "cyclic"}}}}
 
-Every failure is structured JSON (``{"error": {"type", "message"}}``) with
-the matching status code: malformed requests are ``400``, unknown paths
-``404``, wrong methods ``405``, oversized bodies ``413``, gateway
-backpressure ``429``, internal faults ``500``, and a closed gateway ``503``.
+Every failure is the unified envelope of :mod:`repro.runtime.errors` —
+``{"error": {"type", "message", "retryable"}}`` — with the matching status
+code: malformed requests are ``400``, unknown paths/jobs ``404``, wrong
+methods ``405``, oversized bodies ``413``, gateway backpressure and job
+quotas ``429``, internal faults ``500``, and a closed gateway ``503``.
 
 Connections default to ``Connection: close`` (curl-able, byte-predictable).
 A client that sends ``Connection: keep-alive`` may reuse its connection for
@@ -63,20 +84,25 @@ from __future__ import annotations
 
 import asyncio
 import json
-import math
 import os
 import time
 from dataclasses import dataclass, field
+from typing import AsyncIterator
 from urllib.parse import parse_qs
 
 from repro.hls.pragmas import ArrayPartition, DesignDirectives, LoopPragmas
 from repro.obs.logs import get_logger, log_event
 from repro.obs.metrics import MetricsRegistry, flatten_numeric
-from repro.runtime.gateway import (
-    AsyncPowerGateway,
-    GatewayBackpressureError,
-    GatewayClosedError,
+from repro.runtime.errors import (
+    HTTPError,
+    error_payload,
+    http_error_from_exception,
 )
+from repro.runtime.gateway import AsyncPowerGateway
+from repro.runtime.routes import GATEWAY_ROUTES, RouteTable
+from repro.serve.wire import explore_report_to_json  # noqa: F401 - re-export;
+# the blocking /v1/explore response and a finished job's checkpointed result
+# are one wire shape, defined once in repro.serve.wire.
 
 #: Largest accepted request body; a batch of a few thousand design points is
 #: well under this, anything bigger is a client bug.
@@ -100,6 +126,7 @@ KEEP_ALIVE_IDLE_TIMEOUT = 5.0
 
 _STATUS_REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -114,32 +141,15 @@ _STATUS_REASONS = {
 #: Content type of the Prometheus text exposition format (version 0.0.4).
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
-#: Routable paths; requests elsewhere share one "other" metrics label so a
-#: path scanner cannot mint unbounded label children.
-_KNOWN_PATHS = frozenset(
-    {
-        "/v1/estimate",
-        "/v1/estimate_many",
-        "/v1/explore",
-        "/v1/models",
-        "/v1/traces",
-        "/v1/events",
-        "/healthz",
-        "/metrics",
-    }
-)
+#: How long one long-poll leg of an update stream may park before re-polling
+#: (each leg rides a gateway bridge thread; bounded so a stream over a stuck
+#: job cannot pin one forever without ever re-checking for shutdown).
+STREAM_POLL_SECONDS = 10.0
+
+#: Cap of the ``?wait=`` long-poll window clients may request.
+MAX_LONG_POLL_SECONDS = 60.0
 
 _HTTP_LOGGER = get_logger("http")
-
-
-class HTTPError(Exception):
-    """A structured error response (status code + machine-readable type)."""
-
-    def __init__(self, status: int, error_type: str, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.error_type = error_type
-        self.message = message
 
 
 @dataclass
@@ -148,6 +158,22 @@ class RawResponse:
 
     content_type: str
     body: bytes
+    headers: dict[str, str] | None = None
+
+
+@dataclass
+class StreamingResponse:
+    """A chunked-transfer response: one chunk per yielded bytes object.
+
+    The connection always closes after the stream (chunked framing marks the
+    end of the *body*; closing marks the end of the exchange — no keep-alive
+    bookkeeping for an unbounded response).  The jobs API streams one JSON
+    line per explorer update this way.
+    """
+
+    content_type: str
+    chunks: AsyncIterator[bytes]
+    headers: dict[str, str] | None = None
 
 
 class _ConnectionClosed(Exception):
@@ -310,33 +336,6 @@ def response_to_json(response) -> dict:
     }
 
 
-def explore_report_to_json(report) -> dict:
-    return {
-        "kernel": report.kernel,
-        "budget": report.budget,
-        "adrs": report.adrs,
-        "num_candidates": report.num_candidates,
-        "num_sampled": report.result.num_sampled,
-        "elapsed_seconds": report.elapsed_seconds,
-        "frontier": [
-            {
-                "kernel": design.kernel,
-                "directives": design.directives,
-                "latency_cycles": design.latency_cycles,
-                # An exact-frontier design the explorer never sampled has no
-                # prediction (NaN); null is its strict-JSON spelling.
-                "predicted_power": (
-                    None
-                    if math.isnan(design.predicted_power)
-                    else design.predicted_power
-                ),
-                "measured_power": design.measured_power,
-            }
-            for design in report.frontier
-        ],
-    }
-
-
 # -------------------------------------------------------------------- server
 
 
@@ -458,27 +457,24 @@ class AsyncJSONHTTPServer:
                     if served:
                         return  # idle keep-alive connection: close quietly
                     status = 408
-                    payload = {
-                        "error": {
-                            "type": "timeout",
-                            "message": f"request not received within {self.read_timeout:.0f}s",
-                        }
-                    }
+                    payload = error_payload(
+                        408,
+                        "timeout",
+                        f"request not received within {self.read_timeout:.0f}s",
+                    )
                 except _ConnectionClosed:
                     return  # clean EOF between requests: nothing to answer
                 except HTTPError as error:
                     keep_alive = False  # error responses always close
                     status = error.status
-                    payload = {
-                        "error": {"type": error.error_type, "message": error.message}
-                    }
+                    payload = error.payload()
                 except Exception as error:  # noqa: BLE001 - boundary: every fault
                     # becomes a structured 500 instead of a dropped connection.
                     keep_alive = False
                     status = 500
-                    payload = {
-                        "error": {"type": "internal", "message": f"{type(error).__name__}: {error}"}
-                    }
+                    payload = error_payload(
+                        500, "internal", f"{type(error).__name__}: {error}"
+                    )
                 keep_alive = await self._write_response(
                     writer, status, payload, request_id=request_id, keep_alive=keep_alive
                 )
@@ -563,12 +559,44 @@ class AsyncJSONHTTPServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict | RawResponse,
+        payload: dict | RawResponse | StreamingResponse,
         *,
         request_id: str | None = None,
         keep_alive: bool = False,
     ) -> bool:
         """Serialise and send; returns whether the connection stays open."""
+        request_id_header = (
+            f"X-Request-ID: {request_id}\r\n" if request_id is not None else ""
+        )
+        extra_headers = getattr(payload, "headers", None) or {}
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in extra_headers.items()
+        )
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        if isinstance(payload, StreamingResponse):
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {payload.content_type}\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                f"{request_id_header}"
+                f"{extra}"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1"))
+            await writer.drain()
+            # A fault mid-stream cannot become a status line any more (the
+            # head is on the wire); closing without the 0-length terminal
+            # chunk is the unambiguous truncation signal chunked framing
+            # gives us.
+            async for chunk in payload.chunks:
+                if not chunk:
+                    continue
+                writer.write(f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+            return False
         if isinstance(payload, RawResponse):
             body = payload.body
             content_type = payload.content_type
@@ -580,20 +608,19 @@ class AsyncJSONHTTPServer:
                 body = json.dumps(payload, allow_nan=False).encode()
             except (TypeError, ValueError):
                 status = 500
+                reason = _STATUS_REASONS[500]
                 keep_alive = False
+                extra = ""
                 body = json.dumps(
-                    {"error": {"type": "internal", "message": "unserialisable response payload"}}
+                    error_payload(500, "internal", "unserialisable response payload")
                 ).encode()
-        reason = _STATUS_REASONS.get(status, "Unknown")
-        request_id_header = (
-            f"X-Request-ID: {request_id}\r\n" if request_id is not None else ""
-        )
         connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{request_id_header}"
+            f"{extra}"
             f"Connection: {connection}\r\n"
             "\r\n"
         )
@@ -602,7 +629,22 @@ class AsyncJSONHTTPServer:
         return keep_alive
 
     @staticmethod
-    def _int_param(query: dict, name: str, default: int) -> int:
+    def _deprecate(payload, successor: str | None):
+        """Stamp the RFC-style ``Deprecation`` + successor ``Link`` headers."""
+        headers = {"Deprecation": "true"}
+        if successor:
+            headers["Link"] = f'<{successor}>; rel="successor-version"'
+        if isinstance(payload, (RawResponse, StreamingResponse)):
+            payload.headers = {**(payload.headers or {}), **headers}
+            return payload
+        return RawResponse(
+            "application/json",
+            json.dumps(payload, allow_nan=False).encode(),
+            headers=headers,
+        )
+
+    @staticmethod
+    def _int_param(query: dict, name: str, default: int, minimum: int = 1) -> int:
         values = query.get(name)
         if not values:
             return default
@@ -610,8 +652,21 @@ class AsyncJSONHTTPServer:
             value = int(values[0])
         except ValueError:
             raise HTTPError(400, "bad_request", f"{name} must be an integer") from None
-        if value < 1:
-            raise HTTPError(400, "bad_request", f"{name} must be >= 1")
+        if value < minimum:
+            raise HTTPError(400, "bad_request", f"{name} must be >= {minimum}")
+        return value
+
+    @staticmethod
+    def _float_param(query: dict, name: str, default: float | None) -> float | None:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            value = float(values[0])
+        except ValueError:
+            raise HTTPError(400, "bad_request", f"{name} must be a number") from None
+        if value < 0:
+            raise HTTPError(400, "bad_request", f"{name} must be >= 0")
         return value
 
 
@@ -620,8 +675,13 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
 
     ``registry`` is optional — without one, ``/v1/models`` answers with an
     empty index instead of failing (a service constructed straight from a
-    fitted model has no registry to list).
+    fitted model has no registry to list).  The jobs API is served when the
+    gateway carries a :class:`~repro.jobs.manager.JobManager` (``503
+    jobs_disabled`` otherwise).
     """
+
+    #: The route table this server dispatches over and serves on /v1/routes.
+    routes_table: RouteTable = GATEWAY_ROUTES
 
     def __init__(
         self,
@@ -700,9 +760,10 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
         obs = self._obs()
         if obs is None or method is None:
             return
-        # Unknown paths share one label so a scanner can't mint unbounded
-        # label children in the registry.
-        route = path if path in _KNOWN_PATHS else "other"
+        # Route patterns collapse path params (every /v1/jobs/<id> is one
+        # label) and unknown paths share "other", so a scanner can't mint
+        # unbounded label children in the registry.
+        route = self.routes_table.metrics_label(path)
         elapsed = time.perf_counter() - started
         try:
             obs.http_requests.labels(path=route, status=str(status)).inc()
@@ -723,63 +784,75 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
 
     async def _route(
         self, method: str, path: str, query: dict, headers: dict, body: bytes
-    ) -> tuple[int, dict | RawResponse]:
-        routes = {
-            "/v1/estimate": ("POST", self._estimate),
-            "/v1/estimate_many": ("POST", self._estimate_many),
-            "/v1/explore": ("POST", self._explore),
-            "/v1/models": ("GET", self._models),
-            "/v1/traces": ("GET", self._traces),
-            "/v1/events": ("GET", self._events),
-            "/healthz": ("GET", self._healthz),
-            "/metrics": ("GET", self._metrics),
-        }
-        if path not in routes:
-            raise HTTPError(404, "not_found", f"no route for {path}")
-        expected_method, handler = routes[path]
-        if method != expected_method:
-            raise HTTPError(
-                405, "method_not_allowed", f"{path} expects {expected_method}, got {method}"
-            )
-        if expected_method == "POST":
+    ) -> tuple[int, dict | RawResponse | StreamingResponse]:
+        route, params = self.routes_table.match(method, path)
+        handler = getattr(self, f"_{route.name}")
+        if route.method == "POST":
             try:
                 parsed = json.loads(body.decode() or "null")
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
                 raise HTTPError(400, "bad_request", f"invalid JSON body: {error}") from error
+            if parsed is None:
+                parsed = {}
             if not isinstance(parsed, dict):
                 raise HTTPError(400, "bad_request", "body must be a JSON object")
-            return await handler(parsed)
-        return await handler(query, headers)
+            status, payload = await handler(parsed, headers, params)
+        else:
+            status, payload = await handler(query, headers, params)
+        if route.deprecated:
+            payload = self._deprecate(payload, route.successor)
+        return status, payload
 
     async def _call_gateway(self, coroutine):
-        """Map the gateway's typed failures onto status codes."""
+        """Map the gateway's typed failures onto the unified error envelope."""
         try:
             return await coroutine
-        except GatewayBackpressureError as error:
-            raise HTTPError(429, "backpressure", str(error)) from error
-        except GatewayClosedError as error:
-            raise HTTPError(503, "closed", str(error)) from error
-        except (KeyError, ValueError) as error:
-            # Unknown kernels (KeyError from the kernel catalogue) and
-            # malformed design points the featuriser rejects are client
-            # errors, not server faults.
-            message = str(error).strip("'\"") or type(error).__name__
-            raise HTTPError(400, "invalid_request", message) from error
+        except HTTPError:
+            raise
+        except Exception as error:  # noqa: BLE001 - typed mapping below;
+            # anything unrecognised re-raises out of http_error_from_exception
+            # for the boundary's generic 500.
+            raise http_error_from_exception(error) from error
 
-    async def _estimate(self, body: dict) -> tuple[int, dict]:
+    def _jobs_manager(self):
+        if self.gateway.jobs is None:
+            raise HTTPError(
+                503,
+                "jobs_disabled",
+                "the jobs API is not enabled on this server",
+                retryable=False,
+            )
+        return self.gateway.jobs
+
+    @staticmethod
+    def _client_id(headers: dict, body: dict | None = None) -> str:
+        """The quota identity of a submission: body field, else header."""
+        if body is not None and body.get("client") is not None:
+            client = body["client"]
+            if not isinstance(client, str) or not client:
+                raise HTTPError(400, "bad_request", "client must be a string")
+            return client[:128]
+        raw = headers.get("x-client-id", "")
+        cleaned = "".join(ch for ch in raw if "!" <= ch <= "~")[:128]
+        return cleaned or "default"
+
+    async def _estimate(self, body: dict, headers: dict, params: dict) -> tuple[int, dict]:
         request = estimate_request_from_json(body)
         response = await self._call_gateway(self.gateway.estimate(request))
         return 200, response_to_json(response)
 
-    async def _estimate_many(self, body: dict) -> tuple[int, dict]:
+    async def _estimate_many(
+        self, body: dict, headers: dict, params: dict
+    ) -> tuple[int, dict]:
         raw = _require(body, "requests", list, "body")
         requests = [estimate_request_from_json(item) for item in raw]
         responses = await self._call_gateway(self.gateway.estimate_many(requests))
         return 200, {"responses": [response_to_json(r) for r in responses]}
 
-    async def _explore(self, body: dict) -> tuple[int, dict]:
+    @staticmethod
+    def _explore_params(body: dict) -> tuple[str, float | None]:
         kernel = _require(body, "kernel", str, "body")
-        unknown = set(body) - {"kernel", "budget"}
+        unknown = set(body) - {"kernel", "budget", "client"}
         if unknown:
             raise HTTPError(400, "bad_request", f"unknown explore keys {sorted(unknown)}")
         budget = body.get("budget")
@@ -787,12 +860,138 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
             isinstance(budget, bool) or not isinstance(budget, (int, float))
         ):
             raise HTTPError(400, "bad_request", "budget must be a number")
-        report = await self._call_gateway(
-            self.gateway.explore(kernel, float(budget) if budget is not None else None)
-        )
-        return 200, explore_report_to_json(report)
+        return kernel, float(budget) if budget is not None else None
 
-    async def _models(self, query: dict, headers: dict) -> tuple[int, dict]:
+    async def _explore(self, body: dict, headers: dict, params: dict) -> tuple[int, dict]:
+        """The deprecated blocking explore: a submit-and-wait over the jobs
+        tier when one is mounted (identical results — the job path drives the
+        same incremental explorer the direct call does), or the direct
+        gateway call without one.  Either way the response carries the
+        ``Deprecation`` header pointing at ``POST /v1/jobs/explore``."""
+        kernel, budget = self._explore_params(body)
+        if self.gateway.jobs is None:
+            report = await self._call_gateway(self.gateway.explore(kernel, budget))
+            return 200, explore_report_to_json(report)
+        snapshot = await self._call_gateway(
+            self.gateway.submit_job(
+                kernel, budget=budget, client=self._client_id(headers, body)
+            )
+        )
+        job_id = snapshot["job_id"]
+        while snapshot["state"] not in ("succeeded", "failed", "cancelled"):
+            if self._closing or self.gateway.closed:
+                raise HTTPError(503, "closed", "server closed mid-explore")
+            snapshot = await self._call_gateway(
+                self.gateway.wait_job(job_id, timeout=1.0)
+            )
+        if snapshot["state"] == "succeeded":
+            return 200, snapshot["result"]
+        if snapshot["state"] == "cancelled":
+            raise HTTPError(
+                503, "job_cancelled", f"blocking explore job {job_id} was cancelled"
+            )
+        raise HTTPError(
+            500, "job_failed", snapshot.get("error") or f"job {job_id} failed"
+        )
+
+    # ------------------------------------------------------------------- jobs
+
+    async def _submit_explore_job(
+        self, body: dict, headers: dict, params: dict
+    ) -> tuple[int, dict]:
+        self._jobs_manager()
+        kernel = _require(body, "kernel", str, "body")
+        unknown = set(body) - {"kernel", "budget", "dse_config", "client"}
+        if unknown:
+            raise HTTPError(400, "bad_request", f"unknown job keys {sorted(unknown)}")
+        budget = body.get("budget")
+        if budget is not None and (
+            isinstance(budget, bool) or not isinstance(budget, (int, float))
+        ):
+            raise HTTPError(400, "bad_request", "budget must be a number")
+        dse_config = body.get("dse_config")
+        if dse_config is not None and not isinstance(dse_config, dict):
+            raise HTTPError(400, "bad_request", "dse_config must be a JSON object")
+        if budget is not None and dse_config is not None:
+            raise HTTPError(
+                400, "bad_request", "pass either budget or dse_config, not both"
+            )
+        snapshot = await self._call_gateway(
+            self.gateway.submit_job(
+                kernel,
+                budget=float(budget) if budget is not None else None,
+                dse_config=dse_config,
+                client=self._client_id(headers, body),
+            )
+        )
+        return 202, snapshot
+
+    async def _list_jobs(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
+        self._jobs_manager()
+        client_values = query.get("client")
+        client = client_values[0] if client_values else None
+        jobs = await self._call_gateway(self.gateway.list_jobs(client))
+        return 200, {"jobs": jobs}
+
+    async def _get_job(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
+        self._jobs_manager()
+        snapshot = await self._call_gateway(self.gateway.job(params["job_id"]))
+        return 200, snapshot
+
+    async def _job_updates(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, dict | StreamingResponse]:
+        self._jobs_manager()
+        job_id = params["job_id"]
+        since = self._int_param(query, "since", default=0, minimum=0)
+        stream = query.get("stream", ["0"])[0] not in ("", "0", "false")
+        wait = self._float_param(query, "wait", default=None)
+        if stream:
+            # Resolve the job *before* committing to a 200 chunked head: an
+            # unknown id must still be an ordinary 404 envelope.
+            await self._call_gateway(self.gateway.job(job_id))
+            return 200, StreamingResponse(
+                "application/x-ndjson", self._stream_updates(job_id, since)
+            )
+        if wait is not None:
+            payload = await self._call_gateway(
+                self.gateway.wait_updates(
+                    job_id, since, timeout=min(wait, MAX_LONG_POLL_SECONDS)
+                )
+            )
+        else:
+            payload = await self._call_gateway(self.gateway.job_updates(job_id, since))
+        return 200, payload
+
+    async def _stream_updates(self, job_id: str, since: int):
+        """One JSON line per update, long-polling the manager underneath,
+        until the terminal ``done`` update has been emitted."""
+        while True:
+            payload = await self._call_gateway(
+                self.gateway.wait_updates(job_id, since, timeout=STREAM_POLL_SECONDS)
+            )
+            done = False
+            for update in payload["updates"]:
+                yield json.dumps(update, allow_nan=False).encode() + b"\n"
+                done = done or update.get("event") == "done"
+            since = payload["next_since"]
+            if done:
+                return
+            if not payload["updates"] and payload["state"] not in ("queued", "running"):
+                # Streaming resumed past the end of a finished log.
+                return
+            if self._closing or self.gateway.closed:
+                return
+
+    async def _cancel_job(self, body: dict, headers: dict, params: dict) -> tuple[int, dict]:
+        self._jobs_manager()
+        snapshot = await self._call_gateway(self.gateway.cancel_job(params["job_id"]))
+        return 200, snapshot
+
+    async def _routes(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
+        return 200, {"version": "v1", "routes": self.routes_table.describe()}
+
+    async def _models(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         if self.registry is None:
             return 200, {"models": []}
         loop = asyncio.get_running_loop()
@@ -810,7 +1009,7 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
         # Registry listing touches the filesystem; keep it off the event loop.
         return 200, {"models": await loop.run_in_executor(None, list_index)}
 
-    async def _healthz(self, query: dict, headers: dict) -> tuple[int, dict]:
+    async def _healthz(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         """Liveness plus pool-supervision state.
 
         A pool in post-crash backoff (or retired to the serial path) turns
@@ -827,7 +1026,7 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
             return 200, {"status": "ok"}
         return 200, service_health()
 
-    async def _traces(self, query: dict, headers: dict) -> tuple[int, dict]:
+    async def _traces(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         """Recent request traces (newest first), or one trace by id."""
         obs = self._obs()
         if obs is None:
@@ -841,7 +1040,7 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
         limit = self._int_param(query, "limit", default=20)
         return 200, {"traces": obs.tracer.recent(limit), "stats": obs.tracer.stats()}
 
-    async def _events(self, query: dict, headers: dict) -> tuple[int, dict]:
+    async def _events(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         """The supervisor event timeline (oldest first)."""
         obs = self._obs()
         if obs is None:
@@ -854,9 +1053,13 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
             "stats": obs.events.stats(),
         }
 
-    async def _metrics(self, query: dict, headers: dict) -> tuple[int, dict | RawResponse]:
+    async def _metrics(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, dict | RawResponse]:
         snapshot = self.gateway.service.metrics_snapshot()
         snapshot["gateway"] = self.gateway.stats.as_dict()
+        if self.gateway.jobs is not None:
+            snapshot["jobs"] = self.gateway.jobs.stats()
         if "text/plain" not in headers.get("accept", ""):
             return 200, snapshot
         # Prometheus exposition: the obs registry renders its own instruments
@@ -866,7 +1069,7 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
         # flattening them too would export every series twice.
         obs = self._obs()
         projected: dict = {}
-        for section in ("service", "runtime", "gateway", "closed"):
+        for section in ("service", "runtime", "gateway", "jobs", "closed"):
             if section in snapshot:
                 flatten_numeric(f"repro_{section}", snapshot[section], projected)
         registry = obs.metrics if obs is not None else MetricsRegistry()
@@ -931,6 +1134,18 @@ async def request_json(
 async def _read_client_response(
     reader: asyncio.StreamReader,
 ) -> tuple[int, dict[str, str], bytes]:
+    status, response_headers = await _read_client_head(reader)
+    if response_headers.get("transfer-encoding", "").lower() == "chunked":
+        data = b"".join([chunk async for chunk in _read_chunks(reader)])
+        return status, response_headers, data
+    length = int(response_headers.get("content-length", "0"))
+    data = await reader.readexactly(length) if length else b""
+    return status, response_headers, data
+
+
+async def _read_client_head(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str]]:
     status_line = (await reader.readline()).decode("latin-1")
     if not status_line:
         raise ConnectionError("connection closed before a status line")
@@ -942,9 +1157,77 @@ async def _read_client_response(
             break
         name, _, value = line.partition(":")
         response_headers[name.strip().lower()] = value.strip()
-    length = int(response_headers.get("content-length", "0"))
-    data = await reader.readexactly(length) if length else b""
-    return status, response_headers, data
+    return status, response_headers
+
+
+async def _read_chunks(reader: asyncio.StreamReader):
+    """Decode chunked transfer encoding, one yielded bytes object per chunk.
+
+    A connection closed before the 0-length terminal chunk raises — chunked
+    framing makes truncation detectable, and a half-delivered update stream
+    must fail loudly, not look complete.
+    """
+    while True:
+        size_line = (await reader.readline()).decode("latin-1").strip()
+        if not size_line:
+            raise ConnectionError("connection closed mid-stream (no terminal chunk)")
+        size = int(size_line.split(";")[0], 16)
+        if size == 0:
+            await reader.readline()  # trailing CRLF after the terminal chunk
+            return
+        chunk = await reader.readexactly(size)
+        await reader.readexactly(2)  # CRLF after each chunk
+        yield chunk
+
+
+async def stream_json_lines(
+    host: str,
+    port: int,
+    path: str,
+    headers: dict[str, str] | None = None,
+):
+    """Client half of the chunked update stream: yields one parsed JSON
+    object per line as the server emits them (tests and demos).
+
+    Raises :class:`~repro.runtime.errors.HTTPError` when the server answers
+    with an error envelope instead of a stream.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
+        head = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"{extra}"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        status, response_headers = await _read_client_head(reader)
+        if response_headers.get("transfer-encoding", "").lower() != "chunked":
+            length = int(response_headers.get("content-length", "0"))
+            data = await reader.readexactly(length) if length else b""
+            detail = json.loads(data.decode() or "{}").get("error", {})
+            raise HTTPError(
+                status,
+                detail.get("type", "error"),
+                detail.get("message", f"{path} answered {status} without a stream"),
+                retryable=detail.get("retryable"),
+            )
+        buffer = b""
+        async for chunk in _read_chunks(reader):
+            buffer += chunk
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                if line.strip():
+                    yield json.loads(line.decode())
+        if buffer.strip():
+            yield json.loads(buffer.decode())
+    finally:
+        await _close_writer(writer)
 
 
 @dataclass

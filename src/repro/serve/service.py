@@ -65,7 +65,13 @@ from repro.backend import (
     resolve_backend_name,
     use_backend,
 )
-from repro.dse.explorer import DesignCandidate, DSEConfig, DSEResult, ParetoExplorer
+from repro.dse.explorer import (
+    DesignCandidate,
+    DSEConfig,
+    DSEResult,
+    ExplorationState,
+    ParetoExplorer,
+)
 from repro.flow.dataset_gen import DatasetGenerator
 from repro.flow.powergear import PowerGear
 from repro.hls.op_library import DEFAULT_LIBRARY
@@ -164,6 +170,89 @@ class ExploreReport:
     @property
     def adrs(self) -> float:
         return self.result.adrs
+
+
+class ExplorationSession:
+    """One exploration, driven incrementally over the service's predictor.
+
+    Both explore paths share this object: the blocking
+    :meth:`PowerEstimationService.explore` runs ``step()`` to completion in
+    one call, the async job service runs one ``step()`` per scheduling slice
+    and checkpoints ``session.state`` between them.  Because the state *is*
+    the loop (see :class:`~repro.dse.explorer.ExplorationState`), the two
+    drivers — and a driver resumed from a checkpoint in a fresh process —
+    produce bitwise-identical frontiers, ADRS and predictions.
+    """
+
+    def __init__(
+        self,
+        service: "PowerEstimationService",
+        kernel: str,
+        config: DSEConfig,
+        candidates: list[DesignCandidate],
+        state: ExplorationState | None = None,
+    ) -> None:
+        self.service = service
+        self.kernel = kernel
+        self.config = config
+        self.candidates = candidates
+        self.explorer = ParetoExplorer(config)
+        self.state = state if state is not None else self.explorer.start(candidates)
+        self._started = time.perf_counter()
+
+    @property
+    def done(self) -> bool:
+        return self.state.done
+
+    def step(self) -> dict:
+        """One explorer iteration (predict → frontier → select next batch)."""
+        return self.explorer.step(self.candidates, self.state, self._predictor)
+
+    def _predictor(self, batch: list[DesignCandidate]) -> np.ndarray:
+        predictions, _ = self.service._predict_samples([c.payload for c in batch])
+        return predictions
+
+    def report(self) -> "ExploreReport":
+        """Finalise and account the exploration (frontier, ADRS, metrics).
+
+        ``elapsed_seconds`` covers this session object's lifetime — for a
+        resumed job that is the final slice, not the pre-crash time, which
+        is the honest number (wall-clock is the one field exempt from the
+        bitwise contract).
+        """
+        service = self.service
+        result = self.explorer.finalize(self.candidates, self.state)
+        frontier = [
+            FrontierDesign(
+                kernel=self.candidates[i].payload.kernel,
+                directives=self.candidates[i].payload.directives,
+                latency_cycles=int(self.candidates[i].latency),
+                predicted_power=result.predictions.get(i, float("nan")),
+                measured_power=self.candidates[i].true_power,
+            )
+            for i in result.approximate_pareto_indices
+        ]
+        if service.cache.persistent is not None:
+            service.cache.persistent.sync()
+        elapsed = time.perf_counter() - self._started
+        service.metrics.record(explorations=1, total_seconds=elapsed)
+        service.obs.request_seconds.labels(endpoint="explore").observe(elapsed)
+        log_event(
+            service.obs.logger,
+            "request",
+            endpoint="explore",
+            kernel=self.kernel,
+            candidates=len(self.candidates),
+            latency_ms=round(elapsed * 1e3, 3),
+        )
+        return ExploreReport(
+            kernel=self.kernel,
+            budget=self.config.total_budget,
+            result=result,
+            frontier=frontier,
+            num_candidates=len(self.candidates),
+            elapsed_seconds=elapsed,
+        )
 
 
 @dataclass
@@ -641,13 +730,37 @@ class PowerEstimationService:
         dse_config: DSEConfig | None = None,
         samples: list[GraphSample] | None = None,
     ) -> ExploreReport:
+        session = self.open_exploration(
+            kernel, budget, dse_config=dse_config, samples=samples
+        )
+        while not session.done:
+            session.step()
+        return session.report()
+
+    def open_exploration(
+        self,
+        kernel: str,
+        budget: float | None = None,
+        *,
+        dse_config: DSEConfig | None = None,
+        samples: list[GraphSample] | None = None,
+        state: ExplorationState | None = None,
+    ) -> ExplorationSession:
+        """Open an incremental exploration over ``kernel``'s design space.
+
+        The session is the unit the async job service schedules: one
+        :meth:`ExplorationSession.step` per slice, checkpointing
+        ``session.state`` between slices.  Passing a checkpointed ``state``
+        resumes an interrupted exploration from exactly where it stopped —
+        featurisation is re-resolved (warm from the caches), the random
+        stream and the sampled set continue from the checkpoint.
+        """
         if budget is not None and dse_config is not None:
             raise ValueError(
                 "pass either budget or dse_config, not both "
                 "(dse_config carries its own total_budget)"
             )
         config = dse_config or DSEConfig(total_budget=budget if budget is not None else 0.4)
-        start = time.perf_counter()
         if samples is None:
             spec = polybench_kernel(kernel, self.generator.config.kernel_size)
             design_space = self.generator.design_space_for(spec)
@@ -669,43 +782,7 @@ class PowerEstimationService:
             )
             for index, sample in enumerate(samples)
         ]
-
-        def predictor(batch: list[DesignCandidate]) -> np.ndarray:
-            predictions, _ = self._predict_samples([c.payload for c in batch])
-            return predictions
-
-        result = ParetoExplorer(config).explore(candidates, predictor)
-        frontier = [
-            FrontierDesign(
-                kernel=candidates[i].payload.kernel,
-                directives=candidates[i].payload.directives,
-                latency_cycles=int(candidates[i].latency),
-                predicted_power=result.predictions.get(i, float("nan")),
-                measured_power=candidates[i].true_power,
-            )
-            for i in result.approximate_pareto_indices
-        ]
-        if self.cache.persistent is not None:
-            self.cache.persistent.sync()
-        elapsed = time.perf_counter() - start
-        self.metrics.record(explorations=1, total_seconds=elapsed)
-        self.obs.request_seconds.labels(endpoint="explore").observe(elapsed)
-        log_event(
-            self.obs.logger,
-            "request",
-            endpoint="explore",
-            kernel=kernel,
-            candidates=len(candidates),
-            latency_ms=round(elapsed * 1e3, 3),
-        )
-        return ExploreReport(
-            kernel=kernel,
-            budget=config.total_budget,
-            result=result,
-            frontier=frontier,
-            num_candidates=len(candidates),
-            elapsed_seconds=elapsed,
-        )
+        return ExplorationSession(self, kernel, config, candidates, state=state)
 
     # --------------------------------------------------------------- internals
 

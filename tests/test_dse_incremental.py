@@ -1,0 +1,129 @@
+"""Tests for the incremental explorer API (start / step / finalize).
+
+The async job service depends on two properties pinned here: driving the
+loop one step at a time is *exactly* the blocking ``explore`` (same
+trajectory, same result, bit for bit), and the mid-flight
+:class:`~repro.dse.explorer.ExplorationState` survives a JSON round-trip —
+the job checkpoint format — without perturbing that trajectory.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dse.explorer import DesignCandidate, DSEConfig, ExplorationState, ParetoExplorer
+
+
+def make_candidates(count: int = 50, seed: int = 0) -> list[DesignCandidate]:
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for index in range(count):
+        config = rng.random(4)
+        latency = 100.0 + 900.0 * config[0]
+        power = 0.05 + 0.25 * (1.2 - config[0]) + 0.02 * config[1]
+        candidates.append(
+            DesignCandidate(
+                index=index,
+                latency=latency,
+                true_power=float(power),
+                config_vector=config,
+            )
+        )
+    return candidates
+
+
+def perfect_predictor(batch):
+    return np.array([c.true_power for c in batch])
+
+
+def assert_results_identical(a, b):
+    assert a.sampled_indices == b.sampled_indices
+    assert a.approximate_pareto_indices == b.approximate_pareto_indices
+    assert a.exact_pareto_indices == b.exact_pareto_indices
+    assert a.adrs == b.adrs  # bitwise, not approx
+    assert a.history == b.history
+    assert a.predictions == b.predictions
+
+
+def test_stepwise_loop_is_bitwise_identical_to_explore():
+    candidates = make_candidates(60, seed=7)
+    config = DSEConfig(initial_budget=0.05, total_budget=0.4, seed=3)
+    blocking = ParetoExplorer(config).explore(candidates, perfect_predictor)
+
+    explorer = ParetoExplorer(config)
+    state = explorer.start(candidates)
+    updates = []
+    while not state.done:
+        updates.append(explorer.step(candidates, state, perfect_predictor))
+    incremental = explorer.finalize(candidates, state)
+
+    assert_results_identical(blocking, incremental)
+    assert [u["iteration"] for u in updates] == list(range(1, len(updates) + 1))
+    assert updates[-1]["done"] is True
+    assert all(u["done"] is False for u in updates[:-1])
+
+
+def test_state_json_round_trip_mid_flight_preserves_trajectory():
+    candidates = make_candidates(70, seed=1)
+    config = DSEConfig(initial_budget=0.05, total_budget=0.5, seed=9)
+    blocking = ParetoExplorer(config).explore(candidates, perfect_predictor)
+
+    explorer = ParetoExplorer(config)
+    state = explorer.start(candidates)
+    for _ in range(3):  # interrupt mid-flight, after a few iterations
+        explorer.step(candidates, state, perfect_predictor)
+    assert not state.done
+
+    # The job checkpoint path: dataclass -> JSON text -> dataclass, then a
+    # *fresh* explorer continues the loop in what could be another process.
+    revived = ExplorationState.from_json(json.loads(json.dumps(state.to_json())))
+    resumed_explorer = ParetoExplorer(config)
+    while not revived.done:
+        resumed_explorer.step(candidates, revived, perfect_predictor)
+    resumed = resumed_explorer.finalize(candidates, revived)
+
+    assert_results_identical(blocking, resumed)
+
+
+def test_round_trip_at_every_iteration_boundary():
+    candidates = make_candidates(40, seed=2)
+    config = DSEConfig(initial_budget=0.1, total_budget=0.5, seed=5)
+    reference = ParetoExplorer(config).explore(candidates, perfect_predictor)
+
+    explorer = ParetoExplorer(config)
+    state = explorer.start(candidates)
+    while not state.done:
+        # Round-trip after *every* step: resume must be safe at any boundary.
+        state = ExplorationState.from_json(json.loads(json.dumps(state.to_json())))
+        explorer.step(candidates, state, perfect_predictor)
+    assert_results_identical(reference, explorer.finalize(candidates, state))
+
+
+def test_restore_rng_continues_exact_stream():
+    explorer = ParetoExplorer(DSEConfig(seed=11))
+    state = explorer.start(make_candidates(30))
+    direct = state.restore_rng().random(8)
+    revived = ExplorationState.from_json(json.loads(json.dumps(state.to_json())))
+    assert revived.restore_rng().random(8).tolist() == direct.tolist()
+
+
+def test_step_after_done_raises():
+    candidates = make_candidates(30)
+    explorer = ParetoExplorer(DSEConfig(initial_budget=0.1, total_budget=0.2))
+    state = explorer.start(candidates)
+    while not state.done:
+        explorer.step(candidates, state, perfect_predictor)
+    with pytest.raises(ValueError):
+        explorer.step(candidates, state, perfect_predictor)
+
+
+def test_finalize_scores_abandoned_state():
+    candidates = make_candidates(50, seed=8)
+    explorer = ParetoExplorer(DSEConfig(initial_budget=0.05, total_budget=0.6, seed=1))
+    state = explorer.start(candidates)
+    explorer.step(candidates, state, perfect_predictor)
+    partial = explorer.finalize(candidates, state)  # cancelled-job scoring path
+    assert partial.sampled_indices
+    assert partial.adrs >= 0.0
+    assert set(partial.approximate_pareto_indices).issubset(set(partial.sampled_indices))

@@ -1,0 +1,416 @@
+"""Tests for :mod:`repro.jobs`: admission, fairness, lifecycle, resume.
+
+The manager needs only ``open_exploration`` from the service, so these tests
+drive it with a stub built on the *real* incremental explorer — which keeps
+the bitwise-resume property honest (the stub cannot fake determinism the
+explorer doesn't have) while staying fast and fully controllable: the stub
+can block its sessions mid-step, which is how the tests freeze jobs
+in-flight to exercise quotas, cancellation and shutdown deterministically.
+"""
+
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.dse.explorer import DesignCandidate, DSEConfig, ParetoExplorer
+from repro.jobs import (
+    Job,
+    JobManager,
+    JobQuotaError,
+    JobStore,
+    JobTableFullError,
+    UnknownJobError,
+    kernel_of_job_id,
+    new_job_id,
+)
+
+
+def make_candidates(count: int = 30, seed: int = 0) -> list[DesignCandidate]:
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for index in range(count):
+        config = rng.random(4)
+        candidates.append(
+            DesignCandidate(
+                index=index,
+                latency=100.0 + 900.0 * config[0],
+                true_power=float(0.05 + 0.25 * (1.2 - config[0]) + 0.02 * config[1]),
+                config_vector=config,
+            )
+        )
+    return candidates
+
+
+class StubSession:
+    def __init__(self, stub, kernel, config, state):
+        self.stub = stub
+        self.kernel = kernel
+        self.config = config
+        self.explorer = ParetoExplorer(config)
+        self.state = (
+            state if state is not None else self.explorer.start(stub.candidates)
+        )
+
+    @property
+    def done(self):
+        return self.state.done
+
+    def step(self):
+        self.stub.stepped += 1
+        if self.stub.pause_after is not None and self.stub.stepped > self.stub.pause_after:
+            self.stub.gate.wait()
+        return self.explorer.step(
+            self.stub.candidates,
+            self.state,
+            lambda batch: np.array([c.true_power for c in batch]),
+        )
+
+    def report(self):
+        result = self.explorer.finalize(self.stub.candidates, self.state)
+        frontier = [
+            SimpleNamespace(
+                kernel=self.kernel,
+                directives={"index": index},
+                latency_cycles=self.stub.candidates[index].latency,
+                predicted_power=result.predictions[index],
+                measured_power=None,
+            )
+            for index in result.approximate_pareto_indices
+        ]
+        return SimpleNamespace(
+            kernel=self.kernel,
+            budget=self.config.total_budget,
+            adrs=result.adrs,
+            num_candidates=len(self.stub.candidates),
+            result=result,
+            elapsed_seconds=0.0,
+            frontier=frontier,
+        )
+
+
+class StubService:
+    """The minimal surface the manager uses, with a freezable session."""
+
+    def __init__(self, pause_after=None):
+        self.candidates = make_candidates()
+        self.opened: list[str] = []
+        self.stepped = 0
+        #: After this many total steps, sessions block on ``gate``.
+        self.pause_after = pause_after
+        self.gate = threading.Event()
+
+    def open_exploration(self, kernel, budget=None, *, dse_config=None, state=None):
+        self.opened.append(kernel)
+        config = dse_config or DSEConfig(total_budget=budget or 0.4, seed=0)
+        return StubSession(self, kernel, config, state)
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.01)
+
+
+# ------------------------------------------------------------------ job basics
+
+
+def test_job_id_embeds_kernel():
+    job_id = new_job_id("atax")
+    assert kernel_of_job_id(job_id) == "atax"
+    # Kernels with dashes survive the round trip (rpartition on the nonce).
+    assert kernel_of_job_id(new_job_id("my-kernel")) == "my-kernel"
+
+
+def test_job_store_round_trip(tmp_path):
+    store = JobStore(tmp_path / "jobs")
+    job = Job(job_id=new_job_id("atax"), kernel="atax", client="c", params={})
+    job.updates.append({"seq": 1, "event": "iteration"})
+    store.save(job.job_id, job.to_store())
+    revived = Job.from_store(store.load(job.job_id))
+    assert revived.job_id == job.job_id
+    assert revived.updates == job.updates
+    assert store.load("missing") is None
+    store.delete(job.job_id)
+    assert store.load_all() == {}
+
+
+# ------------------------------------------------------------------- lifecycle
+
+
+def test_submit_runs_to_success_with_streamed_updates():
+    manager = JobManager(StubService(), runners=1)
+    try:
+        snapshot = manager.submit("atax", budget=0.4, client="alice")
+        assert snapshot["state"] == "queued"
+        assert snapshot["kernel"] == "atax"
+
+        # Updates are observable before the job completes: long-poll for the
+        # first iteration and check the job is not yet terminal *in the same
+        # payload* (state rides along with the updates).
+        first = manager.wait_updates(snapshot["job_id"], since=0, timeout=10.0)
+        assert first["updates"], "no update arrived"
+        assert first["updates"][0]["seq"] == 1
+        assert first["updates"][0]["event"] == "iteration"
+
+        final = manager.wait(snapshot["job_id"], timeout=10.0)
+        assert final["state"] == "succeeded"
+        assert final["result"]["adrs"] >= 0.0
+        assert final["result"]["frontier"]
+
+        # The update log is seq-contiguous and ends with the `done` marker.
+        log = manager.updates(snapshot["job_id"])["updates"]
+        assert [u["seq"] for u in log] == list(range(1, len(log) + 1))
+        assert log[-1]["event"] == "done"
+        assert log[-1]["state"] == "succeeded"
+        assert all(u["event"] == "iteration" for u in log[:-1])
+    finally:
+        manager.close()
+
+
+def test_updates_since_filters_and_next_since_advances():
+    manager = JobManager(StubService(), runners=1)
+    try:
+        job_id = manager.submit("atax", budget=0.4)["job_id"]
+        manager.wait(job_id, timeout=10.0)
+        everything = manager.updates(job_id)
+        tail = manager.updates(job_id, since=everything["next_since"] - 1)
+        assert len(tail["updates"]) == 1
+        assert tail["updates"][0]["event"] == "done"
+        empty = manager.updates(job_id, since=everything["next_since"])
+        assert empty["updates"] == []
+    finally:
+        manager.close()
+
+
+def test_failed_job_lands_as_failed_with_error():
+    class Exploding(StubService):
+        def open_exploration(self, *args, **kwargs):
+            raise RuntimeError("no such kernel")
+
+    manager = JobManager(Exploding(), runners=1)
+    try:
+        job_id = manager.submit("nope", budget=0.4)["job_id"]
+        final = manager.wait(job_id, timeout=10.0)
+        assert final["state"] == "failed"
+        assert "no such kernel" in final["error"]
+        log = manager.updates(job_id)["updates"]
+        assert log[-1]["event"] == "done" and log[-1]["state"] == "failed"
+    finally:
+        manager.close()
+
+
+def test_unknown_job_raises_typed_error():
+    manager = JobManager(StubService(), runners=1)
+    try:
+        with pytest.raises(UnknownJobError):
+            manager.get("atax-doesnotexist")
+        with pytest.raises(UnknownJobError):
+            manager.cancel("atax-doesnotexist")
+    finally:
+        manager.close()
+
+
+# ------------------------------------------------------------------ admission
+
+
+def test_per_client_quota_is_enforced_per_client():
+    service = StubService(pause_after=0)  # freeze every session immediately
+    manager = JobManager(service, runners=4, max_per_client=2)
+    try:
+        manager.submit("atax", budget=0.4, client="alice")
+        manager.submit("atax", budget=0.4, client="alice")
+        with pytest.raises(JobQuotaError) as excinfo:
+            manager.submit("atax", budget=0.4, client="alice")
+        assert excinfo.value.client == "alice"
+        assert excinfo.value.limit == 2
+        # A different client is unaffected: quotas are per identity.
+        manager.submit("atax", budget=0.4, client="bob")
+    finally:
+        service.gate.set()
+        manager.close()
+
+
+def test_table_full_of_live_jobs_is_typed_backpressure():
+    service = StubService(pause_after=0)
+    manager = JobManager(service, runners=1, max_jobs=2, max_per_client=2)
+    try:
+        manager.submit("atax", budget=0.4, client="alice")
+        manager.submit("atax", budget=0.4, client="bob")
+        with pytest.raises(JobTableFullError):
+            manager.submit("atax", budget=0.4, client="carol")
+    finally:
+        service.gate.set()
+        manager.close()
+
+
+def test_finished_jobs_are_evicted_to_make_room():
+    manager = JobManager(StubService(), runners=1, max_jobs=2)
+    try:
+        first = manager.submit("atax", budget=0.4)["job_id"]
+        manager.wait(first, timeout=10.0)
+        second = manager.submit("atax", budget=0.4)["job_id"]
+        manager.wait(second, timeout=10.0)
+        third = manager.submit("atax", budget=0.4)["job_id"]
+        manager.wait(third, timeout=10.0)
+        # The oldest finished job was evicted; the newer two remain.
+        with pytest.raises(UnknownJobError):
+            manager.get(first)
+        assert manager.get(third)["state"] == "succeeded"
+        assert len(manager.list()) == 2
+    finally:
+        manager.close()
+
+
+# ------------------------------------------------------------------- fairness
+
+
+def test_round_robin_across_clients_prevents_starvation():
+    service = StubService(pause_after=0)
+    manager = JobManager(service, runners=1, max_per_client=4)
+    try:
+        manager.submit("a1", budget=0.4, client="alice")
+        wait_for(lambda: service.opened == ["a1"])  # alice's first is running
+        manager.submit("a2", budget=0.4, client="alice")
+        manager.submit("a3", budget=0.4, client="alice")
+        manager.submit("b1", budget=0.4, client="bob")
+        service.gate.set()  # unfreeze: the single runner drains the queues
+        wait_for(lambda: len(service.opened) == 4)
+        # Bob's first job does not sit behind alice's whole backlog: the
+        # round-robin cursor interleaves the clients (a2 was already at the
+        # head when bob submitted; b1 overtakes a3).
+        assert service.opened == ["a1", "a2", "b1", "a3"]
+    finally:
+        service.gate.set()
+        manager.close()
+
+
+# ----------------------------------------------------------------- cancellation
+
+
+def test_cancel_queued_job_is_immediate():
+    service = StubService(pause_after=0)
+    manager = JobManager(service, runners=1, max_per_client=4)
+    try:
+        manager.submit("atax", budget=0.4)
+        wait_for(lambda: service.opened == ["atax"])
+        queued = manager.submit("atax", budget=0.4)["job_id"]
+        cancelled = manager.cancel(queued)
+        assert cancelled["state"] == "cancelled"
+        log = manager.updates(queued)["updates"]
+        assert log == [{"seq": 1, "event": "done", "state": "cancelled"}]
+    finally:
+        service.gate.set()
+        manager.close()
+
+
+def test_cancel_running_job_stops_at_iteration_boundary():
+    service = StubService(pause_after=1)  # one iteration, then freeze
+    manager = JobManager(service, runners=1)
+    try:
+        job_id = manager.submit("atax", budget=0.4)["job_id"]
+        first = manager.wait_updates(job_id, since=0, timeout=10.0)
+        assert first["state"] == "running"
+        snapshot = manager.cancel(job_id)
+        assert snapshot["state"] == "running"  # cooperative, not yet terminal
+        service.gate.set()
+        final = manager.wait(job_id, timeout=10.0)
+        assert final["state"] == "cancelled"
+        assert final["result"] is None
+        assert manager.updates(job_id)["updates"][-1]["state"] == "cancelled"
+    finally:
+        service.gate.set()
+        manager.close()
+
+
+def test_cancel_terminal_job_is_noop():
+    manager = JobManager(StubService(), runners=1)
+    try:
+        job_id = manager.submit("atax", budget=0.4)["job_id"]
+        manager.wait(job_id, timeout=10.0)
+        assert manager.cancel(job_id)["state"] == "succeeded"
+    finally:
+        manager.close()
+
+
+# -------------------------------------------------------------- resume / close
+
+
+def test_close_then_new_manager_resumes_bitwise_identical(tmp_path):
+    # Reference: the same exploration, uninterrupted (memory-only manager).
+    reference_manager = JobManager(StubService(), runners=1)
+    try:
+        ref_id = reference_manager.submit("atax", budget=0.9)["job_id"]
+        reference = reference_manager.wait(ref_id, timeout=10.0)
+        assert reference["state"] == "succeeded"
+    finally:
+        reference_manager.close()
+
+    # Interrupted run: slow the job down (~8 iterations at 0.1s each), then
+    # close the manager after the second update — mid-flight, with most of
+    # the exploration still ahead of it.
+    store_dir = tmp_path / "jobs"
+    manager = JobManager(
+        StubService(), store=str(store_dir), runners=1, step_delay_s=0.1
+    )
+    job_id = manager.submit("atax", budget=0.9)["job_id"]
+    wait_for(lambda: manager.updates(job_id)["next_since"] >= 2)
+    manager.close()  # graceful: checkpoints and leaves the job `running`
+    interrupted = manager.get(job_id)
+    assert interrupted["state"] == "running"
+    assert interrupted["seq"] < reference["seq"]  # genuinely mid-flight
+
+    # A fresh manager over the same store resumes and finishes the job.
+    resumed_manager = JobManager(StubService(), store=str(store_dir), runners=1)
+    try:
+        snapshot = resumed_manager.get(job_id)  # the job survived the restart
+        assert snapshot["resumes"] == 1
+        final = resumed_manager.wait(job_id, timeout=10.0)
+        assert final["state"] == "succeeded"
+        # Bitwise: same ADRS float, same frontier, same sampling trajectory.
+        assert final["result"] == reference["result"]
+        log = resumed_manager.updates(job_id)["updates"]
+        assert [u["seq"] for u in log] == list(range(1, len(log) + 1))
+        assert log[-1]["event"] == "done"
+    finally:
+        resumed_manager.close()
+
+
+def test_resume_skips_corrupt_checkpoints(tmp_path):
+    store_dir = tmp_path / "jobs"
+    store_dir.mkdir()
+    (store_dir / "bad.json").write_text("{not json")
+    (store_dir / "empty.json").write_text("{}")
+    manager = JobManager(StubService(), store=str(store_dir), runners=1)
+    try:
+        assert manager.list() == []
+        job_id = manager.submit("atax", budget=0.4)["job_id"]
+        assert manager.wait(job_id, timeout=10.0)["state"] == "succeeded"
+    finally:
+        manager.close()
+
+
+def test_submit_after_close_raises():
+    manager = JobManager(StubService(), runners=1)
+    manager.close()
+    with pytest.raises(RuntimeError):
+        manager.submit("atax", budget=0.4)
+
+
+def test_stats_shape():
+    manager = JobManager(StubService(), runners=1, max_jobs=8, max_per_client=3)
+    try:
+        job_id = manager.submit("atax", budget=0.4)["job_id"]
+        manager.wait(job_id, timeout=10.0)
+        stats = manager.stats()
+        assert stats["jobs"] == 1
+        assert stats["by_state"] == {"succeeded": 1}
+        assert stats["max_jobs"] == 8
+        assert stats["max_per_client"] == 3
+        assert stats["durable"] is False
+    finally:
+        manager.close()

@@ -25,6 +25,14 @@ reference on the forward path.  The reference implementations on this base
 class define the semantics; an override may only change *how* a value is
 computed (workspace reuse, fusion, an accelerator) — never which floats come
 out.  The equivalence property suite enforces this.
+
+One explicit exception exists: a backend constructed under an accelerator
+opt-in (``REPRO_BACKEND_ACCEL``, e.g. the ``f32`` tier of the ``optimized``
+backend) may advertise a non-``None`` :attr:`ArrayBackend.tolerance` —
+an ``(rtol, atol)`` pair relaxing bitwise identity to ``np.allclose`` against
+the reference at exactly those tolerances.  The equivalence suite asserts
+``tobytes`` equality when ``tolerance is None`` and the allclose contract
+otherwise, so the relaxation is always explicit, never silent.
 """
 
 from __future__ import annotations
@@ -61,6 +69,8 @@ class BackendStats:
     gathers: int = 0
     fused_linear: int = 0
     fused_add_relu: int = 0
+    grouped_matmuls: int = 0
+    grouped_scatter_adds: int = 0
     workspace_hits: int = 0
     workspace_misses: int = 0
     _lock: threading.Lock = field(
@@ -74,6 +84,8 @@ class BackendStats:
         "gathers",
         "fused_linear",
         "fused_add_relu",
+        "grouped_matmuls",
+        "grouped_scatter_adds",
         "workspace_hits",
         "workspace_misses",
     )
@@ -121,8 +133,15 @@ class ArrayBackend:
     #: Registry name; subclasses must override.
     name: str = "base"
     #: Which optional accelerator the backend bound (``"none"`` / ``"numba"``
-    #: / ``"torch"``); informational, surfaced through ``runtime_stats()``.
+    #: / ``"torch"`` / ``"f32"``); informational, surfaced through
+    #: ``runtime_stats()``.
     accelerator: str = "none"
+    #: Numerical contract of the backend: ``None`` means bitwise-identical to
+    #: the reference (the default, and the only permitted value outside an
+    #: explicit ``REPRO_BACKEND_ACCEL`` opt-in); an ``(rtol, atol)`` pair
+    #: relaxes the contract to ``np.allclose`` at those tolerances, asserted
+    #: by the equivalence suite.
+    tolerance: tuple[float, float] | None = None
 
     def __init__(self) -> None:
         self.stats = BackendStats()
@@ -237,6 +256,69 @@ class ArrayBackend:
             flat_index, weights=values.ravel(), minlength=num_segments * columns
         )
         return flat.reshape(num_segments, columns)
+
+    def grouped_matmul(
+        self, values: np.ndarray, weights: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Per-relation-block matmul over a relation-sorted row layout.
+
+        ``values`` is ``(E, d_in)`` with rows grouped by relation (the layout
+        :meth:`repro.gnn.base.GraphBatch.relation_groups` produces),
+        ``weights`` is the batched ``(R, d_in, d_out)`` relation-weight block
+        and ``offsets`` is the ``(R + 1,)`` cumulative bucket boundary vector:
+        relation ``r`` owns rows ``offsets[r]:offsets[r + 1]``.
+
+        The reference loops relation blocks and *assigns* each block's fresh
+        matmul result into the output (never ``out=`` — BLAS results written
+        into caller-provided buffers are not bitwise-stable), so every output
+        row equals the corresponding per-relation ``block @ weights[r]`` row
+        of the historical per-relation loop bit for bit (GEMM results are
+        row-independent).  Empty relations contribute nothing, exactly like
+        the loop's ``continue``.
+        """
+        self._count("grouped_matmuls")
+        out = np.empty(
+            (values.shape[0], weights.shape[2]),
+            dtype=np.result_type(values.dtype, weights.dtype),
+        )
+        for relation in range(weights.shape[0]):
+            lo, hi = int(offsets[relation]), int(offsets[relation + 1])
+            if lo == hi:
+                continue
+            out[lo:hi] = values[lo:hi] @ weights[relation]
+        return out
+
+    def scatter_add_grouped(
+        self,
+        values: np.ndarray,
+        destinations: np.ndarray,
+        offsets: np.ndarray,
+        num_segments: int,
+    ) -> np.ndarray:
+        """Sum relation-grouped rows into segments, accumulating relation blocks
+        in relation order.
+
+        Mirrors the historical per-relation aggregation loop exactly: each
+        non-empty relation block runs one :meth:`scatter_add` over its own
+        slice of ``destinations`` and the per-relation sums chain through
+        sequential ``+`` in relation order — the same floating-point
+        expression tree, so the result is bitwise-identical to the loop.
+        ``destinations`` must be stably sorted within each relation block by
+        (destination, original edge id): per-destination contributions then
+        arrive in original edge order, which is what keeps each relation's
+        ``scatter_add`` bitwise-equal to the unsorted historical one.
+        """
+        self._count("grouped_scatter_adds")
+        aggregated: np.ndarray | None = None
+        for relation in range(len(offsets) - 1):
+            lo, hi = int(offsets[relation]), int(offsets[relation + 1])
+            if lo == hi:
+                continue
+            summed = self.scatter_add(values[lo:hi], destinations[lo:hi], num_segments)
+            aggregated = summed if aggregated is None else aggregated + summed
+        if aggregated is None:
+            return np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+        return aggregated
 
     def scatter_add_relu(
         self, values: np.ndarray, index: np.ndarray, num_segments: int

@@ -3,7 +3,15 @@
 This is the bitwise ground truth: it inherits the reference kernels from
 :class:`~repro.backend.base.ArrayBackend` unchanged, so a model served
 through it produces exactly the floats the pre-backend code produced.  Every
-other backend is tested against it for bitwise equality on the forward path.
+other backend is tested against it for bitwise equality on the forward path
+(or, for an explicit accelerator-tier backend advertising a ``tolerance``,
+for closeness at exactly that tolerance).
+
+The grouped-relation kernels (``grouped_matmul`` / ``scatter_add_grouped``)
+are inherited too: their reference implementations loop relation blocks in
+the exact floating-point expression order of the historical per-relation
+forward, so the grouped one-GEMM layer layout is bitwise-identical to the
+loop it replaces on this backend — the property the equivalence suite pins.
 """
 
 from __future__ import annotations
@@ -17,3 +25,4 @@ class NumpyBackend(ArrayBackend):
 
     name = "numpy"
     accelerator = "none"
+    tolerance = None

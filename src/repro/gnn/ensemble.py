@@ -17,7 +17,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.gnn.base import GraphBatch, PowerGNN
+from repro.gnn.base import GraphBatch, PowerGNN, num_relations
 from repro.gnn.config import GNNConfig
 from repro.gnn.trainer import Trainer, TrainingConfig
 from repro.graph.dataset import GraphDataset, GraphSample
@@ -182,8 +182,9 @@ class EnsembleRegressor:
             return np.zeros(0)
         graphs = [s.graph for s in samples]
         outputs = np.zeros(len(graphs))
+        relations = num_relations(self.members[0].model.config)
         for start, length, prepared in self.iter_prepared_chunks(graphs, batch_size):
-            batch = GraphBatch.from_graph(prepared)
+            batch = GraphBatch.from_graph(prepared, relations)
             outputs[start : start + length] = self.predict_members(batch).mean(axis=0)
         return outputs
 

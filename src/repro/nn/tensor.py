@@ -51,6 +51,16 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
+def grad_enabled() -> bool:
+    """Whether operations are currently recorded on the autograd tape.
+
+    Inference-only fast paths (the grouped-relation forward, the fused
+    backend kernels) key off this: they have no backward implementation, so
+    they must only replace the composed ops when nothing records gradients.
+    """
+    return _GRAD_ENABLED
+
+
 def scatter_add_rows(
     values: np.ndarray, index: np.ndarray, num_segments: int
 ) -> np.ndarray:
@@ -91,7 +101,15 @@ class Tensor:
         _backward: Callable[[np.ndarray], None] | None = None,
         name: str = "",
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        # float64 is the canonical dtype; float32 passes through unchanged so
+        # an accelerator-tier backend (``REPRO_BACKEND_ACCEL=f32``) can flow
+        # single precision through the whole inference forward.  Training
+        # never sees float32: parameters and inputs are float64 and the
+        # backends only emit float32 inside inference forward scopes.
+        array = np.asarray(data)
+        if array.dtype != np.float32:
+            array = np.asarray(array, dtype=np.float64)
+        self.data = array
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad or _parents else ()

@@ -27,11 +27,14 @@ class RuntimeConfig:
     #: ``numpy`` reference.  In their default (auto) configuration the
     #: shipped backends are bitwise-identical on the forward path, so the
     #: selection only changes speed, never predictions — EXCEPT under the
-    #: explicit ``REPRO_BACKEND_ACCEL=torch`` opt-in, which trades that
-    #: guarantee for torch GEMMs (bit-identity then depends on numpy and
-    #: torch linking the same BLAS; see :mod:`repro.backend.optimized`).
-    #: Don't mix that opt-in with a persistent prediction cache written
-    #: under a different backend configuration.
+    #: explicit accelerator-tier opt-ins: ``REPRO_BACKEND_ACCEL=torch``
+    #: trades the guarantee for torch GEMMs (bit-identity then depends on
+    #: numpy and torch linking the same BLAS) and
+    #: ``REPRO_BACKEND_ACCEL=f32`` runs inference single-precision within
+    #: the backend's advertised ``tolerance`` (see
+    #: :mod:`repro.backend.optimized`).  Don't mix those opt-ins with a
+    #: persistent prediction cache written under a different backend
+    #: configuration.
     backend: str | None = None
 
     #: Number of featurisation worker processes; 0 or 1 keeps featurisation
@@ -86,10 +89,23 @@ class RuntimeConfig:
     #: as a read-only shared-memory block; see
     #: :class:`~repro.runtime.pool.ForwardPool`).
     forward_workers: int = 0
-    #: Ensembles smaller than this run the forward serially even when
-    #: ``forward_workers`` is set: sharding a handful of members across
-    #: processes costs more in IPC than the forwards themselves.
+    #: Ensembles smaller than this do not shard the *member* axis: sharding
+    #: a handful of members across processes costs more in IPC than the
+    #: forwards themselves.  (Batches may still shard the graph axis — see
+    #: ``forward_shard_axis``.)
     forward_min_members: int = 8
+    #: Which axis of the packed forward the pool shards: ``"members"`` (one
+    #: contiguous member slice per worker), ``"graphs"`` (every member over a
+    #: contiguous graph slice of the pack — the lever for large batches on
+    #: small ensembles and single-model flows) or ``"auto"`` (members when
+    #: the ensemble has at least ``forward_min_members``, otherwise graphs
+    #: for batches of at least ``forward_min_graphs`` designs).  Any choice
+    #: is bitwise-identical to the serial forward.
+    forward_shard_axis: str = "auto"
+    #: Batches smaller than this do not shard the *graph* axis: slicing a
+    #: handful of graphs across processes costs more in IPC than the pack's
+    #: forward.
+    forward_min_graphs: int = 8
 
     #: Maximum coalesced batch: the micro-batcher flushes as soon as this many
     #: single-design ``estimate`` calls have gathered.
@@ -194,6 +210,12 @@ class RuntimeConfig:
             raise ValueError("forward_workers must be >= 0")
         if self.forward_min_members < 2:
             raise ValueError("forward_min_members must be >= 2")
+        if self.forward_shard_axis not in ("auto", "members", "graphs"):
+            raise ValueError(
+                "forward_shard_axis must be auto, members or graphs"
+            )
+        if self.forward_min_graphs < 2:
+            raise ValueError("forward_min_graphs must be >= 2")
         if self.start_method not in (None, "fork", "spawn", "forkserver"):
             raise ValueError(f"unknown start method {self.start_method!r}")
         if self.min_designs_per_worker < 1:

@@ -1,13 +1,22 @@
-"""Read-only shared-memory parameter blocks for pooled prediction.
+"""Read-only shared-memory blocks for pooled prediction.
 
-A fitted ensemble's weights are immutable, so sharding its packed forward
-across worker processes must not re-pickle megabytes of parameters into every
-task.  :class:`SharedParameterBlock` serialises every member's parameter
-tensors once into a single ``multiprocessing.shared_memory`` segment; workers
-attach by name (a short string that travels in the pool initializer) and map
-each parameter back as a **read-only numpy view** — zero copies, zero
-per-task weight pickling, one physical copy of the ensemble no matter how
-many workers run.
+Two kinds of segment live here, both with the same create/attach/unlink
+lifecycle:
+
+* :class:`SharedParameterBlock` — a fitted ensemble's weights.  Immutable for
+  the pool's lifetime, so sharding its packed forward across worker processes
+  must not re-pickle megabytes of parameters into every task: every member's
+  parameter tensors are serialised once into a single
+  ``multiprocessing.shared_memory`` segment; workers attach by name (a short
+  string that travels in the pool initializer) and map each parameter back as
+  a **read-only numpy view** — zero copies, zero per-task weight pickling,
+  one physical copy of the ensemble no matter how many workers run.
+* :class:`SharedArrayBundle` — one packed mega-graph batch's arrays (node /
+  edge features, edge index, relation types, graph assignment, metadata).
+  Published per chunk by the forward pool so that *tasks* carry only a tiny
+  picklable :class:`ArrayBundleSpec` plus slice bounds: workers attach and
+  view instead of unpickling the packed batch once per shard, which is what
+  makes graph-axis sharding of large single-model batches pay off.
 
 Layout: parameters are packed back to back as contiguous float64 in
 ``(member, parameter)`` traversal order — the order
@@ -126,6 +135,126 @@ class SharedParameterBlock:
             self._shm.unlink()
         except FileNotFoundError:
             pass
+
+
+# ------------------------------------------------------------ array bundles
+
+#: Alignment of each array inside a bundle segment.  16 bytes keeps every
+#: view's base pointer SIMD-aligned regardless of the preceding array's size.
+_BUNDLE_ALIGN = 16
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _BUNDLE_ALIGN - 1) // _BUNDLE_ALIGN * _BUNDLE_ALIGN
+
+
+@dataclass(frozen=True)
+class ArrayBundleSpec:
+    """Picklable description of one shared array-bundle segment.
+
+    ``fields`` holds ``(name, shape, dtype-str)`` per array in packing order;
+    offsets are implied (each array starts at the next 16-byte boundary), so
+    the spec stays a few hundred bytes no matter how large the batch is — it
+    rides in every per-shard task payload.
+    """
+
+    shm_name: str
+    fields: tuple[tuple[str, tuple[int, ...], str], ...]
+
+    def layout(self) -> tuple[list[tuple[str, tuple[int, ...], np.dtype, int]], int]:
+        """Per-field ``(name, shape, dtype, byte offset)`` plus total bytes."""
+        entries: list[tuple[str, tuple[int, ...], np.dtype, int]] = []
+        offset = 0
+        for name, shape, dtype_str in self.fields:
+            dtype = np.dtype(dtype_str)
+            offset = _aligned(offset)
+            entries.append((name, shape, dtype, offset))
+            offset += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        return entries, offset
+
+    @property
+    def nbytes(self) -> int:
+        return self.layout()[1]
+
+
+def _bundle_views_from_buffer(
+    buffer, spec: ArrayBundleSpec, writeable: bool
+) -> dict[str, np.ndarray]:
+    """Map the flat segment back into named array views."""
+    views: dict[str, np.ndarray] = {}
+    entries, _ = spec.layout()
+    for name, shape, dtype, offset in entries:
+        size = int(np.prod(shape, dtype=np.int64))
+        view = np.frombuffer(buffer, dtype=dtype, count=size, offset=offset).reshape(
+            shape
+        )
+        view.flags.writeable = writeable
+        views[name] = view
+    return views
+
+
+class SharedArrayBundle:
+    """Owning handle of one shared array-bundle segment (creator side)."""
+
+    def __init__(self, spec: ArrayBundleSpec, shm: shared_memory.SharedMemory) -> None:
+        self.spec = spec
+        self._shm = shm
+
+    @staticmethod
+    def create(arrays: dict[str, np.ndarray]) -> "SharedArrayBundle":
+        """Copy the named arrays into a fresh shared segment, in dict order."""
+        if not arrays:
+            raise ValueError("cannot share an empty array bundle")
+        fields = tuple(
+            (name, tuple(int(d) for d in np.asarray(array).shape), np.asarray(array).dtype.str)
+            for name, array in arrays.items()
+        )
+        probe = ArrayBundleSpec(shm_name="", fields=fields)
+        total = probe.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        spec = ArrayBundleSpec(shm_name=shm.name, fields=fields)
+        views = _bundle_views_from_buffer(shm.buf, spec, writeable=True)
+        for name, array in arrays.items():
+            views[name][...] = np.asarray(array)
+        return SharedArrayBundle(spec, shm)
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+    def views(self) -> dict[str, np.ndarray]:
+        """Read-only in-process views (the creating process can share too)."""
+        return _bundle_views_from_buffer(self._shm.buf, self.spec, writeable=False)
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Release the segment (idempotent; owner-side teardown)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def attach_array_bundle(
+    spec: ArrayBundleSpec,
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Worker-side attach: map the segment and return read-only named views.
+
+    Same contract and tracker notes as :func:`attach_parameter_block`: keep
+    the returned handle referenced while the views are in use, and never
+    unlink from the attaching side.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=spec.shm_name, track=False)
+    except TypeError:  # Python < 3.13: no track flag (see module docstring).
+        shm = shared_memory.SharedMemory(name=spec.shm_name)
+    return shm, _bundle_views_from_buffer(shm.buf, spec, writeable=False)
 
 
 def attach_parameter_block(

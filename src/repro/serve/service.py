@@ -970,7 +970,7 @@ class PowerEstimationService:
             return self._predict_batch_inner(samples, span)
 
     def _predict_batch_inner(self, samples: list[GraphSample], span) -> np.ndarray:
-        supervisor = self._forward_supervisor_handle()
+        supervisor = self._forward_supervisor_handle(len(samples))
         if supervisor is not None:
             span.set_attribute("pooled", True)
             dispatch_start = time.perf_counter()
@@ -1041,11 +1041,27 @@ class PowerEstimationService:
             with self._pool_lock:
                 self._pool_strikes[supervisor.name] = 0
 
-    def _forward_supervisor_handle(self) -> SupervisedPool | None:
+    def _forward_supervisor_handle(self, num_designs: int) -> SupervisedPool | None:
+        """The forward pool's supervisor, or ``None`` when pooling can't pay.
+
+        Viability is per shardable axis: the member axis needs an ensemble of
+        at least ``forward_min_members``; the graph axis needs a batch of at
+        least ``forward_min_graphs`` designs (and works for single-model
+        flows).  ``forward_shard_axis`` pins one axis — ``auto`` engages the
+        pool when *either* axis is viable and lets the pool pick per chunk.
+        """
         if not self.runtime.parallel_forward:
             return None
         ensemble = self.model.ensemble
-        if ensemble is None or len(ensemble.members) < self.runtime.forward_min_members:
+        members = len(ensemble.members) if ensemble is not None else 1
+        members_ok = members >= self.runtime.forward_min_members
+        graphs_ok = num_designs >= self.runtime.forward_min_graphs
+        axis = self.runtime.forward_shard_axis
+        if axis == "members" and not members_ok:
+            return None
+        if axis == "graphs" and not graphs_ok:
+            return None
+        if axis == "auto" and not (members_ok or graphs_ok):
             return None
         with self._pool_lock:
             if self._closed:
@@ -1061,10 +1077,13 @@ class PowerEstimationService:
                         backend=self.backend.name,
                         stats=self._forward_pool_stats,
                         tracer=self.obs.tracer,
+                        shard_axis=self.runtime.forward_shard_axis,
+                        min_members=self.runtime.forward_min_members,
+                        min_graphs=self.runtime.forward_min_graphs,
                     ),
-                    # Fixed size: the member axis is what this pool shards,
-                    # so queue depth says nothing about useful parallelism —
-                    # supervision without autoscaling.
+                    # Fixed size: the shard axes are data axes (members /
+                    # graphs of one batch), so queue depth says nothing about
+                    # useful parallelism — supervision without autoscaling.
                     min_workers=workers,
                     max_workers=workers,
                     max_restarts=self.runtime.pool_max_restarts,

@@ -135,6 +135,43 @@ def test_pooled_forward_bitwise_through_service(ensemble_model, backend):
         assert stats["shards"] >= 2
 
 
+def test_tolerance_tier_contract(ensemble_model):
+    """The numerical contract is explicit per backend instance.
+
+    ``tolerance is None`` (every default backend) means bitwise — asserted
+    with ``tobytes`` throughout this suite.  A non-``None`` ``(rtol, atol)``
+    (only the explicit ``f32`` accelerator opt-in) relaxes the assertion to
+    ``np.allclose`` at exactly the advertised tolerances — and nothing
+    looser.
+    """
+    from repro.backend import NumpyBackend, OptimizedBackend, get_backend
+    from repro.backend.optimized import F32_TOLERANCE
+
+    model, _ = ensemble_model
+    queries = build_synthetic_samples(13, seed=400)
+    with use_backend("numpy"):
+        reference = model.predict_batch(queries, batch_size=5)
+    assert np.ptp(reference) > 1e-6  # non-vacuous: spread above clamp floor
+
+    backends = [get_backend(name) for name in available_backends()]
+    assert all(b.tolerance is None for b in backends)  # defaults are bitwise
+    backends.append(OptimizedBackend(accel="f32"))
+    assert backends[-1].tolerance == F32_TOLERANCE
+    assert NumpyBackend().tolerance is None
+
+    for backend in backends:
+        with use_backend(backend):
+            predictions = model.predict_batch(queries, batch_size=5)
+        if backend.tolerance is None:
+            _bitwise(reference, predictions, f"tolerance[{backend.name}]")
+        else:
+            rtol, atol = backend.tolerance
+            assert np.allclose(predictions, reference, rtol=rtol, atol=atol), (
+                f"{backend.name}/{backend.accelerator} broke its advertised "
+                f"tolerance contract {backend.tolerance}"
+            )
+
+
 def test_env_selected_backend_reaches_service(monkeypatch):
     """$REPRO_BACKEND steers a service constructed without an explicit name."""
     monkeypatch.setenv("REPRO_BACKEND", "optimized")

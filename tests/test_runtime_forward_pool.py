@@ -108,26 +108,48 @@ def test_forward_pool_single_chunk_and_empty(fitted_ensemble):
         assert pool.predict_batch(queries).tobytes() == reference.tobytes()
 
 
-def test_forward_tasks_carry_no_weights(fitted_ensemble):
-    """The no-per-task-weight-pickling contract, enforced structurally."""
+def test_forward_tasks_carry_no_weights_and_no_graphs(fitted_ensemble):
+    """The payload-free task contract, enforced structurally.
+
+    A task is a shared-segment spec plus slice bounds: neither the ensemble's
+    weights nor the packed batch's arrays ride in the pickle — both live in
+    shared memory, attached once per worker.
+    """
+    from repro.runtime.shm import SharedArrayBundle
+
     model, samples = fitted_ensemble
     packed = model.ensemble.members[0].model.prepare_graph(samples[0].graph)
-    task = ForwardTask(chunk_id=0, member_start=0, member_stop=3, graph=packed)
-    payload = pickle.dumps(task)
-    weights = sum(
-        parameter.data.nbytes
-        for member in model.ensemble.members
-        for parameter in member.model.parameters()
+    bundle = SharedArrayBundle.create(
+        {
+            "node_features": np.asarray(packed.node_features, dtype=np.float64),
+            "edge_index": np.asarray(packed.edge_index, dtype=np.int64),
+        }
     )
-    # The task pickles the packed graph only; the ensemble's weights are an
-    # order of magnitude bigger and live in the shared segment instead.
-    assert len(payload) < weights / 4
-    restored = pickle.loads(payload)
-    assert restored.member_stop == 3
-    assert restored.graph.num_nodes == packed.num_nodes
+    try:
+        task = ForwardTask(
+            chunk_id=0,
+            bundle=bundle.spec,
+            member_start=0,
+            member_stop=3,
+            graph_start=0,
+            graph_stop=1,
+        )
+        payload = pickle.dumps(task)
+        # Far smaller than either the batch arrays or the weights: the pickle
+        # carries names, shapes and integers only.
+        assert len(payload) < 2048
+        assert len(payload) < packed.node_features.nbytes
+        restored = pickle.loads(payload)
+        assert restored.member_stop == 3
+        assert restored.bundle.shm_name == bundle.spec.shm_name
+    finally:
+        bundle.unlink()
 
 
-def test_forward_pool_requires_ensemble():
+def test_forward_pool_accepts_single_model_and_requires_fitted(monkeypatch):
+    # Tiny forward segments force a multi-segment pack, so the graph axis
+    # genuinely shards (several tasks) instead of degenerating to one task.
+    monkeypatch.setenv("REPRO_FORWARD_SEGMENT_NODES", "24")
     samples = build_synthetic_samples(30, seed=2)
     single = PowerGear(
         PowerGearConfig(
@@ -137,10 +159,23 @@ def test_forward_pool_requires_ensemble():
             ensemble=None,
         )
     ).fit(samples[:24])
-    with pytest.raises(ValueError):
-        ForwardPool(single, num_workers=2)
+    queries = samples[24:]
+    with use_backend("numpy"):
+        reference = single.predict_batch(queries)
+    # A single-model flow shards the graph axis (it has no member axis).
+    with ForwardPool(single, num_workers=2, shard_axis="graphs") as pool:
+        assert pool.num_members == 1
+        pooled = pool.predict_batch(queries)
+    assert pooled.tobytes() == reference.tobytes()
+    assert pool.stats.shard_axis == "graphs"
+    assert pool.stats.shards == 2
     with pytest.raises(ValueError):
         ForwardPool(single, num_workers=1)
+    with pytest.raises(ValueError):
+        ForwardPool(single, num_workers=2, shard_axis="diagonal")
+    unfitted = PowerGear(PowerGearConfig(target="dynamic", ensemble=None))
+    with pytest.raises(ValueError):
+        ForwardPool(unfitted, num_workers=2)
 
 
 def test_forward_pool_close_is_idempotent_and_final(fitted_ensemble):
@@ -186,7 +221,7 @@ def test_service_degrades_serially_on_non_crash_pool_errors(fitted_ensemble):
                 assert snapshot["pooled_errors"] == 1
                 # No restart budget burnt, nothing retired: the pool is still
                 # offered to the next batch (which degrades again, visibly).
-                supervisor = service._forward_supervisor_handle()
+                supervisor = service._forward_supervisor_handle(len(requests))
                 assert supervisor is not None and not supervisor.retired
                 assert supervisor.health()["restarts"] == 0
                 service.cache.clear()
@@ -231,7 +266,7 @@ def test_service_retires_pool_after_persistent_non_crash_failures(fitted_ensembl
         # Strikes: 2 failures (budget 1) retired the pool; batches 3 and 4
         # went straight serial without another doomed pool round-trip.
         assert attempts["count"] == 2
-        supervisor = service._forward_supervisor_handle()
+        supervisor = service._forward_supervisor_handle(len(requests))
         assert supervisor.retired
         assert "non-crash" in supervisor.health()["last_fault"]
         assert service.health()["status"] == "degraded"
@@ -264,7 +299,7 @@ def test_request_errors_do_not_strike_the_pool(fitted_ensemble):
             for _ in range(3):
                 with pytest.raises(ValueError, match="malformed"):
                     service.estimate_many(requests)
-        supervisor = service._forward_supervisor_handle()
+        supervisor = service._forward_supervisor_handle(len(requests))
         assert supervisor is not None and not supervisor.retired
         assert service._pool_strikes.get("forward", 0) == 0
         # With the bad data gone, pooling serves immediately.
@@ -343,7 +378,7 @@ def test_service_retires_forward_pool_after_restart_budget(fitted_ensemble):
         assert snapshot["pooled_predicted"] == 0
         assert snapshot["pooled_errors"] == 2  # one restart + the retiring fault
         assert snapshot["pool_restarts"] == 1
-        supervisor = service._forward_supervisor_handle()
+        supervisor = service._forward_supervisor_handle(len(requests))
         assert supervisor.retired
         assert service.health()["status"] == "degraded"
         assert service.health()["pools"]["forward"]["state"] == "retired"

@@ -65,7 +65,7 @@ class PowerAPIError(RuntimeError):
 
 
 class PowerClient:
-    """Typed asyncio client for the ``/v1`` API (estimates + jobs).
+    """Typed asyncio client for the ``/v1`` API (estimates, jobs, deployments).
 
     ``client_id`` is the quota identity job submissions ride under (the
     ``X-Client-ID`` header); distinct drivers should pick distinct ids so
@@ -201,6 +201,31 @@ class PowerClient:
                 False,
             )
         return snapshot["result"]
+
+    # ---------------------------------------------------------- deployments
+
+    async def get_deployment(self) -> dict:
+        """The live deployment view: plan (or ``None``), seq, default model."""
+        return await self._call("GET", "/v1/deployments")
+
+    async def put_deployment(self, plan: dict) -> dict:
+        """Publish a deployment plan document; returns the installed view.
+
+        A plan referencing an artifact the registry lacks raises
+        :class:`PowerAPIError` with ``error_type == "unknown_artifact"``
+        (not retryable) — the unified envelope, not a stringly 400.
+        """
+        return await self._call("PUT", "/v1/deployments", dict(plan))
+
+    async def promote(self, pattern: str | None = None) -> dict:
+        """Promote challenger(s) to champion — all rules, or one pattern."""
+        body = {} if pattern is None else {"pattern": pattern}
+        return await self._call("POST", "/v1/deployments/promote", body)
+
+    async def rollback(self, pattern: str | None = None) -> dict:
+        """Drop challenger(s) from the live plan — all rules, or one pattern."""
+        body = {} if pattern is None else {"pattern": pattern}
+        return await self._call("POST", "/v1/deployments/rollback", body)
 
     # ----------------------------------------------------------- discovery
 

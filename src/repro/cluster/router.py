@@ -122,6 +122,9 @@ class _ReplicaSlot:
     last_status: str | None = None
     pool_states: dict = field(default_factory=dict)
     fingerprint: str | None = None
+    #: Seq of the deployment plan the replica last reported on /healthz
+    #: (``None``: no plan installed, or deployments disabled).
+    deployment_seq: int | None = None
 
 
 @dataclass
@@ -237,7 +240,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
         route, params = self.routes_table.match(method, path)
         handler = getattr(self, f"_{route.name}")
         try:
-            if route.method == "POST":
+            if route.method in ("POST", "PUT"):
                 payload = await handler(body, request_id, params)
             else:
                 payload = await handler(query, headers, params)
@@ -656,19 +659,68 @@ class ClusterRouter(AsyncJSONHTTPServer):
     ) -> tuple[int, dict]:
         return 200, {"version": "v1", "routes": self.routes_table.describe()}
 
-    async def _models(
-        self, query: dict, headers: dict, params: dict
+    async def _proxy_any(
+        self, method: str, path: str, body: bytes = b""
     ) -> tuple[int, RawResponse]:
-        """Proxy to any serveable replica (they share one registry)."""
+        """Proxy one exchange to any serveable replica, walking the set on
+        connection failure.  For state every replica shares through the
+        registry directory (the model index, the deployment plan) any ready
+        replica's answer is the cluster's answer — and a mutation (PUT a
+        plan) landed through one replica is observed by all of them on their
+        next per-batch snapshot."""
         for slot in self._replicas.values():
             if slot.state != "ready":
                 continue
             try:
-                status, _, data = await slot.pool.request("GET", "/v1/models")
+                status, _, data = await slot.pool.request(method, path, body)
             except (ConnectionError, asyncio.TimeoutError, OSError):
                 continue
             return status, RawResponse("application/json", data)
         raise HTTPError(503, "no_replicas", "no serveable replicas in the ring")
+
+    async def _models(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, RawResponse]:
+        """Proxy to any serveable replica (they share one registry)."""
+        self.stats.requests += 1
+        return await self._proxy_any("GET", "/v1/models")
+
+    # ------------------------------------------------------------ deployments
+    #
+    # Deployment verbs proxy to *any* ready replica: the plan store lives in
+    # the shared registry directory, so one replica's answer (and one
+    # replica's publish) is authoritative for the whole set.
+
+    async def _get_deployment(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, RawResponse]:
+        self.stats.requests += 1
+        return await self._proxy_any("GET", "/v1/deployments")
+
+    async def _put_deployment(
+        self, body: bytes, request_id: str, params: dict
+    ) -> tuple[int, RawResponse]:
+        self._parse_body(body)  # reject non-object bodies at the router edge
+        self.stats.requests += 1
+        return await self._proxy_any("PUT", "/v1/deployments", body)
+
+    async def _promote_deployment(
+        self, body: bytes, request_id: str, params: dict
+    ) -> tuple[int, RawResponse]:
+        self._parse_body(body or b"{}")
+        self.stats.requests += 1
+        return await self._proxy_any(
+            "POST", "/v1/deployments/promote", body or b"{}"
+        )
+
+    async def _rollback_deployment(
+        self, body: bytes, request_id: str, params: dict
+    ) -> tuple[int, RawResponse]:
+        self._parse_body(body or b"{}")
+        self.stats.requests += 1
+        return await self._proxy_any(
+            "POST", "/v1/deployments/rollback", body or b"{}"
+        )
 
     async def _healthz(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         """Degraded-not-dead: 200 while *any* replica can serve.
@@ -686,6 +738,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
                 "generation": slot.handle.generation,
                 "consecutive_failures": slot.consecutive_failures,
                 "model_fingerprint": slot.fingerprint,
+                "deployment_seq": slot.deployment_seq,
             }
             for replica_id, slot in sorted(self._replicas.items())
         }
@@ -720,6 +773,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
                     "status": slot.last_status,
                     "pools": slot.pool_states,
                     "model_fingerprint": slot.fingerprint,
+                    "deployment_seq": slot.deployment_seq,
                     "connections": slot.pool.stats(),
                 }
                 for replica_id, slot in sorted(self._replicas.items())
@@ -789,6 +843,7 @@ class ClusterRouter(AsyncJSONHTTPServer):
             name: pool.get("state")
             for name, pool in (payload.get("pools") or {}).items()
         }
+        slot.deployment_seq = payload.get("deployment_seq")
         fingerprint = payload.get("model_fingerprint")
         if fingerprint is not None:
             slot.fingerprint = fingerprint
@@ -797,8 +852,17 @@ class ClusterRouter(AsyncJSONHTTPServer):
     def _check_fingerprints(self, slot: _ReplicaSlot) -> None:
         """A mixed-version replica set would serve divergent predictions —
         loudly record it (once) instead of letting the equivalence contract
-        silently break."""
+        silently break.
+
+        With a deployment plan live the *plan seq*, not the default-model
+        fingerprint, is the consistency axis: replicas converge on the
+        current plan on their next per-batch snapshot, and mixed default
+        fingerprints behind identical plans are legitimate mid-rollout.  So
+        the mismatch event only fires when no replica reports a plan.
+        """
         if self._fingerprint_warned:
+            return
+        if any(s.deployment_seq is not None for s in self._replicas.values()):
             return
         others = {
             s.fingerprint

@@ -1,0 +1,36 @@
+"""Model lifecycle: deployment plans, canary/shadow rollout, and resolution.
+
+The registry (:mod:`repro.serve.registry`) stores artifacts; this package
+turns it into a deployment system.  A :class:`DeploymentPlan` maps kernel
+patterns onto artifact ``(name, version)`` pairs with optional canary /
+shadow challengers, a :class:`DeploymentStore` publishes plans atomically
+under seq numbers through the shared registry directory, and a
+:class:`ModelResolver` resolves each request batch against one immutable
+plan snapshot through a bounded artifact cache.  With no plan installed the
+resolver degenerates to the ambient default model and the serving path is
+bitwise-identical to the single-model service it replaced.
+"""
+
+from repro.deploy.plan import (
+    PLAN_FORMAT_VERSION,
+    ChallengerSpec,
+    DeploymentPlan,
+    DeploymentRule,
+    UnknownArtifactError,
+    assign_challenger,
+)
+from repro.deploy.resolver import ModelResolver, ResolvedModel
+from repro.deploy.store import DEPLOYMENTS_DIRNAME, DeploymentStore
+
+__all__ = [
+    "DEPLOYMENTS_DIRNAME",
+    "PLAN_FORMAT_VERSION",
+    "ChallengerSpec",
+    "DeploymentPlan",
+    "DeploymentRule",
+    "DeploymentStore",
+    "ModelResolver",
+    "ResolvedModel",
+    "UnknownArtifactError",
+    "assign_challenger",
+]

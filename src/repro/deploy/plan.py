@@ -1,0 +1,258 @@
+"""Deployment plans: which artifact serves which kernel, and how canaries split.
+
+A :class:`DeploymentPlan` is a small JSON document that maps kernel patterns
+(``fnmatch`` style, first match wins) onto a **champion** model artifact
+``(name, version)`` from the registry, with an optional per-rule
+**challenger**:
+
+* *canary* (``shadow: false``) — the challenger serves a ``fraction`` of the
+  rule's traffic and its predictions are returned to callers;
+* *shadow* (``shadow: true``) — the challenger runs on the selected designs,
+  its predictions are recorded and diffed against the champion's, but the
+  champion's answer is what callers see.
+
+In both modes the selected designs are predicted by **both** arms so the
+service can export champion/challenger divergence metrics.
+
+The split is a pure function of the design point: :func:`assign_challenger`
+hashes ``kernel + "\\x00" + directives_key`` with blake2b and compares the
+first 8 bytes against ``fraction * 2**64``.  No RNG, no per-replica state —
+the same design point lands on the same arm on every replica, every process,
+every restart, and the assignment is monotone in ``fraction`` (raising the
+fraction only ever moves designs *onto* the challenger).
+
+Plans are versioned documents with a server-assigned ``seq``; storage and
+atomic swap live in :mod:`repro.deploy.store`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "ChallengerSpec",
+    "DeploymentPlan",
+    "DeploymentRule",
+    "UnknownArtifactError",
+    "assign_challenger",
+]
+
+#: Bump when the plan document schema changes incompatibly.
+PLAN_FORMAT_VERSION = 1
+
+_TWO_64 = 1 << 64
+
+
+class UnknownArtifactError(KeyError):
+    """A plan references an artifact ``(name, version)`` the registry lacks."""
+
+    def __str__(self) -> str:  # KeyError wraps its message in quotes
+        return self.args[0] if self.args else "unknown artifact"
+
+
+def assign_challenger(kernel: str, directives_key: str, fraction: float) -> bool:
+    """Deterministically decide whether a design point rides the challenger.
+
+    The decision is a pure function of ``(kernel, directives_key, fraction)``
+    so every replica — and every restart — splits traffic identically.
+    """
+    if fraction >= 1.0:
+        return True
+    if fraction <= 0.0:
+        return False
+    digest = hashlib.blake2b(
+        f"{kernel}\x00{directives_key}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") < int(fraction * _TWO_64)
+
+
+@dataclass(frozen=True)
+class ChallengerSpec:
+    """The challenger arm of one rule: artifact, traffic slice, and mode."""
+
+    name: str
+    version: int
+    fraction: float = 1.0
+    shadow: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "model": self.name,
+            "model_version": self.version,
+            "fraction": self.fraction,
+            "shadow": self.shadow,
+        }
+
+
+@dataclass(frozen=True)
+class DeploymentRule:
+    """One routing rule: kernel pattern → champion, with optional challenger."""
+
+    pattern: str
+    name: str
+    version: int
+    challenger: ChallengerSpec | None = None
+
+    def matches(self, kernel: str) -> bool:
+        return fnmatchcase(kernel, self.pattern)
+
+    def to_json(self) -> dict:
+        payload = {
+            "pattern": self.pattern,
+            "model": self.name,
+            "model_version": self.version,
+        }
+        if self.challenger is not None:
+            payload["challenger"] = self.challenger.to_json()
+        return payload
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """A seq-numbered, immutable set of routing rules."""
+
+    seq: int
+    rules: tuple[DeploymentRule, ...]
+
+    def match(self, kernel: str) -> DeploymentRule | None:
+        """First rule whose pattern matches ``kernel``, or ``None``."""
+        for rule in self.rules:
+            if rule.matches(kernel):
+                return rule
+        return None
+
+    def artifact_refs(self) -> list[tuple[str, int]]:
+        """Every ``(name, version)`` the plan references, champions first."""
+        refs: list[tuple[str, int]] = []
+        for rule in self.rules:
+            refs.append((rule.name, rule.version))
+            if rule.challenger is not None:
+                refs.append((rule.challenger.name, rule.challenger.version))
+        return refs
+
+    def to_json(self) -> dict:
+        return {
+            "version": PLAN_FORMAT_VERSION,
+            "seq": self.seq,
+            "rules": [rule.to_json() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_json(cls, payload: object, *, seq: int | None = None) -> DeploymentPlan:
+        """Parse and validate a plan document.
+
+        ``seq`` overrides the document's own sequence number (the store
+        assigns it at publish time; client-submitted values are ignored).
+        Raises :class:`ValueError` on any malformed field.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("deployment plan must be a JSON object")
+        version = payload.get("version", PLAN_FORMAT_VERSION)
+        if version != PLAN_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported deployment plan version {version!r} "
+                f"(this build speaks {PLAN_FORMAT_VERSION})"
+            )
+        raw_rules = payload.get("rules", [])
+        if not isinstance(raw_rules, list):
+            raise ValueError("deployment plan 'rules' must be a list")
+        rules = tuple(_rule_from_json(entry, index) for index, entry in enumerate(raw_rules))
+        if seq is None:
+            seq = payload.get("seq", 0)
+            if not isinstance(seq, int) or seq < 0:
+                raise ValueError("deployment plan 'seq' must be a non-negative integer")
+        return cls(seq=seq, rules=rules)
+
+    def promote(self, pattern: str | None = None) -> DeploymentPlan:
+        """Challenger becomes champion (and is removed) for matching rules.
+
+        ``pattern=None`` promotes every rule that has a challenger; otherwise
+        only the rule whose pattern equals ``pattern``.  Raises
+        :class:`ValueError` when nothing is promotable.
+        """
+        rules, changed = [], 0
+        for rule in self.rules:
+            if rule.challenger is not None and pattern in (None, rule.pattern):
+                rules.append(
+                    DeploymentRule(
+                        pattern=rule.pattern,
+                        name=rule.challenger.name,
+                        version=rule.challenger.version,
+                    )
+                )
+                changed += 1
+            else:
+                rules.append(rule)
+        if not changed:
+            raise ValueError(
+                "no canary to promote"
+                + (f" for rule pattern {pattern!r}" if pattern is not None else "")
+            )
+        return DeploymentPlan(seq=self.seq, rules=tuple(rules))
+
+    def rollback(self, pattern: str | None = None) -> DeploymentPlan:
+        """Drop the challenger (champion keeps serving) for matching rules."""
+        rules, changed = [], 0
+        for rule in self.rules:
+            if rule.challenger is not None and pattern in (None, rule.pattern):
+                rules.append(
+                    DeploymentRule(
+                        pattern=rule.pattern, name=rule.name, version=rule.version
+                    )
+                )
+                changed += 1
+            else:
+                rules.append(rule)
+        if not changed:
+            raise ValueError(
+                "no canary to roll back"
+                + (f" for rule pattern {pattern!r}" if pattern is not None else "")
+            )
+        return DeploymentPlan(seq=self.seq, rules=tuple(rules))
+
+
+def _rule_from_json(entry: object, index: int) -> DeploymentRule:
+    where = f"rules[{index}]"
+    if not isinstance(entry, dict):
+        raise ValueError(f"{where} must be a JSON object")
+    pattern = entry.get("pattern")
+    if not isinstance(pattern, str) or not pattern:
+        raise ValueError(f"{where}.pattern must be a non-empty string")
+    name, version = _artifact_from(entry, where)
+    challenger = None
+    raw = entry.get("challenger")
+    if raw is not None:
+        cwhere = f"{where}.challenger"
+        if not isinstance(raw, dict):
+            raise ValueError(f"{cwhere} must be a JSON object")
+        cname, cversion = _artifact_from(raw, cwhere)
+        shadow = raw.get("shadow", False)
+        if not isinstance(shadow, bool):
+            raise ValueError(f"{cwhere}.shadow must be a boolean")
+        fraction = raw.get("fraction", 1.0 if shadow else None)
+        if fraction is None:
+            raise ValueError(f"{cwhere}.fraction is required for a canary")
+        if isinstance(fraction, bool) or not isinstance(fraction, (int, float)):
+            raise ValueError(f"{cwhere}.fraction must be a number")
+        fraction = float(fraction)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"{cwhere}.fraction must be in (0, 1], got {fraction}")
+        challenger = ChallengerSpec(
+            name=cname, version=cversion, fraction=fraction, shadow=shadow
+        )
+    return DeploymentRule(
+        pattern=pattern, name=name, version=version, challenger=challenger
+    )
+
+
+def _artifact_from(entry: dict, where: str) -> tuple[str, int]:
+    name = entry.get("model")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{where}.model must be a non-empty string")
+    version = entry.get("model_version")
+    if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+        raise ValueError(f"{where}.model_version must be a positive integer")
+    return name, version

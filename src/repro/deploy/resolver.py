@@ -1,0 +1,222 @@
+"""Per-batch model resolution against the live deployment plan.
+
+:class:`ModelResolver` is what :class:`~repro.serve.service.PowerEstimationService`
+now holds instead of "the model": given one immutable plan snapshot (taken
+once per request batch, so a promote or rollback mid-load can never mix
+artifacts within a batch) it maps each design point onto the
+``(model, version, role)`` that serves it, plus the optional second arm
+whose predictions are recorded and diffed but not returned.
+
+Resolved artifacts are kept in a bounded read-through LRU cache
+(:class:`~repro.serve.cache.LRUStore`) keyed by ``(name, version)`` —
+loading a model artifact means reading and verifying ``weights.npz``, far
+too expensive per batch.  The service's ambient default model bypasses the
+cache entirely: with no plan installed every request resolves to it and the
+hot path does no registry I/O at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.deploy.plan import (
+    DeploymentPlan,
+    UnknownArtifactError,
+    assign_challenger,
+)
+from repro.deploy.store import DeploymentStore
+
+__all__ = ["ModelResolver", "ResolvedModel"]
+
+
+@dataclass(frozen=True, eq=False)
+class ResolvedModel:
+    """A loaded artifact plus the role it plays for one design point."""
+
+    name: str | None
+    version: int | None
+    role: str  # "default" | "champion" | "challenger"
+    model: object
+    fingerprint: str
+
+    @property
+    def label(self) -> str:
+        """Stable metrics label for this artifact."""
+        if self.name is None:
+            return "default"
+        return f"{self.name}:v{self.version}"
+
+    def served_by(self) -> dict:
+        """Wire-level description attached to planned responses."""
+        return {"model": self.name, "version": self.version, "role": self.role}
+
+
+class ModelResolver:
+    """Maps design points → loaded models through the live deployment plan."""
+
+    def __init__(
+        self,
+        registry,
+        *,
+        default_model,
+        default_name: str | None = None,
+        default_version: int | None = None,
+        default_fingerprint: str | None = None,
+        cache_entries: int = 4,
+        store: DeploymentStore | None = None,
+        on_evict=None,
+    ) -> None:
+        # Imported here, not at module top: repro.serve.service imports this
+        # module, so a top-level import of repro.serve would be circular.
+        from repro.serve.cache import LRUStore
+
+        self.registry = registry
+        self.store = store if store is not None else DeploymentStore(registry.root)
+        self._default = ResolvedModel(
+            name=default_name,
+            version=default_version,
+            role="default",
+            model=default_model,
+            fingerprint=(
+                default_fingerprint
+                if default_fingerprint is not None
+                else default_model.fingerprint()
+            ),
+        )
+        self._cache = LRUStore(max_entries=cache_entries, on_evict=on_evict)
+        self._load_lock = threading.Lock()
+
+    # -------------------------------------------------------------- snapshots
+
+    @property
+    def default(self) -> ResolvedModel:
+        return self._default
+
+    def snapshot(self) -> DeploymentPlan | None:
+        """The live plan right now (stat-revalidated), or ``None``."""
+        return self.store.current()
+
+    def current_seq(self) -> int | None:
+        plan = self.snapshot()
+        return plan.seq if plan is not None else None
+
+    def plan_at(self, seq: int | None) -> DeploymentPlan | None:
+        """The immutable plan published as ``seq``.
+
+        ``None`` and ``0`` both resolve to "no plan" — ``0`` is the pinned
+        form (a job that *started* with no plan installed must keep running
+        with none, even if one is published mid-resume), ``None`` the
+        unpinned one.  Published seqs start at 1.
+        """
+        if not seq:
+            return None
+        return self.store.load(seq)
+
+    # ------------------------------------------------------------- resolution
+
+    def resolve(
+        self, plan: DeploymentPlan | None, kernel: str, directives_key: str
+    ) -> tuple[ResolvedModel, ResolvedModel | None, str | None]:
+        """``(serving arm, recorded arm or None, rule pattern or None)``.
+
+        The serving arm's prediction is returned to the caller; the recorded
+        arm (present only for designs selected onto a challenger slice) is
+        predicted too, diffed, and exported as drift metrics.  With no plan
+        or no matching rule the ambient default model serves and nothing is
+        recorded — exactly the pre-deployment behaviour.
+        """
+        rule = plan.match(kernel) if plan is not None else None
+        if rule is None:
+            return self._default, None, None
+        champion = self.model_for(rule.name, rule.version, "champion")
+        challenger_spec = rule.challenger
+        if challenger_spec is None or not assign_challenger(
+            kernel, directives_key, challenger_spec.fraction
+        ):
+            return champion, None, rule.pattern
+        challenger = self.model_for(
+            challenger_spec.name, challenger_spec.version, "challenger"
+        )
+        if challenger_spec.shadow:
+            return champion, challenger, rule.pattern
+        return challenger, champion, rule.pattern
+
+    def model_for(self, name: str, version: int, role: str) -> ResolvedModel:
+        """Load ``(name, version)`` through the bounded artifact cache."""
+        default = self._default
+        if name == default.name and version == default.version:
+            if role == "default":
+                return default
+            return ResolvedModel(
+                name=name,
+                version=version,
+                role=role,
+                model=default.model,
+                fingerprint=default.fingerprint,
+            )
+        key = f"{name}:{version}"
+        cached = self._cache.get(key)
+        if cached is None:
+            with self._load_lock:
+                cached = self._cache.get(key)
+                if cached is None:
+                    try:
+                        model = self.registry.load(name, version)
+                    except KeyError as error:
+                        raise UnknownArtifactError(
+                            f"registry has no artifact {name} v{version}"
+                        ) from error
+                    cached = (model, model.fingerprint())
+                    self._cache.put(key, cached)
+        model, fingerprint = cached
+        return ResolvedModel(
+            name=name, version=version, role=role, model=model, fingerprint=fingerprint
+        )
+
+    # ------------------------------------------------------------- management
+
+    def validate(self, plan: DeploymentPlan) -> None:
+        """Reject plans referencing artifacts the registry does not hold."""
+        for name, version in plan.artifact_refs():
+            try:
+                self.registry.load_artifact(name, version)
+            except KeyError as error:
+                raise UnknownArtifactError(
+                    f"deployment plan references unknown artifact {name} v{version}"
+                ) from error
+
+    def publish(self, plan: DeploymentPlan) -> DeploymentPlan:
+        """Validate and atomically publish ``plan`` under a fresh seq."""
+        self.validate(plan)
+        return self.store.put(plan)
+
+    def promote(self, pattern: str | None = None) -> DeploymentPlan:
+        """Promote the live plan's challenger(s) and publish the result."""
+        plan = self._require_plan()
+        return self.publish(plan.promote(pattern))
+
+    def rollback(self, pattern: str | None = None) -> DeploymentPlan:
+        """Drop the live plan's challenger(s) and publish the result."""
+        plan = self._require_plan()
+        return self.publish(plan.rollback(pattern))
+
+    def describe(self) -> dict:
+        """JSON view of the deployment state for ``GET /v1/deployments``."""
+        plan = self.snapshot()
+        return {
+            "seq": plan.seq if plan is not None else None,
+            "plan": plan.to_json() if plan is not None else None,
+            "default": {
+                "model": self._default.name,
+                "version": self._default.version,
+                "fingerprint": self._default.fingerprint,
+            },
+            "artifact_cache": {"entries": len(self._cache)},
+        }
+
+    def _require_plan(self) -> DeploymentPlan:
+        plan = self.snapshot()
+        if plan is None:
+            raise ValueError("no deployment plan is installed")
+        return plan

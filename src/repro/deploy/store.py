@@ -1,0 +1,158 @@
+"""Durable, atomically-swappable storage for deployment plans.
+
+Plans live *through the registry*: the store keeps its files under
+``<registry root>/_deployments/`` (a leading underscore keeps the directory
+invisible to registry scans, which reject non-alphanumeric-leading names).
+Replicas sharing one registry directory therefore share one deployment
+state with no extra push channel:
+
+* ``plan-<seq>.json`` — one immutable document per published sequence
+  number, retained forever so jobs can pin the plan they started under and
+  resume bitwise even after later publishes;
+* ``current.json`` — a full copy of the live plan, swapped with the
+  tmp-file + :func:`os.replace` idiom so readers only ever see a complete
+  document;
+* ``.lock`` — an ``flock`` serialising sequence allocation across
+  processes (two replicas publishing concurrently cannot mint the same
+  seq).
+
+Readers revalidate by ``stat`` (:meth:`DeploymentStore.current`): the
+parsed plan is cached against ``(st_mtime_ns, st_size)`` of
+``current.json``, so the steady-state cost per request batch is one
+``stat(2)`` and every replica converges on a publish without being told.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import threading
+from pathlib import Path
+
+from repro.deploy.plan import DeploymentPlan
+
+try:  # pragma: no cover - exercised wherever flock exists (all POSIX)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["DEPLOYMENTS_DIRNAME", "DeploymentStore"]
+
+#: Subdirectory of the registry root that holds deployment state.
+DEPLOYMENTS_DIRNAME = "_deployments"
+
+_PLAN_FILE_RE = re.compile(r"plan-(\d+)\.json$")
+
+
+class DeploymentStore:
+    """Seq-numbered plan documents under ``<root>/_deployments/``."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root) / DEPLOYMENTS_DIRNAME
+        self._lock = threading.Lock()
+        # (st_mtime_ns, st_size) of current.json → parsed plan.
+        self._cached_sig: tuple[int, int] | None = None
+        self._cached_plan: DeploymentPlan | None = None
+
+    # ------------------------------------------------------------------ reads
+
+    def current(self) -> DeploymentPlan | None:
+        """The live plan, or ``None`` when nothing has been published.
+
+        Cached against the ``stat`` signature of ``current.json`` so calling
+        this per request batch costs one ``stat(2)`` in the steady state.
+        """
+        path = self._current_path
+        try:
+            stat = path.stat()
+        except OSError:
+            with self._lock:
+                self._cached_sig = None
+                self._cached_plan = None
+            return None
+        signature = (stat.st_mtime_ns, stat.st_size)
+        with self._lock:
+            if signature == self._cached_sig:
+                return self._cached_plan
+        plan = self._read_plan(path)
+        with self._lock:
+            self._cached_sig = signature
+            self._cached_plan = plan
+        return plan
+
+    def load(self, seq: int) -> DeploymentPlan:
+        """The immutable document published as ``seq`` (for job pinning)."""
+        plan = self._read_plan(self.root / f"plan-{int(seq)}.json")
+        if plan is None:
+            raise KeyError(f"deployment store has no plan with seq {seq}")
+        return plan
+
+    def sequences(self) -> list[int]:
+        """Every published sequence number, ascending."""
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return []
+        seqs = []
+        for entry in entries:
+            match = _PLAN_FILE_RE.fullmatch(entry)
+            if match:
+                seqs.append(int(match.group(1)))
+        return sorted(seqs)
+
+    # ----------------------------------------------------------------- writes
+
+    def put(self, plan: DeploymentPlan) -> DeploymentPlan:
+        """Publish ``plan`` under a freshly-allocated seq and swap it live.
+
+        The input plan's ``seq`` is ignored; allocation is serialised across
+        processes by an ``flock`` so concurrent publishers never collide.
+        Returns the plan as published (with its assigned seq).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self._allocation_lock():
+            seqs = self.sequences()
+            seq = (seqs[-1] if seqs else 0) + 1
+            published = DeploymentPlan(seq=seq, rules=plan.rules)
+            document = json.dumps(published.to_json(), indent=2, sort_keys=True)
+            self._write_atomic(self.root / f"plan-{seq}.json", document)
+            self._write_atomic(self._current_path, document)
+        return published
+
+    # --------------------------------------------------------------- plumbing
+
+    @property
+    def _current_path(self) -> Path:
+        return self.root / "current.json"
+
+    @staticmethod
+    def _read_plan(path: Path) -> DeploymentPlan | None:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            return DeploymentPlan.from_json(payload)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    @contextlib.contextmanager
+    def _allocation_lock(self):
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            with self._lock:
+                yield
+            return
+        with self._lock, open(self.root / ".lock", "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)

@@ -80,6 +80,11 @@ class Job:
     explorer_state: ExplorationState | None = None
     #: How many times this job resumed after an interrupted run.
     resumes: int = 0
+    #: The deployment-plan seq the job started under, pinned so resume
+    #: replays against the *same* plan and stays bitwise even if a new plan
+    #: was published mid-interruption.  ``0`` pins "no plan was installed";
+    #: ``None`` marks a pre-deployment checkpoint (resume snapshots live).
+    plan_seq: int | None = None
     #: Runtime-only cooperative-cancel flag (not persisted).
     cancel_event: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
@@ -113,6 +118,7 @@ class Job:
             "finished_s": self.finished_s,
             "seq": self.seq,
             "resumes": self.resumes,
+            "plan_seq": self.plan_seq,
             "progress": progress,
             "error": self.error,
             "result": self.result,
@@ -134,6 +140,7 @@ class Job:
                 "error": self.error,
                 "result": self.result,
                 "resumes": self.resumes,
+                "plan_seq": self.plan_seq,
             },
             "updates": self.updates,
             "explorer_state": (
@@ -159,6 +166,7 @@ class Job:
             error=record.get("error"),
             result=record.get("result"),
             resumes=record.get("resumes", 0),
+            plan_seq=record.get("plan_seq"),
             updates=list(payload.get("updates") or []),
             explorer_state=(
                 ExplorationState.from_json(state) if state is not None else None

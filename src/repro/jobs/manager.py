@@ -191,6 +191,11 @@ class JobManager:
                 params=params,
             )
             self._jobs[job.job_id] = job
+            if self.store is not None:
+                # Fresh ids cannot collide, so this always succeeds; taking
+                # the claim at submit (not first run) means a sibling manager
+                # sharing the jobs dir can never resume-steal a queued job.
+                self.store.claim(job.job_id)
             self._enqueue(job)
             self._record_event("job_submit", job)
             self._count_transition(QUEUED)
@@ -269,7 +274,16 @@ class JobManager:
             return job.snapshot()
 
     def resume(self) -> int:
-        """Reload checkpoints; re-enqueue interrupted jobs.  Returns how many."""
+        """Reload checkpoints; re-enqueue interrupted jobs.  Returns how many.
+
+        Active checkpoints are claimed first (an advisory per-job ``flock``,
+        see :class:`~repro.jobs.store.JobStore`): a job another live manager
+        holds is skipped *entirely* — not even loaded into the table — so two
+        replicas sharing one jobs directory can never both resume the same
+        interrupted exploration.  The router still finds the owner: an
+        unknown-job 404 walks the whole replica preference order.  Terminal
+        checkpoints load unclaimed (they are read-only history).
+        """
         if self.store is None:
             return 0
         resumed = 0
@@ -281,6 +295,8 @@ class JobManager:
                     job = Job.from_store(payload)
                 except (KeyError, TypeError, ValueError):
                     continue  # unreadable checkpoint: skip, don't crash boot
+                if job.state in ACTIVE_STATES and not self.store.claim(job.job_id):
+                    continue  # a sibling manager owns this job; leave it be
                 self._jobs[job.job_id] = job
                 if job.state in ACTIVE_STATES:
                     # A job found queued/running in the store was interrupted
@@ -328,6 +344,11 @@ class JobManager:
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=10.0)
+        if self.store is not None:
+            # Runners have drained (interrupted jobs are checkpointed
+            # `running`); dropping the claims is what lets the next process
+            # — or a sibling replica — resume them.
+            self.store.release_all()
 
     # --------------------------------------------------------------- internals
 
@@ -423,14 +444,27 @@ class JobManager:
             from repro.dse.explorer import DSEConfig
 
             dse_config = DSEConfig(**dse_config)
+        kwargs = {}
+        if getattr(self.service, "resolver", None) is not None:
+            # Pin the deployment plan: a fresh job (plan_seq None) snapshots
+            # the live plan once here; a resumed job replays under the exact
+            # plan seq it started with (0 pins "no plan"), so its trajectory
+            # stays bitwise even if a new plan was published while it was
+            # interrupted.  Services without a resolver never see the kwarg
+            # (the manager's contract with stub services is unchanged).
+            kwargs["plan_seq"] = job.plan_seq
         session = self.service.open_exploration(
             job.kernel,
             job.params.get("budget"),
             dse_config=dse_config,
             state=job.explorer_state,
+            **kwargs,
         )
         with self._cond:
             job.explorer_state = session.state
+            if job.plan_seq is None:
+                session_seq = getattr(session, "plan_seq", None)
+                job.plan_seq = session_seq if session_seq is not None else 0
             self._checkpoint(job)
         while not session.done:
             if job.cancel_event.is_set() or self._closed:
@@ -476,6 +510,9 @@ class JobManager:
         self._record_event("job_finish", job)
         self._count_transition(state)
         self._checkpoint(job)
+        if self.store is not None:
+            # Terminal jobs are read-only history; any process may list them.
+            self.store.release(job.job_id)
         self._cond.notify_all()
         self._refresh_gauges()
 

@@ -10,6 +10,19 @@ either the previous checkpoint or the new one, never a torn file; each
 checkpoint is the state *after* a completed explorer iteration, which is what
 makes resume bitwise (re-running from the checkpoint replays the exact
 trajectory the uninterrupted run would have taken).
+
+**Claims.**  Several replicas may legitimately share one jobs directory (the
+cluster tier points every replica at the same persistent cache dir).  Without
+arbitration, two managers booting at once would each resume the same
+interrupted checkpoint and run it twice — duplicate work, and two writers
+interleaving checkpoints of diverging trajectories.  :meth:`claim` takes an
+advisory ``flock`` on a per-job ``<job_id>.claim`` file: exactly one process
+holds a job at a time, the lock dies with the holder (so a SIGKILLed owner's
+jobs become claimable with no lease timers), and an unclaimable job at resume
+is simply skipped — its owner is alive and running it.  Claim files are never
+unlinked on release, only on :meth:`delete`: unlinking would open the classic
+flock race where a second process locks the orphaned inode while a third
+creates (and locks) a fresh file under the same name, leaving two "owners".
 """
 
 from __future__ import annotations
@@ -17,6 +30,11 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: claims degrade to no-ops
+    fcntl = None
 
 __all__ = ["JobStore"]
 
@@ -27,6 +45,10 @@ class JobStore:
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Open claim-file handles this process holds, by job id.  The flock
+        #: lives on the file descriptor, so the handle must stay open for as
+        #: long as the claim is held.
+        self._claims: dict[str, object] = {}
 
     def _path(self, job_id: str) -> Path:
         # Job ids are minted server-side (kernel + hex), but the id also
@@ -65,7 +87,54 @@ class JobStore:
         return payloads
 
     def delete(self, job_id: str) -> None:
+        self.release(job_id)
         try:
             self._path(job_id).unlink()
         except FileNotFoundError:
             pass
+        # The one place a claim file may go away: the job itself is gone, so
+        # the name can never be re-claimed concurrently.
+        try:
+            self._claim_path(job_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------ claims
+
+    def _claim_path(self, job_id: str) -> Path:
+        return self._path(job_id).parent / f"{job_id}.claim"
+
+    def claim(self, job_id: str) -> bool:
+        """Take (or re-affirm) this process's exclusive hold on one job.
+
+        Non-blocking: ``False`` means another live process holds the job —
+        skip it, its owner is running it.  Idempotent per store instance.
+        Platforms without ``fcntl`` degrade to unarbitrated single-process
+        behaviour (every claim succeeds), matching the pre-claim semantics.
+        """
+        if fcntl is None:
+            return True
+        if job_id in self._claims:
+            return True
+        # "a" (append) never truncates a file another process may hold, and
+        # the file is deliberately left in place on release — see the module
+        # docstring for the unlink race this avoids.
+        handle = open(self._claim_path(job_id), "a")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            return False
+        self._claims[job_id] = handle
+        return True
+
+    def release(self, job_id: str) -> None:
+        """Drop this process's claim (closing the fd releases the flock)."""
+        handle = self._claims.pop(job_id, None)
+        if handle is not None:
+            handle.close()
+
+    def release_all(self) -> None:
+        """Drop every claim this process holds (manager shutdown)."""
+        for job_id in list(self._claims):
+            self.release(job_id)

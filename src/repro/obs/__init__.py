@@ -37,6 +37,7 @@ from repro.obs.logs import (
 )
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    DIVERGENCE_BUCKETS,
     SIZE_BUCKETS,
     MetricsRegistry,
     flatten_numeric,
@@ -46,6 +47,7 @@ from repro.obs.trace import Span, Trace, Tracer, current_trace_ids, span_payload
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DIVERGENCE_BUCKETS",
     "SIZE_BUCKETS",
     "ClusterObservability",
     "CollectingHandler",
@@ -146,6 +148,30 @@ class Observability:
             "repro_http_request_seconds",
             "HTTP request wall-clock by route",
             labelnames=("path",),
+        )
+        # Deployment-plan instrumentation: which artifact served how many
+        # designs in which role, and how far the challenger's predictions
+        # drift from the champion's on the designs both arms predicted.
+        self.deploy_requests = self.metrics.counter(
+            "repro_deploy_requests_total",
+            "Designs predicted per artifact and role (default/champion/challenger)",
+            labelnames=("artifact", "role"),
+        )
+        self.deploy_artifact_designs = self.metrics.gauge(
+            "repro_deploy_artifact_designs",
+            "Lifetime designs predicted per artifact (all roles)",
+            labelnames=("artifact",),
+        )
+        self.deploy_divergence = self.metrics.counter(
+            "repro_deploy_divergence_total",
+            "Champion/challenger comparisons whose predictions differed",
+            labelnames=("rule",),
+        )
+        self.deploy_divergence_abs = self.metrics.histogram(
+            "repro_deploy_divergence_abs",
+            "Absolute champion-challenger prediction divergence per comparison",
+            labelnames=("rule",),
+            buckets=DIVERGENCE_BUCKETS,
         )
 
     # ------------------------------------------------------------ conveniences

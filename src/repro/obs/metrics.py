@@ -30,6 +30,8 @@ from bisect import bisect_left
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DIVERGENCE_BUCKETS",
+    "SIZE_BUCKETS",
     "MetricsRegistry",
     "flatten_numeric",
     "json_safe",
@@ -59,6 +61,24 @@ DEFAULT_LATENCY_BUCKETS = (
 
 #: Size buckets for count-shaped histograms (batch sizes, designs per call).
 SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0)
+
+#: Buckets for champion/challenger prediction divergence (absolute watts).
+#: Power predictions sit in the 0.1–10 W range, so drift worth alerting on
+#: starts around milliwatts; the zero-inclusive bottom bucket counts exact
+#: agreement (e.g. a challenger that is the champion artifact re-registered).
+DIVERGENCE_BUCKETS = (
+    0.0,
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")

@@ -161,6 +161,12 @@ class RuntimeConfig:
     #: out; a positive value throttles jobs — the knob chaos/latency tests
     #: use to pin a job mid-flight deterministically.
     job_step_delay_s: float = 0.0
+    #: Bound of the deployment resolver's read-through artifact cache: how
+    #: many *non-default* model artifacts (plan champions/challengers) stay
+    #: loaded at once.  The ambient default model is pinned outside the
+    #: cache; evictions past the bound reload weights from the registry on
+    #: next use (and surface as ``artifact_evicted`` events).
+    deploy_artifact_cache_entries: int = 4
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -242,6 +248,8 @@ class RuntimeConfig:
             raise ValueError("job_runners must be >= 1")
         if self.job_step_delay_s < 0:
             raise ValueError("job_step_delay_s must be >= 0")
+        if self.deploy_artifact_cache_entries < 1:
+            raise ValueError("deploy_artifact_cache_entries must be >= 1")
 
     @property
     def parallel_featurisation(self) -> bool:

@@ -88,6 +88,8 @@ def http_error_from_exception(error: Exception) -> HTTPError:
     * a closed gateway/service → ``503 closed`` (retryable: a supervisor or
       the cluster tier may bring a replacement up);
     * an unknown job id → ``404 job_not_found``;
+    * a deployment plan referencing an artifact the registry lacks →
+      ``400 unknown_artifact``;
     * ``KeyError``/``ValueError`` from the service (unknown kernels,
       malformed design points the featuriser rejects) → ``400
       invalid_request``.
@@ -108,10 +110,30 @@ def http_error_from_exception(error: Exception) -> HTTPError:
     job_error = _job_error(error)
     if job_error is not None:
         return job_error
+    deploy_error = _deploy_error(error)
+    if deploy_error is not None:
+        return deploy_error
     if isinstance(error, (KeyError, ValueError)):
         message = str(error).strip("'\"") or type(error).__name__
         return HTTPError(400, "invalid_request", message)
     raise error
+
+
+def _deploy_error(error: Exception) -> HTTPError | None:
+    """Deployment failures, without making errors.py depend on repro.deploy.
+
+    :class:`~repro.deploy.plan.UnknownArtifactError` subclasses ``KeyError``,
+    so this check must run before the generic ``400 invalid_request`` branch
+    — the typed envelope is what lets clients distinguish "your plan names a
+    model that does not exist" from a malformed request body.
+    """
+    try:
+        from repro.deploy.plan import UnknownArtifactError
+    except ImportError:  # pragma: no cover - deploy is part of the package
+        return None
+    if isinstance(error, UnknownArtifactError):
+        return HTTPError(400, "unknown_artifact", str(error), retryable=False)
+    return None
 
 
 def _job_error(error: Exception) -> HTTPError | None:

@@ -244,6 +244,25 @@ class AsyncPowerGateway:
     async def cancel_job(self, job_id: str) -> dict:
         return await self._job_call(self._require_jobs().cancel, job_id)
 
+    # ------------------------------------------------------------ deployments
+    #
+    # Deployment verbs ride the same bridge pool (plan reads and publishes
+    # touch the registry directory) and likewise skip admission accounting:
+    # an operator inspecting or rolling back the live plan must get through
+    # even when the estimate path is saturated.
+
+    async def get_deployment(self) -> dict:
+        return await self._job_call(self.service.deployment_view)
+
+    async def put_deployment(self, document: dict) -> dict:
+        return await self._job_call(self.service.put_deployment, document)
+
+    async def promote_deployment(self, pattern: str | None = None) -> dict:
+        return await self._job_call(self.service.promote_deployment, pattern)
+
+    async def rollback_deployment(self, pattern: str | None = None) -> dict:
+        return await self._job_call(self.service.rollback_deployment, pattern)
+
     async def aclose(self, *, close_service: bool = False) -> None:
         """Stop admitting, drain in-flight calls, shut the bridge pool down.
 

@@ -324,7 +324,7 @@ def estimate_request_from_json(obj: dict):
 
 
 def response_to_json(response) -> dict:
-    return {
+    payload = {
         "kernel": response.kernel,
         "directives": response.directives,
         "power": response.power,
@@ -334,6 +334,14 @@ def response_to_json(response) -> dict:
         "latency_ms": response.latency_ms,
         "model_fingerprint": response.model_fingerprint,
     }
+    # Only designs a deployment rule actually routed carry the attribution
+    # key; everything else (no plan installed, or a design falling through
+    # to the default model) keeps the pre-deployment wire shape byte for
+    # byte.
+    served_by = getattr(response, "served_by", None)
+    if served_by is not None:
+        payload["served_by"] = served_by
+    return payload
 
 
 # -------------------------------------------------------------------- server
@@ -787,7 +795,7 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
     ) -> tuple[int, dict | RawResponse | StreamingResponse]:
         route, params = self.routes_table.match(method, path)
         handler = getattr(self, f"_{route.name}")
-        if route.method == "POST":
+        if route.method in ("POST", "PUT"):
             try:
                 parsed = json.loads(body.decode() or "null")
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -987,6 +995,55 @@ class GatewayHTTPServer(AsyncJSONHTTPServer):
         self._jobs_manager()
         snapshot = await self._call_gateway(self.gateway.cancel_job(params["job_id"]))
         return 200, snapshot
+
+    # ------------------------------------------------------------ deployments
+
+    def _require_deployments(self) -> None:
+        if getattr(self.gateway.service, "resolver", None) is None:
+            raise HTTPError(
+                503,
+                "deployments_disabled",
+                "deployments are not enabled: the service has no model registry",
+                retryable=False,
+            )
+
+    @staticmethod
+    def _deployment_pattern(body: dict) -> str | None:
+        unknown = set(body) - {"pattern"}
+        if unknown:
+            raise HTTPError(
+                400, "bad_request", f"unknown deployment keys {sorted(unknown)}"
+            )
+        pattern = body.get("pattern")
+        if pattern is not None and (not isinstance(pattern, str) or not pattern):
+            raise HTTPError(400, "bad_request", "pattern must be a non-empty string")
+        return pattern
+
+    async def _get_deployment(
+        self, query: dict, headers: dict, params: dict
+    ) -> tuple[int, dict]:
+        self._require_deployments()
+        return 200, await self._call_gateway(self.gateway.get_deployment())
+
+    async def _put_deployment(
+        self, body: dict, headers: dict, params: dict
+    ) -> tuple[int, dict]:
+        self._require_deployments()
+        return 200, await self._call_gateway(self.gateway.put_deployment(body))
+
+    async def _promote_deployment(
+        self, body: dict, headers: dict, params: dict
+    ) -> tuple[int, dict]:
+        self._require_deployments()
+        pattern = self._deployment_pattern(body)
+        return 200, await self._call_gateway(self.gateway.promote_deployment(pattern))
+
+    async def _rollback_deployment(
+        self, body: dict, headers: dict, params: dict
+    ) -> tuple[int, dict]:
+        self._require_deployments()
+        pattern = self._deployment_pattern(body)
+        return 200, await self._call_gateway(self.gateway.rollback_deployment(pattern))
 
     async def _routes(self, query: dict, headers: dict, params: dict) -> tuple[int, dict]:
         return 200, {"version": "v1", "routes": self.routes_table.describe()}

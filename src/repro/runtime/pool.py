@@ -631,12 +631,35 @@ class ForwardPool:
         ensemble = getattr(self.model, "ensemble", None)
         return len(ensemble.members) if ensemble is not None else 1
 
+    def serves(self, model) -> bool:
+        """Whether this pool's shared weights are ``model``'s weights.
+
+        The pool is bound to exactly one fitted model — the shared
+        parameter segment snapshots its weights — so under a deployment
+        plan only design points resolved onto that model (the service's
+        ambient default) may ride the pooled forward; any other artifact
+        takes the serial path.  Identity, not fingerprint equality: a
+        reloaded model object with equal weights is still a different
+        binding and must not assume this pool's segment.
+        """
+        return model is self.model
+
     def _member_models(self) -> list:
         """The forward models in member order (a single-model flow has one)."""
         ensemble = getattr(self.model, "ensemble", None)
         if ensemble is not None:
             return [member.model for member in ensemble.members]
         return [self.model.model]
+
+    def _model_fingerprint(self) -> str | None:
+        """The bound model's content fingerprint, for segment provenance."""
+        fingerprint = getattr(self.model, "fingerprint", None)
+        if callable(fingerprint):
+            try:
+                return fingerprint()
+            except Exception:  # noqa: BLE001 - provenance only, never fatal
+                return None
+        return None
 
     # ------------------------------------------------------------------ public
 
@@ -866,7 +889,8 @@ class ForwardPool:
                     [
                         [parameter.data for parameter in model.parameters()]
                         for model in members
-                    ]
+                    ],
+                    fingerprint=self._model_fingerprint(),
                 )
                 context = multiprocessing.get_context(
                     self.start_method or default_start_method()

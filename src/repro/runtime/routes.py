@@ -142,6 +142,38 @@ _JOB_ROUTES = [
     ),
 ]
 
+#: The deployment-plan control plane, shared verbatim by both servers: read
+#: and replace the live plan, and promote / roll back its canaries.
+_DEPLOYMENT_ROUTES = [
+    Route(
+        "GET",
+        "/v1/deployments",
+        "get_deployment",
+        response_schema="DeploymentView",
+    ),
+    Route(
+        "PUT",
+        "/v1/deployments",
+        "put_deployment",
+        request_schema="DeploymentPlan",
+        response_schema="DeploymentView",
+    ),
+    Route(
+        "POST",
+        "/v1/deployments/promote",
+        "promote_deployment",
+        request_schema="DeploymentAction",
+        response_schema="DeploymentView",
+    ),
+    Route(
+        "POST",
+        "/v1/deployments/rollback",
+        "rollback_deployment",
+        request_schema="DeploymentAction",
+        response_schema="DeploymentView",
+    ),
+]
+
 #: What one gateway (single replica) serves.
 GATEWAY_ROUTES = RouteTable(
     [
@@ -169,6 +201,7 @@ GATEWAY_ROUTES = RouteTable(
             successor="/v1/jobs/explore",
         ),
         *_JOB_ROUTES,
+        *_DEPLOYMENT_ROUTES,
         Route("GET", "/v1/routes", "routes", response_schema="RouteTable"),
         Route("GET", "/v1/models", "models", response_schema="ModelIndex"),
         Route("GET", "/v1/traces", "traces", response_schema="TraceRing"),
@@ -206,6 +239,7 @@ ROUTER_ROUTES = RouteTable(
             successor="/v1/jobs/explore",
         ),
         *_JOB_ROUTES,
+        *_DEPLOYMENT_ROUTES,
         Route("GET", "/v1/routes", "routes", response_schema="RouteTable"),
         Route("GET", "/v1/models", "models", response_schema="ModelIndex"),
         Route("GET", "/v1/cluster", "cluster", response_schema="ClusterView"),

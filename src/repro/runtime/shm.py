@@ -56,6 +56,11 @@ class ParameterBlockSpec:
 
     shm_name: str
     member_shapes: tuple[tuple[tuple[int, ...], ...], ...]
+    #: Content fingerprint of the model whose weights the segment snapshots
+    #: (``None`` when the creator has no fingerprint).  Provenance for
+    #: diagnostics under deployment plans — which artifact a worker's
+    #: attached weights belong to — never consulted by the forward itself.
+    fingerprint: str | None = None
 
     @property
     def num_members(self) -> int:
@@ -97,7 +102,11 @@ class SharedParameterBlock:
         self._shm = shm
 
     @staticmethod
-    def create(member_parameters: list[list[np.ndarray]]) -> "SharedParameterBlock":
+    def create(
+        member_parameters: list[list[np.ndarray]],
+        *,
+        fingerprint: str | None = None,
+    ) -> "SharedParameterBlock":
         """Pack every member's parameters into a fresh shared segment."""
         if not member_parameters or not any(member_parameters):
             raise ValueError("cannot share an empty parameter set")
@@ -107,7 +116,9 @@ class SharedParameterBlock:
         )
         total = sum(array.size for member in member_parameters for array in member)
         shm = shared_memory.SharedMemory(create=True, size=max(total * 8, 1))
-        spec = ParameterBlockSpec(shm_name=shm.name, member_shapes=shapes)
+        spec = ParameterBlockSpec(
+            shm_name=shm.name, member_shapes=shapes, fingerprint=fingerprint
+        )
         views = _views_from_buffer(shm.buf, spec, writeable=True)
         for member_views, member in zip(views, member_parameters):
             for view, array in zip(member_views, member):

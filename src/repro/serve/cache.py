@@ -95,10 +95,17 @@ class CacheStats:
 
 @dataclass
 class LRUStore:
-    """A bounded least-recently-used map with stats."""
+    """A bounded least-recently-used map with stats.
+
+    ``on_evict(key, value)``, when given, fires for every capacity eviction —
+    the deployment resolver uses it to surface artifact-cache churn (a bound
+    smaller than the working set of live model artifacts would otherwise
+    thrash silently, reloading weights from disk on every batch).
+    """
 
     max_entries: int = 4096
     stats: CacheStats = field(default_factory=CacheStats)
+    on_evict: object | None = field(default=None, repr=False)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
 
     def __post_init__(self) -> None:
@@ -125,8 +132,10 @@ class LRUStore:
             self._entries.move_to_end(key)
         self._entries[key] = value
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, evicted_value = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted_value)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -6,6 +6,19 @@ An *artifact* is one directory::
         manifest.json   # config, dims, member descriptors, fingerprint
         weights.npz     # every parameter array + feature-scaler statistics
 
+Large registries can opt into a **sharded layout** (two-level fan-out by a
+1-byte blake2b hash of the model name) so the root never holds thousands of
+sibling directories::
+
+    <root>/_shards/<2-hex>/<name>/v<version>/...
+
+Sharding is write-side only and migration is transparent: reads resolve a
+model's directory flat-first then sharded (``_model_dir``), new versions of
+an existing flat model stay flat (one model's versions never split across
+layouts), and listing/indexing merge both layouts.  Constructing with
+``sharded=True`` turns fan-out on for new models; the default auto-detects —
+a registry that already has a ``_shards/`` directory keeps using it.
+
 ``save`` serialises a fitted estimator — scaler statistics, every ensemble
 member's weights, and the full configuration — and ``load`` reconstructs it
 *bit-exactly*: the manifest stores the weight fingerprint at save time and the
@@ -30,6 +43,7 @@ reserved (it would collide with the index file).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -50,6 +64,10 @@ REGISTRY_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
 WEIGHTS_NAME = "weights.npz"
+
+#: Root subdirectory holding the sharded (fan-out) model layout.  The leading
+#: underscore keeps it invisible to name validation, like ``_deployments``.
+SHARDS_DIRNAME = "_shards"
 
 _SCALER_BLOCKS = (
     "node_mean",
@@ -89,8 +107,39 @@ config_from_dict = PowerGearConfig.from_dict
 class ModelRegistry:
     """Save / load fitted :class:`PowerGear` estimators as versioned artifacts."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, sharded: bool | None = None) -> None:
         self.root = Path(root)
+        self._sharded_flag = sharded
+
+    @property
+    def sharded(self) -> bool:
+        """Whether *new* models land in the fan-out layout.
+
+        Explicit ``sharded=...`` at construction wins; otherwise auto-detect:
+        a registry that already has a ``_shards/`` directory keeps sharding.
+        """
+        if self._sharded_flag is not None:
+            return self._sharded_flag
+        return (self.root / SHARDS_DIRNAME).is_dir()
+
+    def _shard_dir(self, name: str) -> Path:
+        shard = hashlib.blake2b(name.encode(), digest_size=1).hexdigest()
+        return self.root / SHARDS_DIRNAME / shard / name
+
+    def _model_dir(self, name: str) -> Path:
+        """Resolve one model's directory across both layouts.
+
+        Reads prefer wherever the model already lives (flat first, so one
+        model's versions never split across layouts); a model that exists
+        nowhere resolves to where a save would create it.
+        """
+        flat = self.root / name
+        if flat.is_dir():
+            return flat
+        sharded = self._shard_dir(name)
+        if sharded.is_dir():
+            return sharded
+        return sharded if self.sharded else flat
 
     # ------------------------------------------------------------------- listing
 
@@ -102,9 +151,10 @@ class ModelRegistry:
             models = self.rebuild_index()
         # The index can lack a saved name (lost update between concurrent
         # saves, a swallowed index-write failure), so union it with the cheap
-        # top-level directory listing: a saved model can never be hidden.
+        # directory listing across both layouts: a saved model can never be
+        # hidden.
         names = set(models)
-        names.update(entry.name for entry in self.root.iterdir() if entry.is_dir())
+        names.update(self._directory_names())
         # Validate against the one map already in hand; on the first stale or
         # unindexed name, rescan the tree once and answer the rest from the
         # fresh map (not one rebuild per name).
@@ -137,8 +187,9 @@ class ModelRegistry:
         (changes *inside* a version dir do not bump the model dir's mtime,
         so one stat per indexed version keeps a never-loadable version from
         being advertised)."""
+        model_dir = self._model_dir(name)
         return entry["mtime_ns"] == self._model_mtime_ns(name) and all(
-            (self.root / name / f"v{v}" / MANIFEST_NAME).is_file()
+            (model_dir / f"v{v}" / MANIFEST_NAME).is_file()
             for v in entry["versions"]
         )
 
@@ -162,24 +213,42 @@ class ModelRegistry:
         """Rescan the artifact tree and (best-effort) rewrite the root index."""
         models: dict[str, dict] = {}
         if self.root.is_dir():
-            for entry in self.root.iterdir():
-                if not entry.is_dir():
-                    continue
+            for name in sorted(self._directory_names()):
                 # Stat before scanning: an artifact landing in between bumps
                 # the mtime past the recorded one, so it can only force an
                 # extra rescan later, never be hidden.
-                mtime_ns = entry.stat().st_mtime_ns
+                mtime_ns = self._model_mtime_ns(name)
+                if mtime_ns is None:
+                    continue
                 try:
-                    found = self._scan_versions(entry.name, complete_only=True)
+                    found = self._scan_versions(name, complete_only=True)
                 except ValueError:
                     continue  # not an artifact directory (e.g. staging leftovers)
                 if found:
-                    models[entry.name] = {"versions": found, "mtime_ns": mtime_ns}
+                    models[name] = {"versions": found, "mtime_ns": mtime_ns}
         self._write_index(models)
         return models
 
+    def _directory_names(self) -> set[str]:
+        """Model-shaped directory names across the flat and sharded layouts."""
+        names: set[str] = set()
+        if not self.root.is_dir():
+            return names
+        for entry in self.root.iterdir():
+            if entry.is_dir() and self._valid_name(entry.name):
+                names.add(entry.name)
+        shards = self.root / SHARDS_DIRNAME
+        if shards.is_dir():
+            for shard in shards.iterdir():
+                if not shard.is_dir():
+                    continue
+                for entry in shard.iterdir():
+                    if entry.is_dir() and self._valid_name(entry.name):
+                        names.add(entry.name)
+        return names
+
     def _scan_versions(self, name: str, complete_only: bool) -> list[int]:
-        model_dir = self.root / self._check_name(name)
+        model_dir = self._model_dir(self._check_name(name))
         if not model_dir.is_dir():
             return []
         found = []
@@ -215,10 +284,11 @@ class ModelRegistry:
         # not block the next one from picking a fresh version number.
         occupied = self._scan_versions(name, complete_only=False)
         version = occupied[-1] + 1 if occupied else 1
-        artifact_dir = self.root / name / f"v{version}"
+        model_dir = self._model_dir(name)
+        artifact_dir = model_dir / f"v{version}"
         # Stage into a temp sibling and rename at the end, so a failure mid-save
         # never leaves a half-written artifact under the final path.
-        staging_dir = self.root / name / f".staging-v{version}"
+        staging_dir = model_dir / f".staging-v{version}"
         if staging_dir.exists():
             shutil.rmtree(staging_dir)
         staging_dir.mkdir(parents=True)
@@ -278,7 +348,7 @@ class ModelRegistry:
     def load_artifact(self, name: str, version: int | None = None) -> ModelArtifact:
         name = self._check_name(name)
         version = version if version is not None else self.latest_version(name)
-        artifact_dir = self.root / name / f"v{version}"
+        artifact_dir = self._model_dir(name) / f"v{version}"
         manifest_path = artifact_dir / MANIFEST_NAME
         if not manifest_path.is_file():
             raise KeyError(f"registry has no artifact {name!r} v{version}")
@@ -297,7 +367,7 @@ class ModelRegistry:
 
     def _model_mtime_ns(self, name: str) -> int | None:
         try:
-            return (self.root / name).stat().st_mtime_ns
+            return self._model_dir(name).stat().st_mtime_ns
         except OSError:
             return None
 
@@ -375,6 +445,14 @@ class ModelRegistry:
                 f"model name {name!r} is reserved for the registry's root index"
             )
         return name
+
+    @classmethod
+    def _valid_name(cls, name: str) -> bool:
+        try:
+            cls._check_name(name)
+        except ValueError:
+            return False
+        return True
 
 
 def load_artifact_dir(path: str | Path) -> PowerGear:

@@ -47,6 +47,18 @@ the service pins the resolved backend around its prediction calls, reports
 it in :class:`ServiceMetrics`, and exports the per-backend forward counters
 through :meth:`PowerEstimationService.runtime_stats` and the HTTP
 ``/metrics`` endpoint.
+
+A registry-backed service also holds a
+:class:`~repro.deploy.resolver.ModelResolver`: each request batch resolves
+against one immutable snapshot of the live :mod:`deployment plan
+<repro.deploy>` (kernel patterns → artifact ``(name, version)``, optional
+canary/shadow challenger split by a deterministic hash of the design point),
+so a promote or rollback mid-load never mixes artifacts within one batch,
+and with no plan installed every path — fresh, cached, pooled, coalesced —
+is bitwise-identical to the single-model service this layer replaced.
+Challenger-arm designs are predicted by *both* arms; the divergence is
+exported as drift metrics, and in shadow mode the champion's answer is what
+callers receive.
 """
 
 from __future__ import annotations
@@ -90,11 +102,13 @@ from repro.runtime import (
     SupervisedPool,
     WorkerPool,
 )
+from repro.deploy.plan import DeploymentPlan
+from repro.deploy.resolver import ModelResolver, ResolvedModel
 from repro.obs import Observability
 from repro.obs.logs import log_event
 from repro.obs.metrics import json_safe
 from repro.serve.cache import InferenceCache, sample_fingerprint
-from repro.serve.registry import ModelRegistry
+from repro.serve.registry import ModelRegistry, load_artifact_dir
 
 
 # ------------------------------------------------------------------ requests
@@ -143,6 +157,10 @@ class EstimateResponse:
     cached_prediction: bool
     latency_ms: float
     model_fingerprint: str
+    #: Which artifact served this design and in what role — present only when
+    #: a deployment plan resolved the request (``None`` keeps the no-plan wire
+    #: format byte-identical to the pre-deployment service).
+    served_by: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -191,11 +209,18 @@ class ExplorationSession:
         config: DSEConfig,
         candidates: list[DesignCandidate],
         state: ExplorationState | None = None,
+        plan: DeploymentPlan | None = None,
     ) -> None:
         self.service = service
         self.kernel = kernel
         self.config = config
         self.candidates = candidates
+        # The deployment plan this exploration is pinned to: every step of
+        # every slice — including slices run after a crash-resume in a fresh
+        # process — predicts through this one immutable plan, so publishes
+        # that land mid-job cannot change the trajectory and resume stays
+        # bitwise.
+        self.plan = plan
         self.explorer = ParetoExplorer(config)
         self.state = state if state is not None else self.explorer.start(candidates)
         self._started = time.perf_counter()
@@ -204,12 +229,19 @@ class ExplorationSession:
     def done(self) -> bool:
         return self.state.done
 
+    @property
+    def plan_seq(self) -> int | None:
+        """Seq of the pinned deployment plan (checkpointed by the job tier)."""
+        return self.plan.seq if self.plan is not None else None
+
     def step(self) -> dict:
         """One explorer iteration (predict → frontier → select next batch)."""
         return self.explorer.step(self.candidates, self.state, self._predictor)
 
     def _predictor(self, batch: list[DesignCandidate]) -> np.ndarray:
-        predictions, _ = self.service._predict_samples([c.payload for c in batch])
+        predictions, _, _ = self.service._predict_samples(
+            [c.payload for c in batch], plan=self.plan
+        )
         return predictions
 
     def report(self) -> "ExploreReport":
@@ -348,14 +380,20 @@ class PowerEstimationService:
         batch_size: int = 64,
         runtime: RuntimeConfig | None = None,
     ) -> None:
+        if registry is not None and not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        default_version = model_version
         if model is None:
             if registry is None or model_name is None:
                 raise ValueError(
                     "provide a fitted model, or a registry plus model_name to load one"
                 )
-            if not isinstance(registry, ModelRegistry):
-                registry = ModelRegistry(registry)
-            model = registry.load(model_name, model_version)
+            artifact = registry.load_artifact(model_name, model_version)
+            model = load_artifact_dir(artifact.path)
+            # Pin the *resolved* version: the resolver must know the default
+            # artifact's identity so plan rules naming it reuse the already
+            # loaded (and pool-published) model instead of a cache copy.
+            default_version = artifact.version
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.model = model
@@ -392,6 +430,35 @@ class PowerEstimationService:
         self.backend = get_backend(resolve_backend_name(self.runtime.backend))
         self.metrics = ServiceMetrics(backend=self.backend.name)
         self.model_fingerprint = model.fingerprint()
+        # The deployment layer: a registry-backed service resolves every
+        # request batch against the live plan; without a registry there is
+        # nothing to resolve artifacts from, so the resolver is None and the
+        # deployment API reports itself disabled.
+        self.registry = registry
+        self.resolver: ModelResolver | None = None
+        if registry is not None:
+            self.resolver = ModelResolver(
+                registry,
+                default_model=model,
+                default_name=model_name,
+                default_version=default_version,
+                default_fingerprint=self.model_fingerprint,
+                cache_entries=self.runtime.deploy_artifact_cache_entries,
+                on_evict=lambda key, value: self.obs.pool_event(
+                    "artifact_evicted", pool="deploy", artifact=key
+                ),
+            )
+        self._default_resolved = (
+            self.resolver.default
+            if self.resolver is not None
+            else ResolvedModel(
+                name=model_name,
+                version=default_version,
+                role="default",
+                model=model,
+                fingerprint=self.model_fingerprint,
+            )
+        )
         # Pools live behind supervisors (repro.runtime.supervisor): crashes
         # restart the pool within RuntimeConfig.pool_max_restarts instead of
         # retiring it on the first strike, and the featurisation pool
@@ -568,6 +635,9 @@ class PowerEstimationService:
                     "fingerprint": self.model_fingerprint,
                     "target": self.target,
                 },
+                "deployment": (
+                    self.resolver.describe() if self.resolver is not None else None
+                ),
                 "closed": self._closed,
             }
         )
@@ -608,7 +678,7 @@ class PowerEstimationService:
             status = "degraded"
         else:
             status = "ok"
-        return {
+        payload = {
             "status": status,
             # The cluster router compares fingerprints across replicas to
             # catch a mixed-version replica set before it serves divergent
@@ -620,6 +690,14 @@ class PowerEstimationService:
             # GET /v1/events.
             "events": self.obs.events.snapshot(limit=50),
         }
+        if self.resolver is not None:
+            # The live plan seq (stat-revalidated, so replicas sharing the
+            # registry directory report the same number the instant a publish
+            # lands).  The cluster router compares this across replicas: under
+            # a plan, *fingerprints* legitimately differ per design, but the
+            # plan seq must converge.
+            payload["deployment_seq"] = self.resolver.current_seq()
+        return payload
 
     # --------------------------------------------------------------- endpoints
 
@@ -655,8 +733,14 @@ class PowerEstimationService:
         if not requests:
             return []
         with self.obs.tracer.span("estimate_many", designs=len(requests)) as span:
+            # One immutable plan snapshot per batch: a promote/rollback that
+            # lands while this batch is in flight changes the *next* batch,
+            # never mixes artifacts within this one.
+            plan = self.resolver.snapshot() if self.resolver is not None else None
             samples, feature_hits = self._resolve_samples(requests)
-            predictions, prediction_hits = self._predict_samples(samples)
+            predictions, prediction_hits, served = self._predict_samples(
+                samples, plan=plan
+            )
             if self.cache.persistent is not None:
                 # One amortised index write per request batch (the disk tier
                 # also self-syncs every `sync_every` mutations within huge
@@ -689,10 +773,15 @@ class PowerEstimationService:
                 cached_features=bool(feature_hit),
                 cached_prediction=bool(prediction_hit),
                 latency_ms=elapsed_ms,
-                model_fingerprint=self.model_fingerprint,
+                model_fingerprint=(
+                    resolved.fingerprint
+                    if resolved is not None
+                    else self.model_fingerprint
+                ),
+                served_by=(resolved.served_by() if resolved is not None else None),
             )
-            for sample, prediction, feature_hit, prediction_hit in zip(
-                samples, predictions, feature_hits, prediction_hits
+            for sample, prediction, feature_hit, prediction_hit, resolved in zip(
+                samples, predictions, feature_hits, prediction_hits, served
             )
         ]
 
@@ -745,6 +834,7 @@ class PowerEstimationService:
         dse_config: DSEConfig | None = None,
         samples: list[GraphSample] | None = None,
         state: ExplorationState | None = None,
+        plan_seq: int | None = None,
     ) -> ExplorationSession:
         """Open an incremental exploration over ``kernel``'s design space.
 
@@ -754,11 +844,24 @@ class PowerEstimationService:
         resumes an interrupted exploration from exactly where it stopped —
         featurisation is re-resolved (warm from the caches), the random
         stream and the sampled set continue from the checkpoint.
+
+        The session pins a deployment plan for its whole life: the plan live
+        at open time, or — for a job resumed from a checkpoint — the
+        ``plan_seq`` recorded when the job first started, reloaded from the
+        store's immutable per-seq document so the resumed trajectory predicts
+        through exactly the artifacts the original did.
         """
         if budget is not None and dse_config is not None:
             raise ValueError(
                 "pass either budget or dse_config, not both "
                 "(dse_config carries its own total_budget)"
+            )
+        plan = None
+        if self.resolver is not None:
+            plan = (
+                self.resolver.plan_at(plan_seq)
+                if plan_seq is not None
+                else self.resolver.snapshot()
             )
         config = dse_config or DSEConfig(total_budget=budget if budget is not None else 0.4)
         if samples is None:
@@ -782,7 +885,60 @@ class PowerEstimationService:
             )
             for index, sample in enumerate(samples)
         ]
-        return ExplorationSession(self, kernel, config, candidates, state=state)
+        return ExplorationSession(
+            self, kernel, config, candidates, state=state, plan=plan
+        )
+
+    # ------------------------------------------------------------- deployments
+
+    def deployment_view(self) -> dict:
+        """The live deployment state (``GET /v1/deployments``)."""
+        return self._require_resolver().describe()
+
+    def put_deployment(self, document: dict) -> dict:
+        """Validate and publish a plan document; returns the new state.
+
+        Every artifact reference is checked against the registry before
+        anything is written (:class:`~repro.deploy.plan.UnknownArtifactError`
+        on a miss — the HTTP layer maps it to ``400 unknown_artifact``), and
+        the publish is atomic: replicas sharing the registry directory pick
+        the new plan up on their next request batch.
+        """
+        resolver = self._require_resolver()
+        plan = DeploymentPlan.from_json(document, seq=0)
+        published = resolver.publish(plan)
+        self._deployment_event("deployment_published", published)
+        return resolver.describe()
+
+    def promote_deployment(self, pattern: str | None = None) -> dict:
+        """Challenger becomes champion for matching rules (all by default)."""
+        resolver = self._require_resolver()
+        published = resolver.promote(pattern)
+        self._deployment_event("deployment_promoted", published)
+        return resolver.describe()
+
+    def rollback_deployment(self, pattern: str | None = None) -> dict:
+        """Drop the challenger for matching rules (all by default)."""
+        resolver = self._require_resolver()
+        published = resolver.rollback(pattern)
+        self._deployment_event("deployment_rolled_back", published)
+        return resolver.describe()
+
+    def current_plan_seq(self) -> int | None:
+        """Seq of the live plan, or ``None`` (no plan / no resolver)."""
+        return self.resolver.current_seq() if self.resolver is not None else None
+
+    def _require_resolver(self) -> ModelResolver:
+        if self.resolver is None:
+            raise RuntimeError(
+                "deployments are not enabled: the service was constructed "
+                "without a model registry"
+            )
+        return self.resolver
+
+    def _deployment_event(self, kind: str, plan: DeploymentPlan) -> None:
+        self.obs.pool_event(kind, pool="deploy", seq=plan.seq, rules=len(plan.rules))
+        log_event(self.obs.logger, kind, seq=plan.seq, rules=len(plan.rules))
 
     # --------------------------------------------------------------- internals
 
@@ -949,7 +1105,9 @@ class PowerEstimationService:
             supervisor = self._feat_supervisor
         return supervisor if supervisor.should_parallelise(num_designs) else None
 
-    def _predict_batch(self, samples: list[GraphSample]) -> np.ndarray:
+    def _predict_batch(
+        self, samples: list[GraphSample], resolved: ResolvedModel | None = None
+    ) -> np.ndarray:
         """One batched forward over ``samples`` — pooled when it pays off.
 
         Large ensembles shard the packed forward across the
@@ -959,6 +1117,14 @@ class PowerEstimationService:
         both route their kernels through the service's pinned backend (the
         pool pins the same backend in its workers).
 
+        ``resolved`` names the model a deployment plan routed this group to.
+        The :class:`~repro.runtime.pool.ForwardPool`'s shared-memory weights
+        are published once for the *default* model, so only the default rides
+        the pool; plan-resolved challengers/champions run the in-process
+        serial path under the model lock (in-process forwards flip the
+        process-wide train/eval and autograd state, so all models take turns
+        on one lock).
+
         A crashed forward worker is restarted by the supervisor within
         ``RuntimeConfig.pool_max_restarts`` and the batch retried on the
         fresh pool — faults are counted in ``pooled_errors`` without
@@ -967,6 +1133,14 @@ class PowerEstimationService:
         produces identical predictions.
         """
         with self.obs.tracer.span("forward", designs=len(samples)) as span:
+            if resolved is not None and resolved.model is not self.model:
+                span.set_attribute("pooled", False)
+                span.set_attribute("worker_pid", os.getpid())
+                span.set_attribute("artifact", resolved.label)
+                with self._model_lock, use_backend(self.backend):
+                    return resolved.model.predict_batch(
+                        samples, batch_size=self.batch_size
+                    )
             return self._predict_batch_inner(samples, span)
 
     def _predict_batch_inner(self, samples: list[GraphSample], span) -> np.ndarray:
@@ -1097,16 +1271,109 @@ class PowerEstimationService:
             return self._forward_supervisor
 
     def _predict_samples(
-        self, samples: list[GraphSample]
+        self, samples: list[GraphSample], plan: DeploymentPlan | None = None
+    ) -> tuple[np.ndarray, list[bool], list[ResolvedModel | None]]:
+        """Cached, batched prediction of ``samples`` under one plan snapshot.
+
+        Returns ``(predictions, cache_hits, served)`` where ``served[i]`` is
+        the :class:`~repro.deploy.resolver.ResolvedModel` a plan routed
+        design ``i`` to, or ``None`` for the ambient default (no plan, or no
+        matching rule — the pre-deployment wire format).
+        """
+        if plan is None:
+            predictions, hits = self._predict_with(self._default_resolved, samples)
+            return predictions, hits, [None] * len(samples)
+        return self._predict_samples_planned(samples, plan)
+
+    def _predict_samples_planned(
+        self, samples: list[GraphSample], plan: DeploymentPlan
+    ) -> tuple[np.ndarray, list[bool], list[ResolvedModel | None]]:
+        """The planned path: per-design routing, grouped per serving artifact.
+
+        Designs are assigned to their serving arm by the deterministic
+        challenger split, grouped by resolved model (group order is first
+        occurrence, so results are independent of grouping — every design's
+        prediction is a pure function of its own sample and its model), and
+        predicted through the same cache/batch machinery as the default path
+        under each model's own fingerprint.  Designs selected onto a
+        challenger slice are then predicted by the *other* arm too: those
+        predictions land in the cache and the champion/challenger divergence
+        is exported, but only the serving arm's value is returned.
+        """
+        resolver = self.resolver
+        assignments = [
+            resolver.resolve(plan, sample.kernel, sample.directives)
+            for sample in samples
+        ]
+        predictions = np.zeros(len(samples))
+        hits: list[bool] = [False] * len(samples)
+        served: list[ResolvedModel | None] = [None] * len(samples)
+        groups: dict[str, tuple[ResolvedModel, list[int]]] = {}
+        for index, (serve, _, rule) in enumerate(assignments):
+            if rule is not None:
+                served[index] = serve
+            _, indices = groups.setdefault(serve.fingerprint, (serve, []))
+            indices.append(index)
+        for serve, indices in groups.values():
+            group_predictions, group_hits = self._predict_with(
+                serve, [samples[i] for i in indices]
+            )
+            self._account_artifact(serve, len(indices))
+            for position, index in enumerate(indices):
+                predictions[index] = group_predictions[position]
+                hits[index] = group_hits[position]
+
+        recorded: dict[str, tuple[ResolvedModel, list[int]]] = {}
+        for index, (_, record, _) in enumerate(assignments):
+            if record is not None:
+                _, indices = recorded.setdefault(record.fingerprint, (record, []))
+                indices.append(index)
+        for record, indices in recorded.values():
+            record_predictions, _ = self._predict_with(
+                record, [samples[i] for i in indices]
+            )
+            self._account_artifact(record, len(indices))
+            for position, index in enumerate(indices):
+                self._record_divergence(
+                    assignments[index][2],
+                    float(predictions[index]),
+                    float(record_predictions[position]),
+                )
+        return predictions, hits, served
+
+    def _account_artifact(self, resolved: ResolvedModel, designs: int) -> None:
+        self.obs.deploy_requests.labels(
+            artifact=resolved.label, role=resolved.role
+        ).inc(designs)
+        self.obs.deploy_artifact_designs.labels(artifact=resolved.label).inc(designs)
+
+    def _record_divergence(
+        self, rule: str | None, served_value: float, recorded_value: float
+    ) -> None:
+        """Export one champion/challenger comparison as drift metrics."""
+        diff = abs(served_value - recorded_value)
+        label = rule if rule is not None else "*"
+        self.obs.deploy_divergence_abs.labels(rule=label).observe(diff)
+        if diff != 0.0:
+            self.obs.deploy_divergence.labels(rule=label).inc()
+
+    def _predict_with(
+        self, resolved: ResolvedModel, samples: list[GraphSample]
     ) -> tuple[np.ndarray, list[bool]]:
-        """Prediction-cache lookups plus one batched pass over the misses."""
+        """Prediction-cache lookups plus one batched pass over the misses.
+
+        Cache keys are parameterised by the resolved model's fingerprint, so
+        champion and challenger predictions of the same design coexist in the
+        cache and a promote flips which entries the serving path reads —
+        nothing is invalidated.
+        """
         predictions = np.zeros(len(samples))
         hits: list[bool] = [False] * len(samples)
         miss_indices: list[int] = []
         with self.obs.tracer.span("cache.predictions", designs=len(samples)) as span:
             keys = [sample_fingerprint(sample) for sample in samples]
             for index, key in enumerate(keys):
-                cached = self.cache.get_prediction(key, self.model_fingerprint)
+                cached = self.cache.get_prediction(key, resolved.fingerprint)
                 if cached is not None:
                     predictions[index] = cached
                     hits[index] = True
@@ -1116,7 +1383,9 @@ class PowerEstimationService:
 
         if miss_indices:
             predict_start = time.perf_counter()
-            fresh = self._predict_batch([samples[i] for i in miss_indices])
+            fresh = self._predict_batch(
+                [samples[i] for i in miss_indices], resolved=resolved
+            )
             elapsed = time.perf_counter() - predict_start
             self.obs.observe_stage("predict", elapsed)
             self.metrics.record(
@@ -1130,7 +1399,7 @@ class PowerEstimationService:
                 predictions[index] = fresh[position]
                 self.cache.put_prediction(
                     keys[index],
-                    self.model_fingerprint,
+                    resolved.fingerprint,
                     float(fresh[position]),
                     cost_seconds=cost_per_design,
                 )

@@ -1,0 +1,443 @@
+"""Tests for :mod:`repro.deploy`: plans, the store, resolution, and the
+satellite machinery that rides with the deployment layer (sharded registry
+layout, flock'd job claims).
+
+The determinism pins here are the PR's acceptance criteria: the canary split
+is a pure function of the design point (identical across processes bitwise),
+plan snapshots are immutable (a promote mid-load can never mix artifacts
+within one batch), and the claim files make shared-jobs-dir resume exclusive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.deploy import (
+    DEPLOYMENTS_DIRNAME,
+    ChallengerSpec,
+    DeploymentPlan,
+    DeploymentRule,
+    DeploymentStore,
+    ModelResolver,
+    UnknownArtifactError,
+    assign_challenger,
+)
+from repro.flow.powergear import PowerGear, PowerGearConfig
+from repro.gnn.config import GNNConfig
+from repro.gnn.trainer import TrainingConfig
+from repro.jobs import Job, JobManager, JobStore, new_job_id
+from repro.serve.registry import SHARDS_DIRNAME, ModelRegistry
+
+
+# ------------------------------------------------------------ challenger split
+
+
+def test_assign_challenger_is_deterministic_and_monotone():
+    points = [("atax", f"point{i}") for i in range(64)]
+    first = [assign_challenger(k, d, 0.3) for k, d in points]
+    second = [assign_challenger(k, d, 0.3) for k, d in points]
+    assert first == second
+    # Monotone in fraction: raising it only moves designs ONTO the challenger.
+    for lo, hi in [(0.1, 0.3), (0.3, 0.7), (0.7, 1.0)]:
+        for kernel, directives in points:
+            if assign_challenger(kernel, directives, lo):
+                assert assign_challenger(kernel, directives, hi)
+    # Degenerate fractions short-circuit.
+    assert all(assign_challenger(k, d, 1.0) for k, d in points)
+    assert not any(assign_challenger(k, d, 0.0) for k, d in points)
+    # A 30% slice of 64 hashed points lands somewhere sane (not all/none).
+    assert 0 < sum(first) < len(first)
+
+
+def test_assign_challenger_is_bitwise_identical_across_processes():
+    points = [["gemm", f"p{i}", 0.2 + 0.01 * i] for i in range(40)]
+    local = [assign_challenger(k, d, f) for k, d, f in points]
+    code = (
+        "import json, sys\n"
+        "from repro.deploy import assign_challenger\n"
+        "points = json.loads(sys.argv[1])\n"
+        "print(json.dumps([assign_challenger(k, d, f) for k, d, f in points]))\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    output = subprocess.run(
+        [sys.executable, "-c", code, json.dumps(points)],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    assert json.loads(output) == local
+
+
+# -------------------------------------------------------------- plan documents
+
+
+def plan_doc(**challenger) -> dict:
+    rule: dict = {"pattern": "atax*", "model": "pg", "model_version": 1}
+    if challenger:
+        rule["challenger"] = challenger
+    return {"version": 1, "rules": [rule]}
+
+
+def test_plan_round_trip_and_first_match_wins():
+    plan = DeploymentPlan.from_json(
+        {
+            "version": 1,
+            "rules": [
+                {"pattern": "atax", "model": "a", "model_version": 2},
+                {"pattern": "*", "model": "b", "model_version": 1},
+            ],
+        },
+        seq=7,
+    )
+    assert plan.seq == 7
+    assert plan.match("atax").name == "a"
+    assert plan.match("gemm").name == "b"
+    assert plan.artifact_refs() == [("a", 2), ("b", 1)]
+    restored = DeploymentPlan.from_json(plan.to_json())
+    assert restored == plan
+
+
+def test_plan_validation_rejects_malformed_documents():
+    with pytest.raises(ValueError, match="must be a JSON object"):
+        DeploymentPlan.from_json([])
+    with pytest.raises(ValueError, match="version"):
+        DeploymentPlan.from_json({"version": 99, "rules": []})
+    with pytest.raises(ValueError, match="pattern"):
+        DeploymentPlan.from_json({"rules": [{"model": "pg", "model_version": 1}]})
+    with pytest.raises(ValueError, match="model_version must be a positive integer"):
+        DeploymentPlan.from_json(
+            {"rules": [{"pattern": "*", "model": "pg", "model_version": "latest"}]}
+        )
+    # Pinned integer versions are the contract: floats and 0 are refused too.
+    with pytest.raises(ValueError, match="model_version"):
+        DeploymentPlan.from_json(
+            {"rules": [{"pattern": "*", "model": "pg", "model_version": 0}]}
+        )
+    # A canary must say how much traffic it takes.
+    with pytest.raises(ValueError, match="fraction is required"):
+        DeploymentPlan.from_json(plan_doc(model="pg2", model_version=1))
+    with pytest.raises(ValueError, match=r"in \(0, 1\]"):
+        DeploymentPlan.from_json(
+            plan_doc(model="pg2", model_version=1, fraction=1.5)
+        )
+    # Shadow mode defaults to the full slice (fraction 1.0).
+    plan = DeploymentPlan.from_json(
+        plan_doc(model="pg2", model_version=1, shadow=True)
+    )
+    assert plan.rules[0].challenger == ChallengerSpec(
+        name="pg2", version=1, fraction=1.0, shadow=True
+    )
+
+
+def test_promote_and_rollback():
+    plan = DeploymentPlan(
+        seq=3,
+        rules=(
+            DeploymentRule(
+                pattern="atax",
+                name="pg",
+                version=1,
+                challenger=ChallengerSpec(name="pg", version=2, fraction=0.2),
+            ),
+            DeploymentRule(pattern="*", name="pg", version=1),
+        ),
+    )
+    promoted = plan.promote()
+    assert promoted.rules[0] == DeploymentRule(pattern="atax", name="pg", version=2)
+    assert promoted.rules[1] == plan.rules[1]
+
+    rolled = plan.rollback("atax")
+    assert rolled.rules[0] == DeploymentRule(pattern="atax", name="pg", version=1)
+
+    with pytest.raises(ValueError, match="no canary to promote"):
+        promoted.promote()
+    with pytest.raises(ValueError, match="no canary to roll back"):
+        plan.rollback("gemm")
+
+
+# ------------------------------------------------------------------- the store
+
+
+def test_store_publishes_immutable_seqs_and_revalidates(tmp_path):
+    store = DeploymentStore(tmp_path)
+    assert store.current() is None
+
+    plan = DeploymentPlan.from_json(plan_doc())
+    first = store.put(plan)
+    second = store.put(plan)
+    assert (first.seq, second.seq) == (1, 2)
+    assert store.sequences() == [1, 2]
+    # Every published seq stays loadable forever (job pinning depends on it).
+    assert store.load(1).seq == 1
+    assert store.current().seq == 2
+    with pytest.raises(KeyError):
+        store.load(9)
+
+    # A second store over the same directory (another replica) sees the same
+    # plan, and a publish through it is picked up by the first store's
+    # stat-revalidated read path with no push channel.
+    sibling = DeploymentStore(tmp_path)
+    assert sibling.current().seq == 2
+    third = sibling.put(plan)
+    assert store.current().seq == third.seq == 3
+    assert (tmp_path / DEPLOYMENTS_DIRNAME / "plan-1.json").exists()
+
+
+# ------------------------------------------------------------------ resolution
+
+
+def build_model(samples, seed_epochs: int) -> PowerGear:
+    return PowerGear(
+        PowerGearConfig(
+            target="dynamic",
+            gnn=GNNConfig(hidden_dim=12, num_layers=2),
+            training=TrainingConfig(epochs=seed_epochs, batch_size=16),
+            ensemble=None,
+        )
+    ).fit(samples)
+
+
+@pytest.fixture(scope="module")
+def two_artifacts(tmp_path_factory):
+    """A registry holding pg v1 and pg v2 (distinct weights), plus the models."""
+    from test_serve_service import build_synthetic_samples
+
+    samples = build_synthetic_samples(40, seed=11)
+    model_v1 = build_model(samples[:28], seed_epochs=4)
+    model_v2 = build_model(samples[:28], seed_epochs=8)
+    root = tmp_path_factory.mktemp("registry")
+    registry = ModelRegistry(root)
+    registry.save(model_v1, "pg")
+    registry.save(model_v2, "pg")
+    return registry, model_v1, model_v2, samples[28:]
+
+
+def make_resolver(registry, model_v1, cache_entries: int = 4) -> ModelResolver:
+    return ModelResolver(
+        registry,
+        default_model=model_v1,
+        default_name="pg",
+        default_version=1,
+        cache_entries=cache_entries,
+    )
+
+
+def test_resolver_routes_canary_and_shadow(two_artifacts):
+    registry, model_v1, model_v2, _ = two_artifacts
+    resolver = make_resolver(registry, model_v1)
+
+    # No plan / no matching rule: the ambient default serves, nothing recorded.
+    serve, record, rule = resolver.resolve(None, "atax", "p0")
+    assert (serve, record, rule) == (resolver.default, None, None)
+    plan = DeploymentPlan.from_json(
+        {"rules": [{"pattern": "gemm", "model": "pg", "model_version": 1}]}, seq=1
+    )
+    assert resolver.resolve(plan, "atax", "p0") == (resolver.default, None, None)
+
+    # Canary: selected designs are SERVED by the challenger, champion recorded.
+    canary = DeploymentPlan.from_json(
+        plan_doc(model="pg", model_version=2, fraction=0.5), seq=2
+    )
+    picked = [d for d in range(64) if assign_challenger("atax", f"p{d}", 0.5)]
+    serve, record, rule = resolver.resolve(canary, "atax", f"p{picked[0]}")
+    assert (serve.version, serve.role) == (2, "challenger")
+    assert (record.version, record.role) == (1, "champion")
+    assert rule == "atax*"
+    skipped = next(d for d in range(64) if d not in picked)
+    serve, record, _ = resolver.resolve(canary, "atax", f"p{skipped}")
+    assert (serve.version, serve.role, record) == (1, "champion", None)
+
+    # Shadow: champion serves, challenger is the recorded arm.
+    shadow = DeploymentPlan.from_json(
+        plan_doc(model="pg", model_version=2, shadow=True), seq=3
+    )
+    serve, record, _ = resolver.resolve(shadow, "atax", "p0")
+    assert (serve.version, serve.role) == (1, "champion")
+    assert (record.version, record.role) == (2, "challenger")
+
+    # The default ref resolves without touching the registry cache; the other
+    # version loads once through the bounded cache and round-trips bitwise.
+    assert serve.model is model_v1
+    loaded = record.model
+    assert record.fingerprint == model_v2.fingerprint()
+    assert resolver.model_for("pg", 2, "challenger").model is loaded
+    described = resolver.describe()
+    assert described["plan"] is None  # this resolver's store has no live plan
+    assert described["default"] == {
+        "model": "pg",
+        "version": 1,
+        "fingerprint": model_v1.fingerprint(),
+    }
+    assert described["artifact_cache"]["entries"] == 1
+
+
+def test_resolver_rejects_unknown_artifacts(two_artifacts):
+    registry, model_v1, _, _ = two_artifacts
+    resolver = make_resolver(registry, model_v1)
+    ghost = DeploymentPlan.from_json(
+        {"rules": [{"pattern": "*", "model": "ghost", "model_version": 1}]}, seq=1
+    )
+    with pytest.raises(UnknownArtifactError, match="ghost v1"):
+        resolver.validate(ghost)
+    with pytest.raises(UnknownArtifactError, match="pg v9"):
+        resolver.model_for("pg", 9, "champion")
+    # str() is the bare message (KeyError would wrap it in quotes).
+    error = UnknownArtifactError("registry has no artifact ghost v1")
+    assert str(error) == "registry has no artifact ghost v1"
+
+
+def test_resolver_publish_promote_rollback(two_artifacts):
+    registry, model_v1, _, _ = two_artifacts
+    resolver = ModelResolver(
+        registry,
+        default_model=model_v1,
+        default_name="pg",
+        default_version=1,
+        store=DeploymentStore(registry.root),
+    )
+    with pytest.raises(ValueError, match="no deployment plan is installed"):
+        resolver.promote()
+    published = resolver.publish(
+        DeploymentPlan.from_json(plan_doc(model="pg", model_version=2, fraction=0.25))
+    )
+    assert published.seq == 1
+    promoted = resolver.promote()
+    assert promoted.seq == 2
+    assert promoted.rules[0].version == 2
+    assert promoted.rules[0].challenger is None
+    # plan_at: 0 pins "no plan" (resumed jobs that started before any plan).
+    assert resolver.plan_at(0) is None
+    assert resolver.plan_at(None) is None
+    assert resolver.plan_at(1).seq == 1
+    assert resolver.current_seq() == 2
+
+
+# -------------------------------------------------------------- sharded layout
+
+
+def test_sharded_registry_save_load_and_migration(tmp_path, random_sample_factory):
+    samples = random_sample_factory(30, seed=5)
+    model = build_model(samples, seed_epochs=4)
+
+    # Seed a flat-layout registry, then turn sharding on for the same root.
+    flat = ModelRegistry(tmp_path)
+    flat.save(model, "legacy")
+    assert not flat.sharded
+
+    sharded = ModelRegistry(tmp_path, sharded=True)
+    assert sharded.sharded
+    # The flat model keeps loading through the migration read path...
+    assert sharded.load("legacy", 1).fingerprint() == model.fingerprint()
+    # ...its new versions keep landing in its flat directory...
+    sharded.save(model, "legacy")
+    assert (tmp_path / "legacy" / "v2").is_dir()
+    # ...and a NEW model fans out under the two-level sharded layout.
+    sharded.save(model, "fresh")
+    shard_roots = list((tmp_path / SHARDS_DIRNAME).iterdir())
+    assert shard_roots and all(len(p.name) == 2 for p in shard_roots)
+    assert sharded.load("fresh", 1).fingerprint() == model.fingerprint()
+    assert sorted(sharded.list_models()) == ["fresh", "legacy"]
+
+    # Auto-detection: a plain constructor over a root with _shards/ keeps
+    # writing sharded — replicas need no explicit flag to agree on layout.
+    detected = ModelRegistry(tmp_path)
+    assert detected.sharded
+    detected.save(model, "another")
+    assert not (tmp_path / "another").exists()
+    assert detected.load("another", 1) is not None
+    assert sorted(detected.list_models()) == ["another", "fresh", "legacy"]
+
+    # rebuild_index covers both layouts.
+    detected.rebuild_index()
+    assert sorted(detected.list_models()) == ["another", "fresh", "legacy"]
+
+
+# ------------------------------------------------------------------ job claims
+
+
+def test_job_store_claims_are_exclusive_and_survive_release(tmp_path):
+    fcntl = pytest.importorskip("fcntl")
+    del fcntl
+    directory = tmp_path / "jobs"
+    mine, theirs = JobStore(directory), JobStore(directory)
+    job_id = new_job_id("atax")
+
+    assert mine.claim(job_id)
+    assert mine.claim(job_id)  # idempotent per holder
+    assert not theirs.claim(job_id)
+    mine.release(job_id)
+    # The claim FILE stays (unlinking would race a concurrent claimer onto an
+    # orphaned inode), but the lock is free for the next holder.
+    assert (directory / f"{job_id}.claim").exists()
+    assert theirs.claim(job_id)
+    theirs.release_all()
+
+    # delete() is the one path that removes the claim file with the job.
+    assert mine.claim(job_id)
+    mine.delete(job_id)
+    assert not (directory / f"{job_id}.claim").exists()
+    # Claim files never shadow checkpoints in load_all.
+    mine.claim(new_job_id("gemm"))
+    assert mine.load_all() == {}
+
+
+def test_resume_skips_jobs_claimed_by_a_sibling_manager(tmp_path):
+    pytest.importorskip("fcntl")
+    from test_jobs_manager import StubService
+
+    directory = tmp_path / "jobs"
+    seed = JobStore(directory)
+    interrupted = Job(
+        job_id=new_job_id("atax"), kernel="atax", client="c", params={"budget": 0.3}
+    )
+    interrupted.state = "running"
+    finished = Job(
+        job_id=new_job_id("gemm"), kernel="gemm", client="c", params={"budget": 0.3}
+    )
+    finished.state = "succeeded"
+    seed.save(interrupted.job_id, interrupted.to_store())
+    seed.save(finished.job_id, finished.to_store())
+
+    # A sibling holds the interrupted job: resume must not even table it.
+    owner = JobStore(directory)
+    assert owner.claim(interrupted.job_id)
+    manager = JobManager(StubService(), store=JobStore(directory), runners=1)
+    try:
+        assert interrupted.job_id not in {j["job_id"] for j in manager.list()}
+        # Terminal checkpoints load unclaimed (read-only history).
+        assert finished.job_id in {j["job_id"] for j in manager.list()}
+    finally:
+        manager.close()
+
+    # Once the owner dies (releases), the next manager resumes it.
+    owner.release_all()
+    second = JobManager(StubService(), store=JobStore(directory), runners=1)
+    try:
+        snapshot = second.wait(interrupted.job_id, timeout=20.0)
+        assert snapshot["state"] == "succeeded"
+        assert snapshot["resumes"] == 1
+    finally:
+        second.close()
+
+
+def test_job_checkpoint_round_trips_plan_seq(tmp_path):
+    store = JobStore(tmp_path / "jobs")
+    job = Job(
+        job_id=new_job_id("atax"), kernel="atax", client="c", params={}, plan_seq=4
+    )
+    store.save(job.job_id, job.to_store())
+    revived = Job.from_store(store.load(job.job_id))
+    assert revived.plan_seq == 4
+    assert revived.snapshot()["plan_seq"] == 4
+    # Pre-deployment checkpoints (no key) surface as None, not 0.
+    payload = job.to_store()
+    del payload["record"]["plan_seq"]
+    assert Job.from_store(payload).plan_seq is None
